@@ -1,0 +1,940 @@
+package repro
+
+// This file holds the reproduction's benchmark harness: one benchmark
+// family per experiment in DESIGN.md's per-experiment index (E1–E9). The
+// paper (HPDC 1999) has no results tables — it is a standards proposal —
+// so each experiment operationalizes one of its quantitative claims (C1–C5)
+// or architecture figures (F1–F3); EXPERIMENTS.md records the outcomes.
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem .
+//
+// Run one experiment:
+//
+//	go test -bench=BenchmarkE4 .
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/beans"
+	"repro/internal/cca"
+	"repro/internal/cca/collective"
+	"repro/internal/cca/framework"
+	"repro/internal/esi"
+	"repro/internal/hydro"
+	"repro/internal/linalg"
+	"repro/internal/mesh"
+	"repro/internal/mpi"
+	"repro/internal/orb"
+	"repro/internal/sidl"
+	"repro/internal/sidl/codegen"
+	"repro/internal/sidl/sreflect"
+	"repro/internal/transport"
+	"repro/internal/viz"
+)
+
+// ---------------------------------------------------------------------------
+// E1 — C1+C2 (§6.2): per-call overhead of the connection mechanisms.
+// Direct Go call vs direct-connected port vs SIDL stub (2–3 calls) vs
+// framework-interposed proxy vs reflective DMI.
+// ---------------------------------------------------------------------------
+
+// benchOp is a minimal fine-grain operator implementing the generated
+// EsiOperator binding.
+type benchOp struct{ n int }
+
+func (o *benchOp) TypeName() string { return "bench.Op" }
+func (o *benchOp) Rows() int32      { return int32(o.n) }
+func (o *benchOp) Apply(x []float64, y *[]float64) error {
+	out := *y
+	for i := range out {
+		out[i] = 2 * x[i]
+	}
+	return nil
+}
+
+// sink defeats dead-code elimination.
+var sink float64
+
+func benchApplyThrough(b *testing.B, op esi.EsiOperator) {
+	b.Helper()
+	x := []float64{1, 2, 3, 4}
+	y := make([]float64, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := op.Apply(x, &y); err != nil {
+			b.Fatal(err)
+		}
+	}
+	sink = y[0]
+}
+
+func BenchmarkE1_DirectGoCall(b *testing.B) {
+	benchApplyThrough(b, &benchOp{n: 4})
+}
+
+func BenchmarkE1_DirectConnectPort(b *testing.B) {
+	// Full framework wiring; the fetched port must be the provider's very
+	// interface value (C1: "no penalty").
+	fw := framework.New(framework.Options{})
+	prov := &portProvider{op: &benchOp{n: 4}}
+	user := &portUser{}
+	if err := fw.Install("p", prov); err != nil {
+		b.Fatal(err)
+	}
+	if err := fw.Install("u", user); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := fw.Connect("u", "op", "p", "op"); err != nil {
+		b.Fatal(err)
+	}
+	port, err := user.svc.GetPort("op")
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchApplyThrough(b, port.(esi.EsiOperator))
+}
+
+func BenchmarkE1_SIDLStub(b *testing.B) {
+	// C2: stub -> EPV -> skeleton, "approximately 2-3 function calls".
+	benchApplyThrough(b, esi.NewEsiOperatorStub(&benchOp{n: 4}))
+}
+
+func BenchmarkE1_DoubleStub(b *testing.B) {
+	// Two stacked bindings — the upper bound of the paper's "2-3 calls"
+	// estimate (caller-side and callee-side language bindings).
+	benchApplyThrough(b, esi.NewEsiOperatorStub(esi.NewEsiOperatorStub(&benchOp{n: 4})))
+}
+
+func BenchmarkE1_ProxyInterposedPort(b *testing.B) {
+	// §6.2 ablation: the framework interposes the SIDL stub as a proxy.
+	fw := framework.New(framework.Options{
+		Proxy: func(p cca.Port, info cca.PortInfo) cca.Port {
+			return esi.NewEsiOperatorStub(p.(esi.EsiOperator))
+		},
+	})
+	prov := &portProvider{op: &benchOp{n: 4}}
+	user := &portUser{}
+	if err := fw.Install("p", prov); err != nil {
+		b.Fatal(err)
+	}
+	if err := fw.Install("u", user); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := fw.Connect("u", "op", "p", "op"); err != nil {
+		b.Fatal(err)
+	}
+	port, _ := user.svc.GetPort("op")
+	benchApplyThrough(b, port.(esi.EsiOperator))
+}
+
+func BenchmarkE1_ReflectionDMI(b *testing.B) {
+	// §5's dynamic method invocation path.
+	info, ok := sreflect.Global.Lookup("esi.Operator")
+	if !ok {
+		b.Fatal("esi.Operator not registered")
+	}
+	obj, err := sreflect.NewObject(info, &benchOp{n: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := []float64{1, 2, 3, 4}
+	y := make([]float64, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := obj.Call("apply", x, &y); err != nil {
+			b.Fatal(err)
+		}
+	}
+	sink = y[0]
+}
+
+type portProvider struct{ op *benchOp }
+
+func (p *portProvider) SetServices(svc cca.Services) error {
+	return svc.AddProvidesPort(p.op, cca.PortInfo{Name: "op", Type: esi.TypeOperator})
+}
+
+type portUser struct{ svc cca.Services }
+
+func (u *portUser) SetServices(svc cca.Services) error {
+	u.svc = svc
+	return svc.RegisterUsesPort(cca.PortInfo{Name: "op", Type: esi.TypeOperator})
+}
+
+// ---------------------------------------------------------------------------
+// E2 — C3 (§3.3): the mandatory-marshaling ORB versus a direct port, by
+// payload size; plus the genuinely remote TCP call for scale.
+// ---------------------------------------------------------------------------
+
+type sumServer struct{}
+
+func (sumServer) Sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// SumPort is the port-interface equivalent of the ORB servant.
+type SumPort interface {
+	Sum(xs []float64) float64
+}
+
+var e2Sizes = []int{1, 16, 256, 4096, 65536}
+
+func e2Info(b *testing.B) *sreflect.TypeInfo {
+	b.Helper()
+	f, err := sidl.Parse(`package bench { interface Sum { double sum(in array<double,1> xs); } }`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tbl, err := sidl.Resolve(f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, ti := range sreflect.FromTable(tbl) {
+		if ti.QName == "bench.Sum" {
+			return ti
+		}
+	}
+	b.Fatal("bench.Sum missing")
+	return nil
+}
+
+func BenchmarkE2_DirectPortCall(b *testing.B) {
+	for _, n := range e2Sizes {
+		b.Run(fmt.Sprintf("floats=%d", n), func(b *testing.B) {
+			var p SumPort = sumServer{}
+			xs := make([]float64, n)
+			b.SetBytes(int64(8 * n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sink = p.Sum(xs)
+			}
+		})
+	}
+}
+
+func BenchmarkE2_ORBInProcess(b *testing.B) {
+	info := e2Info(b)
+	for _, n := range e2Sizes {
+		b.Run(fmt.Sprintf("floats=%d", n), func(b *testing.B) {
+			o := orb.NewInProcessORB()
+			if err := o.OA.Register("sum", info, sumServer{}); err != nil {
+				b.Fatal(err)
+			}
+			proxy := o.Proxy("sum")
+			xs := make([]float64, n)
+			b.SetBytes(int64(8 * n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := proxy.Invoke("sum", xs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sink = res[0].(float64)
+			}
+		})
+	}
+}
+
+func BenchmarkE2_ORBRemoteTCP(b *testing.B) {
+	info := e2Info(b)
+	for _, n := range e2Sizes {
+		b.Run(fmt.Sprintf("floats=%d", n), func(b *testing.B) {
+			oa := orb.NewObjectAdapter()
+			if err := oa.Register("sum", info, sumServer{}); err != nil {
+				b.Fatal(err)
+			}
+			l, err := transport.TCP{}.Listen("127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			srv := orb.Serve(oa, l)
+			defer srv.Stop()
+			c, err := orb.DialClient(transport.TCP{}, srv.Addr())
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			proxy := c.Proxy("sum")
+			xs := make([]float64, n)
+			b.SetBytes(int64(8 * n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := proxy.Invoke("sum", xs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sink = res[0].(float64)
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E3 — C4 (§3.2/§6): JavaBeans-style event delivery versus port fan-out.
+// ---------------------------------------------------------------------------
+
+var e3Fanouts = []int{1, 4, 16, 64}
+
+func BenchmarkE3_BeansEvents(b *testing.B) {
+	for _, fan := range e3Fanouts {
+		b.Run(fmt.Sprintf("listeners=%d", fan), func(b *testing.B) {
+			bean := beans.NewBean("src")
+			var acc float64
+			for i := 0; i < fan; i++ {
+				bean.AddListener("tick", beans.ListenerFunc(func(e beans.Event) {
+					acc += e.Payload.(float64)
+				}))
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				bean.Fire("tick", 1.5)
+			}
+			sink = acc
+		})
+	}
+}
+
+// tickPort is the typed port equivalent of the event above.
+type tickPort interface{ Tick(v float64) }
+
+type tickSink struct{ acc float64 }
+
+func (t *tickSink) Tick(v float64) { t.acc += v }
+func (t *tickSink) SetServices(svc cca.Services) error {
+	return svc.AddProvidesPort(t, cca.PortInfo{Name: "tick", Type: "bench.Tick"})
+}
+
+func BenchmarkE3_PortFanOut(b *testing.B) {
+	for _, fan := range e3Fanouts {
+		b.Run(fmt.Sprintf("listeners=%d", fan), func(b *testing.B) {
+			fw := framework.New(framework.Options{})
+			user := &tickUser{}
+			if err := fw.Install("u", user); err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < fan; i++ {
+				name := fmt.Sprintf("s%d", i)
+				if err := fw.Install(name, &tickSink{}); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := fw.Connect("u", "tick", name, "tick"); err != nil {
+					b.Fatal(err)
+				}
+			}
+			ports, err := user.svc.GetPorts("tick")
+			if err != nil {
+				b.Fatal(err)
+			}
+			typed := make([]tickPort, len(ports))
+			for i, p := range ports {
+				typed[i] = p.(tickPort)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, p := range typed {
+					p.Tick(1.5)
+				}
+			}
+		})
+	}
+}
+
+type tickUser struct{ svc cca.Services }
+
+func (u *tickUser) SetServices(svc cca.Services) error {
+	u.svc = svc
+	return svc.RegisterUsesPort(cca.PortInfo{Name: "tick", Type: "bench.Tick"})
+}
+
+// ---------------------------------------------------------------------------
+// E4 — C5 (§6.3): collective-port redistribution across map shapes, with
+// the matched fast path and its forced ablation.
+// ---------------------------------------------------------------------------
+
+func benchTransfer(b *testing.B, world int, src, dst collective.Side, forced bool) {
+	b.Helper()
+	plan, err := collective.NewPlan(src, dst)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := plan.GlobalLen()
+	b.SetBytes(int64(8 * n))
+	b.ResetTimer()
+	mpi.Run(world, func(c *mpi.Comm) {
+		local := make([]float64, plan.SrcLocalLen(c.Rank()))
+		out := make([]float64, plan.DstLocalLen(c.Rank()))
+		for i := 0; i < b.N; i++ {
+			var err error
+			if forced {
+				err = plan.TransferForced(c, local, out)
+			} else {
+				err = plan.Transfer(c, local, out)
+			}
+			if err != nil {
+				b.Errorf("rank %d: %v", c.Rank(), err)
+				return
+			}
+		}
+	})
+}
+
+func BenchmarkE4_Redistribution(b *testing.B) {
+	ranks := func(lo, n int) []int {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = lo + i
+		}
+		return out
+	}
+	for _, n := range []int{1000, 100000} {
+		b.Run(fmt.Sprintf("n=%d/matched4to4", n), func(b *testing.B) {
+			benchTransfer(b, 4, collective.Block(n, ranks(0, 4)), collective.Block(n, ranks(0, 4)), false)
+		})
+		b.Run(fmt.Sprintf("n=%d/matched4to4-forced", n), func(b *testing.B) {
+			benchTransfer(b, 4, collective.Block(n, ranks(0, 4)), collective.Block(n, ranks(0, 4)), true)
+		})
+		b.Run(fmt.Sprintf("n=%d/block4toCyclic4", n), func(b *testing.B) {
+			benchTransfer(b, 8, collective.Block(n, ranks(0, 4)), collective.Cyclic(n, 64, ranks(4, 4)), false)
+		})
+		b.Run(fmt.Sprintf("n=%d/scatter1to4", n), func(b *testing.B) {
+			benchTransfer(b, 5, collective.Serial(n, 0), collective.Block(n, ranks(1, 4)), false)
+		})
+		b.Run(fmt.Sprintf("n=%d/gather4to1", n), func(b *testing.B) {
+			benchTransfer(b, 5, collective.Block(n, ranks(0, 4)), collective.Serial(n, 4), false)
+		})
+		b.Run(fmt.Sprintf("n=%d/block2to8", n), func(b *testing.B) {
+			benchTransfer(b, 10, collective.Block(n, ranks(0, 2)), collective.Block(n, ranks(2, 8)), false)
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E5 — F1 (§2): the full semi-implicit timestep, ports-wired versus a
+// hand-wired monolith, across cohort sizes.
+// ---------------------------------------------------------------------------
+
+func BenchmarkE5_Figure1Pipeline(b *testing.B) {
+	for _, p := range []int{1, 2, 4} {
+		for _, grid := range []int{32, 64} {
+			m := mesh.StructuredQuad(grid, grid)
+			b.Run(fmt.Sprintf("ports/p=%d/grid=%d", p, grid), func(b *testing.B) {
+				mpi.Run(p, func(comm *mpi.Comm) {
+					flow := buildBenchPipeline(b, comm, m, p)
+					// Warm once (binds mesh, builds the operator), then
+					// exclude all setup from the measurement.
+					if _, err := flow.Step(0.01); err != nil {
+						b.Errorf("warm step: %v", err)
+						return
+					}
+					if err := comm.Barrier(); err != nil {
+						b.Errorf("barrier: %v", err)
+						return
+					}
+					if comm.Rank() == 0 {
+						b.ResetTimer()
+					}
+					for i := 0; i < b.N; i++ {
+						if _, err := flow.Step(0.01); err != nil {
+							b.Errorf("step: %v", err)
+							return
+						}
+					}
+				})
+			})
+			b.Run(fmt.Sprintf("monolith/p=%d/grid=%d", p, grid), func(b *testing.B) {
+				mpi.Run(p, func(comm *mpi.Comm) {
+					mono, err := newMonolith(comm, m, p)
+					if err != nil {
+						b.Errorf("monolith: %v", err)
+						return
+					}
+					if err := mono.step(0.01); err != nil {
+						b.Errorf("warm step: %v", err)
+						return
+					}
+					if err := comm.Barrier(); err != nil {
+						b.Errorf("barrier: %v", err)
+						return
+					}
+					if comm.Rank() == 0 {
+						b.ResetTimer()
+					}
+					for i := 0; i < b.N; i++ {
+						if err := mono.step(0.01); err != nil {
+							b.Errorf("step: %v", err)
+							return
+						}
+					}
+				})
+			})
+		}
+	}
+}
+
+func buildBenchPipeline(b *testing.B, comm *mpi.Comm, m *mesh.Mesh, p int) hydro.FlowPort {
+	b.Helper()
+	c := framework.NewCohort(comm, framework.Options{})
+	if err := c.InstallParallel("mesh", func(rank int) cca.Component {
+		mc, err := hydro.NewMeshComponent(m, "rcb", p, rank)
+		if err != nil {
+			b.Errorf("mesh: %v", err)
+		}
+		return mc
+	}); err != nil {
+		b.Errorf("install: %v", err)
+	}
+	if err := c.InstallParallel("flow", func(rank int) cca.Component {
+		fc, err := hydro.NewFlowComponent(comm, hydro.Config{
+			Nu: 1, Tol: 1e-8, Prec: "jacobi",
+			// A steady source keeps per-step solve work constant, so the
+			// benchmark is not chasing a decaying field.
+			Source: benchSource,
+		})
+		if err != nil {
+			b.Errorf("flow: %v", err)
+		}
+		return fc
+	}); err != nil {
+		b.Errorf("install: %v", err)
+	}
+	if _, err := c.ConnectParallel("flow", "mesh", "mesh", "mesh"); err != nil {
+		b.Errorf("connect: %v", err)
+	}
+	comp, _ := c.F.Component("flow")
+	return comp.(hydro.FlowPort)
+}
+
+// monolith replicates the FlowComponent's semi-implicit diffusion step with
+// zero CCA machinery: the baseline quantifying what port wiring costs.
+type monolith struct {
+	comm     *mpi.Comm
+	dec      *mesh.Decomposition
+	op       *mesh.DistOperator
+	prec     linalg.Preconditioner
+	u        []float64
+	source   []float64
+	boundary map[int]bool
+}
+
+func newMonolith(comm *mpi.Comm, m *mesh.Mesh, p int) (*monolith, error) {
+	part := mesh.RCB{}.PartitionNodes(m, p)
+	dec, err := mesh.Decompose(m, part, p, comm.Rank())
+	if err != nil {
+		return nil, err
+	}
+	boundary := map[int]bool{}
+	for _, n := range m.BoundaryNodes() {
+		boundary[n] = true
+	}
+	const dt, nu = 0.01, 1.0
+	var entries []mesh.Entry
+	for i := 0; i < m.NumNodes(); i++ {
+		if boundary[i] {
+			entries = append(entries, mesh.Entry{Row: i, Col: i, Val: 1})
+			continue
+		}
+		deg := 0
+		for _, j := range m.NodeNeighbors(i) {
+			deg++
+			if !boundary[j] {
+				entries = append(entries, mesh.Entry{Row: i, Col: j, Val: -dt * nu})
+			}
+		}
+		entries = append(entries, mesh.Entry{Row: i, Col: i, Val: 1 + dt*nu*float64(deg)})
+	}
+	op, err := mesh.NewDistOperator(dec, comm, entries)
+	if err != nil {
+		return nil, err
+	}
+	diag := op.Local.Diagonal()
+	prec, err := linalg.NewJacobiFromDiag(diag[:dec.NumOwned()])
+	if err != nil {
+		return nil, err
+	}
+	u := make([]float64, dec.NumLocal())
+	src := make([]float64, dec.NumOwned())
+	for li, g := range dec.Owned {
+		c := m.Coords[g]
+		dx, dy := c[0]-0.5, c[1]-0.5
+		if !boundary[g] {
+			u[li] = math.Exp(-50 * (dx*dx + dy*dy)) // same IC as FlowComponent
+			src[li] = benchSource(c[0], c[1])
+		}
+	}
+	mo := &monolith{comm: comm, dec: dec, op: op, prec: prec, u: u, boundary: boundary, source: src}
+	return mo, dec.Exchange(comm, u)
+}
+
+// benchSource is the steady forcing shared by the ports and monolith
+// variants of E5.
+func benchSource(x, y float64) float64 {
+	dx, dy := x-0.3, y-0.6
+	return 4 * math.Exp(-30*(dx*dx+dy*dy))
+}
+
+// step mirrors FlowComponent.Step's work exactly — ghost exchange, the
+// (zero-velocity) advection sweep, the implicit solve, and the four-way
+// stats reduction — with no CCA machinery, isolating port-wiring overhead.
+func (mo *monolith) step(dt float64) error {
+	m := mo.dec.M
+	n := mo.dec.NumOwned()
+	if err := mo.dec.Exchange(mo.comm, mo.u); err != nil {
+		return err
+	}
+	ustar := make([]float64, n)
+	for li, g := range mo.dec.Owned {
+		if mo.boundary[g] {
+			ustar[li] = mo.u[li]
+			continue
+		}
+		ui := mo.u[li]
+		acc, rate := 0.0, 0.0
+		for _, j := range m.NodeNeighbors(g) {
+			e := [2]float64{m.Coords[j][0] - m.Coords[g][0], m.Coords[j][1] - m.Coords[g][1]}
+			h2 := e[0]*e[0] + e[1]*e[1]
+			if h2 == 0 {
+				continue
+			}
+			c := -(0*e[0] + 0*e[1]) / h2
+			if c > 0 {
+				lj := mo.dec.LocalIndex(j)
+				acc += c * (mo.u[lj] - ui)
+				rate += c
+			}
+		}
+		_ = rate
+		ustar[li] = ui + dt*acc + dt*mo.source[li]
+	}
+	x := make([]float64, n)
+	copy(x, mo.u[:n])
+	_, err := (linalg.CG{}).Solve(mo.op, ustar, x, linalg.Options{
+		Tol: 1e-8, Dot: mesh.GlobalDot(mo.comm), Prec: mo.prec,
+	})
+	if err != nil {
+		return err
+	}
+	copy(mo.u[:n], x)
+	if err := mo.dec.Exchange(mo.comm, mo.u); err != nil {
+		return err
+	}
+	// Stats reduction, as FlowComponent does after every step.
+	lmin, lmax, lsum, lsq := math.Inf(1), math.Inf(-1), 0.0, 0.0
+	for _, v := range mo.u[:n] {
+		lmin = math.Min(lmin, v)
+		lmax = math.Max(lmax, v)
+		lsum += v
+		lsq += v * v
+	}
+	for _, red := range []struct {
+		v  float64
+		op mpi.Op
+	}{{lmin, mpi.Min}, {lmax, mpi.Max}, {lsum, mpi.Sum}, {lsq, mpi.Sum}} {
+		if _, err := mo.comm.AllreduceScalar(red.v, red.op); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// E6 — F3 (§6.1): connection-mechanism throughput and the dynamic-attach
+// latency of §2.2.
+// ---------------------------------------------------------------------------
+
+func BenchmarkE6_ConnectDisconnect(b *testing.B) {
+	fw := framework.New(framework.Options{})
+	prov := &portProvider{op: &benchOp{n: 4}}
+	user := &portUser{}
+	if err := fw.Install("p", prov); err != nil {
+		b.Fatal(err)
+	}
+	if err := fw.Install("u", user); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id, err := fw.Connect("u", "op", "p", "op")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := fw.Disconnect(id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE6_GetPort(b *testing.B) {
+	fw := framework.New(framework.Options{})
+	prov := &portProvider{op: &benchOp{n: 4}}
+	user := &portUser{}
+	if err := fw.Install("p", prov); err != nil {
+		b.Fatal(err)
+	}
+	if err := fw.Install("u", user); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := fw.Connect("u", "op", "p", "op"); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := user.svc.GetPort("op")
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = p
+		user.svc.ReleasePort("op")
+	}
+}
+
+func BenchmarkE6_DynamicAttachSnapshot(b *testing.B) {
+	// Time from "attach request" to first frame delivered, amortized:
+	// plan + one pull per iteration over a 4-rank field.
+	const p = 4
+	m := mesh.StructuredQuad(24, 24)
+	part := mesh.RCB{}.PartitionNodes(m, p)
+	b.ResetTimer()
+	mpi.Run(p+1, func(world *mpi.Comm) {
+		d, err := mesh.Decompose(m, part, p, 0)
+		if err != nil {
+			b.Errorf("decompose: %v", err)
+			return
+		}
+		side, err := hydro.SideOf(d, nil)
+		if err != nil {
+			b.Errorf("side: %v", err)
+			return
+		}
+		me := world.Rank()
+		var local []float64
+		if me < p {
+			local = make([]float64, side.Map.LocalLen(me))
+		}
+		for i := 0; i < b.N; i++ {
+			plan, err := collective.NewPlan(side, collective.Serial(m.NumNodes(), p))
+			if err != nil {
+				b.Errorf("plan: %v", err)
+				return
+			}
+			var out []float64
+			if me == p {
+				out = make([]float64, m.NumNodes())
+			}
+			if err := plan.Transfer(world, local, out); err != nil {
+				b.Errorf("transfer: %v", err)
+				return
+			}
+		}
+	})
+}
+
+// ---------------------------------------------------------------------------
+// E7 — §5: SIDL toolchain throughput and binding-generation cost.
+// ---------------------------------------------------------------------------
+
+func esiCorpusSrc(b *testing.B) string {
+	b.Helper()
+	esiSrc, portsSrc := esi.Sources()
+	return esiSrc + "\n" + portsSrc
+}
+
+func BenchmarkE7_SIDLLex(b *testing.B) {
+	src := esiCorpusSrc(b)
+	b.SetBytes(int64(len(src)))
+	for i := 0; i < b.N; i++ {
+		if _, err := sidl.Lex(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE7_SIDLParse(b *testing.B) {
+	src := esiCorpusSrc(b)
+	b.SetBytes(int64(len(src)))
+	for i := 0; i < b.N; i++ {
+		if _, err := sidl.Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE7_SIDLResolve(b *testing.B) {
+	f, err := sidl.Parse(esiCorpusSrc(b))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sidl.Resolve(f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE7_SIDLCodegen(b *testing.B) {
+	f, err := sidl.Parse(esiCorpusSrc(b))
+	if err != nil {
+		b.Fatal(err)
+	}
+	tbl, err := sidl.Resolve(f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := codegen.Generate(tbl, codegen.Options{PackageName: "x", Reflection: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E8 — §2.2/ESI: solver component swap, time-to-solution through identical
+// port wiring.
+// ---------------------------------------------------------------------------
+
+func BenchmarkE8_SolverSwap(b *testing.B) {
+	for _, grid := range []int{32, 64} {
+		a := linalg.Poisson2D(grid, grid)
+		rhs := make([]float64, a.NRows)
+		if err := a.Apply(linalg.Ones(a.NCols), rhs); err != nil {
+			b.Fatal(err)
+		}
+		for _, method := range []string{"cg", "gmres", "bicgstab"} {
+			for _, prec := range []string{"none", "jacobi", "ilu0"} {
+				b.Run(fmt.Sprintf("grid=%d/%s-%s", grid, method, prec), func(b *testing.B) {
+					solver := wireBenchSolver(b, a, method, prec)
+					solver.SetTolerance(1e-8)
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						x := make([]float64, a.NRows)
+						if _, err := solver.Solve(rhs, &x); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+func wireBenchSolver(b *testing.B, a *linalg.CSR, method, prec string) esi.EsiSolver {
+	b.Helper()
+	fw := framework.New(framework.Options{TypeCheck: esi.TypeChecker()})
+	if err := fw.Install("op", esi.NewOperatorComponent(a)); err != nil {
+		b.Fatal(err)
+	}
+	if err := fw.Install("solver", esi.NewSolverComponent(method)); err != nil {
+		b.Fatal(err)
+	}
+	if err := fw.Install("prec", esi.NewPreconditionerComponent(prec)); err != nil {
+		b.Fatal(err)
+	}
+	for _, c := range [][4]string{
+		{"solver", "A", "op", "A"}, {"prec", "A", "op", "A"}, {"solver", "M", "prec", "M"},
+	} {
+		if _, err := fw.Connect(c[0], c[1], c[2], c[3]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	comp, _ := fw.Component("solver")
+	return comp.(esi.EsiSolver)
+}
+
+// ---------------------------------------------------------------------------
+// E9 — §6.3 substrate: MPI collective scaling by rank count and payload.
+// ---------------------------------------------------------------------------
+
+func BenchmarkE9_MPICollectives(b *testing.B) {
+	for _, p := range []int{2, 4, 8, 16} {
+		for _, n := range []int{1, 1024, 131072} {
+			b.Run(fmt.Sprintf("bcast/p=%d/floats=%d", p, n), func(b *testing.B) {
+				b.SetBytes(int64(8 * n))
+				mpi.Run(p, func(c *mpi.Comm) {
+					data := make([]float64, n)
+					for i := 0; i < b.N; i++ {
+						var in []float64
+						if c.Rank() == 0 {
+							in = data
+						}
+						if _, err := c.BcastFloat64(0, in); err != nil {
+							b.Errorf("bcast: %v", err)
+							return
+						}
+					}
+				})
+			})
+			b.Run(fmt.Sprintf("allreduce/p=%d/floats=%d", p, n), func(b *testing.B) {
+				b.SetBytes(int64(8 * n))
+				mpi.Run(p, func(c *mpi.Comm) {
+					data := make([]float64, n)
+					for i := 0; i < b.N; i++ {
+						if _, err := c.AllreduceFloat64(data, mpi.Sum); err != nil {
+							b.Errorf("allreduce: %v", err)
+							return
+						}
+					}
+				})
+			})
+		}
+		b.Run(fmt.Sprintf("barrier/p=%d", p), func(b *testing.B) {
+			mpi.Run(p, func(c *mpi.Comm) {
+				for i := 0; i < b.N; i++ {
+					if err := c.Barrier(); err != nil {
+						b.Errorf("barrier: %v", err)
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
+// Silence unused-import guards for packages used only in some benchmarks.
+var _ = viz.RenderASCII
+
+// ---------------------------------------------------------------------------
+// Ablation — partitioner choice (DESIGN.md §3): RCB vs greedy BFS, measured
+// as edge cut (communication proxy) and actual pipeline step time.
+// ---------------------------------------------------------------------------
+
+func BenchmarkAblation_Partitioner(b *testing.B) {
+	for _, name := range []string{"rcb", "greedy"} {
+		for _, p := range []int{2, 4} {
+			m := mesh.StructuredQuad(48, 48)
+			pt, err := mesh.NewPartitioner(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			part := pt.PartitionNodes(m, p)
+			cut := mesh.EdgeCut(m, part)
+			b.Run(fmt.Sprintf("%s/p=%d/edgecut=%d", name, p, cut), func(b *testing.B) {
+				mpi.Run(p, func(comm *mpi.Comm) {
+					dec, err := mesh.Decompose(m, part, p, comm.Rank())
+					if err != nil {
+						b.Errorf("decompose: %v", err)
+						return
+					}
+					field := make([]float64, dec.NumLocal())
+					if comm.Rank() == 0 {
+						b.ResetTimer()
+					}
+					for i := 0; i < b.N; i++ {
+						if err := dec.Exchange(comm, field); err != nil {
+							b.Errorf("exchange: %v", err)
+							return
+						}
+					}
+				})
+			})
+		}
+	}
+}

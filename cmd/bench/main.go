@@ -1,0 +1,531 @@
+// Command bench is the reproduction's experiment harness: it runs the
+// experiments of DESIGN.md's per-experiment index (E1–E9) with wall-clock
+// timing loops and prints one table per experiment — the rows EXPERIMENTS.md
+// records. Unlike the testing.B benchmarks in bench_test.go (which are the
+// precise per-op measurements), this binary is the "reproduce the paper's
+// evaluation in one command" entry point.
+//
+// Usage:
+//
+//	bench                  run every experiment
+//	bench -run e1,e4       run selected experiments
+//	bench -ablation        include the design-choice ablations
+//	bench -quick           shorter timing loops
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/beans"
+	"repro/internal/cca"
+	"repro/internal/cca/collective"
+	"repro/internal/cca/framework"
+	"repro/internal/esi"
+	"repro/internal/linalg"
+	"repro/internal/mpi"
+	"repro/internal/orb"
+	"repro/internal/sidl"
+	"repro/internal/sidl/codegen"
+	"repro/internal/sidl/sreflect"
+)
+
+var (
+	ablation = flag.Bool("ablation", false, "include design-choice ablations")
+	quick    = flag.Bool("quick", false, "shorter timing loops")
+)
+
+func main() {
+	runList := flag.String("run", "", "comma-separated experiment ids (e1..e9); empty = all")
+	flag.Parse()
+
+	wanted := map[string]bool{}
+	if *runList != "" {
+		for _, id := range strings.Split(*runList, ",") {
+			wanted[strings.TrimSpace(strings.ToLower(id))] = true
+		}
+	}
+	all := []struct {
+		id   string
+		name string
+		fn   func()
+	}{
+		{"e1", "E1 — §6.2 connection-mechanism call overhead (claims C1, C2)", e1},
+		{"e2", "E2 — §3.3 in-process ORB vs direct port (claim C3)", e2},
+		{"e3", "E3 — §3.2 event delivery vs port fan-out (claim C4)", e3},
+		{"e4", "E4 — §6.3 collective-port redistribution (claim C5)", e4},
+		{"e6", "E6 — §6.1 connection mechanics (Figure 3)", e6},
+		{"e7", "E7 — §5 SIDL toolchain", e7},
+		{"e8", "E8 — §2.2 ESI solver swap", e8},
+		{"e9", "E9 — MPI collective scaling", e9},
+	}
+	for _, exp := range all {
+		if len(wanted) > 0 && !wanted[exp.id] {
+			continue
+		}
+		fmt.Printf("\n== %s ==\n", exp.name)
+		exp.fn()
+	}
+	if len(wanted) == 0 || wanted["e5"] {
+		fmt.Println("\n== E5 — Figure 1 pipeline (ports vs monolith) ==")
+		fmt.Println("E5 needs testing.B statistics; run:")
+		fmt.Println("  go test -bench=BenchmarkE5 -benchtime=1000x .")
+	}
+}
+
+// budget returns the per-measurement time budget.
+func budget() time.Duration {
+	if *quick {
+		return 20 * time.Millisecond
+	}
+	return 150 * time.Millisecond
+}
+
+// measure runs f repeatedly until the budget elapses and reports ns/op.
+func measure(f func()) float64 {
+	// Warm up.
+	f()
+	n := 1
+	for {
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			f()
+		}
+		el := time.Since(start)
+		if el >= budget() {
+			return float64(el.Nanoseconds()) / float64(n)
+		}
+		if el <= 0 {
+			n *= 1000
+			continue
+		}
+		scale := float64(budget()) / float64(el) * 1.3
+		if scale < 2 {
+			scale = 2
+		}
+		n = int(float64(n) * scale)
+	}
+}
+
+// measureParallel measures a collective operation in lock-step across the
+// communicator: rank 0 chooses iteration counts and broadcasts them, so
+// every rank executes the same number of collective calls (anything else
+// deadlocks a collective benchmark).
+func measureParallel(c *mpi.Comm, f func()) float64 {
+	f() // warm up (collective: all ranks run it once)
+	n := 1
+	for {
+		nv, err := c.Bcast(0, n)
+		if err != nil {
+			panic(err)
+		}
+		n = nv.(int)
+		if n == 0 {
+			return 0 // only non-root ranks take this path
+		}
+		if err := c.Barrier(); err != nil {
+			panic(err)
+		}
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			f()
+		}
+		if err := c.Barrier(); err != nil {
+			panic(err)
+		}
+		if c.Rank() != 0 {
+			continue
+		}
+		el := time.Since(start)
+		if el >= budget() {
+			// Tell the others we are done, then report.
+			if _, err := c.Bcast(0, 0); err != nil {
+				panic(err)
+			}
+			return float64(el.Nanoseconds()) / float64(n)
+		}
+		scale := float64(budget()) / float64(el+1) * 1.3
+		if scale < 2 {
+			scale = 2
+		}
+		if scale > 1000 {
+			scale = 1000
+		}
+		n = int(float64(n) * scale)
+	}
+}
+
+// --- E1 ---
+
+type e1Op struct{}
+
+func (e1Op) TypeName() string { return "bench.Op" }
+func (e1Op) Rows() int32      { return 4 }
+func (e1Op) Apply(x []float64, y *[]float64) error {
+	out := *y
+	for i := range out {
+		out[i] = 2 * x[i]
+	}
+	return nil
+}
+
+func e1() {
+	x := []float64{1, 2, 3, 4}
+	y := make([]float64, 4)
+
+	var direct esi.EsiOperator = e1Op{}
+	stub := esi.NewEsiOperatorStub(e1Op{})
+	double := esi.NewEsiOperatorStub(esi.NewEsiOperatorStub(e1Op{}))
+
+	// Direct-connect through a real framework.
+	fw := framework.New(framework.Options{})
+	check(fw.Install("p", provider{}))
+	u := &user{}
+	check(fw.Install("u", u))
+	_, err := fw.Connect("u", "op", "p", "op")
+	check(err)
+	port, err := u.svc.GetPort("op")
+	check(err)
+	connected := port.(esi.EsiOperator)
+
+	info, _ := sreflect.Global.Lookup("esi.Operator")
+	dmi, err := sreflect.NewObject(info, e1Op{})
+	check(err)
+
+	rows := []struct {
+		name string
+		fn   func()
+	}{
+		{"direct Go call", func() { direct.Apply(x, &y) }},
+		{"direct-connect port", func() { connected.Apply(x, &y) }},
+		{"SIDL stub (1 binding)", func() { stub.Apply(x, &y) }},
+		{"SIDL stub (2 bindings)", func() { double.Apply(x, &y) }},
+		{"reflection DMI", func() { dmi.Call("apply", x, &y) }},
+	}
+	base := 0.0
+	fmt.Printf("%-24s %12s %8s\n", "mechanism", "ns/call", "×direct")
+	for i, r := range rows {
+		ns := measure(r.fn)
+		if i == 0 {
+			base = ns
+		}
+		fmt.Printf("%-24s %12.2f %8.2f\n", r.name, ns, ns/base)
+	}
+	fmt.Println("paper claim C1: port ≈ direct; C2: SIDL binding ≈ 2-3 extra calls")
+}
+
+type provider struct{}
+
+func (provider) SetServices(svc cca.Services) error {
+	return svc.AddProvidesPort(e1Op{}, cca.PortInfo{Name: "op", Type: esi.TypeOperator})
+}
+
+type user struct{ svc cca.Services }
+
+func (u *user) SetServices(svc cca.Services) error {
+	u.svc = svc
+	return svc.RegisterUsesPort(cca.PortInfo{Name: "op", Type: esi.TypeOperator})
+}
+
+// --- E2 ---
+
+type e2Sum struct{}
+
+func (e2Sum) Sum(xs []float64) float64 {
+	var s float64
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}
+
+func e2() {
+	f, err := sidl.Parse(`package bench { interface Sum { double sum(in array<double,1> xs); } }`)
+	check(err)
+	tbl, err := sidl.Resolve(f)
+	check(err)
+	var info *sreflect.TypeInfo
+	for _, ti := range sreflect.FromTable(tbl) {
+		if ti.QName == "bench.Sum" {
+			info = ti
+		}
+	}
+	o := orb.NewInProcessORB()
+	check(o.OA.Register("sum", info, e2Sum{}))
+	proxy := o.Proxy("sum")
+
+	fmt.Printf("%-12s %14s %14s %10s\n", "payload", "port ns/call", "ORB ns/call", "slowdown")
+	for _, n := range []int{1, 16, 256, 4096, 65536} {
+		xs := make([]float64, n)
+		var srv e2Sum
+		dn := measure(func() { _ = srv.Sum(xs) })
+		on := measure(func() {
+			if _, err := proxy.Invoke("sum", xs); err != nil {
+				panic(err)
+			}
+		})
+		fmt.Printf("%-12s %14.1f %14.1f %9.0f×\n", fmt.Sprintf("%dB", 8*n), dn, on, on/dn)
+	}
+	fmt.Println("paper claim C3: same-address-space ORB calls are far too inefficient")
+}
+
+// --- E3 ---
+
+func e3() {
+	fmt.Printf("%-10s %16s %16s %8s\n", "listeners", "events ns/fire", "ports ns/fire", "ratio")
+	for _, fan := range []int{1, 4, 16, 64} {
+		bean := beans.NewBean("src")
+		var acc float64
+		for i := 0; i < fan; i++ {
+			bean.AddListener("tick", beans.ListenerFunc(func(e beans.Event) {
+				acc += e.Payload.(float64)
+			}))
+		}
+		en := measure(func() { bean.Fire("tick", 1.5) })
+
+		sinks := make([]*tickSink, fan)
+		for i := range sinks {
+			sinks[i] = &tickSink{}
+		}
+		pn := measure(func() {
+			for _, s := range sinks {
+				s.Tick(1.5)
+			}
+		})
+		fmt.Printf("%-10d %16.1f %16.1f %7.1f×\n", fan, en, pn, en/pn)
+	}
+}
+
+type tickSink struct{ acc float64 }
+
+func (t *tickSink) Tick(v float64) { t.acc += v }
+
+// --- E4 ---
+
+func e4() {
+	ranks := func(lo, n int) []int {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = lo + i
+		}
+		return out
+	}
+	type caseT struct {
+		name  string
+		world int
+		src   collective.Side
+		dst   collective.Side
+	}
+	const n = 100000
+	cases := []caseT{
+		{"matched 4→4 (fast path)", 4, collective.Block(n, ranks(0, 4)), collective.Block(n, ranks(0, 4))},
+		{"block 4→cyclic 4", 8, collective.Block(n, ranks(0, 4)), collective.Cyclic(n, 64, ranks(4, 4))},
+		{"scatter 1→4", 5, collective.Serial(n, 0), collective.Block(n, ranks(1, 4))},
+		{"gather 4→1", 5, collective.Block(n, ranks(0, 4)), collective.Serial(n, 4)},
+		{"block 2→8", 10, collective.Block(n, ranks(0, 2)), collective.Block(n, ranks(2, 8))},
+	}
+	fmt.Printf("%-26s %6s %10s %12s\n", "pattern", "msgs", "µs/xfer", "MB/s")
+	for _, c := range cases {
+		plan, err := collective.NewPlan(c.src, c.dst)
+		check(err)
+		ns := measureTransfer(plan, c.world, false)
+		fmt.Printf("%-26s %6d %10.1f %12.0f\n", c.name, plan.Messages(), ns/1e3, 8*float64(n)/ns*1e3)
+		if *ablation && plan.Matched() {
+			nsF := measureTransfer(plan, c.world, true)
+			fmt.Printf("%-26s %6s %10.1f %12.0f\n", "  └ fast path disabled", "-", nsF/1e3, 8*float64(n)/nsF*1e3)
+		}
+	}
+	fmt.Println("paper claim C5: matched maps need no redistribution; serial↔parallel ≈ scatter/gather")
+}
+
+func measureTransfer(plan *collective.Plan, world int, forced bool) float64 {
+	var ns float64
+	mpi.Run(world, func(c *mpi.Comm) {
+		local := make([]float64, plan.SrcLocalLen(c.Rank()))
+		out := make([]float64, plan.DstLocalLen(c.Rank()))
+		body := func() {
+			var err error
+			if forced {
+				err = plan.TransferForced(c, local, out)
+			} else {
+				err = plan.Transfer(c, local, out)
+			}
+			if err != nil {
+				panic(err)
+			}
+		}
+		v := measureParallel(c, body)
+		if c.Rank() == 0 {
+			ns = v
+		}
+	})
+	return ns
+}
+
+// --- E6 ---
+
+func e6() {
+	fw := framework.New(framework.Options{})
+	check(fw.Install("p", provider{}))
+	u := &user{}
+	check(fw.Install("u", u))
+
+	connDisc := measure(func() {
+		id, err := fw.Connect("u", "op", "p", "op")
+		if err != nil {
+			panic(err)
+		}
+		if err := fw.Disconnect(id); err != nil {
+			panic(err)
+		}
+	})
+	_, err := fw.Connect("u", "op", "p", "op")
+	check(err)
+	getPort := measure(func() {
+		if _, err := u.svc.GetPort("op"); err != nil {
+			panic(err)
+		}
+		u.svc.ReleasePort("op")
+	})
+	fmt.Printf("connect+disconnect: %8.1f ns (%.2fM ops/s)\n", connDisc, 1e3/connDisc)
+	fmt.Printf("getPort+release:    %8.1f ns (%.2fM ops/s)\n", getPort, 1e3/getPort)
+}
+
+// --- E7 ---
+
+func e7() {
+	esiSrc, portsSrc := esi.Sources()
+	src := esiSrc + "\n" + portsSrc
+	parsed, err := sidl.Parse(src)
+	check(err)
+	tbl, err := sidl.Resolve(parsed)
+	check(err)
+
+	lex := measure(func() {
+		if _, err := sidl.Lex(src); err != nil {
+			panic(err)
+		}
+	})
+	parse := measure(func() {
+		if _, err := sidl.Parse(src); err != nil {
+			panic(err)
+		}
+	})
+	resolve := measure(func() {
+		if _, err := sidl.Resolve(parsed); err != nil {
+			panic(err)
+		}
+	})
+	gen := measure(func() {
+		if _, err := codegen.Generate(tbl, codegen.Options{PackageName: "x", Reflection: true}); err != nil {
+			panic(err)
+		}
+	})
+	kb := float64(len(src)) / 1024
+	fmt.Printf("corpus: %.1f KiB, %d types\n", kb, len(tbl.Order))
+	fmt.Printf("%-10s %10s %12s\n", "stage", "µs/pass", "MiB/s")
+	for _, row := range []struct {
+		name string
+		ns   float64
+	}{{"lex", lex}, {"parse", parse}, {"resolve", resolve}, {"codegen", gen}} {
+		fmt.Printf("%-10s %10.1f %12.1f\n", row.name, row.ns/1e3, kb/1024/(row.ns/1e9))
+	}
+}
+
+// --- E8 ---
+
+func e8() {
+	const grid = 64
+	a := linalg.Poisson2D(grid, grid)
+	rhs := make([]float64, a.NRows)
+	check(a.Apply(linalg.Ones(a.NCols), rhs))
+	fmt.Printf("system: 2-D Poisson %d² = %d unknowns\n", grid, a.NRows)
+	fmt.Printf("%-10s %-8s %8s %12s %12s\n", "solver", "prec", "iters", "relres", "ms/solve")
+
+	type result struct {
+		method, prec string
+		iters        int32
+		res          float64
+		ms           float64
+	}
+	var results []result
+	for _, method := range []string{"cg", "gmres", "bicgstab"} {
+		for _, prec := range []string{"none", "jacobi", "sor", "ilu0"} {
+			fw := framework.New(framework.Options{TypeCheck: esi.TypeChecker()})
+			check(fw.Install("op", esi.NewOperatorComponent(a)))
+			check(fw.Install("solver", esi.NewSolverComponent(method)))
+			check(fw.Install("prec", esi.NewPreconditionerComponent(prec)))
+			for _, c := range [][4]string{{"solver", "A", "op", "A"}, {"prec", "A", "op", "A"}, {"solver", "M", "prec", "M"}} {
+				_, err := fw.Connect(c[0], c[1], c[2], c[3])
+				check(err)
+			}
+			comp, _ := fw.Component("solver")
+			solver := comp.(esi.EsiSolver)
+			solver.SetTolerance(1e-8)
+			var iters int32
+			ns := measure(func() {
+				x := make([]float64, a.NRows)
+				it, err := solver.Solve(rhs, &x)
+				if err != nil {
+					panic(err)
+				}
+				iters = it
+			})
+			results = append(results, result{method, prec, iters, solver.FinalResidual(), ns / 1e6})
+		}
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].ms < results[j].ms })
+	for _, r := range results {
+		fmt.Printf("%-10s %-8s %8d %12.3e %12.2f\n", r.method, r.prec, r.iters, r.res, r.ms)
+	}
+}
+
+// --- E9 ---
+
+func e9() {
+	fmt.Printf("%-12s %6s %10s %14s\n", "collective", "ranks", "floats", "µs/op")
+	for _, p := range []int{2, 4, 8} {
+		for _, n := range []int{1, 1024, 131072} {
+			var bcast, allred float64
+			mpi.Run(p, func(c *mpi.Comm) {
+				data := make([]float64, n)
+				v := measureParallel(c, func() {
+					var in []float64
+					if c.Rank() == 0 {
+						in = data
+					}
+					if _, err := c.BcastFloat64(0, in); err != nil {
+						panic(err)
+					}
+				})
+				if c.Rank() == 0 {
+					bcast = v
+				}
+			})
+			mpi.Run(p, func(c *mpi.Comm) {
+				data := make([]float64, n)
+				v := measureParallel(c, func() {
+					if _, err := c.AllreduceFloat64(data, mpi.Sum); err != nil {
+						panic(err)
+					}
+				})
+				if c.Rank() == 0 {
+					allred = v
+				}
+			})
+			fmt.Printf("%-12s %6d %10d %14.1f\n", "bcast", p, n, bcast/1e3)
+			fmt.Printf("%-12s %6d %10d %14.1f\n", "allreduce", p, n, allred/1e3)
+		}
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}

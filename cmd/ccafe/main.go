@@ -1,0 +1,315 @@
+// Command ccafe is the reproduction's Ccaffeine-like framework shell: an
+// interactive (or scripted) builder driving the CCA reference framework
+// through the configuration API — the "composition tool" of the paper's
+// Figure 2.
+//
+// Usage:
+//
+//	ccafe              # interactive shell on stdin
+//	ccafe -f script    # run a script file
+//
+// Commands:
+//
+//	repository                    list deposited component types
+//	describe                      describe deposited types and ports
+//	sidl <qname>                  show a SIDL type from the merged table
+//	create <instance> <type>      instantiate a repository type
+//	matrix <instance> <kind> <n>  install an operator component wrapping a
+//	                              built-in matrix (kind: poisson|advdiff|laplace1d)
+//	connect <user> <uses> <provider> <provides>
+//	autoconnect <user> <provider>
+//	disconnect <user> <uses> <provider> <provides>
+//	components                    list installed instances
+//	connections                   list live connections
+//	ports <instance>              list an instance's ports
+//	solve <solver-instance> [tol] run the solver against a manufactured RHS
+//	remove <instance>             remove an instance
+//	save <file>                   persist the repository (descriptions) as JSON
+//	load <file>                   merge a saved repository into this session
+//	events                        dump configuration events observed so far
+//	quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/cca"
+	"repro/internal/core"
+	"repro/internal/esi"
+	"repro/internal/linalg"
+)
+
+func main() {
+	script := flag.String("f", "", "script file (default: interactive stdin)")
+	flag.Parse()
+
+	app, err := core.NewApp(core.Options{WithESI: true})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccafe:", err)
+		os.Exit(1)
+	}
+
+	in := os.Stdin
+	interactive := true
+	if *script != "" {
+		f, err := os.Open(*script)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ccafe:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+		interactive = false
+	}
+
+	sh := &shell{app: app}
+	scanner := bufio.NewScanner(in)
+	if interactive {
+		fmt.Print("ccafe> ")
+	}
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		if line != "" && !strings.HasPrefix(line, "#") {
+			if done := sh.exec(line); done {
+				return
+			}
+		}
+		if interactive {
+			fmt.Print("ccafe> ")
+		}
+	}
+}
+
+type shell struct {
+	app *core.App
+}
+
+// exec runs one command line; returns true on quit.
+func (sh *shell) exec(line string) bool {
+	fields := strings.Fields(line)
+	cmd, args := fields[0], fields[1:]
+	var err error
+	switch cmd {
+	case "quit", "exit":
+		return true
+	case "repository":
+		for _, n := range sh.app.Repo.List() {
+			fmt.Println(" ", n)
+		}
+	case "describe":
+		fmt.Print(sh.app.Repo.Describe())
+	case "sidl":
+		if len(args) != 1 {
+			err = fmt.Errorf("usage: sidl <qualified-type>")
+			break
+		}
+		tbl := sh.app.Repo.Table()
+		kind := tbl.Lookup(args[0])
+		if kind == "" {
+			err = fmt.Errorf("no SIDL type %q", args[0])
+			break
+		}
+		fmt.Printf("%s %s\n", kind, args[0])
+		if iface, ok := tbl.Interfaces[args[0]]; ok {
+			for _, m := range iface.Methods {
+				fmt.Printf("  %s %s  (from %s)\n", m.Decl.Name, m.Decl.Signature(), m.Owner)
+			}
+		}
+	case "create":
+		if len(args) != 2 {
+			err = fmt.Errorf("usage: create <instance> <type>")
+			break
+		}
+		err = sh.app.Create(args[0], args[1])
+	case "matrix":
+		err = sh.matrix(args)
+	case "connect":
+		if len(args) != 4 {
+			err = fmt.Errorf("usage: connect <user> <uses> <provider> <provides>")
+			break
+		}
+		var id cca.ConnectionID
+		id, err = sh.app.Connect(args[0], args[1], args[2], args[3])
+		if err == nil {
+			fmt.Println(" ", id)
+		}
+	case "autoconnect":
+		if len(args) != 2 {
+			err = fmt.Errorf("usage: autoconnect <user> <provider>")
+			break
+		}
+		var id cca.ConnectionID
+		id, err = sh.app.Builder.AutoConnect(args[0], args[1])
+		if err == nil {
+			fmt.Println(" ", id)
+		}
+	case "disconnect":
+		if len(args) != 4 {
+			err = fmt.Errorf("usage: disconnect <user> <uses> <provider> <provides>")
+			break
+		}
+		err = sh.app.Fw.Disconnect(cca.ConnectionID{
+			User: args[0], UsesPort: args[1], Provider: args[2], ProvidesPort: args[3],
+		})
+	case "components":
+		for _, n := range sh.app.Fw.ComponentNames() {
+			fmt.Println(" ", n)
+		}
+	case "connections":
+		for _, id := range sh.app.Fw.Connections() {
+			fmt.Println(" ", id)
+		}
+	case "ports":
+		if len(args) != 1 {
+			err = fmt.Errorf("usage: ports <instance>")
+			break
+		}
+		svc, ok := sh.app.Fw.Services(args[0])
+		if !ok {
+			err = fmt.Errorf("no instance %q", args[0])
+			break
+		}
+		for _, n := range svc.ProvidesPortNames() {
+			info, _ := svc.PortInfo(n)
+			fmt.Printf("  provides %-14s %s\n", n, info.Type)
+		}
+		for _, n := range svc.UsesPortNames() {
+			info, _ := svc.PortInfo(n)
+			fmt.Printf("  uses     %-14s %s\n", n, info.Type)
+		}
+	case "solve":
+		err = sh.solve(args)
+	case "remove":
+		if len(args) != 1 {
+			err = fmt.Errorf("usage: remove <instance>")
+			break
+		}
+		err = sh.app.Fw.Remove(args[0])
+	case "save":
+		if len(args) != 1 {
+			err = fmt.Errorf("usage: save <file>")
+			break
+		}
+		var f *os.File
+		if f, err = os.Create(args[0]); err != nil {
+			break
+		}
+		err = sh.app.Repo.Save(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	case "load":
+		if len(args) != 1 {
+			err = fmt.Errorf("usage: load <file>")
+			break
+		}
+		var f *os.File
+		if f, err = os.Open(args[0]); err != nil {
+			break
+		}
+		err = sh.app.Repo.Load(f)
+		f.Close()
+	case "events":
+		for _, e := range sh.app.Builder.Events() {
+			switch {
+			case e.Connection != (cca.ConnectionID{}):
+				fmt.Printf("  %-18s %s\n", e.Kind, e.Connection)
+			default:
+				fmt.Printf("  %-18s %s\n", e.Kind, e.Component)
+			}
+		}
+	default:
+		err = fmt.Errorf("unknown command %q", cmd)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccafe:", err)
+	}
+	return false
+}
+
+// matrix installs an OperatorComponent wrapping a built-in model problem.
+func (sh *shell) matrix(args []string) error {
+	if len(args) < 3 {
+		return fmt.Errorf("usage: matrix <instance> poisson|advdiff|laplace1d <n> [vx vy]")
+	}
+	n, err := strconv.Atoi(args[2])
+	if err != nil || n < 1 {
+		return fmt.Errorf("bad size %q", args[2])
+	}
+	var m *linalg.CSR
+	switch args[1] {
+	case "poisson":
+		m = linalg.Poisson2D(n, n)
+	case "advdiff":
+		vx, vy := 8.0, 4.0
+		if len(args) >= 5 {
+			if vx, err = strconv.ParseFloat(args[3], 64); err != nil {
+				return err
+			}
+			if vy, err = strconv.ParseFloat(args[4], 64); err != nil {
+				return err
+			}
+		}
+		m = linalg.AdvDiff2D(n, n, vx, vy)
+	case "laplace1d":
+		m = linalg.Laplace1D(n)
+	default:
+		return fmt.Errorf("unknown matrix kind %q", args[1])
+	}
+	fmt.Printf("  %s: %dx%d, %d nonzeros\n", args[0], m.NRows, m.NCols, m.NNZ())
+	return sh.app.Install(args[0], esi.NewOperatorComponent(m))
+}
+
+// solve drives a solver instance with b = A·1.
+func (sh *shell) solve(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: solve <solver-instance> [tol]")
+	}
+	comp, ok := sh.app.Component(args[0])
+	if !ok {
+		return fmt.Errorf("no instance %q", args[0])
+	}
+	solver, ok := comp.(esi.EsiSolver)
+	if !ok {
+		return fmt.Errorf("%q does not provide esi.Solver", args[0])
+	}
+	if len(args) >= 2 {
+		tol, err := strconv.ParseFloat(args[1], 64)
+		if err != nil {
+			return err
+		}
+		solver.SetTolerance(tol)
+	}
+	aport, err := sh.app.Port(args[0], "A")
+	if err != nil {
+		return fmt.Errorf("solver has no connected operator: %w", err)
+	}
+	op := aport.(esi.EsiOperator)
+	nrows := int(op.Rows())
+	ones := linalg.Ones(nrows)
+	b := make([]float64, nrows)
+	if err := op.Apply(ones, &b); err != nil {
+		return err
+	}
+	x := make([]float64, nrows)
+	iters, err := solver.Solve(b, &x)
+	if err != nil {
+		return err
+	}
+	maxErr := 0.0
+	for _, v := range x {
+		if d := v - 1; d > maxErr {
+			maxErr = d
+		} else if -d > maxErr {
+			maxErr = -d
+		}
+	}
+	fmt.Printf("  converged=%v iters=%d relres=%.3e max|x-1|=%.3e\n",
+		solver.Converged(), iters, solver.FinalResidual(), maxErr)
+	return nil
+}

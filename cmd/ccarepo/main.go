@@ -1,0 +1,122 @@
+// Command ccarepo inspects and queries a CCA component repository built
+// from the built-in ESI deposits plus any SIDL files supplied on the
+// command line — the paper's Repository API ("the functionality necessary
+// to search a framework repository for components") from the shell.
+//
+// Usage:
+//
+//	ccarepo [flags] [extra.sidl ...]
+//
+// Flags:
+//
+//	-list                 list deposited components (default)
+//	-describe             long listing with ports
+//	-provides <type>      search components providing a port usable as <type>
+//	-uses <type>          search components using a port fed by <type>
+//	-types                list every SIDL type in the merged table
+//	-subtype <sub,super>  test SIDL subtype compatibility
+//	-export <file>        save the repository (descriptions) as JSON
+//	-import <file>        start from a saved repository instead of the
+//	                      built-in ESI deposits
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/repo"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list deposited components")
+	describe := flag.Bool("describe", false, "long listing")
+	provides := flag.String("provides", "", "search by provided port type")
+	uses := flag.String("uses", "", "search by used port type")
+	types := flag.Bool("types", false, "list SIDL types")
+	subtype := flag.String("subtype", "", "test 'sub,super' compatibility")
+	export := flag.String("export", "", "save the repository to a JSON file")
+	importPath := flag.String("import", "", "load a saved repository JSON file first")
+	flag.Parse()
+
+	app, err := core.NewApp(core.Options{WithESI: *importPath == ""})
+	if err != nil {
+		fatal(err)
+	}
+	if *importPath != "" {
+		f, err := os.Open(*importPath)
+		if err != nil {
+			fatal(err)
+		}
+		err = app.Repo.Load(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	}
+	for i, path := range flag.Args() {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := app.Repo.Deposit(repo.Entry{
+			Name:        fmt.Sprintf("deposit.%d.%s", i, path),
+			Description: "command-line SIDL deposit",
+			SIDL:        string(src),
+		}); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *export != "" {
+		f, err := os.Create(*export)
+		if err != nil {
+			fatal(err)
+		}
+		err = app.Repo.Save(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "ccarepo: exported %d entries to %s\n", len(app.Repo.List()), *export)
+	}
+
+	switch {
+	case *describe:
+		fmt.Print(app.Repo.Describe())
+	case *provides != "":
+		for _, e := range app.Repo.Search(repo.Query{ProvidesType: *provides}) {
+			fmt.Println(e.Name)
+		}
+	case *uses != "":
+		for _, e := range app.Repo.Search(repo.Query{UsesType: *uses}) {
+			fmt.Println(e.Name)
+		}
+	case *types:
+		tbl := app.Repo.Table()
+		for _, q := range tbl.Order {
+			fmt.Printf("%-10s %s\n", tbl.Lookup(q), q)
+		}
+	case *subtype != "":
+		parts := strings.SplitN(*subtype, ",", 2)
+		if len(parts) != 2 {
+			fatal(fmt.Errorf("want -subtype sub,super"))
+		}
+		ok := app.Repo.Table().IsSubtype(parts[0], parts[1])
+		fmt.Printf("%s usable as %s: %v\n", parts[0], parts[1], ok)
+	default:
+		_ = list
+		for _, n := range app.Repo.List() {
+			fmt.Println(n)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ccarepo:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,104 @@
+// Quickstart: the smallest complete CCA application.
+//
+// Two components — a provider exposing an "integrate" provides port and a
+// driver with a matching uses port — are installed into a framework and
+// connected by the framework (Figure 3 of the paper: addProvidesPort /
+// getPort through the CCAServices handle). The call through the connected
+// port is a direct Go dynamic dispatch: the paper's §6.2 direct connection.
+//
+// Run:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/cca"
+	"repro/internal/cca/framework"
+)
+
+// IntegratePort is the port interface: numerically integrate f over [a,b].
+type IntegratePort interface {
+	Integrate(f func(float64) float64, a, b float64) float64
+}
+
+// simpson provides IntegratePort using composite Simpson's rule.
+type simpson struct {
+	intervals int
+}
+
+func (s *simpson) SetServices(svc cca.Services) error {
+	return svc.AddProvidesPort(s, cca.PortInfo{Name: "integrate", Type: "demo.Integrate"})
+}
+
+func (s *simpson) Integrate(f func(float64) float64, a, b float64) float64 {
+	n := s.intervals
+	if n%2 == 1 {
+		n++
+	}
+	h := (b - a) / float64(n)
+	sum := f(a) + f(b)
+	for i := 1; i < n; i++ {
+		x := a + float64(i)*h
+		if i%2 == 1 {
+			sum += 4 * f(x)
+		} else {
+			sum += 2 * f(x)
+		}
+	}
+	return sum * h / 3
+}
+
+// driver uses an IntegratePort to do its science.
+type driver struct {
+	svc cca.Services
+}
+
+func (d *driver) SetServices(svc cca.Services) error {
+	d.svc = svc
+	return svc.RegisterUsesPort(cca.PortInfo{Name: "quad", Type: "demo.Integrate"})
+}
+
+// Run fetches the connected port (Figure 3 step 4) and calls through it.
+func (d *driver) Run() error {
+	port, err := d.svc.GetPort("quad")
+	if err != nil {
+		return err
+	}
+	defer d.svc.ReleasePort("quad")
+	quad := port.(IntegratePort)
+
+	pi := quad.Integrate(func(x float64) float64 { return 4 / (1 + x*x) }, 0, 1)
+	fmt.Printf("∫₀¹ 4/(1+x²) dx = %.10f (error %.2e)\n", pi, math.Abs(pi-math.Pi))
+
+	e := quad.Integrate(math.Exp, 0, 1)
+	fmt.Printf("∫₀¹ eˣ dx      = %.10f (error %.2e)\n", e, math.Abs(e-(math.E-1)))
+	return nil
+}
+
+func main() {
+	fw := framework.New(framework.Options{})
+
+	if err := fw.Install("quadrature", &simpson{intervals: 512}); err != nil {
+		log.Fatal(err)
+	}
+	d := &driver{}
+	if err := fw.Install("driver", d); err != nil {
+		log.Fatal(err)
+	}
+
+	// The framework connects compatible ports; components never see each
+	// other directly.
+	id, err := fw.Connect("driver", "quad", "quadrature", "integrate")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("connected:", id)
+
+	if err := d.Run(); err != nil {
+		log.Fatal(err)
+	}
+}

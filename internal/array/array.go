@@ -1,0 +1,325 @@
+// Package array provides the scientific data types the CCA paper's SIDL
+// requires (§5): dynamically dimensioned multidimensional arrays with
+// Fortran- or C-style storage order, complex-number arrays, and the
+// distributed-array descriptors that collective ports (§6.3) use to describe
+// how data is laid out across the ranks of a parallel component.
+//
+// The paper singles out "Fortran-style dynamic multidimensional arrays and
+// complex numbers" as the abstractions missing from COM/CORBA/JavaBeans;
+// this package is the Go realization of those IDL primitive types.
+package array
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Order selects the storage layout of a multidimensional array.
+type Order int
+
+const (
+	// RowMajor is C-style: the last index varies fastest.
+	RowMajor Order = iota
+	// ColMajor is Fortran-style: the first index varies fastest. This is
+	// the layout CHAD-era Fortran 90 codes exchange with solvers.
+	ColMajor
+)
+
+func (o Order) String() string {
+	if o == ColMajor {
+		return "col-major"
+	}
+	return "row-major"
+}
+
+// Errors reported by array operations.
+var (
+	ErrShape  = errors.New("array: shape mismatch")
+	ErrBounds = errors.New("array: index out of bounds")
+)
+
+// Array is a dense, dynamically dimensioned array of float64 — the SIDL
+// `array<double, N>` type. The zero value is an empty scalar-free array;
+// use New or Wrap to construct a usable one. An Array may be a view into
+// another array's storage (see Slice); Copy produces compact storage.
+type Array struct {
+	data    []float64
+	dims    []int
+	strides []int
+	order   Order
+}
+
+// New allocates a zero-filled array with the given dimensions.
+func New(order Order, dims ...int) *Array {
+	n := checkDims(dims)
+	a := &Array{data: make([]float64, n), dims: append([]int(nil), dims...), order: order}
+	a.strides = contiguousStrides(a.dims, order)
+	return a
+}
+
+// Wrap builds an array over existing storage without copying. len(data)
+// must equal the product of dims.
+func Wrap(data []float64, order Order, dims ...int) (*Array, error) {
+	n := checkDims(dims)
+	if len(data) != n {
+		return nil, fmt.Errorf("%w: %d elements for dims %v (need %d)", ErrShape, len(data), dims, n)
+	}
+	a := &Array{data: data, dims: append([]int(nil), dims...), order: order}
+	a.strides = contiguousStrides(a.dims, order)
+	return a, nil
+}
+
+func checkDims(dims []int) int {
+	n := 1
+	for _, d := range dims {
+		if d < 0 {
+			panic(fmt.Sprintf("array: negative dimension %d", d))
+		}
+		n *= d
+	}
+	return n
+}
+
+func contiguousStrides(dims []int, order Order) []int {
+	s := make([]int, len(dims))
+	if order == RowMajor {
+		acc := 1
+		for i := len(dims) - 1; i >= 0; i-- {
+			s[i] = acc
+			acc *= dims[i]
+		}
+	} else {
+		acc := 1
+		for i := 0; i < len(dims); i++ {
+			s[i] = acc
+			acc *= dims[i]
+		}
+	}
+	return s
+}
+
+// Rank returns the number of dimensions.
+func (a *Array) Rank() int { return len(a.dims) }
+
+// Dims returns a copy of the dimension extents.
+func (a *Array) Dims() []int { return append([]int(nil), a.dims...) }
+
+// Dim returns the extent of dimension i.
+func (a *Array) Dim(i int) int { return a.dims[i] }
+
+// Order returns the storage order.
+func (a *Array) Order() Order { return a.order }
+
+// Len returns the total element count.
+func (a *Array) Len() int {
+	n := 1
+	for _, d := range a.dims {
+		n *= d
+	}
+	return n
+}
+
+// Data exposes the backing storage. For views this includes elements outside
+// the view; prefer Copy when a compact buffer is needed.
+func (a *Array) Data() []float64 { return a.data }
+
+// IsContiguous reports whether the array's elements are stored densely in
+// its natural order (true for New/Wrap arrays, often false for views).
+func (a *Array) IsContiguous() bool {
+	want := contiguousStrides(a.dims, a.order)
+	for i := range want {
+		if a.dims[i] > 1 && a.strides[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (a *Array) offset(idx []int) int {
+	if len(idx) != len(a.dims) {
+		panic(fmt.Sprintf("array: %d indices for rank-%d array", len(idx), len(a.dims)))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= a.dims[i] {
+			panic(fmt.Sprintf("array: index %d out of range [0,%d) in dim %d", x, a.dims[i], i))
+		}
+		off += x * a.strides[i]
+	}
+	return off
+}
+
+// At returns the element at the given multi-index.
+func (a *Array) At(idx ...int) float64 { return a.data[a.offset(idx)] }
+
+// Set stores v at the given multi-index.
+func (a *Array) Set(v float64, idx ...int) { a.data[a.offset(idx)] = v }
+
+// Fill sets every element of the array (including through views) to v.
+func (a *Array) Fill(v float64) {
+	a.each(func(off int) { a.data[off] = v })
+}
+
+// Scale multiplies every element by s.
+func (a *Array) Scale(s float64) {
+	a.each(func(off int) { a.data[off] *= s })
+}
+
+// each visits the storage offset of every element in natural order.
+func (a *Array) each(f func(off int)) {
+	if len(a.dims) == 0 {
+		f(0)
+		return
+	}
+	idx := make([]int, len(a.dims))
+	for {
+		off := 0
+		for i, x := range idx {
+			off += x * a.strides[i]
+		}
+		f(off)
+		// Increment the fastest-varying index per storage order.
+		carry := true
+		if a.order == RowMajor {
+			for i := len(idx) - 1; i >= 0 && carry; i-- {
+				idx[i]++
+				if idx[i] < a.dims[i] {
+					carry = false
+				} else {
+					idx[i] = 0
+				}
+			}
+		} else {
+			for i := 0; i < len(idx) && carry; i++ {
+				idx[i]++
+				if idx[i] < a.dims[i] {
+					carry = false
+				} else {
+					idx[i] = 0
+				}
+			}
+		}
+		if carry {
+			return
+		}
+	}
+}
+
+// Copy returns a compact (contiguous) deep copy with the same shape and
+// order.
+func (a *Array) Copy() *Array {
+	out := New(a.order, a.dims...)
+	i := 0
+	a.each(func(off int) {
+		out.data[i] = a.data[off]
+		i++
+	})
+	return out
+}
+
+// Flatten returns the elements in natural storage order as a fresh slice.
+func (a *Array) Flatten() []float64 {
+	out := make([]float64, 0, a.Len())
+	a.each(func(off int) { out = append(out, a.data[off]) })
+	return out
+}
+
+// Slice returns a view of the half-open hyper-rectangle [lo[i], hi[i]) in
+// each dimension. The view shares storage with a.
+func (a *Array) Slice(lo, hi []int) (*Array, error) {
+	if len(lo) != len(a.dims) || len(hi) != len(a.dims) {
+		return nil, fmt.Errorf("%w: slice bounds rank %d/%d for rank-%d array", ErrShape, len(lo), len(hi), len(a.dims))
+	}
+	base := 0
+	dims := make([]int, len(a.dims))
+	for i := range a.dims {
+		if lo[i] < 0 || hi[i] > a.dims[i] || lo[i] > hi[i] {
+			return nil, fmt.Errorf("%w: [%d,%d) in dim %d of extent %d", ErrBounds, lo[i], hi[i], i, a.dims[i])
+		}
+		base += lo[i] * a.strides[i]
+		dims[i] = hi[i] - lo[i]
+	}
+	return &Array{
+		data:    a.data[base:],
+		dims:    dims,
+		strides: append([]int(nil), a.strides...),
+		order:   a.order,
+	}, nil
+}
+
+// Reshape returns a view with new dimensions. The array must be contiguous
+// and the element count must match.
+func (a *Array) Reshape(dims ...int) (*Array, error) {
+	if !a.IsContiguous() {
+		return nil, fmt.Errorf("%w: reshape of non-contiguous view", ErrShape)
+	}
+	if checkDims(dims) != a.Len() {
+		return nil, fmt.Errorf("%w: reshape %v -> %v", ErrShape, a.dims, dims)
+	}
+	out := &Array{data: a.data, dims: append([]int(nil), dims...), order: a.order}
+	out.strides = contiguousStrides(out.dims, a.order)
+	return out, nil
+}
+
+// EqualApprox reports whether two arrays have identical shape and elements
+// within tol.
+func (a *Array) EqualApprox(b *Array, tol float64) bool {
+	if len(a.dims) != len(b.dims) {
+		return false
+	}
+	for i := range a.dims {
+		if a.dims[i] != b.dims[i] {
+			return false
+		}
+	}
+	af, bf := a.Flatten(), b.Flatten()
+	// Note: Flatten order differs between RowMajor and ColMajor arrays;
+	// compare in a's index order by re-flattening b into a's order.
+	if a.order != b.order {
+		bf = b.Copy().transposeOrderTo(a.order).Flatten()
+	}
+	for i := range af {
+		if math.Abs(af[i]-bf[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// transposeOrderTo returns a contiguous copy holding the same logical
+// elements but stored in the requested order.
+func (a *Array) transposeOrderTo(order Order) *Array {
+	out := New(order, a.dims...)
+	idx := make([]int, len(a.dims))
+	n := a.Len()
+	for k := 0; k < n; k++ {
+		out.Set(a.At(idx...), idx...)
+		for i := len(idx) - 1; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < a.dims[i] {
+				break
+			}
+			idx[i] = 0
+		}
+	}
+	return out
+}
+
+// String renders small arrays for debugging; large arrays render a summary.
+func (a *Array) String() string {
+	if a.Len() > 64 {
+		return fmt.Sprintf("Array(dims=%v, %s, %d elements)", a.dims, a.order, a.Len())
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Array(dims=%v, %s)[", a.dims, a.order)
+	for i, v := range a.Flatten() {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "%g", v)
+	}
+	b.WriteString("]")
+	return b.String()
+}

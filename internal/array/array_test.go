@@ -1,0 +1,283 @@
+package array
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewZeroFilled(t *testing.T) {
+	a := New(RowMajor, 2, 3)
+	if a.Rank() != 2 || a.Len() != 6 {
+		t.Fatalf("rank=%d len=%d", a.Rank(), a.Len())
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if a.At(i, j) != 0 {
+				t.Fatalf("a[%d,%d] = %v", i, j, a.At(i, j))
+			}
+		}
+	}
+}
+
+func TestSetAtRoundTrip(t *testing.T) {
+	for _, order := range []Order{RowMajor, ColMajor} {
+		a := New(order, 3, 4, 2)
+		v := 0.0
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 4; j++ {
+				for k := 0; k < 2; k++ {
+					a.Set(v, i, j, k)
+					v++
+				}
+			}
+		}
+		v = 0.0
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 4; j++ {
+				for k := 0; k < 2; k++ {
+					if a.At(i, j, k) != v {
+						t.Fatalf("%s: a[%d,%d,%d] = %v, want %v", order, i, j, k, a.At(i, j, k), v)
+					}
+					v++
+				}
+			}
+		}
+	}
+}
+
+func TestStorageOrderLayout(t *testing.T) {
+	// Row-major: last index fastest. Col-major: first index fastest.
+	rm := New(RowMajor, 2, 2)
+	rm.Set(1, 0, 0)
+	rm.Set(2, 0, 1)
+	rm.Set(3, 1, 0)
+	rm.Set(4, 1, 1)
+	if got := rm.Data(); got[0] != 1 || got[1] != 2 || got[2] != 3 || got[3] != 4 {
+		t.Errorf("row-major layout = %v", got)
+	}
+	cm := New(ColMajor, 2, 2)
+	cm.Set(1, 0, 0)
+	cm.Set(2, 0, 1)
+	cm.Set(3, 1, 0)
+	cm.Set(4, 1, 1)
+	if got := cm.Data(); got[0] != 1 || got[1] != 3 || got[2] != 2 || got[3] != 4 {
+		t.Errorf("col-major layout = %v", got)
+	}
+}
+
+func TestWrapChecksLength(t *testing.T) {
+	if _, err := Wrap([]float64{1, 2, 3}, RowMajor, 2, 2); !errors.Is(err, ErrShape) {
+		t.Errorf("err = %v, want ErrShape", err)
+	}
+	a, err := Wrap([]float64{1, 2, 3, 4}, RowMajor, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.At(1, 0) != 3 {
+		t.Errorf("wrapped a[1,0] = %v", a.At(1, 0))
+	}
+}
+
+func TestAtPanicsOutOfBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on out-of-bounds index")
+		}
+	}()
+	New(RowMajor, 2, 2).At(2, 0)
+}
+
+func TestSliceView(t *testing.T) {
+	a := New(RowMajor, 4, 4)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			a.Set(float64(10*i+j), i, j)
+		}
+	}
+	v, err := a.Slice([]int{1, 1}, []int{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := v.Dims(); d[0] != 2 || d[1] != 3 {
+		t.Fatalf("view dims = %v", d)
+	}
+	if v.At(0, 0) != 11 || v.At(1, 2) != 23 {
+		t.Errorf("view values: %v %v", v.At(0, 0), v.At(1, 2))
+	}
+	// Views share storage.
+	v.Set(-1, 0, 0)
+	if a.At(1, 1) != -1 {
+		t.Error("view write did not reach parent")
+	}
+	if v.IsContiguous() {
+		t.Error("interior view claims to be contiguous")
+	}
+}
+
+func TestSliceBoundsErrors(t *testing.T) {
+	a := New(RowMajor, 3, 3)
+	if _, err := a.Slice([]int{0}, []int{1}); !errors.Is(err, ErrShape) {
+		t.Errorf("rank mismatch err = %v", err)
+	}
+	if _, err := a.Slice([]int{0, 2}, []int{1, 5}); !errors.Is(err, ErrBounds) {
+		t.Errorf("bounds err = %v", err)
+	}
+	if _, err := a.Slice([]int{2, 0}, []int{1, 1}); !errors.Is(err, ErrBounds) {
+		t.Errorf("inverted err = %v", err)
+	}
+}
+
+func TestCopyCompactsViews(t *testing.T) {
+	a := New(RowMajor, 4, 4)
+	for i := range a.Data() {
+		a.Data()[i] = float64(i)
+	}
+	v, _ := a.Slice([]int{0, 1}, []int{4, 3})
+	c := v.Copy()
+	if !c.IsContiguous() {
+		t.Error("copy is not contiguous")
+	}
+	if !c.EqualApprox(v, 0) {
+		t.Error("copy differs from view")
+	}
+	c.Set(-99, 0, 0)
+	if v.At(0, 0) == -99 {
+		t.Error("copy shares storage with view")
+	}
+}
+
+func TestFillAndScaleThroughView(t *testing.T) {
+	a := New(ColMajor, 3, 3)
+	v, _ := a.Slice([]int{1, 1}, []int{3, 3})
+	v.Fill(2)
+	v.Scale(3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := 0.0
+			if i >= 1 && j >= 1 {
+				want = 6
+			}
+			if a.At(i, j) != want {
+				t.Fatalf("a[%d,%d] = %v, want %v", i, j, a.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestReshape(t *testing.T) {
+	a := New(RowMajor, 2, 6)
+	for i := range a.Data() {
+		a.Data()[i] = float64(i)
+	}
+	b, err := a.Reshape(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.At(2, 3) != 11 {
+		t.Errorf("b[2,3] = %v", b.At(2, 3))
+	}
+	if _, err := a.Reshape(5); !errors.Is(err, ErrShape) {
+		t.Errorf("count mismatch err = %v", err)
+	}
+	v, _ := a.Slice([]int{0, 1}, []int{2, 5})
+	if _, err := v.Reshape(8); !errors.Is(err, ErrShape) {
+		t.Errorf("non-contiguous reshape err = %v", err)
+	}
+}
+
+func TestEqualApproxAcrossOrders(t *testing.T) {
+	rm := New(RowMajor, 2, 3)
+	cm := New(ColMajor, 2, 3)
+	v := 1.0
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			rm.Set(v, i, j)
+			cm.Set(v, i, j)
+			v++
+		}
+	}
+	if !rm.EqualApprox(cm, 0) {
+		t.Error("logically equal arrays with different orders compare unequal")
+	}
+	cm.Set(99, 1, 2)
+	if rm.EqualApprox(cm, 0) {
+		t.Error("different arrays compare equal")
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	small := New(RowMajor, 2)
+	small.Set(1.5, 0)
+	if s := small.String(); !strings.Contains(s, "1.5") {
+		t.Errorf("small String() = %q", s)
+	}
+	big := New(RowMajor, 100)
+	if s := big.String(); !strings.Contains(s, "100 elements") {
+		t.Errorf("big String() = %q", s)
+	}
+}
+
+func TestComplexArrayBasics(t *testing.T) {
+	a := NewComplex(RowMajor, 2, 2)
+	a.Set(complex(1, 2), 0, 1)
+	if a.At(0, 1) != complex(1, 2) {
+		t.Fatalf("At = %v", a.At(0, 1))
+	}
+	re, im := a.Real(), a.Imag()
+	if re.At(0, 1) != 1 || im.At(0, 1) != 2 {
+		t.Errorf("Real/Imag: %v %v", re.At(0, 1), im.At(0, 1))
+	}
+	a.Conj()
+	if a.At(0, 1) != complex(1, -2) {
+		t.Errorf("Conj: %v", a.At(0, 1))
+	}
+}
+
+func TestComplexWrapAndEqual(t *testing.T) {
+	data := []complex128{1, 2i, 3, 4}
+	a, err := WrapComplex(data, ColMajor, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewComplex(ColMajor, 2, 2)
+	copy(b.Data(), data)
+	if !a.EqualApprox(b, 0) {
+		t.Error("equal complex arrays compare unequal")
+	}
+	if _, err := WrapComplex(data, ColMajor, 3, 2); !errors.Is(err, ErrShape) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+// Property: Flatten of a Copy equals Flatten of the original for random
+// shapes and values.
+func TestCopyFlattenProperty(t *testing.T) {
+	f := func(vals []float64, d1Raw, d2Raw uint8) bool {
+		d1 := int(d1Raw)%5 + 1
+		d2 := int(d2Raw)%5 + 1
+		n := d1 * d2
+		data := make([]float64, n)
+		for i := range data {
+			if len(vals) > 0 {
+				data[i] = vals[i%len(vals)]
+			}
+		}
+		a, err := Wrap(data, RowMajor, d1, d2)
+		if err != nil {
+			return false
+		}
+		c := a.Copy()
+		af, cf := a.Flatten(), c.Flatten()
+		for i := range af {
+			if af[i] != cf[i] && !(af[i] != af[i] && cf[i] != cf[i]) { // NaN-safe
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,129 @@
+package array
+
+import (
+	"fmt"
+	"math/cmplx"
+)
+
+// ComplexArray is the SIDL `array<dcomplex, N>` type: a dense, dynamically
+// dimensioned array of complex128. It mirrors Array's API; the two types are
+// kept separate (rather than generic) because the SIDL type system treats
+// double and dcomplex as distinct primitive types with distinct language
+// bindings.
+type ComplexArray struct {
+	data    []complex128
+	dims    []int
+	strides []int
+	order   Order
+}
+
+// NewComplex allocates a zero-filled complex array.
+func NewComplex(order Order, dims ...int) *ComplexArray {
+	n := checkDims(dims)
+	a := &ComplexArray{data: make([]complex128, n), dims: append([]int(nil), dims...), order: order}
+	a.strides = contiguousStrides(a.dims, order)
+	return a
+}
+
+// WrapComplex builds a complex array over existing storage without copying.
+func WrapComplex(data []complex128, order Order, dims ...int) (*ComplexArray, error) {
+	n := checkDims(dims)
+	if len(data) != n {
+		return nil, fmt.Errorf("%w: %d elements for dims %v (need %d)", ErrShape, len(data), dims, n)
+	}
+	a := &ComplexArray{data: data, dims: append([]int(nil), dims...), order: order}
+	a.strides = contiguousStrides(a.dims, order)
+	return a, nil
+}
+
+// Rank returns the number of dimensions.
+func (a *ComplexArray) Rank() int { return len(a.dims) }
+
+// Dims returns a copy of the dimension extents.
+func (a *ComplexArray) Dims() []int { return append([]int(nil), a.dims...) }
+
+// Order returns the storage order.
+func (a *ComplexArray) Order() Order { return a.order }
+
+// Len returns the total element count.
+func (a *ComplexArray) Len() int {
+	n := 1
+	for _, d := range a.dims {
+		n *= d
+	}
+	return n
+}
+
+// Data exposes the backing storage.
+func (a *ComplexArray) Data() []complex128 { return a.data }
+
+func (a *ComplexArray) offset(idx []int) int {
+	if len(idx) != len(a.dims) {
+		panic(fmt.Sprintf("array: %d indices for rank-%d complex array", len(idx), len(a.dims)))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= a.dims[i] {
+			panic(fmt.Sprintf("array: index %d out of range [0,%d) in dim %d", x, a.dims[i], i))
+		}
+		off += x * a.strides[i]
+	}
+	return off
+}
+
+// At returns the element at the given multi-index.
+func (a *ComplexArray) At(idx ...int) complex128 { return a.data[a.offset(idx)] }
+
+// Set stores v at the given multi-index.
+func (a *ComplexArray) Set(v complex128, idx ...int) { a.data[a.offset(idx)] = v }
+
+// Fill sets every element to v.
+func (a *ComplexArray) Fill(v complex128) {
+	for i := range a.data {
+		a.data[i] = v
+	}
+}
+
+// Conj conjugates every element in place.
+func (a *ComplexArray) Conj() {
+	for i := range a.data {
+		a.data[i] = cmplx.Conj(a.data[i])
+	}
+}
+
+// Real extracts the real parts into a new float64 Array of the same shape.
+func (a *ComplexArray) Real() *Array {
+	out := New(a.order, a.dims...)
+	for i, v := range a.data {
+		out.data[i] = real(v)
+	}
+	return out
+}
+
+// Imag extracts the imaginary parts into a new float64 Array.
+func (a *ComplexArray) Imag() *Array {
+	out := New(a.order, a.dims...)
+	for i, v := range a.data {
+		out.data[i] = imag(v)
+	}
+	return out
+}
+
+// EqualApprox reports whether both arrays have the same shape and elements
+// within tol (in modulus).
+func (a *ComplexArray) EqualApprox(b *ComplexArray, tol float64) bool {
+	if len(a.dims) != len(b.dims) || a.order != b.order {
+		return false
+	}
+	for i := range a.dims {
+		if a.dims[i] != b.dims[i] {
+			return false
+		}
+	}
+	for i := range a.data {
+		if cmplx.Abs(a.data[i]-b.data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,163 @@
+// Package beans implements a JavaBeans-flavoured event/listener component
+// model — the comparison baseline of the paper's §3.2 and §6: "In the
+// JavaBeans model, components notify other listener components by
+// generating events. Components that wish to be notified of events register
+// themselves as listeners with the target components."
+//
+// Experiment E3 measures this delivery style against provides/uses port
+// calls: an event delivery boxes its payload into an Event value and fans
+// it out to every registered listener, where a port call is a single typed
+// dynamic dispatch.
+package beans
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrNoListener reports removal of an unregistered listener.
+var ErrNoListener = errors.New("beans: listener not registered")
+
+// Event is a JavaBeans-style notification: a named occurrence on a source
+// bean with an arbitrary boxed payload.
+type Event struct {
+	Source  string
+	Name    string
+	Payload any
+}
+
+// Listener receives events.
+type Listener interface {
+	Notify(e Event)
+}
+
+// ListenerFunc adapts a function to Listener.
+type ListenerFunc func(e Event)
+
+// Notify implements Listener.
+func (f ListenerFunc) Notify(e Event) { f(e) }
+
+// Registration identifies one listener registration so it can be removed
+// later (listener values themselves — e.g. ListenerFunc — need not be
+// comparable).
+type Registration struct {
+	event string
+	id    int
+}
+
+type registered struct {
+	id int
+	l  Listener
+}
+
+// Bean is an event source: listeners register per event name (or "*" for
+// all events).
+type Bean struct {
+	name   string
+	mu     sync.RWMutex
+	nextID int
+	// listeners[eventName] in registration order.
+	listeners map[string][]registered
+}
+
+// NewBean creates a named event source.
+func NewBean(name string) *Bean {
+	return &Bean{name: name, listeners: map[string][]registered{}}
+}
+
+// Name returns the bean's name.
+func (b *Bean) Name() string { return b.name }
+
+// AddListener registers l for the named event ("*" matches every event)
+// and returns a handle for removal.
+func (b *Bean) AddListener(event string, l Listener) Registration {
+	b.mu.Lock()
+	b.nextID++
+	reg := Registration{event: event, id: b.nextID}
+	b.listeners[event] = append(b.listeners[event], registered{id: reg.id, l: l})
+	b.mu.Unlock()
+	return reg
+}
+
+// RemoveListener unregisters a previously added listener.
+func (b *Bean) RemoveListener(reg Registration) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ls := b.listeners[reg.event]
+	for i := range ls {
+		if ls[i].id == reg.id {
+			b.listeners[reg.event] = append(ls[:i:i], ls[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: %s/%s#%d", ErrNoListener, b.name, reg.event, reg.id)
+}
+
+// ListenerCount reports how many listeners observe the named event
+// (excluding wildcards).
+func (b *Bean) ListenerCount(event string) int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return len(b.listeners[event])
+}
+
+// Fire synchronously delivers an event to every listener registered for its
+// name and for "*", in registration order, and reports the delivery count.
+func (b *Bean) Fire(event string, payload any) int {
+	e := Event{Source: b.name, Name: event, Payload: payload}
+	b.mu.RLock()
+	named := b.listeners[event]
+	wild := b.listeners["*"]
+	// Copy under lock so listeners may mutate registrations reentrantly.
+	ls := make([]Listener, 0, len(named)+len(wild))
+	for _, r := range named {
+		ls = append(ls, r.l)
+	}
+	for _, r := range wild {
+		ls = append(ls, r.l)
+	}
+	b.mu.RUnlock()
+	for _, l := range ls {
+		l.Notify(e)
+	}
+	return len(ls)
+}
+
+// PropertyChange is the classic bound-property notification payload.
+type PropertyChange struct {
+	Property string
+	Old, New any
+}
+
+// PropertySupport adds JavaBeans bound-property semantics to a Bean:
+// SetProperty fires a "propertyChange" event when the value changes.
+type PropertySupport struct {
+	Bean  *Bean
+	mu    sync.Mutex
+	props map[string]any
+}
+
+// NewPropertySupport wraps a bean with bound-property storage.
+func NewPropertySupport(b *Bean) *PropertySupport {
+	return &PropertySupport{Bean: b, props: map[string]any{}}
+}
+
+// SetProperty stores the value, firing propertyChange on modification.
+func (p *PropertySupport) SetProperty(name string, value any) {
+	p.mu.Lock()
+	old, had := p.props[name]
+	p.props[name] = value
+	p.mu.Unlock()
+	if !had || old != value {
+		p.Bean.Fire("propertyChange", PropertyChange{Property: name, Old: old, New: value})
+	}
+}
+
+// Property reads a stored property.
+func (p *PropertySupport) Property(name string) (any, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	v, ok := p.props[name]
+	return v, ok
+}

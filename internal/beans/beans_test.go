@@ -1,0 +1,125 @@
+package beans
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestFireDeliversInOrder(t *testing.T) {
+	b := NewBean("src")
+	var got []int
+	for i := 0; i < 3; i++ {
+		i := i
+		b.AddListener("tick", ListenerFunc(func(e Event) { got = append(got, i) }))
+	}
+	n := b.Fire("tick", nil)
+	if n != 3 || len(got) != 3 {
+		t.Fatalf("delivered %d, got %v", n, got)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Errorf("order %v", got)
+			break
+		}
+	}
+}
+
+func TestFirePayloadAndMetadata(t *testing.T) {
+	b := NewBean("sensor")
+	var seen Event
+	b.AddListener("reading", ListenerFunc(func(e Event) { seen = e }))
+	b.Fire("reading", 42.5)
+	if seen.Source != "sensor" || seen.Name != "reading" || seen.Payload.(float64) != 42.5 {
+		t.Errorf("event = %+v", seen)
+	}
+}
+
+func TestWildcardListener(t *testing.T) {
+	b := NewBean("b")
+	count := 0
+	b.AddListener("*", ListenerFunc(func(e Event) { count++ }))
+	b.Fire("a", nil)
+	b.Fire("b", nil)
+	if count != 2 {
+		t.Errorf("wildcard saw %d", count)
+	}
+}
+
+func TestFireNoListeners(t *testing.T) {
+	if n := NewBean("b").Fire("quiet", nil); n != 0 {
+		t.Errorf("delivered %d", n)
+	}
+}
+
+func TestRemoveListener(t *testing.T) {
+	b := NewBean("b")
+	count := 0
+	reg := b.AddListener("e", ListenerFunc(func(e Event) { count++ }))
+	if b.ListenerCount("e") != 1 {
+		t.Fatalf("count = %d", b.ListenerCount("e"))
+	}
+	if err := b.RemoveListener(reg); err != nil {
+		t.Fatal(err)
+	}
+	b.Fire("e", nil)
+	if count != 0 {
+		t.Error("removed listener still notified")
+	}
+	if err := b.RemoveListener(reg); !errors.Is(err, ErrNoListener) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestConcurrentFireAndRegister(t *testing.T) {
+	b := NewBean("b")
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	total := 0
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			b.AddListener("e", ListenerFunc(func(e Event) {
+				mu.Lock()
+				total++
+				mu.Unlock()
+			}))
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			b.Fire("e", i)
+		}
+	}()
+	wg.Wait()
+	if b.ListenerCount("e") != 100 {
+		t.Errorf("count = %d", b.ListenerCount("e"))
+	}
+}
+
+func TestPropertySupport(t *testing.T) {
+	b := NewBean("cfg")
+	ps := NewPropertySupport(b)
+	var changes []PropertyChange
+	b.AddListener("propertyChange", ListenerFunc(func(e Event) {
+		changes = append(changes, e.Payload.(PropertyChange))
+	}))
+	ps.SetProperty("tol", 1e-6)
+	ps.SetProperty("tol", 1e-6) // unchanged: no event
+	ps.SetProperty("tol", 1e-8)
+	if len(changes) != 2 {
+		t.Fatalf("changes = %+v", changes)
+	}
+	if changes[1].Old.(float64) != 1e-6 || changes[1].New.(float64) != 1e-8 {
+		t.Errorf("change = %+v", changes[1])
+	}
+	v, ok := ps.Property("tol")
+	if !ok || v.(float64) != 1e-8 {
+		t.Errorf("property = %v %v", v, ok)
+	}
+	if _, ok := ps.Property("missing"); ok {
+		t.Error("phantom property")
+	}
+}

@@ -1,0 +1,214 @@
+// Package cca defines the core abstractions of the Common Component
+// Architecture as specified in the HPDC'99 paper: components, provides/uses
+// ports, the CCAServices handle through which all component↔framework
+// interaction flows, and the connection events the configuration API
+// (builders) observes.
+//
+// The paper's central design commitments, reproduced here:
+//
+//   - "Each component defines one or more ports... Communication links
+//     between components are implemented by connecting compatible ports"
+//     (§4). A Port in this implementation is any Go interface value; port
+//     compatibility is Go interface satisfaction, checked at connect time
+//     against the SIDL-declared type when one is registered.
+//
+//   - "A Provides port is an interface that a component provides to others.
+//     A Uses port interface has methods that one component (the caller)
+//     wants to call on another component (the callee); the caller component
+//     retrieves the Uses interface from the CCA Services handle" (§6.1).
+//
+//   - "Provides ports are generalized listeners... Each Uses port maintains
+//     a list of listeners... one call may correspond to zero or more
+//     invocations on provider components" (§6.1). GetPort returns the
+//     single connection (erroring on fan-out ambiguity); GetPorts returns
+//     the full listener list for fan-out calls.
+//
+//   - "All interaction between the component and its containing framework
+//     will occur through the component's CCAServices object, which is set
+//     by the containing framework" (§6.1): Component.SetServices.
+//
+// The reference framework that implements Services lives in
+// repro/internal/cca/framework; collective ports live in
+// repro/internal/cca/collective.
+package cca
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Port is a communication endpoint. Any value may serve as a port; in
+// practice a port is a value implementing the Go interface generated from
+// (or corresponding to) its SIDL port type. The paper's direct-connect
+// guarantee holds because a connected Port is handed to the using component
+// as the very interface value the provider registered — a call through it
+// is a plain Go dynamic dispatch.
+type Port any
+
+// PortInfo names and types a port registration.
+type PortInfo struct {
+	// Name is the component-local instance name of the port ("solver",
+	// "viz", ...). GetPort and Connect address ports by this name.
+	Name string
+	// Type is the port's SIDL type name (e.g. "esi.SolverPort"). Two
+	// ports are compatible when their types are compatible per the SIDL
+	// type graph (or equal, when no SIDL registration exists).
+	Type string
+	// Properties carries implementation hints: the paper's compliance
+	// "flavors", collective data maps, transport preferences, etc.
+	Properties map[string]string
+}
+
+// Property returns a property value, or the empty string when absent.
+func (pi PortInfo) Property(key string) string {
+	if pi.Properties == nil {
+		return ""
+	}
+	return pi.Properties[key]
+}
+
+// WithProperty returns a copy of pi with key set to value.
+func (pi PortInfo) WithProperty(key, value string) PortInfo {
+	props := make(map[string]string, len(pi.Properties)+1)
+	for k, v := range pi.Properties {
+		props[k] = v
+	}
+	props[key] = value
+	pi.Properties = props
+	return pi
+}
+
+// Component is the paper's independent unit of deployment. The containing
+// framework calls SetServices exactly once, immediately after
+// instantiation; the component registers its provides and uses ports there
+// (Figure 3, step 1).
+type Component interface {
+	SetServices(svc Services) error
+}
+
+// ComponentRelease is optionally implemented by components that need
+// teardown when removed from a framework.
+type ComponentRelease interface {
+	ReleaseServices() error
+}
+
+// Errors reported by Services implementations and frameworks.
+var (
+	ErrPortExists     = errors.New("cca: port already registered")
+	ErrPortUnknown    = errors.New("cca: no such port")
+	ErrPortNotUses    = errors.New("cca: port is not a registered uses port")
+	ErrNotConnected   = errors.New("cca: uses port is not connected")
+	ErrMultiConnected = errors.New("cca: uses port has multiple connections; use GetPorts")
+	ErrTypeMismatch   = errors.New("cca: port types are incompatible")
+	ErrNilPort        = errors.New("cca: nil port")
+)
+
+// Services is the CCAServices handle (§4, §6.1): the minimal framework
+// service set the paper identifies — "creation of CCA Ports and access to
+// CCA Ports, which in turn enable connections between components."
+type Services interface {
+	// AddProvidesPort publishes a port this component implements
+	// (Figure 3 step 2: addProvidesPort).
+	AddProvidesPort(port Port, info PortInfo) error
+	// RemoveProvidesPort withdraws a published port.
+	RemoveProvidesPort(name string) error
+	// RegisterUsesPort declares a port this component intends to call.
+	RegisterUsesPort(info PortInfo) error
+	// UnregisterUsesPort withdraws a uses declaration.
+	UnregisterUsesPort(name string) error
+	// GetPort retrieves the provider connected to the named uses port
+	// (Figure 3 step 4: getPort). It errors when unconnected, and when
+	// more than one provider is connected (fan-out callers use GetPorts).
+	GetPort(name string) (Port, error)
+	// GetPorts retrieves every provider connected to the named uses port,
+	// in connection order — the paper's listener list. An unconnected
+	// uses port yields an empty slice ("zero or more invocations").
+	GetPorts(name string) ([]Port, error)
+	// ReleasePort tells the framework the component is done with the
+	// port instance obtained from GetPort.
+	ReleasePort(name string) error
+	// ProvidesPortNames lists this component's published ports, sorted.
+	ProvidesPortNames() []string
+	// UsesPortNames lists this component's declared uses ports, sorted.
+	UsesPortNames() []string
+	// PortInfo reports the registration info of a local port by name.
+	PortInfo(name string) (PortInfo, bool)
+	// ComponentName reports the instance name the framework assigned.
+	ComponentName() string
+}
+
+// ConnectionID identifies a connection for the configuration API.
+type ConnectionID struct {
+	User         string // using component instance name
+	UsesPort     string
+	Provider     string // providing component instance name
+	ProvidesPort string
+}
+
+func (c ConnectionID) String() string {
+	return fmt.Sprintf("%s.%s -> %s.%s", c.User, c.UsesPort, c.Provider, c.ProvidesPort)
+}
+
+// EventKind enumerates configuration-API events (§4: "notifying components
+// that they have been added to a scenario and deleted from it, redirecting
+// interactions between components, or notifying a builder of a component
+// failure").
+type EventKind int
+
+// Configuration event kinds.
+const (
+	EventComponentAdded EventKind = iota
+	EventComponentRemoved
+	EventConnected
+	EventDisconnected
+	EventComponentFailed
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventComponentAdded:
+		return "component-added"
+	case EventComponentRemoved:
+		return "component-removed"
+	case EventConnected:
+		return "connected"
+	case EventDisconnected:
+		return "disconnected"
+	case EventComponentFailed:
+		return "component-failed"
+	default:
+		return fmt.Sprintf("event(%d)", int(k))
+	}
+}
+
+// Event is a configuration-API notification.
+type Event struct {
+	Kind       EventKind
+	Component  string
+	Connection ConnectionID
+	Err        error
+}
+
+// EventListener receives configuration events. Builders (cmd/ccafe) and
+// monitoring components register listeners with the framework.
+type EventListener interface {
+	OnEvent(e Event)
+}
+
+// EventListenerFunc adapts a function to EventListener.
+type EventListenerFunc func(e Event)
+
+// OnEvent implements EventListener.
+func (f EventListenerFunc) OnEvent(e Event) { f(e) }
+
+// SortedNames returns map keys sorted — shared helper for deterministic
+// listings across Services implementations.
+func SortedNames[M ~map[string]V, V any](m M) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,332 @@
+// Package collective implements CCA Collective Ports (§6.3 of the paper):
+// "a small but powerful extension of the basic CCA Ports model to handle
+// interactions among parallel components and thereby to free programmers
+// from focusing on the often intricate implementation-level details of
+// parallel computations."
+//
+// A collective connection joins two parallel components — M source ranks
+// and N destination ranks, each side describing its data layout with an
+// array.DataMap ("the creation of a collective port requires that the
+// programmer specify the mapping of data"). The connection planner
+// intersects the two distributions into a message schedule:
+//
+//   - N→N with matching maps: no redistribution — each rank's transfer is
+//     a local copy ("in the most common case the mappings of the input and
+//     output ports match each other ... data would not need redistribution
+//     between the parallel components");
+//   - 1→N and N→1 (a serial component against a parallel one): the
+//     schedule degenerates to scatter/gather — "the semantics of this
+//     interaction are very similar to broadcast, gather, and scatter";
+//   - arbitrary M→N: full redistribution — "collective ports are defined
+//     generally enough to allow data to be distributed arbitrarily in the
+//     connected components", the case Figure 1 needs to attach a
+//     differently distributed visualization tool.
+package collective
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/array"
+	"repro/internal/mpi"
+)
+
+// Errors reported by collective connections.
+var (
+	ErrMismatch = errors.New("collective: sides are incompatible")
+	ErrNotMine  = errors.New("collective: rank does not participate")
+	ErrBuffer   = errors.New("collective: buffer length mismatch")
+)
+
+// transferTag is the user tag carrying collective-port payloads.
+const transferTag = 7100
+
+// Side is one endpoint of a collective connection: the data distribution of
+// a parallel component plus the world rank hosting each of its cohort
+// ranks.
+type Side struct {
+	// Map describes how the global index space is distributed over the
+	// component's cohort.
+	Map array.DataMap
+	// WorldRanks maps cohort rank i to its world (communicator) rank.
+	WorldRanks []int
+}
+
+// Serial builds the Side of a serial component: all data on one world rank.
+func Serial(n, worldRank int) Side {
+	return Side{Map: array.NewSerialMap(n), WorldRanks: []int{worldRank}}
+}
+
+// Block builds a block-distributed Side over the given world ranks.
+func Block(n int, worldRanks []int) Side {
+	return Side{Map: array.NewBlockMap(n, len(worldRanks)), WorldRanks: append([]int(nil), worldRanks...)}
+}
+
+// Cyclic builds a block-cyclic Side over the given world ranks.
+func Cyclic(n, blockSize int, worldRanks []int) Side {
+	return Side{Map: array.NewCyclicMap(n, len(worldRanks), blockSize), WorldRanks: append([]int(nil), worldRanks...)}
+}
+
+func (s Side) validate() error {
+	if s.Map == nil {
+		return fmt.Errorf("%w: nil data map", ErrMismatch)
+	}
+	if err := array.Validate(s.Map); err != nil {
+		return err
+	}
+	if len(s.WorldRanks) != s.Map.Ranks() {
+		return fmt.Errorf("%w: map has %d ranks but %d world ranks given", ErrMismatch, s.Map.Ranks(), len(s.WorldRanks))
+	}
+	seen := map[int]bool{}
+	for _, w := range s.WorldRanks {
+		if w < 0 {
+			return fmt.Errorf("%w: negative world rank %d", ErrMismatch, w)
+		}
+		if seen[w] {
+			return fmt.Errorf("%w: world rank %d appears twice in one side", ErrMismatch, w)
+		}
+		seen[w] = true
+	}
+	return nil
+}
+
+// run is one contiguous piece of the redistribution schedule.
+type run struct {
+	srcWorld, dstWorld int
+	srcLocal, dstLocal int
+	n                  int
+}
+
+// Plan is the precomputed message schedule of one collective connection.
+// Plans are immutable and safe for concurrent Transfer calls on disjoint
+// communicators.
+type Plan struct {
+	src, dst Side
+	runs     []run
+	// matched marks the §6.3 fast path: both sides have identical maps and
+	// co-located ranks, so every run is rank-local.
+	matched bool
+	// sendTo[w] lists the destination world ranks w transmits to (sorted);
+	// recvFrom[w] the source world ranks w receives from.
+	sendTo   map[int][]int
+	recvFrom map[int][]int
+	// runsBySend[(s,d)] groups runs for one packed message.
+	runsByPair map[[2]int][]run
+}
+
+// NewPlan validates both sides and computes the redistribution schedule.
+func NewPlan(src, dst Side) (*Plan, error) {
+	if err := src.validate(); err != nil {
+		return nil, err
+	}
+	if err := dst.validate(); err != nil {
+		return nil, err
+	}
+	if src.Map.GlobalLen() != dst.Map.GlobalLen() {
+		return nil, fmt.Errorf("%w: source has %d elements, destination %d (cardinality mismatch)",
+			ErrMismatch, src.Map.GlobalLen(), dst.Map.GlobalLen())
+	}
+	p := &Plan{src: src, dst: dst,
+		sendTo: map[int][]int{}, recvFrom: map[int][]int{}, runsByPair: map[[2]int][]run{}}
+
+	// Merge-intersect the two run lists over the global index space.
+	sruns, druns := src.Map.Runs(), dst.Map.Runs()
+	i, j := 0, 0
+	for i < len(sruns) && j < len(druns) {
+		sr, dr := sruns[i], druns[j]
+		ov := sr.Global.Intersect(dr.Global)
+		if ov.Len() > 0 {
+			r := run{
+				srcWorld: src.WorldRanks[sr.Rank],
+				dstWorld: dst.WorldRanks[dr.Rank],
+				srcLocal: sr.Local + (ov.Lo - sr.Global.Lo),
+				dstLocal: dr.Local + (ov.Lo - dr.Global.Lo),
+				n:        ov.Len(),
+			}
+			p.runs = append(p.runs, r)
+		}
+		if sr.Global.Hi <= dr.Global.Hi {
+			i++
+		}
+		if dr.Global.Hi <= sr.Global.Hi {
+			j++
+		}
+	}
+
+	p.matched = true
+	for _, r := range p.runs {
+		if r.srcWorld != r.dstWorld {
+			p.matched = false
+		}
+		key := [2]int{r.srcWorld, r.dstWorld}
+		p.runsByPair[key] = append(p.runsByPair[key], r)
+	}
+	pairSeen := map[[2]int]bool{}
+	for key := range p.runsByPair {
+		if key[0] == key[1] || pairSeen[key] {
+			continue
+		}
+		pairSeen[key] = true
+		p.sendTo[key[0]] = append(p.sendTo[key[0]], key[1])
+		p.recvFrom[key[1]] = append(p.recvFrom[key[1]], key[0])
+	}
+	for _, m := range []map[int][]int{p.sendTo, p.recvFrom} {
+		for k := range m {
+			sort.Ints(m[k])
+		}
+	}
+	return p, nil
+}
+
+// Matched reports whether the connection hits the no-redistribution fast
+// path (identical maps on co-located ranks).
+func (p *Plan) Matched() bool { return p.matched }
+
+// Messages reports the number of distinct inter-rank messages one Transfer
+// sends (0 on the matched fast path).
+func (p *Plan) Messages() int {
+	n := 0
+	for key := range p.runsByPair {
+		if key[0] != key[1] {
+			n++
+		}
+	}
+	return n
+}
+
+// GlobalLen returns the connection's global element count.
+func (p *Plan) GlobalLen() int { return p.src.Map.GlobalLen() }
+
+// SrcLocalLen returns the source-side chunk length expected from the given
+// world rank, or 0 if the rank is not in the source side.
+func (p *Plan) SrcLocalLen(worldRank int) int {
+	for i, w := range p.src.WorldRanks {
+		if w == worldRank {
+			return p.src.Map.LocalLen(i)
+		}
+	}
+	return 0
+}
+
+// DstLocalLen returns the destination-side chunk length owned by the given
+// world rank, or 0 if the rank is not in the destination side.
+func (p *Plan) DstLocalLen(worldRank int) int {
+	for i, w := range p.dst.WorldRanks {
+		if w == worldRank {
+			return p.dst.Map.LocalLen(i)
+		}
+	}
+	return 0
+}
+
+// Transfer executes the schedule from the calling rank's perspective: it
+// packs and sends this rank's outgoing runs, performs rank-local copies
+// directly, and receives and unpacks incoming runs into out.
+//
+// local must have length SrcLocalLen(rank) (nil when 0); out must have
+// length DstLocalLen(rank) (nil when 0). Every participating world rank
+// must call Transfer on the same communicator; ranks in neither side need
+// not call at all.
+func (p *Plan) Transfer(comm *mpi.Comm, local, out []float64) error {
+	me := comm.Rank()
+	if want := p.SrcLocalLen(me); len(local) != want {
+		return fmt.Errorf("%w: rank %d source chunk %d, want %d", ErrBuffer, me, len(local), want)
+	}
+	if want := p.DstLocalLen(me); len(out) != want {
+		return fmt.Errorf("%w: rank %d destination buffer %d, want %d", ErrBuffer, me, len(out), want)
+	}
+
+	// Rank-local runs: straight copies (the §6.2-style zero-cost path).
+	for _, r := range p.runsByPair[[2]int{me, me}] {
+		copy(out[r.dstLocal:r.dstLocal+r.n], local[r.srcLocal:r.srcLocal+r.n])
+	}
+	// Pack and send one message per destination.
+	for _, d := range p.sendTo[me] {
+		runs := p.runsByPair[[2]int{me, d}]
+		total := 0
+		for _, r := range runs {
+			total += r.n
+		}
+		buf := make([]float64, 0, total)
+		for _, r := range runs {
+			buf = append(buf, local[r.srcLocal:r.srcLocal+r.n]...)
+		}
+		if err := comm.Send(d, transferTag, buf); err != nil {
+			return err
+		}
+	}
+	// Receive and unpack.
+	for _, s := range p.recvFrom[me] {
+		buf, _, err := comm.RecvFloat64(s, transferTag)
+		if err != nil {
+			return err
+		}
+		off := 0
+		for _, r := range p.runsByPair[[2]int{s, me}] {
+			if off+r.n > len(buf) {
+				return fmt.Errorf("%w: short message from rank %d", ErrBuffer, s)
+			}
+			copy(out[r.dstLocal:r.dstLocal+r.n], buf[off:off+r.n])
+			off += r.n
+		}
+	}
+	return nil
+}
+
+// TransferForced is Transfer with the matched-map fast path disabled: even
+// rank-local runs round-trip through the mailbox. It exists for the E4
+// ablation quantifying what the fast path is worth.
+func (p *Plan) TransferForced(comm *mpi.Comm, local, out []float64) error {
+	me := comm.Rank()
+	if want := p.SrcLocalLen(me); len(local) != want {
+		return fmt.Errorf("%w: rank %d source chunk %d, want %d", ErrBuffer, me, len(local), want)
+	}
+	if want := p.DstLocalLen(me); len(out) != want {
+		return fmt.Errorf("%w: rank %d destination buffer %d, want %d", ErrBuffer, me, len(out), want)
+	}
+	// Self-runs become a real message.
+	if runs := p.runsByPair[[2]int{me, me}]; len(runs) > 0 {
+		total := 0
+		for _, r := range runs {
+			total += r.n
+		}
+		buf := make([]float64, 0, total)
+		for _, r := range runs {
+			buf = append(buf, local[r.srcLocal:r.srcLocal+r.n]...)
+		}
+		if err := comm.Send(me, transferTag, buf); err != nil {
+			return err
+		}
+	}
+	for _, d := range p.sendTo[me] {
+		runs := p.runsByPair[[2]int{me, d}]
+		total := 0
+		for _, r := range runs {
+			total += r.n
+		}
+		buf := make([]float64, 0, total)
+		for _, r := range runs {
+			buf = append(buf, local[r.srcLocal:r.srcLocal+r.n]...)
+		}
+		if err := comm.Send(d, transferTag, buf); err != nil {
+			return err
+		}
+	}
+	recvFrom := p.recvFrom[me]
+	if len(p.runsByPair[[2]int{me, me}]) > 0 {
+		recvFrom = append([]int{me}, recvFrom...)
+	}
+	for _, s := range recvFrom {
+		buf, _, err := comm.RecvFloat64(s, transferTag)
+		if err != nil {
+			return err
+		}
+		off := 0
+		for _, r := range p.runsByPair[[2]int{s, me}] {
+			copy(out[r.dstLocal:r.dstLocal+r.n], buf[off:off+r.n])
+			off += r.n
+		}
+	}
+	return nil
+}

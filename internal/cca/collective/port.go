@@ -1,0 +1,77 @@
+package collective
+
+import (
+	"fmt"
+
+	"repro/internal/cca"
+	"repro/internal/mpi"
+)
+
+// DistArrayPort is the collective provides-port interface of a parallel
+// component publishing a distributed array: the port every cohort rank
+// exposes, per §6.3's requirement that "the provides/uses port interfaces
+// and other port information are accessible from every thread or process in
+// a parallel component."
+//
+// Its SIDL declaration (see internal/esi/ports.sidl) is:
+//
+//	interface DistArray {
+//	    int globalLength();
+//	    void describe(out array<int,1> worldRanks);
+//	    void localData(out array<double,1> chunk);
+//	}
+type DistArrayPort interface {
+	// Side reports the distribution and world-rank placement of the data.
+	Side() Side
+	// LocalData returns the calling rank's chunk (owned storage; callers
+	// must not retain it across timesteps).
+	LocalData() []float64
+}
+
+// PortType is the SIDL type name of DistArrayPort registrations.
+const PortType = "cca.ports.DistArray"
+
+// Info builds the PortInfo for a collective port registration, recording
+// the data map in the port properties as the paper's port-information
+// consistency requirement suggests.
+func Info(name string, side Side) cca.PortInfo {
+	mapDesc := "unbound"
+	if side.Map != nil {
+		mapDesc = side.Map.String()
+	}
+	return cca.PortInfo{
+		Name: name,
+		Type: PortType,
+		Properties: map[string]string{
+			"collective": "true",
+			"map":        mapDesc,
+		},
+	}
+}
+
+// Connection is a live collective connection between a providing
+// DistArrayPort (source) and a consuming side (destination).
+type Connection struct {
+	Plan *Plan
+	src  DistArrayPort
+}
+
+// Connect plans a collective connection from the provider's published side
+// to the consumer's declared side.
+func Connect(provider DistArrayPort, consumer Side) (*Connection, error) {
+	plan, err := NewPlan(provider.Side(), consumer)
+	if err != nil {
+		return nil, fmt.Errorf("collective connect: %w", err)
+	}
+	return &Connection{Plan: plan, src: provider}, nil
+}
+
+// Pull moves the provider's current data into out (the calling rank's
+// destination chunk). Every world rank in either side must call Pull.
+func (c *Connection) Pull(comm *mpi.Comm, out []float64) error {
+	var local []float64
+	if c.Plan.SrcLocalLen(comm.Rank()) > 0 {
+		local = c.src.LocalData()
+	}
+	return c.Plan.Transfer(comm, local, out)
+}

@@ -1,0 +1,80 @@
+package cca
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Flavor encodes the paper's compliance "flavors" (§4): "the CCA standard
+// will allow different flavors of compliance; each component will specify a
+// minimum flavor of compliance required of a framework within which it can
+// interact." A framework advertises the flavor set it implements; a
+// component declares the flavors it requires; installation checks
+// containment.
+type Flavor uint32
+
+// Compliance flavors.
+const (
+	// FlavorInProcess: same-address-space direct connections (§6.2).
+	FlavorInProcess Flavor = 1 << iota
+	// FlavorDistributed: connections through marshaling proxies to remote
+	// components (§6.1 "connections through proxy intermediaries").
+	FlavorDistributed
+	// FlavorCollective: collective ports between parallel components
+	// (§6.3).
+	FlavorCollective
+	// FlavorReflection: SIDL runtime reflection and dynamic method
+	// invocation (§5).
+	FlavorReflection
+)
+
+var flavorNames = []struct {
+	f    Flavor
+	name string
+}{
+	{FlavorInProcess, "in-process"},
+	{FlavorDistributed, "distributed"},
+	{FlavorCollective, "collective"},
+	{FlavorReflection, "reflection"},
+}
+
+func (f Flavor) String() string {
+	if f == 0 {
+		return "none"
+	}
+	var parts []string
+	for _, fn := range flavorNames {
+		if f&fn.f != 0 {
+			parts = append(parts, fn.name)
+		}
+	}
+	return strings.Join(parts, "+")
+}
+
+// Contains reports whether f provides every flavor in req.
+func (f Flavor) Contains(req Flavor) bool { return f&req == req }
+
+// ParseFlavor parses a "+"-separated flavor list as produced by String.
+func ParseFlavor(s string) (Flavor, error) {
+	if s == "" || s == "none" {
+		return 0, nil
+	}
+	var f Flavor
+Parts:
+	for _, p := range strings.Split(s, "+") {
+		for _, fn := range flavorNames {
+			if fn.name == p {
+				f |= fn.f
+				continue Parts
+			}
+		}
+		return 0, fmt.Errorf("cca: unknown flavor %q", p)
+	}
+	return f, nil
+}
+
+// FlavorRequirer is optionally implemented by components that demand a
+// minimum compliance flavor from their framework.
+type FlavorRequirer interface {
+	RequiredFlavor() Flavor
+}

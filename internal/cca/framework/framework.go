@@ -1,0 +1,472 @@
+// Package framework is the reproduction's reference CCA framework — the
+// "specific framework implementation" of the paper's Figure 2 and the
+// component container that performs port connection: "Significantly, in the
+// CCA model, port connection is the responsibility of the framework;
+// therefore, a particular component may find itself connected in a variety
+// of different ways depending on its environment and mode of use" (§6.1).
+//
+// The framework implements:
+//
+//   - component installation and removal with lifecycle callbacks
+//     (Component.SetServices, ComponentRelease.ReleaseServices);
+//   - direct connection (§6.2): Connect hands the provider's registered
+//     interface value to the user's uses port, so a port call costs exactly
+//     one Go dynamic dispatch — "nothing more than a direct function call
+//     to the connected object";
+//   - optional proxy interposition (§6.2: "the provided DirectConnectPort
+//     can be translated through a proxy ... without the components on
+//     either end of the connection needing to know");
+//   - the configuration API's event stream for builders (§4);
+//   - compliance-flavor checking (§4).
+package framework
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/cca"
+)
+
+// ErrComponent reports component-level installation errors.
+var (
+	ErrComponentExists  = errors.New("framework: component already installed")
+	ErrComponentUnknown = errors.New("framework: no such component")
+	ErrFlavor           = errors.New("framework: framework lacks a flavor the component requires")
+)
+
+// TypeChecker decides whether a uses-port type may connect to a provides-
+// port type. The SIDL runtime installs a subtype-aware checker; the default
+// accepts equal type names and treats an empty name as a wildcard.
+type TypeChecker func(usesType, providesType string) error
+
+// ProxyFactory optionally wraps a provides port at connect time (§6.2 proxy
+// interposition). Returning the port unchanged keeps the direct connection.
+type ProxyFactory func(port cca.Port, info cca.PortInfo) cca.Port
+
+// Options configures a Framework.
+type Options struct {
+	// Flavor is the compliance set this framework advertises. Zero means
+	// FlavorInProcess.
+	Flavor cca.Flavor
+	// TypeCheck overrides the default name-equality port type check.
+	TypeCheck TypeChecker
+	// Proxy, when non-nil, is applied to every provides port at connect
+	// time (the §6.2 interposition ablation).
+	Proxy ProxyFactory
+}
+
+// Framework is the reference CCA-compliant container.
+type Framework struct {
+	mu         sync.Mutex
+	opts       Options
+	components map[string]*instance
+	listeners  []cca.EventListener
+}
+
+type instance struct {
+	name string
+	comp cca.Component
+	svc  *services
+}
+
+// New creates an empty framework.
+func New(opts Options) *Framework {
+	if opts.Flavor == 0 {
+		opts.Flavor = cca.FlavorInProcess
+	}
+	if opts.TypeCheck == nil {
+		opts.TypeCheck = defaultTypeCheck
+	}
+	return &Framework{opts: opts, components: map[string]*instance{}}
+}
+
+func defaultTypeCheck(usesType, providesType string) error {
+	if usesType == "" || providesType == "" || usesType == providesType {
+		return nil
+	}
+	return fmt.Errorf("%w: uses %q vs provides %q", cca.ErrTypeMismatch, usesType, providesType)
+}
+
+// Flavor reports the framework's advertised compliance flavors.
+func (f *Framework) Flavor() cca.Flavor { return f.opts.Flavor }
+
+// AddEventListener registers a configuration-API listener.
+func (f *Framework) AddEventListener(l cca.EventListener) {
+	f.mu.Lock()
+	f.listeners = append(f.listeners, l)
+	f.mu.Unlock()
+}
+
+// emit must be called WITHOUT f.mu held; it snapshots listeners itself.
+func (f *Framework) emit(e cca.Event) {
+	f.mu.Lock()
+	ls := append([]cca.EventListener(nil), f.listeners...)
+	f.mu.Unlock()
+	for _, l := range ls {
+		l.OnEvent(e)
+	}
+}
+
+// Install instantiates comp under the given instance name: it builds the
+// component's CCAServices, checks flavor requirements, and invokes
+// SetServices (the paper's component lifecycle entry point).
+func (f *Framework) Install(name string, comp cca.Component) error {
+	if req, ok := comp.(cca.FlavorRequirer); ok {
+		if !f.opts.Flavor.Contains(req.RequiredFlavor()) {
+			return fmt.Errorf("%w: need %v, have %v", ErrFlavor, req.RequiredFlavor(), f.opts.Flavor)
+		}
+	}
+	svc := &services{fw: f, name: name,
+		provides: map[string]providesEntry{}, uses: map[string]*usesEntry{}}
+	f.mu.Lock()
+	if _, dup := f.components[name]; dup {
+		f.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrComponentExists, name)
+	}
+	f.components[name] = &instance{name: name, comp: comp, svc: svc}
+	f.mu.Unlock()
+
+	if err := comp.SetServices(svc); err != nil {
+		f.mu.Lock()
+		delete(f.components, name)
+		f.mu.Unlock()
+		f.emit(cca.Event{Kind: cca.EventComponentFailed, Component: name, Err: err})
+		return fmt.Errorf("framework: SetServices(%q): %w", name, err)
+	}
+	f.emit(cca.Event{Kind: cca.EventComponentAdded, Component: name})
+	return nil
+}
+
+// Remove disconnects and removes a component instance.
+func (f *Framework) Remove(name string) error {
+	f.mu.Lock()
+	inst, ok := f.components[name]
+	if !ok {
+		f.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrComponentUnknown, name)
+	}
+	// Collect connections touching this component.
+	var drop []cca.ConnectionID
+	for _, other := range f.components {
+		for _, ue := range other.svc.uses {
+			for _, c := range ue.conns {
+				if c.id.Provider == name || c.id.User == name {
+					drop = append(drop, c.id)
+				}
+			}
+		}
+	}
+	f.mu.Unlock()
+	for _, id := range drop {
+		if err := f.Disconnect(id); err != nil && !errors.Is(err, cca.ErrNotConnected) {
+			return err
+		}
+	}
+	f.mu.Lock()
+	delete(f.components, name)
+	f.mu.Unlock()
+	if rel, ok := inst.comp.(cca.ComponentRelease); ok {
+		if err := rel.ReleaseServices(); err != nil {
+			f.emit(cca.Event{Kind: cca.EventComponentFailed, Component: name, Err: err})
+		}
+	}
+	f.emit(cca.Event{Kind: cca.EventComponentRemoved, Component: name})
+	return nil
+}
+
+// Component returns the installed component instance by name.
+func (f *Framework) Component(name string) (cca.Component, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	inst, ok := f.components[name]
+	if !ok {
+		return nil, false
+	}
+	return inst.comp, true
+}
+
+// ComponentNames lists installed instances, sorted.
+func (f *Framework) ComponentNames() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return cca.SortedNames(f.components)
+}
+
+// Services returns a component's services handle — used by builders and
+// tests to inspect port registrations.
+func (f *Framework) Services(name string) (cca.Services, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	inst, ok := f.components[name]
+	if !ok {
+		return nil, false
+	}
+	return inst.svc, true
+}
+
+// Connect links user's uses port to provider's provides port (Figure 3
+// steps 2–3): the framework fetches the provider's registered interface
+// value — optionally interposing a proxy — and appends it to the uses
+// port's listener list.
+func (f *Framework) Connect(user, usesPort, provider, providesPort string) (cca.ConnectionID, error) {
+	id := cca.ConnectionID{User: user, UsesPort: usesPort, Provider: provider, ProvidesPort: providesPort}
+
+	f.mu.Lock()
+	uInst, ok := f.components[user]
+	if !ok {
+		f.mu.Unlock()
+		return id, fmt.Errorf("%w: %q", ErrComponentUnknown, user)
+	}
+	pInst, ok := f.components[provider]
+	if !ok {
+		f.mu.Unlock()
+		return id, fmt.Errorf("%w: %q", ErrComponentUnknown, provider)
+	}
+	pe, ok := pInst.svc.provides[providesPort]
+	if !ok {
+		f.mu.Unlock()
+		return id, fmt.Errorf("%w: %s.%s", cca.ErrPortUnknown, provider, providesPort)
+	}
+	ue, ok := uInst.svc.uses[usesPort]
+	if !ok {
+		f.mu.Unlock()
+		return id, fmt.Errorf("%w: %s.%s", cca.ErrPortUnknown, user, usesPort)
+	}
+	if err := f.opts.TypeCheck(ue.info.Type, pe.info.Type); err != nil {
+		f.mu.Unlock()
+		return id, err
+	}
+	port := pe.port
+	if f.opts.Proxy != nil {
+		port = f.opts.Proxy(port, pe.info)
+	}
+	ue.conns = append(ue.conns, connection{id: id, port: port})
+	f.mu.Unlock()
+
+	f.emit(cca.Event{Kind: cca.EventConnected, Connection: id})
+	return id, nil
+}
+
+// Disconnect severs a connection previously made by Connect.
+func (f *Framework) Disconnect(id cca.ConnectionID) error {
+	f.mu.Lock()
+	uInst, ok := f.components[id.User]
+	if !ok {
+		f.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrComponentUnknown, id.User)
+	}
+	ue, ok := uInst.svc.uses[id.UsesPort]
+	if !ok {
+		f.mu.Unlock()
+		return fmt.Errorf("%w: %s.%s", cca.ErrPortUnknown, id.User, id.UsesPort)
+	}
+	found := false
+	for i, c := range ue.conns {
+		if c.id == id {
+			ue.conns = append(ue.conns[:i], ue.conns[i+1:]...)
+			found = true
+			break
+		}
+	}
+	f.mu.Unlock()
+	if !found {
+		return fmt.Errorf("%w: %v", cca.ErrNotConnected, id)
+	}
+	f.emit(cca.Event{Kind: cca.EventDisconnected, Connection: id})
+	return nil
+}
+
+// Connections lists every live connection, in no particular order.
+func (f *Framework) Connections() []cca.ConnectionID {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var out []cca.ConnectionID
+	for _, inst := range f.components {
+		for _, ue := range inst.svc.uses {
+			for _, c := range ue.conns {
+				out = append(out, c.id)
+			}
+		}
+	}
+	return out
+}
+
+// ReportFailure lets a component (or supervising code) notify builders of a
+// component failure through the configuration API.
+func (f *Framework) ReportFailure(component string, err error) {
+	f.emit(cca.Event{Kind: cca.EventComponentFailed, Component: component, Err: err})
+}
+
+// --- services implementation ---
+
+type providesEntry struct {
+	port cca.Port
+	info cca.PortInfo
+}
+
+type connection struct {
+	id   cca.ConnectionID
+	port cca.Port
+}
+
+type usesEntry struct {
+	info  cca.PortInfo
+	conns []connection
+	inUse int
+}
+
+// services implements cca.Services for one component instance. Mutating
+// operations share the framework mutex; GetPort is also serialized, but the
+// returned port is called without any framework involvement (the §6.2
+// zero-overhead path).
+type services struct {
+	fw       *Framework
+	name     string
+	provides map[string]providesEntry
+	uses     map[string]*usesEntry
+}
+
+var _ cca.Services = (*services)(nil)
+
+// ComponentName implements cca.Services.
+func (s *services) ComponentName() string { return s.name }
+
+// AddProvidesPort implements cca.Services.
+func (s *services) AddProvidesPort(port cca.Port, info cca.PortInfo) error {
+	if port == nil {
+		return cca.ErrNilPort
+	}
+	if info.Name == "" {
+		return fmt.Errorf("%w: empty port name", cca.ErrPortUnknown)
+	}
+	s.fw.mu.Lock()
+	defer s.fw.mu.Unlock()
+	if _, dup := s.provides[info.Name]; dup {
+		return fmt.Errorf("%w: provides %s.%s", cca.ErrPortExists, s.name, info.Name)
+	}
+	if _, dup := s.uses[info.Name]; dup {
+		return fmt.Errorf("%w: %s.%s registered as uses", cca.ErrPortExists, s.name, info.Name)
+	}
+	s.provides[info.Name] = providesEntry{port: port, info: info}
+	return nil
+}
+
+// RemoveProvidesPort implements cca.Services.
+func (s *services) RemoveProvidesPort(name string) error {
+	s.fw.mu.Lock()
+	defer s.fw.mu.Unlock()
+	if _, ok := s.provides[name]; !ok {
+		return fmt.Errorf("%w: provides %s.%s", cca.ErrPortUnknown, s.name, name)
+	}
+	delete(s.provides, name)
+	return nil
+}
+
+// RegisterUsesPort implements cca.Services.
+func (s *services) RegisterUsesPort(info cca.PortInfo) error {
+	if info.Name == "" {
+		return fmt.Errorf("%w: empty port name", cca.ErrPortUnknown)
+	}
+	s.fw.mu.Lock()
+	defer s.fw.mu.Unlock()
+	if _, dup := s.uses[info.Name]; dup {
+		return fmt.Errorf("%w: uses %s.%s", cca.ErrPortExists, s.name, info.Name)
+	}
+	if _, dup := s.provides[info.Name]; dup {
+		return fmt.Errorf("%w: %s.%s registered as provides", cca.ErrPortExists, s.name, info.Name)
+	}
+	s.uses[info.Name] = &usesEntry{info: info}
+	return nil
+}
+
+// UnregisterUsesPort implements cca.Services.
+func (s *services) UnregisterUsesPort(name string) error {
+	s.fw.mu.Lock()
+	defer s.fw.mu.Unlock()
+	ue, ok := s.uses[name]
+	if !ok {
+		return fmt.Errorf("%w: uses %s.%s", cca.ErrPortUnknown, s.name, name)
+	}
+	if len(ue.conns) > 0 {
+		return fmt.Errorf("cca: uses %s.%s still has %d connections", s.name, name, len(ue.conns))
+	}
+	delete(s.uses, name)
+	return nil
+}
+
+// GetPort implements cca.Services.
+func (s *services) GetPort(name string) (cca.Port, error) {
+	s.fw.mu.Lock()
+	defer s.fw.mu.Unlock()
+	ue, ok := s.uses[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: uses %s.%s", cca.ErrPortNotUses, s.name, name)
+	}
+	switch len(ue.conns) {
+	case 0:
+		return nil, fmt.Errorf("%w: %s.%s", cca.ErrNotConnected, s.name, name)
+	case 1:
+		ue.inUse++
+		return ue.conns[0].port, nil
+	default:
+		return nil, fmt.Errorf("%w: %s.%s has %d", cca.ErrMultiConnected, s.name, name, len(ue.conns))
+	}
+}
+
+// GetPorts implements cca.Services.
+func (s *services) GetPorts(name string) ([]cca.Port, error) {
+	s.fw.mu.Lock()
+	defer s.fw.mu.Unlock()
+	ue, ok := s.uses[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: uses %s.%s", cca.ErrPortNotUses, s.name, name)
+	}
+	out := make([]cca.Port, len(ue.conns))
+	for i, c := range ue.conns {
+		out[i] = c.port
+	}
+	ue.inUse += len(out)
+	return out, nil
+}
+
+// ReleasePort implements cca.Services.
+func (s *services) ReleasePort(name string) error {
+	s.fw.mu.Lock()
+	defer s.fw.mu.Unlock()
+	ue, ok := s.uses[name]
+	if !ok {
+		return fmt.Errorf("%w: uses %s.%s", cca.ErrPortNotUses, s.name, name)
+	}
+	if ue.inUse > 0 {
+		ue.inUse--
+	}
+	return nil
+}
+
+// ProvidesPortNames implements cca.Services.
+func (s *services) ProvidesPortNames() []string {
+	s.fw.mu.Lock()
+	defer s.fw.mu.Unlock()
+	return cca.SortedNames(s.provides)
+}
+
+// UsesPortNames implements cca.Services.
+func (s *services) UsesPortNames() []string {
+	s.fw.mu.Lock()
+	defer s.fw.mu.Unlock()
+	return cca.SortedNames(s.uses)
+}
+
+// PortInfo implements cca.Services.
+func (s *services) PortInfo(name string) (cca.PortInfo, bool) {
+	s.fw.mu.Lock()
+	defer s.fw.mu.Unlock()
+	if pe, ok := s.provides[name]; ok {
+		return pe.info, true
+	}
+	if ue, ok := s.uses[name]; ok {
+		return ue.info, true
+	}
+	return cca.PortInfo{}, false
+}

@@ -1,0 +1,105 @@
+package framework
+
+import (
+	"repro/internal/cca"
+	"repro/internal/mpi"
+)
+
+// SharedCohort is the shared-memory alternative to Cohort, realizing the
+// other half of §6.3's implementation freedom: "in a distributed-memory
+// model a copy of these classes could be maintained by every process
+// participating in computation, whereas in shared memory a class could be
+// represented just once."
+//
+// One Framework instance is shared by every rank: components are installed
+// once (rank 0 performs the mutation; a barrier publishes it), each rank
+// fetches ports from the same CCAServices, and port implementations must
+// therefore be safe for concurrent calls — the threaded computational model
+// the paper's §7 lists among future directions.
+type SharedCohort struct {
+	// F is the single shared framework instance (identical on all ranks).
+	F    *Framework
+	Comm *mpi.Comm
+}
+
+// NewSharedCohort builds the cohort over one framework. Collective: every
+// rank must call it; rank 0's framework is broadcast to the others.
+func NewSharedCohort(comm *mpi.Comm, opts Options) (*SharedCohort, error) {
+	if opts.Flavor == 0 {
+		opts.Flavor = cca.FlavorInProcess
+	}
+	opts.Flavor |= cca.FlavorCollective
+	var fw *Framework
+	if comm.Rank() == 0 {
+		fw = New(opts)
+	}
+	p, err := comm.Bcast(0, fw)
+	if err != nil {
+		return nil, err
+	}
+	return &SharedCohort{F: p.(*Framework), Comm: comm}, nil
+}
+
+// Install installs the single shared component instance (rank 0 acts; all
+// ranks synchronize and observe the same error outcome).
+func (s *SharedCohort) Install(name string, factory func() cca.Component) error {
+	return s.rank0(func() error { return s.F.Install(name, factory()) })
+}
+
+// Connect wires ports once for the whole cohort.
+func (s *SharedCohort) Connect(user, usesPort, provider, providesPort string) (cca.ConnectionID, error) {
+	id := cca.ConnectionID{User: user, UsesPort: usesPort, Provider: provider, ProvidesPort: providesPort}
+	err := s.rank0(func() error {
+		_, err := s.F.Connect(user, usesPort, provider, providesPort)
+		return err
+	})
+	return id, err
+}
+
+// Remove removes the shared instance.
+func (s *SharedCohort) Remove(name string) error {
+	return s.rank0(func() error { return s.F.Remove(name) })
+}
+
+// rank0 runs f on rank 0 and broadcasts the outcome, so every rank agrees
+// on success before touching the shared state further.
+func (s *SharedCohort) rank0(f func() error) error {
+	var errMsg string
+	if s.Comm.Rank() == 0 {
+		if err := f(); err != nil {
+			errMsg = err.Error()
+		}
+	}
+	p, err := s.Comm.Bcast(0, errMsg)
+	if err != nil {
+		return err
+	}
+	if msg := p.(string); msg != "" {
+		return &sharedError{msg: msg, local: s.Comm.Rank() == 0}
+	}
+	return nil
+}
+
+// sharedError reports a shared-cohort operation failure on every rank.
+type sharedError struct {
+	msg   string
+	local bool
+}
+
+func (e *sharedError) Error() string {
+	if e.local {
+		return e.msg
+	}
+	return "framework: shared cohort operation failed on rank 0: " + e.msg
+}
+
+// Port fetches a connected uses port on behalf of component instance — the
+// per-rank access path into the single shared services object. Safe to call
+// concurrently from all ranks.
+func (s *SharedCohort) Port(instance, usesPort string) (cca.Port, error) {
+	svc, ok := s.F.Services(instance)
+	if !ok {
+		return nil, ErrComponentUnknown
+	}
+	return svc.GetPort(usesPort)
+}

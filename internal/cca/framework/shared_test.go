@@ -1,0 +1,99 @@
+package framework
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/cca"
+	"repro/internal/mpi"
+)
+
+// sharedCounter is a thread-safe provides port: every rank calls the SAME
+// instance (one representation, per §6.3's shared-memory model).
+type sharedCounter struct {
+	n int64
+}
+
+func (s *sharedCounter) SetServices(svc cca.Services) error {
+	return svc.AddProvidesPort(s, cca.PortInfo{Name: "count", Type: "test.Counter"})
+}
+
+func (s *sharedCounter) Incr() int64 { return atomic.AddInt64(&s.n, 1) }
+
+type sharedUser struct{}
+
+func (sharedUser) SetServices(svc cca.Services) error {
+	return svc.RegisterUsesPort(cca.PortInfo{Name: "count", Type: "test.Counter"})
+}
+
+func TestSharedCohortSingleInstance(t *testing.T) {
+	const p = 4
+	mpi.Run(p, func(comm *mpi.Comm) {
+		sc, err := NewSharedCohort(comm, Options{})
+		if err != nil {
+			t.Errorf("new: %v", err)
+			return
+		}
+		if err := sc.Install("counter", func() cca.Component { return &sharedCounter{} }); err != nil {
+			t.Errorf("install: %v", err)
+			return
+		}
+		if err := sc.Install("user", func() cca.Component { return sharedUser{} }); err != nil {
+			t.Errorf("install: %v", err)
+			return
+		}
+		if _, err := sc.Connect("user", "count", "counter", "count"); err != nil {
+			t.Errorf("connect: %v", err)
+			return
+		}
+		// Every rank increments through the same shared port instance.
+		port, err := sc.Port("user", "count")
+		if err != nil {
+			t.Errorf("port: %v", err)
+			return
+		}
+		c := port.(*sharedCounter)
+		for i := 0; i < 10; i++ {
+			c.Incr()
+		}
+		if err := comm.Barrier(); err != nil {
+			t.Errorf("barrier: %v", err)
+			return
+		}
+		// One instance, p ranks × 10 increments.
+		if got := atomic.LoadInt64(&c.n); got != int64(p*10) {
+			t.Errorf("counter = %d, want %d", got, p*10)
+		}
+		// Exactly one component list, visible identically everywhere.
+		if names := sc.F.ComponentNames(); len(names) != 2 {
+			t.Errorf("components = %v", names)
+		}
+	})
+}
+
+func TestSharedCohortErrorsOnAllRanks(t *testing.T) {
+	mpi.Run(3, func(comm *mpi.Comm) {
+		sc, err := NewSharedCohort(comm, Options{})
+		if err != nil {
+			t.Errorf("new: %v", err)
+			return
+		}
+		if err := sc.Install("x", func() cca.Component { return sharedUser{} }); err != nil {
+			t.Errorf("install: %v", err)
+			return
+		}
+		// Duplicate install must fail on EVERY rank, not just rank 0.
+		err = sc.Install("x", func() cca.Component { return sharedUser{} })
+		if err == nil {
+			t.Errorf("rank %d: duplicate install accepted", comm.Rank())
+			return
+		}
+		if comm.Rank() != 0 && !strings.Contains(err.Error(), "failed on rank 0") {
+			t.Errorf("rank %d err = %v", comm.Rank(), err)
+		}
+		if err := sc.Remove("x"); err != nil {
+			t.Errorf("remove: %v", err)
+		}
+	})
+}

@@ -1,0 +1,171 @@
+// Package core is the top-level assembly API of the CCA reproduction: the
+// paper's full Figure 2 wired together — repository, framework, builder,
+// SIDL type checking, and configuration events — behind one handle.
+//
+// It exists so applications (the examples/ programs, cmd/ccafe) compose the
+// architecture the way the paper intends: deposit interface definitions and
+// component factories into the repository, instantiate through the builder,
+// and let the framework connect ports with SIDL subtype checking. Packages
+// under internal/ remain independently usable; core only composes them.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cca"
+	"repro/internal/cca/framework"
+	"repro/internal/esi"
+	"repro/internal/mpi"
+	"repro/internal/repo"
+	"repro/internal/sidl/sreflect"
+)
+
+// App is a serial CCA application container.
+type App struct {
+	Repo    *repo.Repository
+	Fw      *framework.Framework
+	Builder *repo.Builder
+}
+
+// Options configures NewApp.
+type Options struct {
+	// Flavor advertises framework compliance (default in-process).
+	Flavor cca.Flavor
+	// Proxy optionally interposes on every connection (§6.2).
+	Proxy framework.ProxyFactory
+	// WithESI pre-deposits the built-in ESI interface standard and its
+	// solver/operator/preconditioner component factories.
+	WithESI bool
+}
+
+// NewApp builds a repository-backed framework whose port type checking
+// follows the repository's SIDL subtype relation.
+func NewApp(opts Options) (*App, error) {
+	r := repo.New()
+	fw := framework.New(framework.Options{
+		Flavor:    opts.Flavor,
+		Proxy:     opts.Proxy,
+		TypeCheck: r.TypeChecker(),
+	})
+	app := &App{Repo: r, Fw: fw, Builder: repo.NewBuilder(r, fw)}
+	if opts.WithESI {
+		if err := app.DepositESI(); err != nil {
+			return nil, err
+		}
+	}
+	return app, nil
+}
+
+// DepositESI deposits the embedded ESI interface standard plus factories
+// for the solver, operator (factory-less; operators wrap concrete
+// matrices), and preconditioner components.
+func (a *App) DepositESI() error {
+	esiSrc, portsSrc := esi.Sources()
+	deposits := []repo.Entry{
+		{
+			Name: "esi.Interfaces", Version: "1.0",
+			Description: "Equation Solver Interface standard (SIDL definitions)",
+			SIDL:        esiSrc,
+		},
+		{
+			Name: "cca.Ports", Version: "0.5",
+			Description: "CCA collective and monitor port interfaces",
+			SIDL:        portsSrc,
+		},
+	}
+	for _, method := range []string{"cg", "gmres", "bicgstab"} {
+		method := method
+		deposits = append(deposits, repo.Entry{
+			Name:        "esi.SolverComponent." + method,
+			Version:     "1.0",
+			Description: method + " Krylov solver component",
+			Provides:    []repo.PortSpec{{Name: "solver", Type: esi.TypeSolver}},
+			Uses: []repo.PortSpec{
+				{Name: "A", Type: esi.TypeOperator},
+				{Name: "M", Type: esi.TypePreconditioner},
+			},
+			Factory: func() cca.Component { return esi.NewSolverComponent(method) },
+		})
+	}
+	for _, kind := range []string{"none", "jacobi", "sor", "ilu0"} {
+		kind := kind
+		deposits = append(deposits, repo.Entry{
+			Name:        "esi.PreconditionerComponent." + kind,
+			Version:     "1.0",
+			Description: kind + " preconditioner component",
+			Provides:    []repo.PortSpec{{Name: "M", Type: esi.TypePreconditioner}},
+			Uses:        []repo.PortSpec{{Name: "A", Type: esi.TypeMatrixData}},
+			Factory:     func() cca.Component { return esi.NewPreconditionerComponent(kind) },
+		})
+	}
+	for _, e := range deposits {
+		if err := a.Repo.Deposit(e); err != nil {
+			return fmt.Errorf("core: deposit %s: %w", e.Name, err)
+		}
+	}
+	// Register the merged SIDL world for reflection/DMI users.
+	sreflect.Global.RegisterTable(a.Repo.Table())
+	return nil
+}
+
+// Install installs a pre-constructed component (for components with
+// constructor arguments a repository factory cannot supply, e.g. an
+// OperatorComponent wrapping a particular matrix).
+func (a *App) Install(name string, comp cca.Component) error {
+	return a.Fw.Install(name, comp)
+}
+
+// Create instantiates a repository component type under an instance name.
+func (a *App) Create(instance, typeName string) error {
+	return a.Builder.Create(instance, typeName)
+}
+
+// Connect wires user.usesPort to provider.providesPort.
+func (a *App) Connect(user, usesPort, provider, providesPort string) (cca.ConnectionID, error) {
+	return a.Fw.Connect(user, usesPort, provider, providesPort)
+}
+
+// Port fetches a connected uses port on behalf of a component instance —
+// builder-side access for driver programs.
+func (a *App) Port(instance, usesPort string) (cca.Port, error) {
+	svc, ok := a.Fw.Services(instance)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", framework.ErrComponentUnknown, instance)
+	}
+	return svc.GetPort(usesPort)
+}
+
+// Component returns an installed component instance.
+func (a *App) Component(name string) (cca.Component, bool) {
+	return a.Fw.Component(name)
+}
+
+// ParallelApp is the SPMD counterpart: one App per cohort rank with
+// collective install/connect semantics (§6.3).
+type ParallelApp struct {
+	Cohort *framework.Cohort
+	Comm   *mpi.Comm
+}
+
+// NewParallelApp builds this rank's member of a parallel application.
+func NewParallelApp(comm *mpi.Comm, opts Options) *ParallelApp {
+	return &ParallelApp{
+		Cohort: framework.NewCohort(comm, framework.Options{Flavor: opts.Flavor, Proxy: opts.Proxy}),
+		Comm:   comm,
+	}
+}
+
+// Install installs one component member per rank.
+func (p *ParallelApp) Install(name string, factory func(rank int) cca.Component) error {
+	return p.Cohort.InstallParallel(name, factory)
+}
+
+// Connect wires ports on every rank.
+func (p *ParallelApp) Connect(user, usesPort, provider, providesPort string) (cca.ConnectionID, error) {
+	return p.Cohort.ConnectParallel(user, usesPort, provider, providesPort)
+}
+
+// Component returns this rank's member of an instance.
+func (p *ParallelApp) Component(name string) (cca.Component, bool) {
+	return p.Cohort.F.Component(name)
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/cca"
+	"repro/internal/esi"
+	"repro/internal/linalg"
+	"repro/internal/mpi"
+)
+
+func TestNewAppWithESI(t *testing.T) {
+	app, err := NewApp(Options{WithESI: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := app.Repo.List()
+	if len(names) < 7 {
+		t.Fatalf("repository has %d entries: %v", len(names), names)
+	}
+	if app.Repo.Table().Lookup("esi.Solver") != "interface" {
+		t.Error("esi SIDL not merged")
+	}
+}
+
+func TestEndToEndSolveViaBuilder(t *testing.T) {
+	app, err := NewApp(Options{WithESI: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := linalg.Poisson2D(12, 12)
+	if err := app.Install("op", esi.NewOperatorComponent(m)); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Create("solver", "esi.SolverComponent.cg"); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Create("prec", "esi.PreconditionerComponent.jacobi"); err != nil {
+		t.Fatal(err)
+	}
+	// Subtype-checked connections: solver.A wants esi.Operator; the
+	// operator provides esi.MatrixData (a subtype).
+	for _, c := range [][4]string{
+		{"solver", "A", "op", "A"},
+		{"prec", "A", "op", "A"},
+		{"solver", "M", "prec", "M"},
+	} {
+		if _, err := app.Connect(c[0], c[1], c[2], c[3]); err != nil {
+			t.Fatalf("connect %v: %v", c, err)
+		}
+	}
+	comp, ok := app.Component("solver")
+	if !ok {
+		t.Fatal("solver missing")
+	}
+	solver := comp.(esi.EsiSolver)
+	solver.SetTolerance(1e-10)
+	b := make([]float64, m.NRows)
+	if err := m.Apply(linalg.Ones(m.NCols), b); err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, m.NRows)
+	iters, err := solver.Solve(b, &x)
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	if iters == 0 {
+		t.Error("no iterations")
+	}
+	for i, v := range x {
+		if math.Abs(v-1) > 1e-6 {
+			t.Fatalf("x[%d] = %v", i, v)
+		}
+	}
+}
+
+func TestTypeMismatchRejectedThroughApp(t *testing.T) {
+	app, err := NewApp(Options{WithESI: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Create("s1", "esi.SolverComponent.cg"); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Create("s2", "esi.SolverComponent.gmres"); err != nil {
+		t.Fatal(err)
+	}
+	// solver.A uses esi.Operator; another solver provides esi.Solver,
+	// which does NOT extend Operator in this SIDL corpus.
+	if _, err := app.Connect("s1", "A", "s2", "solver"); !errors.Is(err, cca.ErrTypeMismatch) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestPortAccess(t *testing.T) {
+	app, err := NewApp(Options{WithESI: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Install("op", esi.NewOperatorComponent(linalg.Laplace1D(4))); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Create("solver", "esi.SolverComponent.cg"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := app.Connect("solver", "A", "op", "A"); err != nil {
+		t.Fatal(err)
+	}
+	p, err := app.Port("solver", "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.(esi.EsiOperator).Rows() != 4 {
+		t.Error("wrong port")
+	}
+	if _, err := app.Port("ghost", "A"); err == nil {
+		t.Error("phantom instance")
+	}
+}
+
+func TestParallelApp(t *testing.T) {
+	mpi.Run(3, func(comm *mpi.Comm) {
+		app := NewParallelApp(comm, Options{})
+		if err := app.Install("c", func(rank int) cca.Component {
+			return &trivial{rank: rank}
+		}); err != nil {
+			t.Errorf("install: %v", err)
+			return
+		}
+		comp, ok := app.Component("c")
+		if !ok || comp.(*trivial).rank != comm.Rank() {
+			t.Errorf("rank member wrong: %v %v", comp, ok)
+		}
+	})
+}
+
+type trivial struct{ rank int }
+
+func (tr *trivial) SetServices(svc cca.Services) error { return nil }

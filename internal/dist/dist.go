@@ -1,0 +1,281 @@
+// Package dist implements distributed CCA port connections: the paper's
+// §6.1 requirement that "loosely coupled distributed connections should be
+// available through the very same interface as the tightly coupled direct
+// connections, without the components being aware of the connection type."
+//
+// A provides port is exported from its home framework through an ORB object
+// adapter; a remote framework installs a proxy component whose provides
+// port implements the same Go interface but forwards each call through
+// the ORB client. Because the proxy satisfies the identical port interface,
+// the using component cannot tell a remote connection from a direct one —
+// only the latency differs (measured in experiment E2).
+//
+// Generic forwarding uses SIDL reflection metadata (method names and
+// CDR-encodable arguments); for the ESI interfaces, typed adapters are
+// provided so solver components work unmodified against remote operators.
+package dist
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cca"
+	"repro/internal/cca/framework"
+	"repro/internal/esi"
+	"repro/internal/orb"
+	"repro/internal/sidl/sreflect"
+	"repro/internal/transport"
+)
+
+// ErrDist reports distributed-connection failures.
+var ErrDist = errors.New("dist: distributed connection error")
+
+// Exporter publishes provides ports from a framework over a transport.
+type Exporter struct {
+	FW     *framework.Framework
+	OA     *orb.ObjectAdapter
+	server *orb.Server
+}
+
+// NewExporter creates an exporter for fw and starts serving on l.
+func NewExporter(fw *framework.Framework, l transport.Listener) *Exporter {
+	oa := orb.NewObjectAdapter()
+	return &Exporter{FW: fw, OA: oa, server: orb.Serve(oa, l)}
+}
+
+// Addr reports the served address for clients to dial.
+func (e *Exporter) Addr() string { return e.server.Addr() }
+
+// Close stops serving.
+func (e *Exporter) Close() { e.server.Stop() }
+
+// Export publishes component's provides port under the object key
+// "component/port". The port's SIDL type must be registered in the global
+// reflection registry (generated bindings do this automatically).
+func (e *Exporter) Export(component, port string) (key string, err error) {
+	svc, ok := e.FW.Services(component)
+	if !ok {
+		return "", fmt.Errorf("%w: no component %q", ErrDist, component)
+	}
+	info, ok := svc.PortInfo(port)
+	if !ok {
+		return "", fmt.Errorf("%w: %s has no port %q", ErrDist, component, port)
+	}
+	ti, ok := sreflect.Global.Lookup(info.Type)
+	if !ok {
+		return "", fmt.Errorf("%w: no reflection metadata for port type %q", ErrDist, info.Type)
+	}
+	// Fetch the provider's registered value through a scratch uses port on
+	// a probe component — the framework is the only sanctioned path to a
+	// provides port (§6.1).
+	probe := &probeComponent{portType: info.Type}
+	probeName := "dist.probe." + component + "." + port
+	if err := e.FW.Install(probeName, probe); err != nil {
+		return "", err
+	}
+	defer e.FW.Remove(probeName) //nolint:errcheck // best-effort cleanup
+	id, err := e.FW.Connect(probeName, "target", component, port)
+	if err != nil {
+		return "", err
+	}
+	defer e.FW.Disconnect(id) //nolint:errcheck
+	impl, err := probe.svc.GetPort("target")
+	if err != nil {
+		return "", err
+	}
+	key = component + "/" + port
+	if err := e.OA.Register(key, ti, impl); err != nil {
+		return "", err
+	}
+	return key, nil
+}
+
+// probeComponent is the exporter's internal uses-port holder.
+type probeComponent struct {
+	portType string
+	svc      cca.Services
+}
+
+func (p *probeComponent) SetServices(svc cca.Services) error {
+	p.svc = svc
+	return svc.RegisterUsesPort(cca.PortInfo{Name: "target", Type: p.portType})
+}
+
+// RemotePort is a generic dynamic proxy for an exported port: Call forwards
+// a method by SIDL name through the ORB. Typed adapters (RemoteOperator,
+// RemoteMatrixData) wrap it with compile-time interfaces.
+type RemotePort struct {
+	Client *orb.Client
+	Key    string
+	Type   string
+}
+
+// Dial connects to an exporter and binds an exported key.
+func Dial(tr transport.Transport, addr, key, portType string) (*RemotePort, error) {
+	c, err := orb.DialClient(tr, addr)
+	if err != nil {
+		return nil, err
+	}
+	return &RemotePort{Client: c, Key: key, Type: portType}, nil
+}
+
+// Call invokes a remote method by SIDL method name.
+func (r *RemotePort) Call(method string, args ...any) ([]any, error) {
+	return r.Client.Invoke(r.Key, method, args...)
+}
+
+// Close releases the client connection.
+func (r *RemotePort) Close() error { return r.Client.Close() }
+
+// --- typed ESI adapters ---
+
+// RemoteOperator adapts a RemotePort to the generated EsiOperator
+// interface, so a SolverComponent can be connected to a matrix living in
+// another framework (possibly another machine) without modification.
+type RemoteOperator struct {
+	R *RemotePort
+}
+
+var _ esi.EsiOperator = (*RemoteOperator)(nil)
+
+// TypeName implements EsiObject.
+func (o *RemoteOperator) TypeName() string {
+	res, err := o.R.Call("typeName")
+	if err != nil || len(res) != 1 {
+		return "remote:" + o.R.Key
+	}
+	s, _ := res[0].(string)
+	return s
+}
+
+// Rows implements EsiOperator.
+func (o *RemoteOperator) Rows() int32 {
+	res, err := o.R.Call("rows")
+	if err != nil || len(res) != 1 {
+		return 0
+	}
+	n, _ := res[0].(int32)
+	return n
+}
+
+// Apply implements EsiOperator. The inout y crosses the wire by value:
+// marshaled out, result marshaled back — the honest cost of a distributed
+// connection.
+func (o *RemoteOperator) Apply(x []float64, y *[]float64) error {
+	if y == nil {
+		return fmt.Errorf("%w: nil output", ErrDist)
+	}
+	res, err := o.R.Call("apply", x, *y)
+	if err != nil {
+		return err
+	}
+	if len(res) != 1 {
+		return fmt.Errorf("%w: apply returned %d values", ErrDist, len(res))
+	}
+	out, ok := res[0].([]float64)
+	if !ok {
+		return fmt.Errorf("%w: apply returned %T", ErrDist, res[0])
+	}
+	*y = out
+	return nil
+}
+
+// RemoteMatrixData extends RemoteOperator with the MatrixData queries.
+type RemoteMatrixData struct {
+	RemoteOperator
+}
+
+var _ esi.EsiMatrixData = (*RemoteMatrixData)(nil)
+
+// Nonzeros implements EsiMatrixData.
+func (m *RemoteMatrixData) Nonzeros() int32 {
+	res, err := m.R.Call("nonzeros")
+	if err != nil || len(res) != 1 {
+		return 0
+	}
+	n, _ := res[0].(int32)
+	return n
+}
+
+// Diagonal implements EsiMatrixData.
+func (m *RemoteMatrixData) Diagonal(d *[]float64) error {
+	if d == nil {
+		return fmt.Errorf("%w: nil output", ErrDist)
+	}
+	res, err := m.R.Call("diagonal", *d)
+	if err != nil {
+		return err
+	}
+	if len(res) != 1 {
+		return fmt.Errorf("%w: diagonal returned %d values", ErrDist, len(res))
+	}
+	out, ok := res[0].([]float64)
+	if !ok {
+		return fmt.Errorf("%w: diagonal returned %T", ErrDist, res[0])
+	}
+	*d = out
+	return nil
+}
+
+// ProxyComponent installs a remote port into a local framework as an
+// ordinary provides port: the §6.1 "proxy intermediary". The local using
+// component connects to it exactly as it would to a direct provider.
+type ProxyComponent struct {
+	PortName string
+	PortType string
+	Port     cca.Port
+}
+
+// SetServices implements cca.Component.
+func (p *ProxyComponent) SetServices(svc cca.Services) error {
+	return svc.AddProvidesPort(p.Port, cca.PortInfo{
+		Name: p.PortName,
+		Type: p.PortType,
+		Properties: map[string]string{
+			"distributed": "true",
+		},
+	})
+}
+
+// RequiredFlavor declares the distributed compliance requirement.
+func (p *ProxyComponent) RequiredFlavor() cca.Flavor { return cca.FlavorDistributed }
+
+// InstallRemoteOperator dials an exported esi.Operator/esi.MatrixData port
+// and installs a proxy component named instance providing it locally as
+// port "A".
+func InstallRemoteOperator(fw *framework.Framework, instance string, tr transport.Transport, addr, key, portType string) (*RemotePort, error) {
+	rp, err := Dial(tr, addr, key, portType)
+	if err != nil {
+		return nil, err
+	}
+	var port cca.Port
+	switch portType {
+	case esi.TypeMatrixData:
+		port = &RemoteMatrixData{RemoteOperator{R: rp}}
+	case esi.TypeOperator:
+		port = &RemoteOperator{R: rp}
+	default:
+		rp.Close()
+		return nil, fmt.Errorf("%w: no typed adapter for %q", ErrDist, portType)
+	}
+	if err := fw.Install(instance, &ProxyComponent{PortName: "A", PortType: portType, Port: port}); err != nil {
+		rp.Close()
+		return nil, err
+	}
+	return rp, nil
+}
+
+// RemoteMonitor adapts an exported cca.ports.Monitor provides port: Observe
+// is forwarded as a oneway (fire-and-forget) invocation, matching the SIDL
+// declaration `oneway void observe(...)` — the paper's loosely coupled
+// monitoring channel, where the simulation must never block on a slow
+// visualization consumer.
+type RemoteMonitor struct {
+	R *RemotePort
+}
+
+// Observe forwards one frame without awaiting completion.
+func (m *RemoteMonitor) Observe(step int32, data []float64) {
+	// Errors are deliberately dropped: oneway semantics.
+	_ = m.R.Client.InvokeOneway(m.R.Key, "observe", step, data)
+}

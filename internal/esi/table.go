@@ -1,0 +1,63 @@
+package esi
+
+import (
+	_ "embed"
+	"fmt"
+	"sync"
+
+	"repro/internal/cca"
+	"repro/internal/sidl"
+)
+
+//go:embed esi.sidl
+var esiSIDL string
+
+//go:embed ports.sidl
+var portsSIDL string
+
+// Sources returns the package's SIDL definition sources, for depositing
+// into repositories.
+func Sources() (esiSrc, portsSrc string) { return esiSIDL, portsSIDL }
+
+var (
+	tableOnce sync.Once
+	tableVal  *sidl.Table
+	tableErr  error
+)
+
+// Table returns the resolved SIDL symbol table of the embedded definitions.
+func Table() (*sidl.Table, error) {
+	tableOnce.Do(func() {
+		var files []*sidl.File
+		for _, src := range []string{esiSIDL, portsSIDL} {
+			f, err := sidl.Parse(src)
+			if err != nil {
+				tableErr = err
+				return
+			}
+			files = append(files, f)
+		}
+		tableVal, tableErr = sidl.Resolve(files...)
+	})
+	return tableVal, tableErr
+}
+
+// TypeChecker returns a framework port-type checker implementing the
+// paper's §4 compatibility rule ("object-oriented type compatibility of the
+// port interfaces, as can be described in the SIDL") over the embedded ESI
+// definitions: a provides port connects to a uses port when its type is a
+// SIDL subtype of the uses type. Unknown types fall back to exact matching.
+func TypeChecker() func(usesType, providesType string) error {
+	return func(usesType, providesType string) error {
+		if usesType == "" || providesType == "" || usesType == providesType {
+			return nil
+		}
+		tbl, err := Table()
+		if err == nil && tbl.Lookup(usesType) != "" && tbl.Lookup(providesType) != "" {
+			if tbl.IsSubtype(providesType, usesType) {
+				return nil
+			}
+		}
+		return fmt.Errorf("%w: provides %q is not usable as %q", cca.ErrTypeMismatch, providesType, usesType)
+	}
+}

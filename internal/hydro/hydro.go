@@ -1,0 +1,480 @@
+// Package hydro is the reproduction's CHAD-like mini-app: the parallel
+// numerical components of the paper's Figure 1 and §2.1. CHAD itself is a
+// proprietary Fortran 90 code; what the paper uses it for is its *shape* —
+// "hybrid unstructured meshes", "encapsulation of nonlocal communication in
+// gather/scatter routines using MPI", and semi-implicit schemes whose "most
+// computationally intensive phase ... is the solution of discretized linear
+// systems" (§2.2). This package reproduces that shape:
+//
+//   - MeshComponent distributes an unstructured mesh across the cohort
+//     (Figure 1's component A, "a mesh [that] uses MPI to communicate among
+//     the four processes over which it is distributed");
+//   - FlowComponent advances a scalar transport equation with an explicit
+//     upwind advection step and a semi-implicit (backward-Euler) diffusion
+//     solve by parallel preconditioned CG over halo-exchanged operators —
+//     the tightly coupled solver pipeline of Figure 1's upper half;
+//   - the flow field is published through a collective DistArray port so
+//     differently distributed tools (visualization, statistics) can attach
+//     dynamically — Figure 1's lower half and the §2.2 scenario of
+//     "dynamically attaching a visualization tool to an ongoing simulation".
+package hydro
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/cca"
+	"repro/internal/cca/collective"
+	"repro/internal/linalg"
+	"repro/internal/mesh"
+	"repro/internal/mpi"
+)
+
+// Port type names.
+const (
+	TypeMesh    = "chad.Mesh"
+	TypeFlow    = "chad.Flow"
+	TypeMonitor = "cca.ports.Monitor"
+)
+
+// ErrHydro reports simulation configuration errors.
+var ErrHydro = errors.New("hydro: invalid configuration")
+
+// MeshPort is the provides-port interface of MeshComponent: each cohort
+// rank sees the global mesh plus its own decomposition.
+type MeshPort interface {
+	Mesh() *mesh.Mesh
+	Decomp() *mesh.Decomposition
+}
+
+// Stats summarizes one timestep, globally reduced across the cohort.
+type Stats struct {
+	Step       int
+	Time       float64
+	Min, Max   float64
+	Mean       float64
+	Norm2      float64
+	SolveIters int
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("step=%d t=%.4f min=%.4g max=%.4g mean=%.4g ‖u‖=%.4g iters=%d",
+		s.Step, s.Time, s.Min, s.Max, s.Mean, s.Norm2, s.SolveIters)
+}
+
+// FlowPort is the provides-port interface of FlowComponent: the stepping
+// API the time integrator (or an interactive builder) drives.
+type FlowPort interface {
+	// Step advances one timestep of length dt and returns global stats.
+	Step(dt float64) (Stats, error)
+	// Time reports accumulated simulation time.
+	Time() float64
+	// OwnedField returns this rank's owned chunk of the field (live
+	// storage — read-only for callers).
+	OwnedField() []float64
+}
+
+// MonitorPort is the uses-port interface fanned out to attached monitors
+// after every step ("one call may correspond to zero or more invocations").
+type MonitorPort interface {
+	Observe(step int, stats Stats)
+}
+
+// --- MeshComponent ---
+
+// MeshComponent provides the decomposed mesh to the rest of the cohort.
+type MeshComponent struct {
+	m      *mesh.Mesh
+	decomp *mesh.Decomposition
+}
+
+var (
+	_ cca.Component = (*MeshComponent)(nil)
+	_ MeshPort      = (*MeshComponent)(nil)
+)
+
+// NewMeshComponent partitions m over p ranks with the named partitioner
+// and builds rank's view. Each cohort member constructs its own instance
+// (same mesh, same partition — SPMD determinism keeps them consistent).
+func NewMeshComponent(m *mesh.Mesh, partitioner string, p, rank int) (*MeshComponent, error) {
+	pt, err := mesh.NewPartitioner(partitioner)
+	if err != nil {
+		return nil, err
+	}
+	part := pt.PartitionNodes(m, p)
+	d, err := mesh.Decompose(m, part, p, rank)
+	if err != nil {
+		return nil, err
+	}
+	return &MeshComponent{m: m, decomp: d}, nil
+}
+
+// SetServices implements cca.Component.
+func (mc *MeshComponent) SetServices(svc cca.Services) error {
+	return svc.AddProvidesPort(mc, cca.PortInfo{Name: "mesh", Type: TypeMesh})
+}
+
+// Mesh implements MeshPort.
+func (mc *MeshComponent) Mesh() *mesh.Mesh { return mc.m }
+
+// Decomp implements MeshPort.
+func (mc *MeshComponent) Decomp() *mesh.Decomposition { return mc.decomp }
+
+// --- FlowComponent ---
+
+// Config sets the physics of a FlowComponent.
+type Config struct {
+	// Nu is the diffusion coefficient (> 0).
+	Nu float64
+	// Vel is the constant advection velocity.
+	Vel [2]float64
+	// Tol is the linear-solve tolerance (default 1e-8).
+	Tol float64
+	// Prec names the parallel preconditioner: "" (none) or "jacobi" (the
+	// only communication-free choice, hence the parallel default).
+	Prec string
+	// InitialCondition maps a node coordinate to the initial field value;
+	// nil defaults to a Gaussian bump at the domain center.
+	InitialCondition func(x, y float64) float64
+	// InitialField, when non-nil, supplies the initial value of every
+	// global node directly (length = mesh node count) and takes precedence
+	// over InitialCondition. This is how a simulation restarts on a
+	// refined mesh: the coarse field is carried over by prolongation
+	// (mesh.Refine) and handed to the fine pipeline here (§2.2's
+	// mid-run "hierarchical mesh refinement" scenario).
+	InitialField []float64
+	// Source is a steady volumetric source term added explicitly each
+	// step (nil for none). With a source the field approaches a steady
+	// state instead of decaying to zero.
+	Source func(x, y float64) float64
+	// WorldRanks maps cohort rank to world rank for collective-port
+	// transfers; nil means the identity (cohort rank i is world rank i).
+	WorldRanks []int
+}
+
+// FlowComponent is one cohort member of the parallel flow solver.
+type FlowComponent struct {
+	cfg  Config
+	comm *mpi.Comm
+	svc  cca.Services
+
+	dec      *mesh.Decomposition
+	boundary map[int]bool
+	u        []float64 // owned+ghost field
+	source   []float64 // per-owned-node steady source (nil when unused)
+	time     float64
+	step     int
+
+	// cached semi-implicit operator per dt value
+	cachedDT float64
+	op       *mesh.DistOperator
+	prec     linalg.Preconditioner
+}
+
+var (
+	_ cca.Component            = (*FlowComponent)(nil)
+	_ FlowPort                 = (*FlowComponent)(nil)
+	_ collective.DistArrayPort = (*FlowComponent)(nil)
+)
+
+// NewFlowComponent creates one cohort member over comm.
+func NewFlowComponent(comm *mpi.Comm, cfg Config) (*FlowComponent, error) {
+	if cfg.Nu <= 0 {
+		return nil, fmt.Errorf("%w: Nu=%v", ErrHydro, cfg.Nu)
+	}
+	if cfg.Tol == 0 {
+		cfg.Tol = 1e-8
+	}
+	if cfg.Prec != "" && cfg.Prec != "jacobi" {
+		return nil, fmt.Errorf("%w: parallel preconditioner %q (want \"\" or \"jacobi\")", ErrHydro, cfg.Prec)
+	}
+	return &FlowComponent{cfg: cfg, comm: comm}, nil
+}
+
+// SetServices implements cca.Component: uses "mesh", provides "flow" and
+// the collective "field" port, and fans out to "monitor".
+func (fc *FlowComponent) SetServices(svc cca.Services) error {
+	fc.svc = svc
+	if err := svc.RegisterUsesPort(cca.PortInfo{Name: "mesh", Type: TypeMesh}); err != nil {
+		return err
+	}
+	if err := svc.RegisterUsesPort(cca.PortInfo{Name: "monitor", Type: TypeMonitor}); err != nil {
+		return err
+	}
+	if err := svc.AddProvidesPort(fc, cca.PortInfo{Name: "flow", Type: TypeFlow}); err != nil {
+		return err
+	}
+	return svc.AddProvidesPort(fc, collective.Info("field", fc.Side()))
+}
+
+// RequiredFlavor declares the collective compliance requirement.
+func (fc *FlowComponent) RequiredFlavor() cca.Flavor {
+	return cca.FlavorInProcess | cca.FlavorCollective
+}
+
+// init fetches the mesh port and initializes the field; idempotent.
+func (fc *FlowComponent) init() error {
+	if fc.dec != nil {
+		return nil
+	}
+	port, err := fc.svc.GetPort("mesh")
+	if err != nil {
+		return fmt.Errorf("hydro: flow needs a mesh: %w", err)
+	}
+	defer fc.svc.ReleasePort("mesh")
+	mp, ok := port.(MeshPort)
+	if !ok {
+		return fmt.Errorf("%w: mesh port is %T", ErrHydro, port)
+	}
+	fc.dec = mp.Decomp()
+	m := mp.Mesh()
+	fc.boundary = map[int]bool{}
+	for _, n := range m.BoundaryNodes() {
+		fc.boundary[n] = true
+	}
+	ic := fc.cfg.InitialCondition
+	if ic == nil {
+		ic = func(x, y float64) float64 {
+			dx, dy := x-0.5, y-0.5
+			return math.Exp(-50 * (dx*dx + dy*dy))
+		}
+	}
+	if f := fc.cfg.InitialField; f != nil && len(f) != m.NumNodes() {
+		return fmt.Errorf("%w: initial field has %d values for %d nodes", ErrHydro, len(f), m.NumNodes())
+	}
+	fc.u = make([]float64, fc.dec.NumLocal())
+	for li, g := range fc.dec.Owned {
+		if fc.boundary[g] {
+			continue
+		}
+		if f := fc.cfg.InitialField; f != nil {
+			fc.u[li] = f[g]
+			continue
+		}
+		c := m.Coords[g]
+		fc.u[li] = ic(c[0], c[1])
+	}
+	if fc.cfg.Source != nil {
+		fc.source = make([]float64, fc.dec.NumOwned())
+		for li, g := range fc.dec.Owned {
+			if fc.boundary[g] {
+				continue
+			}
+			c := m.Coords[g]
+			fc.source[li] = fc.cfg.Source(c[0], c[1])
+		}
+	}
+	return fc.dec.Exchange(fc.comm, fc.u)
+}
+
+// semiImplicitEntries assembles I + dt·ν·L with exact identity rows on
+// boundary nodes and interior couplings restricted to interior neighbours
+// (Dirichlet elimination, keeping the operator SPD).
+func (fc *FlowComponent) semiImplicitEntries(dt float64) []mesh.Entry {
+	m := fc.dec.M
+	var out []mesh.Entry
+	for i := 0; i < m.NumNodes(); i++ {
+		if fc.boundary[i] {
+			out = append(out, mesh.Entry{Row: i, Col: i, Val: 1})
+			continue
+		}
+		deg := 0
+		for _, j := range m.NodeNeighbors(i) {
+			deg++
+			if !fc.boundary[j] {
+				out = append(out, mesh.Entry{Row: i, Col: j, Val: -dt * fc.cfg.Nu})
+			}
+		}
+		out = append(out, mesh.Entry{Row: i, Col: i, Val: 1 + dt*fc.cfg.Nu*float64(deg)})
+	}
+	return out
+}
+
+// ensureOperator (re)builds the cached distributed operator for dt.
+func (fc *FlowComponent) ensureOperator(dt float64) error {
+	if fc.op != nil && fc.cachedDT == dt {
+		return nil
+	}
+	op, err := mesh.NewDistOperator(fc.dec, fc.comm, fc.semiImplicitEntries(dt))
+	if err != nil {
+		return err
+	}
+	fc.op = op
+	fc.cachedDT = dt
+	fc.prec = linalg.IdentityPrec{}
+	if fc.cfg.Prec == "jacobi" {
+		diag := fc.op.Local.Diagonal()
+		p, err := linalg.NewJacobiFromDiag(diag[:fc.dec.NumOwned()])
+		if err != nil {
+			return err
+		}
+		fc.prec = p
+	}
+	return nil
+}
+
+// Step implements FlowPort: explicit upwind advection, then the implicit
+// diffusion solve, then globally reduced statistics and monitor fan-out.
+func (fc *FlowComponent) Step(dt float64) (Stats, error) {
+	if dt <= 0 {
+		return Stats{}, fmt.Errorf("%w: dt=%v", ErrHydro, dt)
+	}
+	if err := fc.init(); err != nil {
+		return Stats{}, err
+	}
+	if err := fc.ensureOperator(dt); err != nil {
+		return Stats{}, err
+	}
+	m := fc.dec.M
+	nOwned := fc.dec.NumOwned()
+
+	// Explicit advection: ghost refresh, then edge-upwind update.
+	if err := fc.dec.Exchange(fc.comm, fc.u); err != nil {
+		return Stats{}, err
+	}
+	ustar := make([]float64, nOwned)
+	v := fc.cfg.Vel
+	for li, g := range fc.dec.Owned {
+		if fc.boundary[g] {
+			continue
+		}
+		ui := fc.u[li]
+		acc := 0.0
+		rate := 0.0
+		for _, j := range m.NodeNeighbors(g) {
+			e := [2]float64{m.Coords[j][0] - m.Coords[g][0], m.Coords[j][1] - m.Coords[g][1]}
+			h2 := e[0]*e[0] + e[1]*e[1]
+			if h2 == 0 {
+				continue
+			}
+			// Inflow from neighbour j when the velocity points j -> g.
+			c := -(v[0]*e[0] + v[1]*e[1]) / h2
+			if c > 0 {
+				lj := fc.dec.LocalIndex(j)
+				acc += c * (fc.u[lj] - ui)
+				rate += c
+			}
+		}
+		if dt*rate > 1 {
+			return Stats{}, fmt.Errorf("%w: advection CFL violated at node %d (dt·rate=%.3f)", ErrHydro, g, dt*rate)
+		}
+		ustar[li] = ui + dt*acc
+		if fc.source != nil {
+			ustar[li] += dt * fc.source[li]
+		}
+	}
+	// Boundary values stay pinned at their Dirichlet value.
+	for li, g := range fc.dec.Owned {
+		if fc.boundary[g] {
+			ustar[li] = fc.u[li]
+		}
+	}
+
+	// Implicit diffusion: (I + dt ν L) u' = u*.
+	x := make([]float64, nOwned)
+	copy(x, fc.u[:nOwned]) // warm start from previous field
+	res, err := (linalg.CG{}).Solve(fc.op, ustar, x, linalg.Options{
+		Tol:  fc.cfg.Tol,
+		Dot:  mesh.GlobalDot(fc.comm),
+		Prec: fc.prec,
+	})
+	if err != nil {
+		return Stats{}, fmt.Errorf("hydro: diffusion solve: %w", err)
+	}
+	copy(fc.u[:nOwned], x)
+	if err := fc.dec.Exchange(fc.comm, fc.u); err != nil {
+		return Stats{}, err
+	}
+
+	fc.step++
+	fc.time += dt
+	stats, err := fc.reduceStats(res.Iterations)
+	if err != nil {
+		return Stats{}, err
+	}
+
+	// Monitor fan-out: zero or more attached monitors, invoked on every
+	// cohort rank with identical global stats.
+	monitors, err := fc.svc.GetPorts("monitor")
+	if err == nil {
+		for _, mp := range monitors {
+			if mon, ok := mp.(MonitorPort); ok {
+				mon.Observe(fc.step, stats)
+			}
+		}
+	}
+	return stats, nil
+}
+
+// reduceStats computes globally reduced field statistics.
+func (fc *FlowComponent) reduceStats(iters int) (Stats, error) {
+	nOwned := fc.dec.NumOwned()
+	lmin, lmax, lsum, lsq := math.Inf(1), math.Inf(-1), 0.0, 0.0
+	for _, v := range fc.u[:nOwned] {
+		if v < lmin {
+			lmin = v
+		}
+		if v > lmax {
+			lmax = v
+		}
+		lsum += v
+		lsq += v * v
+	}
+	gmin, err := fc.comm.AllreduceScalar(lmin, mpi.Min)
+	if err != nil {
+		return Stats{}, err
+	}
+	gmax, err := fc.comm.AllreduceScalar(lmax, mpi.Max)
+	if err != nil {
+		return Stats{}, err
+	}
+	gsum, err := fc.comm.AllreduceScalar(lsum, mpi.Sum)
+	if err != nil {
+		return Stats{}, err
+	}
+	gsq, err := fc.comm.AllreduceScalar(lsq, mpi.Sum)
+	if err != nil {
+		return Stats{}, err
+	}
+	n := float64(fc.dec.M.NumNodes())
+	return Stats{
+		Step: fc.step, Time: fc.time,
+		Min: gmin, Max: gmax, Mean: gsum / n, Norm2: math.Sqrt(gsq),
+		SolveIters: iters,
+	}, nil
+}
+
+// Time implements FlowPort.
+func (fc *FlowComponent) Time() float64 { return fc.time }
+
+// OwnedField implements FlowPort.
+func (fc *FlowComponent) OwnedField() []float64 {
+	if fc.dec == nil {
+		return nil
+	}
+	return fc.u[:fc.dec.NumOwned()]
+}
+
+// Side implements collective.DistArrayPort: the field is distributed per
+// the mesh decomposition, expressed as an irregular data map over global
+// node ids in each rank's owned order.
+func (fc *FlowComponent) Side() collective.Side {
+	if fc.dec == nil {
+		// Before init the side is unknown; publish an empty map so early
+		// introspection fails loudly at connect time rather than silently.
+		return collective.Side{}
+	}
+	side, err := SideOf(fc.dec, fc.cfg.WorldRanks)
+	if err != nil {
+		return collective.Side{}
+	}
+	return side
+}
+
+// LocalData implements collective.DistArrayPort.
+func (fc *FlowComponent) LocalData() []float64 { return fc.OwnedField() }
+
+// Initialize forces mesh binding and field setup before the first Step —
+// used by callers that need Side() before stepping.
+func (fc *FlowComponent) Initialize() error { return fc.init() }

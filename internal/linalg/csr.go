@@ -1,0 +1,159 @@
+package linalg
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CSR is a sparse matrix in compressed-sparse-row form — the storage format
+// the ESI-era solver libraries (ISIS++, PETSc) exchange. Row i's nonzeros
+// occupy Cols/Vals[RowPtr[i]:RowPtr[i+1]], with column indices strictly
+// increasing within a row.
+type CSR struct {
+	NRows, NCols int
+	RowPtr       []int
+	Cols         []int
+	Vals         []float64
+}
+
+// Triplet is one (row, col, value) matrix entry for assembly.
+type Triplet struct {
+	Row, Col int
+	Val      float64
+}
+
+// NewCSR assembles a CSR matrix from triplets. Duplicate (row,col) entries
+// are summed, matching finite-element assembly semantics.
+func NewCSR(nRows, nCols int, entries []Triplet) (*CSR, error) {
+	for _, e := range entries {
+		if e.Row < 0 || e.Row >= nRows || e.Col < 0 || e.Col >= nCols {
+			return nil, fmt.Errorf("%w: entry (%d,%d) outside %dx%d", ErrDim, e.Row, e.Col, nRows, nCols)
+		}
+	}
+	sorted := append([]Triplet(nil), entries...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Row != sorted[j].Row {
+			return sorted[i].Row < sorted[j].Row
+		}
+		return sorted[i].Col < sorted[j].Col
+	})
+	m := &CSR{NRows: nRows, NCols: nCols, RowPtr: make([]int, nRows+1)}
+	for i := 0; i < len(sorted); {
+		j := i
+		var sum float64
+		for j < len(sorted) && sorted[j].Row == sorted[i].Row && sorted[j].Col == sorted[i].Col {
+			sum += sorted[j].Val
+			j++
+		}
+		m.Cols = append(m.Cols, sorted[i].Col)
+		m.Vals = append(m.Vals, sum)
+		m.RowPtr[sorted[i].Row+1]++
+		i = j
+	}
+	for r := 0; r < nRows; r++ {
+		m.RowPtr[r+1] += m.RowPtr[r]
+	}
+	return m, nil
+}
+
+// Rows implements Operator.
+func (m *CSR) Rows() int { return m.NRows }
+
+// NNZ returns the number of stored entries.
+func (m *CSR) NNZ() int { return len(m.Vals) }
+
+// Apply implements Operator: y = A x.
+func (m *CSR) Apply(x, y []float64) error {
+	if len(x) != m.NCols || len(y) != m.NRows {
+		return fmt.Errorf("%w: apply %dx%d to x[%d], y[%d]", ErrDim, m.NRows, m.NCols, len(x), len(y))
+	}
+	for r := 0; r < m.NRows; r++ {
+		var s float64
+		for k := m.RowPtr[r]; k < m.RowPtr[r+1]; k++ {
+			s += m.Vals[k] * x[m.Cols[k]]
+		}
+		y[r] = s
+	}
+	return nil
+}
+
+// At returns the entry (r, c), zero if not stored.
+func (m *CSR) At(r, c int) float64 {
+	lo, hi := m.RowPtr[r], m.RowPtr[r+1]
+	k := lo + sort.SearchInts(m.Cols[lo:hi], c)
+	if k < hi && m.Cols[k] == c {
+		return m.Vals[k]
+	}
+	return 0
+}
+
+// Diagonal extracts the main diagonal.
+func (m *CSR) Diagonal() []float64 {
+	n := m.NRows
+	if m.NCols < n {
+		n = m.NCols
+	}
+	d := make([]float64, n)
+	for r := 0; r < n; r++ {
+		d[r] = m.At(r, r)
+	}
+	return d
+}
+
+// Transpose returns Aᵀ as a new CSR matrix.
+func (m *CSR) Transpose() *CSR {
+	t := &CSR{NRows: m.NCols, NCols: m.NRows, RowPtr: make([]int, m.NCols+1)}
+	for _, c := range m.Cols {
+		t.RowPtr[c+1]++
+	}
+	for r := 0; r < t.NRows; r++ {
+		t.RowPtr[r+1] += t.RowPtr[r]
+	}
+	t.Cols = make([]int, m.NNZ())
+	t.Vals = make([]float64, m.NNZ())
+	next := append([]int(nil), t.RowPtr[:t.NRows]...)
+	for r := 0; r < m.NRows; r++ {
+		for k := m.RowPtr[r]; k < m.RowPtr[r+1]; k++ {
+			c := m.Cols[k]
+			t.Cols[next[c]] = r
+			t.Vals[next[c]] = m.Vals[k]
+			next[c]++
+		}
+	}
+	return t
+}
+
+// RowSlice returns the half-open row block [lo,hi) as an independent CSR
+// matrix with the same column space — the building block for distributing a
+// matrix across an SPMD component's ranks.
+func (m *CSR) RowSlice(lo, hi int) (*CSR, error) {
+	if lo < 0 || hi > m.NRows || lo > hi {
+		return nil, fmt.Errorf("%w: row slice [%d,%d) of %d", ErrDim, lo, hi, m.NRows)
+	}
+	out := &CSR{NRows: hi - lo, NCols: m.NCols, RowPtr: make([]int, hi-lo+1)}
+	base := m.RowPtr[lo]
+	for r := lo; r < hi; r++ {
+		out.RowPtr[r-lo+1] = m.RowPtr[r+1] - base
+	}
+	out.Cols = append([]int(nil), m.Cols[base:m.RowPtr[hi]]...)
+	out.Vals = append([]float64(nil), m.Vals[base:m.RowPtr[hi]]...)
+	return out, nil
+}
+
+// SymmetricApprox reports whether the matrix is numerically symmetric
+// within tol. Used by tests and by solver components to validate CG input.
+func (m *CSR) SymmetricApprox(tol float64) bool {
+	if m.NRows != m.NCols {
+		return false
+	}
+	t := m.Transpose()
+	for r := 0; r < m.NRows; r++ {
+		for k := m.RowPtr[r]; k < m.RowPtr[r+1]; k++ {
+			d := m.Vals[k] - t.At(r, m.Cols[k])
+			if d < -tol || d > tol {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,111 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dense is a small dense matrix in row-major storage — used for reference
+// solutions in tests, the Hessenberg systems inside GMRES variants, and as
+// the exact baseline the Krylov solvers are property-tested against.
+type Dense struct {
+	N    int
+	Data []float64 // row-major N×N
+}
+
+// NewDense allocates a zero N×N matrix.
+func NewDense(n int) *Dense {
+	return &Dense{N: n, Data: make([]float64, n*n)}
+}
+
+// DenseFromCSR expands a sparse matrix (must be square).
+func DenseFromCSR(m *CSR) (*Dense, error) {
+	if m.NRows != m.NCols {
+		return nil, fmt.Errorf("%w: dense from %dx%d", ErrDim, m.NRows, m.NCols)
+	}
+	d := NewDense(m.NRows)
+	for r := 0; r < m.NRows; r++ {
+		for k := m.RowPtr[r]; k < m.RowPtr[r+1]; k++ {
+			d.Data[r*m.NRows+m.Cols[k]] = m.Vals[k]
+		}
+	}
+	return d, nil
+}
+
+// At returns element (r, c).
+func (d *Dense) At(r, c int) float64 { return d.Data[r*d.N+c] }
+
+// Set stores element (r, c).
+func (d *Dense) Set(r, c int, v float64) { d.Data[r*d.N+c] = v }
+
+// Solve solves A x = b by LU factorization with partial pivoting,
+// overwriting neither input. It destroys a working copy of the matrix.
+func (d *Dense) Solve(b []float64) ([]float64, error) {
+	n := d.N
+	if len(b) != n {
+		return nil, fmt.Errorf("%w: dense solve n=%d b=%d", ErrDim, n, len(b))
+	}
+	a := append([]float64(nil), d.Data...)
+	x := append([]float64(nil), b...)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		piv, pmax := col, math.Abs(a[col*n+col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(a[r*n+col]); v > pmax {
+				piv, pmax = r, v
+			}
+		}
+		if pmax == 0 {
+			return nil, fmt.Errorf("%w: dense pivot at column %d", ErrSingular, col)
+		}
+		if piv != col {
+			for c := 0; c < n; c++ {
+				a[col*n+c], a[piv*n+c] = a[piv*n+c], a[col*n+c]
+			}
+			x[col], x[piv] = x[piv], x[col]
+		}
+		// Eliminate below.
+		inv := 1 / a[col*n+col]
+		for r := col + 1; r < n; r++ {
+			f := a[r*n+col] * inv
+			if f == 0 {
+				continue
+			}
+			a[r*n+col] = 0
+			for c := col + 1; c < n; c++ {
+				a[r*n+c] -= f * a[col*n+c]
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	// Back substitution.
+	for r := n - 1; r >= 0; r-- {
+		s := x[r]
+		for c := r + 1; c < n; c++ {
+			s -= a[r*n+c] * x[c]
+		}
+		x[r] = s / a[r*n+r]
+	}
+	return x, nil
+}
+
+// MulVec computes y = A x.
+func (d *Dense) MulVec(x []float64) ([]float64, error) {
+	if len(x) != d.N {
+		return nil, fmt.Errorf("%w: dense mulvec n=%d x=%d", ErrDim, d.N, len(x))
+	}
+	y := make([]float64, d.N)
+	for r := 0; r < d.N; r++ {
+		var s float64
+		row := d.Data[r*d.N : (r+1)*d.N]
+		for c, v := range row {
+			s += v * x[c]
+		}
+		y[r] = s
+	}
+	return y, nil
+}

@@ -1,0 +1,236 @@
+package linalg
+
+import "fmt"
+
+// NewPreconditioner constructs the named preconditioner for matrix a.
+// Valid names: "none", "jacobi", "sor", "ilu0".
+func NewPreconditioner(name string, a *CSR) (Preconditioner, error) {
+	switch name {
+	case "", "none":
+		return IdentityPrec{}, nil
+	case "jacobi":
+		return NewJacobi(a)
+	case "sor":
+		return NewSOR(a, 1.2, 1)
+	case "ilu0":
+		return NewILU0(a)
+	default:
+		return nil, fmt.Errorf("linalg: unknown preconditioner %q (want none, jacobi, sor, or ilu0)", name)
+	}
+}
+
+// Jacobi is diagonal scaling: z = D⁻¹ r. It is the only preconditioner here
+// that needs no communication in parallel, which is why the parallel hydro
+// component defaults to it.
+type Jacobi struct {
+	invDiag []float64
+}
+
+// NewJacobi builds a Jacobi preconditioner from the matrix diagonal.
+func NewJacobi(a *CSR) (*Jacobi, error) {
+	d := a.Diagonal()
+	inv := make([]float64, len(d))
+	for i, v := range d {
+		if v == 0 {
+			return nil, fmt.Errorf("%w: zero diagonal at row %d", ErrSingular, i)
+		}
+		inv[i] = 1 / v
+	}
+	return &Jacobi{invDiag: inv}, nil
+}
+
+// NewJacobiFromDiag builds a Jacobi preconditioner directly from a diagonal,
+// for operators that are not explicit CSR matrices.
+func NewJacobiFromDiag(diag []float64) (*Jacobi, error) {
+	inv := make([]float64, len(diag))
+	for i, v := range diag {
+		if v == 0 {
+			return nil, fmt.Errorf("%w: zero diagonal at row %d", ErrSingular, i)
+		}
+		inv[i] = 1 / v
+	}
+	return &Jacobi{invDiag: inv}, nil
+}
+
+// Solve implements Preconditioner.
+func (j *Jacobi) Solve(r, z []float64) error {
+	if len(r) != len(j.invDiag) || len(z) != len(j.invDiag) {
+		return fmt.Errorf("%w: jacobi n=%d r=%d z=%d", ErrDim, len(j.invDiag), len(r), len(z))
+	}
+	for i, v := range r {
+		z[i] = v * j.invDiag[i]
+	}
+	return nil
+}
+
+// Name implements Preconditioner.
+func (j *Jacobi) Name() string { return "jacobi" }
+
+// SOR applies sweeps of successive over-relaxation (forward then backward —
+// i.e. SSOR) as a preconditioner.
+type SOR struct {
+	a      *CSR
+	omega  float64
+	sweeps int
+	diag   []float64
+}
+
+// NewSOR builds an SSOR preconditioner with relaxation factor omega and the
+// given number of symmetric sweeps.
+func NewSOR(a *CSR, omega float64, sweeps int) (*SOR, error) {
+	if a.NRows != a.NCols {
+		return nil, fmt.Errorf("%w: sor on %dx%d", ErrDim, a.NRows, a.NCols)
+	}
+	if omega <= 0 || omega >= 2 {
+		return nil, fmt.Errorf("linalg: sor omega %v outside (0,2)", omega)
+	}
+	if sweeps <= 0 {
+		sweeps = 1
+	}
+	d := a.Diagonal()
+	for i, v := range d {
+		if v == 0 {
+			return nil, fmt.Errorf("%w: zero diagonal at row %d", ErrSingular, i)
+		}
+	}
+	return &SOR{a: a, omega: omega, sweeps: sweeps, diag: d}, nil
+}
+
+// Solve implements Preconditioner: approximately solves A z = r by SSOR
+// sweeps starting from z = 0.
+func (s *SOR) Solve(r, z []float64) error {
+	n := s.a.NRows
+	if len(r) != n || len(z) != n {
+		return fmt.Errorf("%w: sor n=%d r=%d z=%d", ErrDim, n, len(r), len(z))
+	}
+	for i := range z {
+		z[i] = 0
+	}
+	for sweep := 0; sweep < s.sweeps; sweep++ {
+		// Forward sweep.
+		for i := 0; i < n; i++ {
+			sum := r[i]
+			for k := s.a.RowPtr[i]; k < s.a.RowPtr[i+1]; k++ {
+				c := s.a.Cols[k]
+				if c != i {
+					sum -= s.a.Vals[k] * z[c]
+				}
+			}
+			z[i] += s.omega * (sum/s.diag[i] - z[i])
+		}
+		// Backward sweep.
+		for i := n - 1; i >= 0; i-- {
+			sum := r[i]
+			for k := s.a.RowPtr[i]; k < s.a.RowPtr[i+1]; k++ {
+				c := s.a.Cols[k]
+				if c != i {
+					sum -= s.a.Vals[k] * z[c]
+				}
+			}
+			z[i] += s.omega * (sum/s.diag[i] - z[i])
+		}
+	}
+	return nil
+}
+
+// Name implements Preconditioner.
+func (s *SOR) Name() string { return "sor" }
+
+// ILU0 is an incomplete LU factorization with zero fill-in: L and U share
+// A's sparsity pattern. The classic workhorse preconditioner for
+// advection-diffusion systems like CHAD's.
+type ILU0 struct {
+	// lu stores the combined factors on A's pattern: strictly-lower
+	// entries hold L (unit diagonal implied), diagonal and upper hold U.
+	lu   *CSR
+	diag []int // index into lu.Vals of each row's diagonal entry
+}
+
+// NewILU0 computes the ILU(0) factorization of a.
+func NewILU0(a *CSR) (*ILU0, error) {
+	if a.NRows != a.NCols {
+		return nil, fmt.Errorf("%w: ilu0 on %dx%d", ErrDim, a.NRows, a.NCols)
+	}
+	n := a.NRows
+	lu := &CSR{
+		NRows:  n,
+		NCols:  n,
+		RowPtr: append([]int(nil), a.RowPtr...),
+		Cols:   append([]int(nil), a.Cols...),
+		Vals:   append([]float64(nil), a.Vals...),
+	}
+	diag := make([]int, n)
+	for i := 0; i < n; i++ {
+		diag[i] = -1
+		for k := lu.RowPtr[i]; k < lu.RowPtr[i+1]; k++ {
+			if lu.Cols[k] == i {
+				diag[i] = k
+				break
+			}
+		}
+		if diag[i] < 0 {
+			return nil, fmt.Errorf("%w: ilu0 missing diagonal in row %d", ErrSingular, i)
+		}
+	}
+	// IKJ-variant incomplete elimination restricted to the pattern.
+	for i := 1; i < n; i++ {
+		for kk := lu.RowPtr[i]; kk < lu.RowPtr[i+1]; kk++ {
+			k := lu.Cols[kk]
+			if k >= i {
+				break
+			}
+			piv := lu.Vals[diag[k]]
+			if piv == 0 {
+				return nil, fmt.Errorf("%w: ilu0 zero pivot at row %d", ErrSingular, k)
+			}
+			lik := lu.Vals[kk] / piv
+			lu.Vals[kk] = lik
+			// Subtract lik * U(k, j) for j > k where (i, j) is in pattern.
+			for jj := diag[k] + 1; jj < lu.RowPtr[k+1]; jj++ {
+				j := lu.Cols[jj]
+				// Find (i, j) in row i (columns sorted).
+				for mm := kk + 1; mm < lu.RowPtr[i+1]; mm++ {
+					if lu.Cols[mm] == j {
+						lu.Vals[mm] -= lik * lu.Vals[jj]
+						break
+					}
+					if lu.Cols[mm] > j {
+						break
+					}
+				}
+			}
+		}
+		if lu.Vals[diag[i]] == 0 {
+			return nil, fmt.Errorf("%w: ilu0 zero pivot at row %d", ErrSingular, i)
+		}
+	}
+	return &ILU0{lu: lu, diag: diag}, nil
+}
+
+// Solve implements Preconditioner: z = U⁻¹ L⁻¹ r.
+func (p *ILU0) Solve(r, z []float64) error {
+	n := p.lu.NRows
+	if len(r) != n || len(z) != n {
+		return fmt.Errorf("%w: ilu0 n=%d r=%d z=%d", ErrDim, n, len(r), len(z))
+	}
+	// Forward solve L y = r (unit diagonal), y stored in z.
+	for i := 0; i < n; i++ {
+		s := r[i]
+		for k := p.lu.RowPtr[i]; k < p.diag[i]; k++ {
+			s -= p.lu.Vals[k] * z[p.lu.Cols[k]]
+		}
+		z[i] = s
+	}
+	// Backward solve U z = y.
+	for i := n - 1; i >= 0; i-- {
+		s := z[i]
+		for k := p.diag[i] + 1; k < p.lu.RowPtr[i+1]; k++ {
+			s -= p.lu.Vals[k] * z[p.lu.Cols[k]]
+		}
+		z[i] = s / p.lu.Vals[p.diag[i]]
+	}
+	return nil
+}
+
+// Name implements Preconditioner.
+func (p *ILU0) Name() string { return "ilu0" }

@@ -1,0 +1,352 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Solver is an iterative method for Ax = b. Implementations are stateless;
+// all per-solve state lives on the stack so one Solver value can serve many
+// components concurrently.
+type Solver interface {
+	// Solve overwrites x with the solution of A x = b, starting from the
+	// initial guess already in x.
+	Solve(a Operator, b, x []float64, opts Options) (Result, error)
+	// Name identifies the method ("cg", "gmres", "bicgstab").
+	Name() string
+}
+
+// NewSolver returns the named solver or an error listing the valid names.
+func NewSolver(name string) (Solver, error) {
+	switch name {
+	case "cg":
+		return CG{}, nil
+	case "gmres":
+		return GMRES{}, nil
+	case "bicgstab":
+		return BiCGStab{}, nil
+	default:
+		return nil, fmt.Errorf("linalg: unknown solver %q (want cg, gmres, or bicgstab)", name)
+	}
+}
+
+// CG is the preconditioned conjugate-gradient method for symmetric
+// positive-definite systems.
+type CG struct{}
+
+// Name implements Solver.
+func (CG) Name() string { return "cg" }
+
+// Solve implements Solver.
+func (CG) Solve(a Operator, b, x []float64, opts Options) (Result, error) {
+	n := a.Rows()
+	if len(b) != n || len(x) != n {
+		return Result{}, fmt.Errorf("%w: cg n=%d b=%d x=%d", ErrDim, n, len(b), len(x))
+	}
+	o := opts.fill(n)
+
+	r := make([]float64, n)
+	if err := a.Apply(x, r); err != nil {
+		return Result{}, err
+	}
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	bnorm := Norm2(o.Dot, b)
+	if bnorm == 0 {
+		bnorm = 1
+	}
+	z := make([]float64, n)
+	if err := o.Prec.Solve(r, z); err != nil {
+		return Result{}, err
+	}
+	p := CopyVec(z)
+	ap := make([]float64, n)
+	rz := o.Dot(r, z)
+
+	for it := 0; it < o.MaxIter; it++ {
+		res := Norm2(o.Dot, r) / bnorm
+		if res <= o.Tol {
+			return Result{Iterations: it, Residual: res, Converged: true}, nil
+		}
+		if err := a.Apply(p, ap); err != nil {
+			return Result{}, err
+		}
+		pap := o.Dot(p, ap)
+		if pap == 0 || math.IsNaN(pap) {
+			return Result{Iterations: it, Residual: res}, fmt.Errorf("%w: cg pᵀAp=%v at iter %d", ErrBreakdown, pap, it)
+		}
+		alpha := rz / pap
+		Axpy(alpha, p, x)
+		Axpy(-alpha, ap, r)
+		if err := o.Prec.Solve(r, z); err != nil {
+			return Result{}, err
+		}
+		rzNew := o.Dot(r, z)
+		beta := rzNew / rz
+		rz = rzNew
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+	}
+	res := Norm2(o.Dot, r) / bnorm
+	if res <= o.Tol {
+		return Result{Iterations: o.MaxIter, Residual: res, Converged: true}, nil
+	}
+	return Result{Iterations: o.MaxIter, Residual: res}, ErrNonConverge
+}
+
+// BiCGStab is the stabilized bi-conjugate gradient method for general
+// nonsymmetric systems.
+type BiCGStab struct{}
+
+// Name implements Solver.
+func (BiCGStab) Name() string { return "bicgstab" }
+
+// Solve implements Solver.
+func (BiCGStab) Solve(a Operator, b, x []float64, opts Options) (Result, error) {
+	n := a.Rows()
+	if len(b) != n || len(x) != n {
+		return Result{}, fmt.Errorf("%w: bicgstab n=%d b=%d x=%d", ErrDim, n, len(b), len(x))
+	}
+	o := opts.fill(n)
+
+	r := make([]float64, n)
+	if err := a.Apply(x, r); err != nil {
+		return Result{}, err
+	}
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	bnorm := Norm2(o.Dot, b)
+	if bnorm == 0 {
+		bnorm = 1
+	}
+	rhat := CopyVec(r)
+	var rho, alpha, omega float64 = 1, 1, 1
+	v := make([]float64, n)
+	p := make([]float64, n)
+	phat := make([]float64, n)
+	s := make([]float64, n)
+	shat := make([]float64, n)
+	t := make([]float64, n)
+
+	for it := 0; it < o.MaxIter; it++ {
+		res := Norm2(o.Dot, r) / bnorm
+		if res <= o.Tol {
+			return Result{Iterations: it, Residual: res, Converged: true}, nil
+		}
+		rhoNew := o.Dot(rhat, r)
+		if rhoNew == 0 {
+			return Result{Iterations: it, Residual: res}, fmt.Errorf("%w: bicgstab rho=0 at iter %d", ErrBreakdown, it)
+		}
+		if it == 0 {
+			copy(p, r)
+		} else {
+			beta := (rhoNew / rho) * (alpha / omega)
+			for i := range p {
+				p[i] = r[i] + beta*(p[i]-omega*v[i])
+			}
+		}
+		rho = rhoNew
+		if err := o.Prec.Solve(p, phat); err != nil {
+			return Result{}, err
+		}
+		if err := a.Apply(phat, v); err != nil {
+			return Result{}, err
+		}
+		rhv := o.Dot(rhat, v)
+		if rhv == 0 {
+			return Result{Iterations: it, Residual: res}, fmt.Errorf("%w: bicgstab r̂ᵀv=0 at iter %d", ErrBreakdown, it)
+		}
+		alpha = rho / rhv
+		for i := range s {
+			s[i] = r[i] - alpha*v[i]
+		}
+		if sres := Norm2(o.Dot, s) / bnorm; sres <= o.Tol {
+			Axpy(alpha, phat, x)
+			return Result{Iterations: it + 1, Residual: sres, Converged: true}, nil
+		}
+		if err := o.Prec.Solve(s, shat); err != nil {
+			return Result{}, err
+		}
+		if err := a.Apply(shat, t); err != nil {
+			return Result{}, err
+		}
+		tt := o.Dot(t, t)
+		if tt == 0 {
+			return Result{Iterations: it, Residual: res}, fmt.Errorf("%w: bicgstab tᵀt=0 at iter %d", ErrBreakdown, it)
+		}
+		omega = o.Dot(t, s) / tt
+		for i := range x {
+			x[i] += alpha*phat[i] + omega*shat[i]
+		}
+		for i := range r {
+			r[i] = s[i] - omega*t[i]
+		}
+		if omega == 0 {
+			res := Norm2(o.Dot, r) / bnorm
+			return Result{Iterations: it + 1, Residual: res}, fmt.Errorf("%w: bicgstab omega=0", ErrBreakdown)
+		}
+	}
+	res := Norm2(o.Dot, r) / bnorm
+	if res <= o.Tol {
+		return Result{Iterations: o.MaxIter, Residual: res, Converged: true}, nil
+	}
+	return Result{Iterations: o.MaxIter, Residual: res}, ErrNonConverge
+}
+
+// GMRES is the restarted generalized minimal-residual method GMRES(m) with
+// right preconditioning, suitable for general nonsymmetric systems.
+type GMRES struct{}
+
+// Name implements Solver.
+func (GMRES) Name() string { return "gmres" }
+
+// Solve implements Solver.
+func (GMRES) Solve(a Operator, b, x []float64, opts Options) (Result, error) {
+	n := a.Rows()
+	if len(b) != n || len(x) != n {
+		return Result{}, fmt.Errorf("%w: gmres n=%d b=%d x=%d", ErrDim, n, len(b), len(x))
+	}
+	o := opts.fill(n)
+	m := o.Restart
+	if m > o.MaxIter {
+		m = o.MaxIter
+	}
+
+	bnorm := Norm2(o.Dot, b)
+	if bnorm == 0 {
+		bnorm = 1
+	}
+
+	// Krylov basis and Hessenberg factors (Givens-rotated in place).
+	v := make([][]float64, m+1)
+	for i := range v {
+		v[i] = make([]float64, n)
+	}
+	h := make([][]float64, m+1)
+	for i := range h {
+		h[i] = make([]float64, m)
+	}
+	cs := make([]float64, m)
+	sn := make([]float64, m)
+	g := make([]float64, m+1)
+	w := make([]float64, n)
+	ztmp := make([]float64, n)
+
+	totalIters := 0
+	for totalIters < o.MaxIter {
+		// r0 = b - A x
+		if err := a.Apply(x, v[0]); err != nil {
+			return Result{}, err
+		}
+		for i := range v[0] {
+			v[0][i] = b[i] - v[0][i]
+		}
+		beta := Norm2(o.Dot, v[0])
+		res := beta / bnorm
+		if res <= o.Tol {
+			return Result{Iterations: totalIters, Residual: res, Converged: true}, nil
+		}
+		Scale(1/beta, v[0])
+		for i := range g {
+			g[i] = 0
+		}
+		g[0] = beta
+
+		k := 0
+		for ; k < m && totalIters < o.MaxIter; k++ {
+			totalIters++
+			// w = A M⁻¹ v_k  (right preconditioning)
+			if err := o.Prec.Solve(v[k], ztmp); err != nil {
+				return Result{}, err
+			}
+			if err := a.Apply(ztmp, w); err != nil {
+				return Result{}, err
+			}
+			// Modified Gram-Schmidt.
+			for i := 0; i <= k; i++ {
+				h[i][k] = o.Dot(w, v[i])
+				Axpy(-h[i][k], v[i], w)
+			}
+			h[k+1][k] = Norm2(o.Dot, w)
+			if h[k+1][k] != 0 {
+				copy(v[k+1], w)
+				Scale(1/h[k+1][k], v[k+1])
+			}
+			// Apply previous Givens rotations to the new column.
+			for i := 0; i < k; i++ {
+				t := cs[i]*h[i][k] + sn[i]*h[i+1][k]
+				h[i+1][k] = -sn[i]*h[i][k] + cs[i]*h[i+1][k]
+				h[i][k] = t
+			}
+			// New rotation to annihilate h[k+1][k].
+			denom := math.Hypot(h[k][k], h[k+1][k])
+			if denom == 0 {
+				return Result{Iterations: totalIters, Residual: res}, fmt.Errorf("%w: gmres zero Hessenberg column", ErrBreakdown)
+			}
+			cs[k] = h[k][k] / denom
+			sn[k] = h[k+1][k] / denom
+			h[k][k] = denom
+			h[k+1][k] = 0
+			g[k+1] = -sn[k] * g[k]
+			g[k] *= cs[k]
+
+			res = math.Abs(g[k+1]) / bnorm
+			if res <= o.Tol {
+				k++
+				break
+			}
+		}
+
+		// Solve the k×k triangular system and update x: x += M⁻¹ (V_k y).
+		y := make([]float64, k)
+		for i := k - 1; i >= 0; i-- {
+			s := g[i]
+			for j := i + 1; j < k; j++ {
+				s -= h[i][j] * y[j]
+			}
+			if h[i][i] == 0 {
+				return Result{Iterations: totalIters, Residual: res}, fmt.Errorf("%w: gmres triangular solve", ErrSingular)
+			}
+			y[i] = s / h[i][i]
+		}
+		for i := range w {
+			w[i] = 0
+		}
+		for j := 0; j < k; j++ {
+			Axpy(y[j], v[j], w)
+		}
+		if err := o.Prec.Solve(w, ztmp); err != nil {
+			return Result{}, err
+		}
+		Axpy(1, ztmp, x)
+
+		if res <= o.Tol {
+			// Recompute the true residual to guard against drift.
+			if err := a.Apply(x, w); err != nil {
+				return Result{}, err
+			}
+			for i := range w {
+				w[i] = b[i] - w[i]
+			}
+			trueRes := Norm2(o.Dot, w) / bnorm
+			if trueRes <= 10*o.Tol {
+				return Result{Iterations: totalIters, Residual: trueRes, Converged: true}, nil
+			}
+		}
+	}
+	// Final residual.
+	if err := a.Apply(x, w); err != nil {
+		return Result{}, err
+	}
+	for i := range w {
+		w[i] = b[i] - w[i]
+	}
+	res := Norm2(o.Dot, w) / bnorm
+	if res <= o.Tol {
+		return Result{Iterations: totalIters, Residual: res, Converged: true}, nil
+	}
+	return Result{Iterations: totalIters, Residual: res}, ErrNonConverge
+}

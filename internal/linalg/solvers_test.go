@@ -1,0 +1,316 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// residual computes ‖b − A x‖₂ / ‖b‖₂.
+func residual(t *testing.T, a Operator, b, x []float64) float64 {
+	t.Helper()
+	r := make([]float64, len(b))
+	if err := a.Apply(x, r); err != nil {
+		t.Fatal(err)
+	}
+	var rn, bn float64
+	for i := range r {
+		d := b[i] - r[i]
+		rn += d * d
+		bn += b[i] * b[i]
+	}
+	return math.Sqrt(rn) / math.Sqrt(bn)
+}
+
+// manufactured builds b = A·1 so the exact solution is the ones vector.
+func manufactured(t *testing.T, a *CSR) []float64 {
+	t.Helper()
+	b := make([]float64, a.NRows)
+	if err := a.Apply(Ones(a.NCols), b); err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestCGPoisson(t *testing.T) {
+	a := Poisson2D(16, 16)
+	b := manufactured(t, a)
+	x := make([]float64, a.NRows)
+	res, err := CG{}.Solve(a, b, x, Options{Tol: 1e-10})
+	if err != nil {
+		t.Fatalf("cg: %v (%v)", err, res)
+	}
+	if !res.Converged || res.Iterations == 0 {
+		t.Fatalf("result: %v", res)
+	}
+	if r := residual(t, a, b, x); r > 1e-8 {
+		t.Errorf("true residual %v", r)
+	}
+	for i, v := range x {
+		if math.Abs(v-1) > 1e-6 {
+			t.Fatalf("x[%d] = %v, want 1", i, v)
+		}
+	}
+}
+
+func TestCGWithAllPreconditioners(t *testing.T) {
+	a := Poisson2D(20, 20)
+	b := manufactured(t, a)
+	baseline := 0
+	for _, name := range []string{"none", "jacobi", "sor", "ilu0"} {
+		prec, err := NewPreconditioner(name, a)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		x := make([]float64, a.NRows)
+		res, err := CG{}.Solve(a, b, x, Options{Tol: 1e-10, Prec: prec})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if r := residual(t, a, b, x); r > 1e-8 {
+			t.Errorf("%s: residual %v", name, r)
+		}
+		if name == "none" {
+			baseline = res.Iterations
+		} else if name == "ilu0" && res.Iterations >= baseline {
+			t.Errorf("ilu0 took %d iters, unpreconditioned %d — no speedup", res.Iterations, baseline)
+		}
+	}
+}
+
+func TestGMRESNonsymmetric(t *testing.T) {
+	a := AdvDiff2D(12, 12, 8, 4)
+	b := manufactured(t, a)
+	x := make([]float64, a.NRows)
+	res, err := GMRES{}.Solve(a, b, x, Options{Tol: 1e-10, Restart: 20})
+	if err != nil {
+		t.Fatalf("gmres: %v (%v)", err, res)
+	}
+	if r := residual(t, a, b, x); r > 1e-8 {
+		t.Errorf("true residual %v", r)
+	}
+}
+
+func TestGMRESRestartStillConverges(t *testing.T) {
+	a := AdvDiff2D(10, 10, 5, 5)
+	b := manufactured(t, a)
+	x := make([]float64, a.NRows)
+	// Tiny restart forces multiple outer cycles.
+	res, err := GMRES{}.Solve(a, b, x, Options{Tol: 1e-8, Restart: 5, MaxIter: 5000})
+	if err != nil {
+		t.Fatalf("gmres(5): %v (%v)", err, res)
+	}
+	if r := residual(t, a, b, x); r > 1e-6 {
+		t.Errorf("true residual %v", r)
+	}
+}
+
+func TestGMRESWithILU(t *testing.T) {
+	a := AdvDiff2D(16, 16, 10, -6)
+	b := manufactured(t, a)
+	prec, err := NewILU0(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xPlain := make([]float64, a.NRows)
+	resPlain, err := GMRES{}.Solve(a, b, xPlain, Options{Tol: 1e-10})
+	if err != nil {
+		t.Fatalf("plain: %v", err)
+	}
+	xPrec := make([]float64, a.NRows)
+	resPrec, err := GMRES{}.Solve(a, b, xPrec, Options{Tol: 1e-10, Prec: prec})
+	if err != nil {
+		t.Fatalf("ilu0: %v", err)
+	}
+	if resPrec.Iterations >= resPlain.Iterations {
+		t.Errorf("ilu0 %d iters >= plain %d", resPrec.Iterations, resPlain.Iterations)
+	}
+}
+
+func TestBiCGStabNonsymmetric(t *testing.T) {
+	a := AdvDiff2D(12, 12, 6, 2)
+	b := manufactured(t, a)
+	x := make([]float64, a.NRows)
+	res, err := BiCGStab{}.Solve(a, b, x, Options{Tol: 1e-10})
+	if err != nil {
+		t.Fatalf("bicgstab: %v (%v)", err, res)
+	}
+	if r := residual(t, a, b, x); r > 1e-7 {
+		t.Errorf("true residual %v", r)
+	}
+}
+
+func TestAllSolversOnSPD(t *testing.T) {
+	a := RandomSPD(80, 4, 7)
+	b := manufactured(t, a)
+	for _, name := range []string{"cg", "gmres", "bicgstab"} {
+		s, err := NewSolver(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Name() != name {
+			t.Errorf("Name() = %q", s.Name())
+		}
+		x := make([]float64, a.NRows)
+		if _, err := s.Solve(a, b, x, Options{Tol: 1e-9}); err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if r := residual(t, a, b, x); r > 1e-7 {
+			t.Errorf("%s residual %v", name, r)
+		}
+	}
+}
+
+func TestNewSolverUnknown(t *testing.T) {
+	if _, err := NewSolver("multigrid"); err == nil {
+		t.Error("unknown solver accepted")
+	}
+}
+
+func TestSolveZeroRHS(t *testing.T) {
+	a := Laplace1D(10)
+	b := make([]float64, 10)
+	x := Ones(10) // nonzero guess must be driven to solution 0
+	res, err := CG{}.Solve(a, b, x, Options{Tol: 1e-12})
+	if err != nil {
+		t.Fatalf("cg: %v", err)
+	}
+	if !res.Converged {
+		t.Fatalf("res: %v", res)
+	}
+	for i, v := range x {
+		if math.Abs(v) > 1e-8 {
+			t.Errorf("x[%d] = %v", i, v)
+		}
+	}
+}
+
+func TestSolveDimMismatch(t *testing.T) {
+	a := Laplace1D(5)
+	for _, name := range []string{"cg", "gmres", "bicgstab"} {
+		s, _ := NewSolver(name)
+		if _, err := s.Solve(a, make([]float64, 4), make([]float64, 5), Options{}); !errors.Is(err, ErrDim) {
+			t.Errorf("%s: err = %v", name, err)
+		}
+	}
+}
+
+func TestCGNonConvergenceReported(t *testing.T) {
+	a := Poisson2D(16, 16)
+	b := manufactured(t, a)
+	x := make([]float64, a.NRows)
+	_, err := CG{}.Solve(a, b, x, Options{Tol: 1e-14, MaxIter: 2})
+	if !errors.Is(err, ErrNonConverge) {
+		t.Errorf("err = %v, want ErrNonConverge", err)
+	}
+}
+
+func TestCGWarmStart(t *testing.T) {
+	a := Poisson2D(10, 10)
+	b := manufactured(t, a)
+	// Cold start.
+	x := make([]float64, a.NRows)
+	cold, err := CG{}.Solve(a, b, x, Options{Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm start from the solution: should converge immediately.
+	warm, err := CG{}.Solve(a, b, x, Options{Tol: 1e-8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Iterations != 0 {
+		t.Errorf("warm start took %d iters (cold %d)", warm.Iterations, cold.Iterations)
+	}
+}
+
+func TestJacobiPreconditioner(t *testing.T) {
+	a := mustCSR(t, 2, 2, []Triplet{{0, 0, 2}, {1, 1, 4}})
+	j, err := NewJacobi(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := make([]float64, 2)
+	if err := j.Solve([]float64{2, 4}, z); err != nil {
+		t.Fatal(err)
+	}
+	if z[0] != 1 || z[1] != 1 {
+		t.Errorf("z = %v", z)
+	}
+	// Zero diagonal rejected.
+	bad := mustCSR(t, 2, 2, []Triplet{{0, 0, 1}, {1, 0, 1}})
+	if _, err := NewJacobi(bad); !errors.Is(err, ErrSingular) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestSORRejectsBadOmega(t *testing.T) {
+	a := Laplace1D(4)
+	for _, w := range []float64{0, -1, 2, 2.5} {
+		if _, err := NewSOR(a, w, 1); err == nil {
+			t.Errorf("omega %v accepted", w)
+		}
+	}
+}
+
+func TestILU0ExactForTriangularPattern(t *testing.T) {
+	// For a matrix whose LU factors fit the sparsity pattern exactly
+	// (tridiagonal), ILU(0) is a complete factorization: one preconditioned
+	// "solve" gives the exact answer.
+	a := Laplace1D(50)
+	p, err := NewILU0(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := manufactured(t, a)
+	z := make([]float64, 50)
+	if err := p.Solve(b, z); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range z {
+		if math.Abs(v-1) > 1e-9 {
+			t.Fatalf("z[%d] = %v, want 1 (ILU0 should be exact on tridiagonal)", i, v)
+		}
+	}
+}
+
+func TestPreconditionerNames(t *testing.T) {
+	a := Laplace1D(4)
+	for _, name := range []string{"none", "jacobi", "sor", "ilu0"} {
+		p, err := NewPreconditioner(name, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Name() != name {
+			t.Errorf("Name() = %q, want %q", p.Name(), name)
+		}
+	}
+	if _, err := NewPreconditioner("amg", a); err == nil {
+		t.Error("unknown preconditioner accepted")
+	}
+}
+
+func TestVectorKernels(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := []float64{10, 20, 30}
+	Axpy(2, x, y)
+	if y[0] != 12 || y[2] != 36 {
+		t.Errorf("axpy: %v", y)
+	}
+	w := make([]float64, 3)
+	Waxpby(1, x, -1, y, w)
+	if w[0] != 1-12 {
+		t.Errorf("waxpby: %v", w)
+	}
+	Scale(0.5, w)
+	if w[0] != (1-12)/2.0 {
+		t.Errorf("scale: %v", w)
+	}
+	if d := DotSerial(x, x); d != 14 {
+		t.Errorf("dot = %v", d)
+	}
+	if n := Norm2(DotSerial, []float64{3, 4}); n != 5 {
+		t.Errorf("norm = %v", n)
+	}
+}

@@ -1,0 +1,147 @@
+// Package linalg provides the sparse linear-algebra substrate that the CCA
+// paper's motivating application depends on: the "solution of discretized
+// linear systems Ax = b ... which are very large and have sparse coefficient
+// matrices" (§2.2). It supplies CSR sparse matrices, Krylov solvers (CG,
+// GMRES(m), BiCGStab), and preconditioners (Jacobi, SOR, ILU(0)) behind
+// small interfaces so the ESI-style solver components (internal/esi) can
+// expose them as interchangeable CCA components.
+//
+// Solvers are written against an Operator and a Dot function rather than a
+// concrete matrix, so the same code runs serially and inside an SPMD
+// parallel component (where Apply performs halo exchange and Dot performs a
+// global reduction over internal/mpi).
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Errors reported by solvers and matrix constructors.
+var (
+	ErrDim         = errors.New("linalg: dimension mismatch")
+	ErrNonConverge = errors.New("linalg: solver did not converge")
+	ErrBreakdown   = errors.New("linalg: solver breakdown")
+	ErrSingular    = errors.New("linalg: singular pivot")
+)
+
+// Dot computes an inner product. In serial use, DotSerial suffices; a
+// parallel component supplies a Dot that sums local products and reduces
+// across its communicator.
+type Dot func(a, b []float64) float64
+
+// DotSerial is the plain serial inner product.
+func DotSerial(a, b []float64) float64 {
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v under the given inner product.
+func Norm2(dot Dot, v []float64) float64 { return math.Sqrt(dot(v, v)) }
+
+// Axpy computes y += alpha*x.
+func Axpy(alpha float64, x, y []float64) {
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// Scale multiplies v by alpha in place.
+func Scale(alpha float64, v []float64) {
+	for i := range v {
+		v[i] *= alpha
+	}
+}
+
+// Waxpby computes w = alpha*x + beta*y elementwise.
+func Waxpby(alpha float64, x []float64, beta float64, y, w []float64) {
+	for i := range w {
+		w[i] = alpha*x[i] + beta*y[i]
+	}
+}
+
+// CopyVec copies src into a fresh slice.
+func CopyVec(src []float64) []float64 { return append([]float64(nil), src...) }
+
+// Operator is a linear operator y = A x on local vectors. In a parallel
+// component, Apply is responsible for any communication (halo exchange)
+// needed to produce the local rows of the product.
+type Operator interface {
+	// Apply computes y = A x. len(x) and len(y) must equal Cols/Rows.
+	Apply(x, y []float64) error
+	// Rows returns the local row count.
+	Rows() int
+}
+
+// Preconditioner solves z = M⁻¹ r approximately.
+type Preconditioner interface {
+	// Solve computes z from r; len(z) == len(r).
+	Solve(r, z []float64) error
+	// Name identifies the preconditioner in reports.
+	Name() string
+}
+
+// IdentityPrec is the no-op preconditioner.
+type IdentityPrec struct{}
+
+// Solve implements Preconditioner by copying r into z.
+func (IdentityPrec) Solve(r, z []float64) error {
+	copy(z, r)
+	return nil
+}
+
+// Name implements Preconditioner.
+func (IdentityPrec) Name() string { return "none" }
+
+// Result reports the outcome of an iterative solve.
+type Result struct {
+	Iterations int
+	Residual   float64 // final relative residual ‖b−Ax‖/‖b‖
+	Converged  bool
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("iters=%d relres=%.3e converged=%v", r.Iterations, r.Residual, r.Converged)
+}
+
+// Options configures an iterative solve.
+type Options struct {
+	// Tol is the relative-residual convergence tolerance (default 1e-8).
+	Tol float64
+	// MaxIter bounds the iteration count (default 10·n).
+	MaxIter int
+	// Dot is the inner product (default DotSerial). Parallel components
+	// override it with a globally reduced product.
+	Dot Dot
+	// Prec is the preconditioner (default identity).
+	Prec Preconditioner
+	// Restart is the GMRES restart length m (default 30). Ignored by
+	// other solvers.
+	Restart int
+}
+
+func (o Options) fill(n int) Options {
+	if o.Tol == 0 {
+		o.Tol = 1e-8
+	}
+	if o.MaxIter == 0 {
+		o.MaxIter = 10 * n
+		if o.MaxIter < 100 {
+			o.MaxIter = 100
+		}
+	}
+	if o.Dot == nil {
+		o.Dot = DotSerial
+	}
+	if o.Prec == nil {
+		o.Prec = IdentityPrec{}
+	}
+	if o.Restart == 0 {
+		o.Restart = 30
+	}
+	return o
+}

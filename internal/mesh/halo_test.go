@@ -1,0 +1,242 @@
+package mesh
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/linalg"
+	"repro/internal/mpi"
+)
+
+func TestDecomposeInvariants(t *testing.T) {
+	m := StructuredQuad(8, 8)
+	const p = 4
+	part := RCB{}.PartitionNodes(m, p)
+	totalOwned := 0
+	for r := 0; r < p; r++ {
+		d, err := Decompose(m, part, p, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalOwned += d.NumOwned()
+		// Every owned node maps back to its local index.
+		for li, g := range d.Owned {
+			if d.LocalIndex(g) != li {
+				t.Fatalf("rank %d: owned %d -> %d, want %d", r, g, d.LocalIndex(g), li)
+			}
+			if part[g] != r {
+				t.Fatalf("rank %d claims node %d owned by %d", r, g, part[g])
+			}
+		}
+		// Ghosts are exactly off-rank neighbours of owned nodes.
+		for _, g := range d.Ghosts {
+			if part[g] == r {
+				t.Fatalf("rank %d ghosts its own node %d", r, g)
+			}
+			adjacent := false
+			for _, nb := range m.NodeNeighbors(g) {
+				if part[nb] == r {
+					adjacent = true
+					break
+				}
+			}
+			if !adjacent {
+				t.Fatalf("rank %d ghost %d not adjacent to owned region", r, g)
+			}
+		}
+	}
+	if totalOwned != m.NumNodes() {
+		t.Fatalf("owned total %d, want %d", totalOwned, m.NumNodes())
+	}
+}
+
+func TestDecomposeErrors(t *testing.T) {
+	m := StructuredQuad(2, 2)
+	if _, err := Decompose(m, []int{0}, 1, 0); !errors.Is(err, ErrMesh) {
+		t.Errorf("short part err = %v", err)
+	}
+	part := make([]int, m.NumNodes())
+	if _, err := Decompose(m, part, 1, 5); !errors.Is(err, ErrMesh) {
+		t.Errorf("bad rank err = %v", err)
+	}
+	part[0] = 9
+	if _, err := Decompose(m, part, 2, 0); !errors.Is(err, ErrMesh) {
+		t.Errorf("bad owner err = %v", err)
+	}
+}
+
+func TestExchangeFillsGhosts(t *testing.T) {
+	m := StructuredQuad(10, 10)
+	const p = 4
+	part := RCB{}.PartitionNodes(m, p)
+	mpi.Run(p, func(c *mpi.Comm) {
+		d, err := Decompose(m, part, p, c.Rank())
+		if err != nil {
+			t.Errorf("decompose: %v", err)
+			return
+		}
+		// Field value = global node id; ghosts start poisoned.
+		field := make([]float64, d.NumLocal())
+		for li, g := range d.Owned {
+			field[li] = float64(g)
+		}
+		for k := range d.Ghosts {
+			field[len(d.Owned)+k] = math.NaN()
+		}
+		if err := d.Exchange(c, field); err != nil {
+			t.Errorf("exchange: %v", err)
+			return
+		}
+		for k, g := range d.Ghosts {
+			if field[len(d.Owned)+k] != float64(g) {
+				t.Errorf("rank %d ghost %d = %v, want %d", c.Rank(), g, field[len(d.Owned)+k], g)
+				return
+			}
+		}
+	})
+}
+
+func TestDistOperatorMatchesSerial(t *testing.T) {
+	m := StructuredQuad(9, 7)
+	entries := m.GraphLaplacianEntries()
+	n := m.NumNodes()
+	// Serial reference.
+	tri := make([]linalg.Triplet, len(entries))
+	for i, e := range entries {
+		tri[i] = linalg.Triplet{Row: e.Row, Col: e.Col, Val: e.Val}
+	}
+	serial, err := linalg.NewCSR(n, n, tri)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(float64(i))
+	}
+	want := make([]float64, n)
+	if err := serial.Apply(x, want); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, p := range []int{1, 2, 3, 4} {
+		part := RCB{}.PartitionNodes(m, p)
+		got := make([]float64, n)
+		mpi.Run(p, func(c *mpi.Comm) {
+			d, err := Decompose(m, part, p, c.Rank())
+			if err != nil {
+				t.Errorf("decompose: %v", err)
+				return
+			}
+			op, err := NewDistOperator(d, c, entries)
+			if err != nil {
+				t.Errorf("dist op: %v", err)
+				return
+			}
+			xl := make([]float64, d.NumOwned())
+			for li, g := range d.Owned {
+				xl[li] = x[g]
+			}
+			yl := make([]float64, d.NumOwned())
+			if err := op.Apply(xl, yl); err != nil {
+				t.Errorf("apply: %v", err)
+				return
+			}
+			for li, g := range d.Owned {
+				got[g] = yl[li] // per-node writes are disjoint across ranks
+			}
+		})
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-12 {
+				t.Fatalf("p=%d: y[%d] = %v, want %v", p, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestParallelCGMatchesSerial(t *testing.T) {
+	m := StructuredQuad(12, 12)
+	entries := m.GraphLaplacianEntries()
+	n := m.NumNodes()
+	tri := make([]linalg.Triplet, len(entries))
+	for i, e := range entries {
+		tri[i] = linalg.Triplet{Row: e.Row, Col: e.Col, Val: e.Val}
+	}
+	serial, err := linalg.NewCSR(n, n, tri)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, n)
+	if err := serial.Apply(linalg.Ones(n), b); err != nil {
+		t.Fatal(err)
+	}
+	xSerial := make([]float64, n)
+	if _, err := (linalg.CG{}).Solve(serial, b, xSerial, linalg.Options{Tol: 1e-10}); err != nil {
+		t.Fatal(err)
+	}
+
+	const p = 4
+	part := Greedy{}.PartitionNodes(m, p)
+	xPar := make([]float64, n)
+	mpi.Run(p, func(c *mpi.Comm) {
+		d, err := Decompose(m, part, p, c.Rank())
+		if err != nil {
+			t.Errorf("decompose: %v", err)
+			return
+		}
+		op, err := NewDistOperator(d, c, entries)
+		if err != nil {
+			t.Errorf("dist op: %v", err)
+			return
+		}
+		bl := make([]float64, d.NumOwned())
+		for li, g := range d.Owned {
+			bl[li] = b[g]
+		}
+		xl := make([]float64, d.NumOwned())
+		res, err := (linalg.CG{}).Solve(op, bl, xl, linalg.Options{Tol: 1e-10, Dot: GlobalDot(c)})
+		if err != nil {
+			t.Errorf("parallel cg: %v (%v)", err, res)
+			return
+		}
+		for li, g := range d.Owned {
+			xPar[g] = xl[li]
+		}
+	})
+	for i := range xSerial {
+		if math.Abs(xPar[i]-xSerial[i]) > 1e-6 {
+			t.Fatalf("x[%d]: parallel %v vs serial %v", i, xPar[i], xSerial[i])
+		}
+	}
+}
+
+func TestLocalMatrixRejectsBeyondHalo(t *testing.T) {
+	m := StructuredQuad(6, 1)
+	part := make([]int, m.NumNodes())
+	// Nodes 0..6 on a strip: left half rank 0, right half rank 1.
+	for i := range part {
+		if m.Coords[i][0] > 0.5 {
+			part[i] = 1
+		}
+	}
+	d, err := Decompose(m, part, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An entry coupling an owned node to a far-away node (not a mesh
+	// neighbour) must be rejected.
+	far := -1
+	for i := range part {
+		if part[i] == 1 && d.LocalIndex(i) < 0 {
+			far = i
+			break
+		}
+	}
+	if far < 0 {
+		t.Fatal("test setup: no far node found")
+	}
+	_, err = d.LocalMatrix([]Entry{{Row: d.Owned[0], Col: far, Val: 1}})
+	if !errors.Is(err, ErrMesh) {
+		t.Errorf("err = %v, want ErrMesh", err)
+	}
+}

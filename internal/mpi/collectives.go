@@ -1,0 +1,390 @@
+package mpi
+
+import "fmt"
+
+// Collective tag management. Collectives on a communicator must be invoked
+// in the same order by every rank (the standard MPI requirement); each rank
+// then advances its local sequence number identically, so a sequence-derived
+// tag is globally consistent without extra communication. The window bounds
+// the tag range; reuse after collTagWindow collectives is safe because
+// point-to-point ordering guarantees all traffic of collective k has been
+// matched before collective k+collTagWindow starts between any pair.
+const (
+	collTagFirst  = internalTagBase + 16
+	collTagWindow = 8192
+)
+
+func (c *Comm) nextCollTag() int {
+	t := collTagFirst + c.collSeq%collTagWindow
+	c.collSeq++
+	return t
+}
+
+// Barrier blocks until every rank of the communicator has entered it.
+// Implemented as a binomial-tree reduce to rank 0 followed by a
+// binomial-tree release.
+func (c *Comm) Barrier() error {
+	tag := c.nextCollTag()
+	n, r := c.Size(), c.rank
+	// Reduce phase: children report in.
+	for mask := 1; mask < n; mask <<= 1 {
+		if r&mask != 0 {
+			if err := c.sendInternal(r-mask, tag, nil); err != nil {
+				return err
+			}
+			break
+		}
+		if r+mask < n {
+			if _, _, err := c.recvInternal(r+mask, tag); err != nil {
+				return err
+			}
+		}
+	}
+	// Release phase: binomial broadcast from rank 0. Each rank receives
+	// once from its parent (rank minus its lowest set bit), then forwards
+	// to its children.
+	lowbit := 1
+	if r != 0 {
+		for r&lowbit == 0 {
+			lowbit <<= 1
+		}
+		if _, _, err := c.recvInternal(r-lowbit, tag); err != nil {
+			return err
+		}
+	} else {
+		for lowbit < n {
+			lowbit <<= 1
+		}
+	}
+	for mask := lowbit >> 1; mask >= 1; mask >>= 1 {
+		if r+mask < n {
+			if err := c.sendInternal(r+mask, tag, nil); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Bcast broadcasts root's payload to every rank using a binomial tree and
+// returns the payload on every rank. Non-root callers pass nil (their
+// argument is ignored). Payloads are shared by reference: receivers must not
+// mutate a broadcast slice.
+func (c *Comm) Bcast(root int, payload any) (any, error) {
+	if err := c.checkRank(root); err != nil {
+		return nil, err
+	}
+	tag := c.nextCollTag()
+	n := c.Size()
+	if n == 1 {
+		return payload, nil
+	}
+	// Work in root-relative rank space so any root uses the same tree.
+	vr := (c.rank - root + n) % n
+	// Receive from parent (the rank that differs in my lowest set bit).
+	if vr != 0 {
+		mask := 1
+		for vr&mask == 0 {
+			mask <<= 1
+		}
+		parent := ((vr - mask) + root) % n
+		p, _, err := c.recvInternal(parent, tag)
+		if err != nil {
+			return nil, err
+		}
+		payload = p
+	}
+	// Forward to children.
+	lowbit := 1
+	if vr != 0 {
+		for vr&lowbit == 0 {
+			lowbit <<= 1
+		}
+	} else {
+		highest := 1
+		for highest < n {
+			highest <<= 1
+		}
+		lowbit = highest
+	}
+	for mask := lowbit >> 1; mask >= 1; mask >>= 1 {
+		child := vr + mask
+		if child < n {
+			if err := c.sendInternal((child+root)%n, tag, payload); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return payload, nil
+}
+
+// BcastFloat64 is a typed convenience wrapper around Bcast.
+func (c *Comm) BcastFloat64(root int, data []float64) ([]float64, error) {
+	p, err := c.Bcast(root, data)
+	if err != nil {
+		return nil, err
+	}
+	if p == nil {
+		return nil, nil
+	}
+	v, ok := p.([]float64)
+	if !ok {
+		return nil, fmt.Errorf("%w: got %T, want []float64", ErrTypeMatch, p)
+	}
+	return v, nil
+}
+
+// Reduce combines each rank's contribution with op and delivers the result
+// to root; other ranks receive nil. The contribution is not mutated.
+// Implemented as a binomial tree in root-relative rank space.
+func (c *Comm) Reduce(root int, contrib any, op Op) (any, error) {
+	if err := c.checkRank(root); err != nil {
+		return nil, err
+	}
+	tag := c.nextCollTag()
+	n := c.Size()
+	acc := op.clone(contrib)
+	vr := (c.rank - root + n) % n
+	for mask := 1; mask < n; mask <<= 1 {
+		if vr&mask != 0 {
+			parent := ((vr - mask) + root) % n
+			return nil, c.sendInternal(parent, tag, acc)
+		}
+		if vr+mask < n {
+			p, _, err := c.recvInternal((vr+mask+root)%n, tag)
+			if err != nil {
+				return nil, err
+			}
+			acc, err = op.combine(acc, p)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return acc, nil
+}
+
+// Allreduce combines every rank's contribution and returns the result on all
+// ranks (Reduce to 0 + Bcast).
+func (c *Comm) Allreduce(contrib any, op Op) (any, error) {
+	acc, err := c.Reduce(0, contrib, op)
+	if err != nil {
+		return nil, err
+	}
+	return c.Bcast(0, acc)
+}
+
+// AllreduceFloat64 is a typed convenience wrapper around Allreduce for the
+// ubiquitous vector case.
+func (c *Comm) AllreduceFloat64(contrib []float64, op Op) ([]float64, error) {
+	p, err := c.Allreduce(contrib, op)
+	if err != nil {
+		return nil, err
+	}
+	v, ok := p.([]float64)
+	if !ok {
+		return nil, fmt.Errorf("%w: got %T, want []float64", ErrTypeMatch, p)
+	}
+	return v, nil
+}
+
+// AllreduceScalar reduces a single float64 across ranks; the workhorse of
+// dot products and residual norms in the solver components.
+func (c *Comm) AllreduceScalar(x float64, op Op) (float64, error) {
+	p, err := c.Allreduce([]float64{x}, op)
+	if err != nil {
+		return 0, err
+	}
+	return p.([]float64)[0], nil
+}
+
+// Gather collects each rank's payload at root, returning a slice indexed by
+// rank on root and nil elsewhere.
+func (c *Comm) Gather(root int, payload any) ([]any, error) {
+	if err := c.checkRank(root); err != nil {
+		return nil, err
+	}
+	tag := c.nextCollTag()
+	if c.rank != root {
+		return nil, c.sendInternal(root, tag, payload)
+	}
+	out := make([]any, c.Size())
+	out[c.rank] = payload
+	for i := 0; i < c.Size()-1; i++ {
+		p, st, err := c.recvInternal(AnySource, tag)
+		if err != nil {
+			return nil, err
+		}
+		out[st.Source] = p
+	}
+	return out, nil
+}
+
+// GatherFloat64 gathers per-rank []float64 chunks at root and concatenates
+// them in rank order (MPI_Gatherv with implicit counts).
+func (c *Comm) GatherFloat64(root int, chunk []float64) ([]float64, error) {
+	parts, err := c.Gather(root, chunk)
+	if err != nil || parts == nil {
+		return nil, err
+	}
+	var total int
+	typed := make([][]float64, len(parts))
+	for i, p := range parts {
+		v, ok := p.([]float64)
+		if !ok {
+			return nil, fmt.Errorf("%w: rank %d sent %T", ErrTypeMatch, i, p)
+		}
+		typed[i] = v
+		total += len(v)
+	}
+	out := make([]float64, 0, total)
+	for _, v := range typed {
+		out = append(out, v...)
+	}
+	return out, nil
+}
+
+// Allgather collects every rank's payload on every rank.
+func (c *Comm) Allgather(payload any) ([]any, error) {
+	parts, err := c.Gather(0, payload)
+	if err != nil {
+		return nil, err
+	}
+	p, err := c.Bcast(0, parts)
+	if err != nil {
+		return nil, err
+	}
+	return p.([]any), nil
+}
+
+// Scatter distributes parts[i] from root to rank i and returns the local
+// part on every rank. Non-root callers pass nil for parts.
+func (c *Comm) Scatter(root int, parts []any) (any, error) {
+	if err := c.checkRank(root); err != nil {
+		return nil, err
+	}
+	tag := c.nextCollTag()
+	if c.rank == root {
+		if len(parts) != c.Size() {
+			return nil, fmt.Errorf("%w: scatter with %d parts for %d ranks", ErrCountMatch, len(parts), c.Size())
+		}
+		for i, p := range parts {
+			if i == root {
+				continue
+			}
+			if err := c.sendInternal(i, tag, p); err != nil {
+				return nil, err
+			}
+		}
+		return parts[root], nil
+	}
+	p, _, err := c.recvInternal(root, tag)
+	return p, err
+}
+
+// ScatterFloat64 splits data on root into Size() near-equal contiguous
+// chunks (block distribution) and scatters them; it returns the local chunk
+// on every rank along with its global offset.
+func (c *Comm) ScatterFloat64(root int, data []float64) (chunk []float64, offset int, err error) {
+	var parts []any
+	var offsets []int
+	if c.rank == root {
+		n := c.Size()
+		parts = make([]any, n)
+		offsets = make([]int, n)
+		for i := 0; i < n; i++ {
+			lo, hi := BlockRange(len(data), n, i)
+			parts[i] = data[lo:hi]
+			offsets[i] = lo
+		}
+	}
+	p, err := c.Scatter(root, parts)
+	if err != nil {
+		return nil, 0, err
+	}
+	op, err := c.Scatter(root, intsToAnys(offsets, c.rank == root, c.Size()))
+	if err != nil {
+		return nil, 0, err
+	}
+	chunk, ok := p.([]float64)
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: got %T, want []float64", ErrTypeMatch, p)
+	}
+	return chunk, op.(int), nil
+}
+
+func intsToAnys(xs []int, isRoot bool, n int) []any {
+	if !isRoot {
+		return nil
+	}
+	out := make([]any, n)
+	for i, x := range xs {
+		out[i] = x
+	}
+	return out
+}
+
+// Alltoall exchanges parts[i] of every rank with rank i; returns the slice
+// of payloads received, indexed by source rank.
+func (c *Comm) Alltoall(parts []any) ([]any, error) {
+	if len(parts) != c.Size() {
+		return nil, fmt.Errorf("%w: alltoall with %d parts for %d ranks", ErrCountMatch, len(parts), c.Size())
+	}
+	tag := c.nextCollTag()
+	out := make([]any, c.Size())
+	out[c.rank] = parts[c.rank]
+	for i := 0; i < c.Size(); i++ {
+		if i == c.rank {
+			continue
+		}
+		if err := c.sendInternal(i, tag, parts[i]); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < c.Size()-1; i++ {
+		p, st, err := c.recvInternal(AnySource, tag)
+		if err != nil {
+			return nil, err
+		}
+		out[st.Source] = p
+	}
+	return out, nil
+}
+
+// Scan computes the inclusive prefix reduction: rank r receives
+// op(contrib_0, ..., contrib_r). Linear pipeline implementation.
+func (c *Comm) Scan(contrib any, op Op) (any, error) {
+	tag := c.nextCollTag()
+	acc := op.clone(contrib)
+	if c.rank > 0 {
+		p, _, err := c.recvInternal(c.rank-1, tag)
+		if err != nil {
+			return nil, err
+		}
+		acc, err = op.combine(op.clone(p), contrib)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if c.rank < c.Size()-1 {
+		if err := c.sendInternal(c.rank+1, tag, acc); err != nil {
+			return nil, err
+		}
+	}
+	return acc, nil
+}
+
+// BlockRange returns the half-open global index range [lo, hi) owned by
+// rank r under the standard near-equal block distribution of n items over p
+// ranks (the first n%p ranks receive one extra item).
+func BlockRange(n, p, r int) (lo, hi int) {
+	base := n / p
+	rem := n % p
+	if r < rem {
+		lo = r * (base + 1)
+		hi = lo + base + 1
+		return lo, hi
+	}
+	lo = rem*(base+1) + (r-rem)*base
+	return lo, lo + base
+}

@@ -1,0 +1,485 @@
+// Package mpi provides an MPI-like message-passing substrate built on
+// goroutines and in-process mailboxes.
+//
+// The Common Component Architecture paper (HPDC 1999) assumes SPMD parallel
+// components whose internal communication is MPI (see Figure 1: "component A
+// (a mesh) uses MPI to communicate among the four processes over which it is
+// distributed"). This package reproduces the semantics that the CCA's
+// collective ports are built on — rank-addressed point-to-point messaging
+// with tag matching, communicator groups, and the standard collective
+// operations — in a single address space so the whole reproduction runs on a
+// laptop. Each "process" is a goroutine; each rank owns a mailbox with
+// MPI-style (source, tag) matching, including wildcards.
+//
+// The API deliberately mirrors the MPI-1 surface that scientific codes such
+// as CHAD use: Send/Recv, nonblocking Isend/Irecv with Wait, Barrier, Bcast,
+// Reduce, Allreduce, Gather(v), Scatter(v), Allgather, Alltoall, and
+// communicator Split/Dup.
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Wildcards for Recv matching, mirroring MPI_ANY_SOURCE and MPI_ANY_TAG.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// Reserved internal tag space. User tags must be non-negative and below
+// internalTagBase; collectives use tags at or above it so user traffic can
+// never match collective traffic.
+const internalTagBase = 1 << 28
+
+// Common errors returned by communicator operations.
+var (
+	ErrRankRange   = errors.New("mpi: rank out of range")
+	ErrTagRange    = errors.New("mpi: tag out of range")
+	ErrTypeMatch   = errors.New("mpi: message payload type mismatch")
+	ErrCountMatch  = errors.New("mpi: message length mismatch")
+	ErrCommRevoked = errors.New("mpi: communicator revoked")
+)
+
+// envelope is a single in-flight message.
+type envelope struct {
+	source  int
+	tag     int
+	payload any
+}
+
+// mailbox is one rank's incoming message queue with MPI matching semantics:
+// messages from the same (source, tag) pair are matched in FIFO order, and a
+// receive may use wildcard source and/or tag.
+//
+// The queue keeps a head index instead of re-slicing on every match so the
+// common case — matching the oldest message — is O(1) even when a fast
+// sender has queued thousands of eager messages ahead of the receiver (the
+// broadcast-loop pattern). Out-of-order matches mark the slot consumed and
+// are skipped later; storage is compacted when the consumed prefix grows.
+type mailbox struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending []envelope
+	taken   []bool // parallel to pending: slot already consumed
+	head    int    // first possibly-live slot
+	revoked bool
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) put(e envelope) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.revoked {
+		return ErrCommRevoked
+	}
+	m.pending = append(m.pending, e)
+	m.taken = append(m.taken, false)
+	m.cond.Broadcast()
+	return nil
+}
+
+// compactLocked drops the consumed prefix once it dominates the queue.
+func (m *mailbox) compactLocked() {
+	if m.head > 64 && m.head*2 > len(m.pending) {
+		n := copy(m.pending, m.pending[m.head:])
+		copy(m.taken, m.taken[m.head:])
+		m.pending = m.pending[:n]
+		m.taken = m.taken[:n]
+		m.head = 0
+	}
+}
+
+// take blocks until a message matching (source, tag) is available and
+// removes it. Wildcards follow MPI: AnySource and/or AnyTag match anything,
+// but among matching messages the earliest-queued wins (non-overtaking for a
+// fixed source/tag pair).
+func (m *mailbox) take(source, tag int) (envelope, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		if m.revoked {
+			return envelope{}, ErrCommRevoked
+		}
+		for i := m.head; i < len(m.pending); i++ {
+			if m.taken[i] {
+				if i == m.head {
+					m.head++
+				}
+				continue
+			}
+			e := m.pending[i]
+			if (source == AnySource || e.source == source) && (tag == AnyTag || e.tag == tag) {
+				m.taken[i] = true
+				m.pending[i] = envelope{} // release payload reference
+				if i == m.head {
+					m.head++
+				}
+				m.compactLocked()
+				return e, nil
+			}
+		}
+		m.cond.Wait()
+	}
+}
+
+// probe reports whether a matching message is queued without removing it.
+func (m *mailbox) probe(source, tag int) (Status, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i := m.head; i < len(m.pending); i++ {
+		if m.taken[i] {
+			continue
+		}
+		e := m.pending[i]
+		if (source == AnySource || e.source == source) && (tag == AnyTag || e.tag == tag) {
+			return Status{Source: e.source, Tag: e.tag, count: payloadLen(e.payload)}, true
+		}
+	}
+	return Status{}, false
+}
+
+func (m *mailbox) revoke() {
+	m.mu.Lock()
+	m.revoked = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+// payloadLen reports the element count of the common payload kinds; -1 when
+// unknown.
+func payloadLen(p any) int {
+	switch v := p.(type) {
+	case []float64:
+		return len(v)
+	case []int:
+		return len(v)
+	case []byte:
+		return len(v)
+	case []complex128:
+		return len(v)
+	case nil:
+		return 0
+	default:
+		return -1
+	}
+}
+
+// Status describes a received (or probed) message, mirroring MPI_Status.
+type Status struct {
+	Source int
+	Tag    int
+	count  int
+}
+
+// Count reports the element count of the message payload, or -1 if the
+// payload type has no defined count.
+func (s Status) Count() int { return s.count }
+
+// world is the shared state behind a family of communicators.
+type world struct {
+	boxes      []*mailbox // indexed by world rank
+	ctxCounter int64      // allocator for derived-communicator contexts
+}
+
+// ctxStride separates the effective-tag ranges of distinct communicator
+// contexts. Every tag used on a communicator (user tags < internalTagBase,
+// collective tags < internalTagBase+collTagWindow, the split tag) is below
+// ctxStride, so contexts at multiples of ctxStride can never cross-deliver.
+const ctxStride = 2 * internalTagBase
+
+// Comm is a communicator: an ordered group of ranks that can exchange
+// point-to-point messages and participate in collectives. A Comm value is
+// per-rank (like an MPI_Comm handle held by one process): Rank reports the
+// holder's rank within the group.
+type Comm struct {
+	w       *world
+	rank    int   // my rank in this communicator
+	group   []int // communicator rank -> world rank
+	ctxTag  int   // communication context offset; isolates comms from each other
+	collSeq int   // per-rank collective sequence number (see collectives.go)
+}
+
+// Rank returns the calling rank's position in the communicator.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in the communicator.
+func (c *Comm) Size() int { return len(c.group) }
+
+func (c *Comm) worldRank(r int) int { return c.group[r] }
+
+func (c *Comm) checkRank(r int) error {
+	if r < 0 || r >= len(c.group) {
+		return fmt.Errorf("%w: %d (size %d)", ErrRankRange, r, len(c.group))
+	}
+	return nil
+}
+
+func (c *Comm) checkTag(tag int) error {
+	if tag < 0 || tag >= internalTagBase {
+		return fmt.Errorf("%w: %d", ErrTagRange, tag)
+	}
+	return nil
+}
+
+// effective tag folds the communicator context into the tag so two distinct
+// communicators over the same ranks never cross-deliver.
+func (c *Comm) efftag(tag int) int { return tag + c.ctxTag }
+
+// Send delivers payload to rank dest with the given tag. Payload slices are
+// transferred by reference (single address space); receivers must treat
+// received slices as read-only or copy them, exactly as a real MPI program
+// treats its receive buffer as owned after MPI_Recv returns.
+func (c *Comm) Send(dest, tag int, payload any) error {
+	if err := c.checkRank(dest); err != nil {
+		return err
+	}
+	if err := c.checkTag(tag); err != nil {
+		return err
+	}
+	return c.w.boxes[c.worldRank(dest)].put(envelope{source: c.rank, tag: c.efftag(tag), payload: payload})
+}
+
+// sendInternal bypasses the user tag range check for collective traffic.
+func (c *Comm) sendInternal(dest, tag int, payload any) error {
+	return c.w.boxes[c.worldRank(dest)].put(envelope{source: c.rank, tag: c.efftag(tag), payload: payload})
+}
+
+// Recv blocks until a message matching (source, tag) arrives and returns its
+// payload. source may be AnySource and tag may be AnyTag.
+func (c *Comm) Recv(source, tag int) (any, Status, error) {
+	if source != AnySource {
+		if err := c.checkRank(source); err != nil {
+			return nil, Status{}, err
+		}
+	}
+	if tag != AnyTag {
+		if err := c.checkTag(tag); err != nil {
+			return nil, Status{}, err
+		}
+	}
+	return c.recvInternal(source, tag)
+}
+
+func (c *Comm) recvInternal(source, tag int) (any, Status, error) {
+	et := tag
+	if tag != AnyTag {
+		et = c.efftag(tag)
+	}
+	e, err := c.w.boxes[c.worldRank(c.rank)].take(source, et)
+	if err != nil {
+		return nil, Status{}, err
+	}
+	userTag := e.tag - c.ctxTag
+	return e.payload, Status{Source: e.source, Tag: userTag, count: payloadLen(e.payload)}, nil
+}
+
+// RecvFloat64 receives a []float64 payload, enforcing the payload type.
+func (c *Comm) RecvFloat64(source, tag int) ([]float64, Status, error) {
+	p, st, err := c.Recv(source, tag)
+	if err != nil {
+		return nil, st, err
+	}
+	v, ok := p.([]float64)
+	if !ok {
+		return nil, st, fmt.Errorf("%w: got %T, want []float64", ErrTypeMatch, p)
+	}
+	return v, st, nil
+}
+
+// Probe blocks until a matching message is available and returns its Status
+// without consuming it.
+func (c *Comm) Probe(source, tag int) (Status, error) {
+	et := tag
+	if tag != AnyTag {
+		if err := c.checkTag(tag); err != nil {
+			return Status{}, err
+		}
+		et = c.efftag(tag)
+	}
+	box := c.w.boxes[c.worldRank(c.rank)]
+	box.mu.Lock()
+	defer box.mu.Unlock()
+	for {
+		if box.revoked {
+			return Status{}, ErrCommRevoked
+		}
+		for i := box.head; i < len(box.pending); i++ {
+			if box.taken[i] {
+				continue
+			}
+			e := box.pending[i]
+			if (source == AnySource || e.source == source) && (et == AnyTag || e.tag == et) {
+				return Status{Source: e.source, Tag: e.tag - c.ctxTag, count: payloadLen(e.payload)}, nil
+			}
+		}
+		box.cond.Wait()
+	}
+}
+
+// Iprobe is the nonblocking form of Probe.
+func (c *Comm) Iprobe(source, tag int) (Status, bool) {
+	et := tag
+	if tag != AnyTag {
+		et = c.efftag(tag)
+	}
+	st, ok := c.w.boxes[c.worldRank(c.rank)].probe(source, et)
+	if ok {
+		st.Tag -= c.ctxTag
+	}
+	return st, ok
+}
+
+// Sendrecv performs a combined send and receive, safe against the pairwise
+// exchange deadlock that naive Send-then-Recv causes.
+func (c *Comm) Sendrecv(dest, sendTag int, payload any, source, recvTag int) (any, Status, error) {
+	req, err := c.Isend(dest, sendTag, payload)
+	if err != nil {
+		return nil, Status{}, err
+	}
+	p, st, err := c.Recv(source, recvTag)
+	if werr := req.Wait(); werr != nil && err == nil {
+		err = werr
+	}
+	return p, st, err
+}
+
+// Run starts an SPMD "job" of n ranks over a fresh world communicator and
+// runs body on each rank in its own goroutine. It returns after every rank's
+// body has returned. Panics in a rank are re-raised on the caller after all
+// other ranks are revoked, so a deadlocked collective does not hang the
+// test binary.
+func Run(n int, body func(c *Comm)) {
+	if n <= 0 {
+		panic(fmt.Sprintf("mpi: nonpositive world size %d", n))
+	}
+	w := &world{boxes: make([]*mailbox, n)}
+	for i := range w.boxes {
+		w.boxes[i] = newMailbox()
+	}
+	group := make([]int, n)
+	for i := range group {
+		group[i] = i
+	}
+
+	var wg sync.WaitGroup
+	panics := make(chan any, n)
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					for _, b := range w.boxes {
+						b.revoke()
+					}
+					panics <- p
+				}
+			}()
+			body(&Comm{w: w, rank: rank, group: group})
+		}(r)
+	}
+	wg.Wait()
+	select {
+	case p := <-panics:
+		panic(p)
+	default:
+	}
+}
+
+// Split partitions the communicator by color, ordering ranks within each new
+// communicator by (key, old rank), mirroring MPI_Comm_split. Every rank of c
+// must call Split. A color of -1 (Undefined) yields a nil communicator for
+// that rank.
+const Undefined = -1
+
+// Split is collective over c.
+func (c *Comm) Split(color, key int) (*Comm, error) {
+	type entry struct{ Color, Key, Rank int }
+	type plan struct {
+		All []entry
+		Ctx int
+	}
+	mine := entry{color, key, c.rank}
+
+	// Gather all (color,key,rank) triples at rank 0; rank 0 allocates a
+	// fresh communication context from the world and broadcasts the plan.
+	var all []entry
+	var ctx int
+	if c.rank == 0 {
+		all = make([]entry, c.Size())
+		all[0] = mine
+		for i := 1; i < c.Size(); i++ {
+			p, st, err := c.recvInternal(AnySource, c.splitTag())
+			if err != nil {
+				return nil, err
+			}
+			all[st.Source] = p.(entry)
+		}
+		ctx = int(atomic.AddInt64(&c.w.ctxCounter, 1)) * ctxStride
+		for i := 1; i < c.Size(); i++ {
+			if err := c.sendInternal(i, c.splitTag(), plan{All: all, Ctx: ctx}); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		if err := c.sendInternal(0, c.splitTag(), mine); err != nil {
+			return nil, err
+		}
+		p, _, err := c.recvInternal(0, c.splitTag())
+		if err != nil {
+			return nil, err
+		}
+		pl := p.(plan)
+		all, ctx = pl.All, pl.Ctx
+	}
+
+	if color == Undefined {
+		return nil, nil
+	}
+	// Stable order: key, then old rank.
+	var members []entry
+	for _, e := range all {
+		if e.Color == color {
+			members = append(members, e)
+		}
+	}
+	for i := 1; i < len(members); i++ {
+		for j := i; j > 0; j-- {
+			a, b := members[j-1], members[j]
+			if b.Key < a.Key || (b.Key == a.Key && b.Rank < a.Rank) {
+				members[j-1], members[j] = b, a
+			} else {
+				break
+			}
+		}
+	}
+	group := make([]int, len(members))
+	myNew := -1
+	for i, e := range members {
+		group[i] = c.worldRank(e.Rank)
+		if e.Rank == c.rank {
+			myNew = i
+		}
+	}
+	return &Comm{w: c.w, rank: myNew, group: group, ctxTag: ctx}, nil
+}
+
+// splitTag is the internal tag used by Split traffic; efftag folds in the
+// per-communicator context so concurrent Splits on different communicators
+// cannot cross-deliver.
+func (c *Comm) splitTag() int { return internalTagBase + 1 }
+
+// Dup returns a communicator with the same group but an isolated
+// communication context. Collective over c.
+func (c *Comm) Dup() (*Comm, error) {
+	return c.Split(0, c.rank)
+}

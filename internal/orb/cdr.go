@@ -1,0 +1,310 @@
+// Package orb implements the reproduction's CORBA-style object request
+// broker baseline. The paper's §3.3 argues that CORBA "is far too
+// inefficient when a method call is made within the same address space"
+// because every request — local or remote — passes through marshaling and
+// an object adapter. This package reproduces that cost structure:
+//
+//   - cdr.go: a CDR-flavoured value codec (common data representation);
+//   - orb.go: an object adapter that dispatches marshaled requests to
+//     registered servants via SIDL dynamic invocation, an in-process ORB
+//     whose LocalProxy marshals every call (experiment E2's baseline), and
+//     a remote ORB over repro/internal/transport.
+package orb
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Codec errors.
+var (
+	ErrEncode = errors.New("orb: cannot encode value")
+	ErrDecode = errors.New("orb: malformed CDR stream")
+)
+
+// CDR type tags.
+const (
+	tagNil byte = iota
+	tagBool
+	tagInt32
+	tagInt64
+	tagFloat64
+	tagComplex128
+	tagString
+	tagBytes
+	tagFloat64Slice
+	tagInt32Slice
+	tagStringSlice
+	tagInt // host int, encoded as int64
+)
+
+// Encoder serializes values in the ORB's common data representation.
+// The zero value is ready to use.
+type Encoder struct {
+	buf []byte
+}
+
+// Bytes returns the encoded stream.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Reset clears the encoder for reuse.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+func (e *Encoder) u32(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	e.buf = append(e.buf, b[:]...)
+}
+
+func (e *Encoder) u64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	e.buf = append(e.buf, b[:]...)
+}
+
+// EncodeString appends a string.
+func (e *Encoder) EncodeString(s string) {
+	e.buf = append(e.buf, tagString)
+	e.u32(uint32(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// Encode appends one tagged value. Supported types are SIDL's primitives
+// and the rank-1 array mappings.
+func (e *Encoder) Encode(v any) error {
+	switch x := v.(type) {
+	case nil:
+		e.buf = append(e.buf, tagNil)
+	case bool:
+		e.buf = append(e.buf, tagBool)
+		if x {
+			e.buf = append(e.buf, 1)
+		} else {
+			e.buf = append(e.buf, 0)
+		}
+	case int32:
+		e.buf = append(e.buf, tagInt32)
+		e.u32(uint32(x))
+	case int64:
+		e.buf = append(e.buf, tagInt64)
+		e.u64(uint64(x))
+	case int:
+		e.buf = append(e.buf, tagInt)
+		e.u64(uint64(int64(x)))
+	case float64:
+		e.buf = append(e.buf, tagFloat64)
+		e.u64(math.Float64bits(x))
+	case complex128:
+		e.buf = append(e.buf, tagComplex128)
+		e.u64(math.Float64bits(real(x)))
+		e.u64(math.Float64bits(imag(x)))
+	case string:
+		e.EncodeString(x)
+	case []byte:
+		e.buf = append(e.buf, tagBytes)
+		e.u32(uint32(len(x)))
+		e.buf = append(e.buf, x...)
+	case []float64:
+		e.buf = append(e.buf, tagFloat64Slice)
+		e.u32(uint32(len(x)))
+		for _, f := range x {
+			e.u64(math.Float64bits(f))
+		}
+	case []int32:
+		e.buf = append(e.buf, tagInt32Slice)
+		e.u32(uint32(len(x)))
+		for _, n := range x {
+			e.u32(uint32(n))
+		}
+	case []string:
+		e.buf = append(e.buf, tagStringSlice)
+		e.u32(uint32(len(x)))
+		for _, s := range x {
+			e.EncodeString(s)
+		}
+	default:
+		return fmt.Errorf("%w: %T", ErrEncode, v)
+	}
+	return nil
+}
+
+// Decoder reads values back from a CDR stream.
+type Decoder struct {
+	buf []byte
+	off int
+}
+
+// NewDecoder wraps an encoded stream.
+func NewDecoder(b []byte) *Decoder { return &Decoder{buf: b} }
+
+// More reports whether undecoded bytes remain.
+func (d *Decoder) More() bool { return d.off < len(d.buf) }
+
+func (d *Decoder) take(n int) ([]byte, error) {
+	if d.off+n > len(d.buf) {
+		return nil, fmt.Errorf("%w: need %d bytes at offset %d of %d", ErrDecode, n, d.off, len(d.buf))
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b, nil
+}
+
+func (d *Decoder) u32() (uint32, error) {
+	b, err := d.take(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+func (d *Decoder) u64() (uint64, error) {
+	b, err := d.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+// DecodeString reads a string value (tag must be string).
+func (d *Decoder) DecodeString() (string, error) {
+	v, err := d.Decode()
+	if err != nil {
+		return "", err
+	}
+	s, ok := v.(string)
+	if !ok {
+		return "", fmt.Errorf("%w: expected string, got %T", ErrDecode, v)
+	}
+	return s, nil
+}
+
+// Decode reads the next tagged value.
+func (d *Decoder) Decode() (any, error) {
+	tb, err := d.take(1)
+	if err != nil {
+		return nil, err
+	}
+	switch tb[0] {
+	case tagNil:
+		return nil, nil
+	case tagBool:
+		b, err := d.take(1)
+		if err != nil {
+			return nil, err
+		}
+		return b[0] != 0, nil
+	case tagInt32:
+		v, err := d.u32()
+		return int32(v), err
+	case tagInt64:
+		v, err := d.u64()
+		return int64(v), err
+	case tagInt:
+		v, err := d.u64()
+		return int(int64(v)), err
+	case tagFloat64:
+		v, err := d.u64()
+		return math.Float64frombits(v), err
+	case tagComplex128:
+		re, err := d.u64()
+		if err != nil {
+			return nil, err
+		}
+		im, err := d.u64()
+		if err != nil {
+			return nil, err
+		}
+		return complex(math.Float64frombits(re), math.Float64frombits(im)), nil
+	case tagString:
+		n, err := d.u32()
+		if err != nil {
+			return nil, err
+		}
+		b, err := d.take(int(n))
+		if err != nil {
+			return nil, err
+		}
+		return string(b), nil
+	case tagBytes:
+		n, err := d.u32()
+		if err != nil {
+			return nil, err
+		}
+		b, err := d.take(int(n))
+		if err != nil {
+			return nil, err
+		}
+		return append([]byte(nil), b...), nil
+	case tagFloat64Slice:
+		n, err := d.u32()
+		if err != nil {
+			return nil, err
+		}
+		out := make([]float64, n)
+		for i := range out {
+			v, err := d.u64()
+			if err != nil {
+				return nil, err
+			}
+			out[i] = math.Float64frombits(v)
+		}
+		return out, nil
+	case tagInt32Slice:
+		n, err := d.u32()
+		if err != nil {
+			return nil, err
+		}
+		out := make([]int32, n)
+		for i := range out {
+			v, err := d.u32()
+			if err != nil {
+				return nil, err
+			}
+			out[i] = int32(v)
+		}
+		return out, nil
+	case tagStringSlice:
+		n, err := d.u32()
+		if err != nil {
+			return nil, err
+		}
+		out := make([]string, n)
+		for i := range out {
+			s, err := d.DecodeString()
+			if err != nil {
+				return nil, err
+			}
+			out[i] = s
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown tag %d", ErrDecode, tb[0])
+	}
+}
+
+// EncodeAll encodes a value list into a fresh buffer.
+func EncodeAll(vals ...any) ([]byte, error) {
+	var e Encoder
+	for _, v := range vals {
+		if err := e.Encode(v); err != nil {
+			return nil, err
+		}
+	}
+	return e.Bytes(), nil
+}
+
+// DecodeAll decodes every value in the stream.
+func DecodeAll(b []byte) ([]any, error) {
+	d := NewDecoder(b)
+	var out []any
+	for d.More() {
+		v, err := d.Decode()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

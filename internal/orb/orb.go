@@ -1,0 +1,370 @@
+package orb
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/sidl/sreflect"
+	"repro/internal/transport"
+)
+
+// ORB errors.
+var (
+	ErrNoObject  = errors.New("orb: no such object")
+	ErrRemote    = errors.New("orb: remote exception")
+	ErrBadReply  = errors.New("orb: malformed reply")
+	ErrOAStopped = errors.New("orb: object adapter stopped")
+)
+
+// Servant is an exported object: an implementation bound to its SIDL
+// reflection record so the object adapter can dispatch requests by method
+// name.
+type Servant struct {
+	Key string
+	Obj *sreflect.Object
+}
+
+// ObjectAdapter is the CORBA-style basic object adapter: it owns the
+// servant registry and dispatches decoded requests by dynamic invocation.
+type ObjectAdapter struct {
+	mu       sync.RWMutex
+	servants map[string]*Servant
+}
+
+// NewObjectAdapter creates an empty adapter.
+func NewObjectAdapter() *ObjectAdapter {
+	return &ObjectAdapter{servants: map[string]*Servant{}}
+}
+
+// Register exports impl under key with the given type metadata.
+func (oa *ObjectAdapter) Register(key string, info *sreflect.TypeInfo, impl any) error {
+	obj, err := sreflect.NewObject(info, impl)
+	if err != nil {
+		return err
+	}
+	oa.mu.Lock()
+	oa.servants[key] = &Servant{Key: key, Obj: obj}
+	oa.mu.Unlock()
+	return nil
+}
+
+// Unregister removes an exported object.
+func (oa *ObjectAdapter) Unregister(key string) {
+	oa.mu.Lock()
+	delete(oa.servants, key)
+	oa.mu.Unlock()
+}
+
+// lookup finds a servant.
+func (oa *ObjectAdapter) lookup(key string) (*Servant, error) {
+	oa.mu.RLock()
+	defer oa.mu.RUnlock()
+	s, ok := oa.servants[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoObject, key)
+	}
+	return s, nil
+}
+
+// dispatch decodes a request frame, invokes the servant, and encodes the
+// reply frame. Request wire format: bool oneway, key, method, then
+// arguments. Reply: bool ok, then results (ok) or message (error); oneway
+// requests produce a nil reply (nothing is sent back) — the SIDL `oneway`
+// semantics used by loosely coupled monitor ports.
+func (oa *ObjectAdapter) dispatch(req []byte) []byte {
+	d := NewDecoder(req)
+	ow, err := d.Decode()
+	if err != nil {
+		return errReply(err)
+	}
+	oneway, ok := ow.(bool)
+	if !ok {
+		return errReply(fmt.Errorf("%w: missing oneway flag", ErrBadReply))
+	}
+	reply := func(b []byte) []byte {
+		if oneway {
+			return nil
+		}
+		return b
+	}
+	key, err := d.DecodeString()
+	if err != nil {
+		return reply(errReply(err))
+	}
+	method, err := d.DecodeString()
+	if err != nil {
+		return reply(errReply(err))
+	}
+	var args []any
+	for d.More() {
+		a, err := d.Decode()
+		if err != nil {
+			return reply(errReply(err))
+		}
+		args = append(args, a)
+	}
+	sv, err := oa.lookup(key)
+	if err != nil {
+		return reply(errReply(err))
+	}
+	results, err := sv.Obj.Call(method, args...)
+	if err != nil {
+		return reply(errReply(err))
+	}
+	if oneway {
+		return nil
+	}
+	var e Encoder
+	if err := e.Encode(true); err != nil {
+		return errReply(err)
+	}
+	for _, r := range results {
+		if err := e.Encode(r); err != nil {
+			return errReply(err)
+		}
+	}
+	return e.Bytes()
+}
+
+// encodeRequest builds a request frame.
+func encodeRequest(oneway bool, key, method string, args []any) ([]byte, error) {
+	var e Encoder
+	if err := e.Encode(oneway); err != nil {
+		return nil, err
+	}
+	e.EncodeString(key)
+	e.EncodeString(method)
+	for _, a := range args {
+		if err := e.Encode(a); err != nil {
+			return nil, err
+		}
+	}
+	return e.Bytes(), nil
+}
+
+func errReply(err error) []byte {
+	var e Encoder
+	e.Encode(false) //nolint:errcheck // bool always encodes
+	e.EncodeString(err.Error())
+	return e.Bytes()
+}
+
+func decodeReply(rep []byte) ([]any, error) {
+	d := NewDecoder(rep)
+	okv, err := d.Decode()
+	if err != nil {
+		return nil, err
+	}
+	ok, isBool := okv.(bool)
+	if !isBool {
+		return nil, fmt.Errorf("%w: leading %T", ErrBadReply, okv)
+	}
+	if !ok {
+		msg, err := d.DecodeString()
+		if err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("%w: %s", ErrRemote, msg)
+	}
+	var out []any
+	for d.More() {
+		v, err := d.Decode()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// InProcessORB is the §3.3 baseline: requests to co-located objects still
+// traverse encode → adapter dispatch → dynamic invocation → encode →
+// decode, exactly as if they were remote. Experiment E2 measures this
+// against a direct-connected CCA port.
+type InProcessORB struct {
+	OA *ObjectAdapter
+}
+
+// NewInProcessORB creates the baseline ORB.
+func NewInProcessORB() *InProcessORB {
+	return &InProcessORB{OA: NewObjectAdapter()}
+}
+
+// Invoke performs a marshaled same-address-space call.
+func (o *InProcessORB) Invoke(key, method string, args ...any) ([]any, error) {
+	req, err := encodeRequest(false, key, method, args)
+	if err != nil {
+		return nil, err
+	}
+	return decodeReply(o.OA.dispatch(req))
+}
+
+// InvokeOneway performs a marshaled call discarding results and errors.
+func (o *InProcessORB) InvokeOneway(key, method string, args ...any) error {
+	req, err := encodeRequest(true, key, method, args)
+	if err != nil {
+		return err
+	}
+	o.OA.dispatch(req)
+	return nil
+}
+
+// Proxy is a client-side object reference bound to a key. Its Invoke is the
+// "generated stub" of a classic ORB: marshal, submit, unmarshal.
+type Proxy struct {
+	invoke func(key, method string, args ...any) ([]any, error)
+	key    string
+}
+
+// Invoke calls the named method on the referenced object.
+func (p *Proxy) Invoke(method string, args ...any) ([]any, error) {
+	return p.invoke(p.key, method, args...)
+}
+
+// Proxy returns a local proxy for an exported object.
+func (o *InProcessORB) Proxy(key string) *Proxy {
+	return &Proxy{invoke: o.Invoke, key: key}
+}
+
+// Server serves object-adapter requests over a transport listener — the
+// remote half of the distributed baseline and of distributed CCA port
+// connections that choose ORB transport.
+type Server struct {
+	OA       *ObjectAdapter
+	listener transport.Listener
+	wg       sync.WaitGroup
+	mu       sync.Mutex
+	stopped  bool
+	conns    map[transport.Conn]struct{}
+}
+
+// Serve starts accepting connections on l, dispatching each request frame
+// through the adapter. It returns immediately; Stop shuts the server down.
+func Serve(oa *ObjectAdapter, l transport.Listener) *Server {
+	s := &Server{OA: oa, listener: l, conns: map[transport.Conn]struct{}{}}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			s.mu.Lock()
+			if s.stopped {
+				s.mu.Unlock()
+				conn.Close()
+				return
+			}
+			s.conns[conn] = struct{}{}
+			s.mu.Unlock()
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				defer func() {
+					conn.Close()
+					s.mu.Lock()
+					delete(s.conns, conn)
+					s.mu.Unlock()
+				}()
+				for {
+					req, err := conn.Recv()
+					if err != nil {
+						return
+					}
+					rep := s.OA.dispatch(req)
+					if rep == nil {
+						continue // oneway: no reply frame
+					}
+					if err := conn.Send(rep); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return s
+}
+
+// Addr reports the served address.
+func (s *Server) Addr() string { return s.listener.Addr() }
+
+// Stop closes the listener and every live connection, then waits for
+// handler goroutines to drain. Clients with outstanding requests observe
+// transport.ErrClosed.
+func (s *Server) Stop() {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	s.stopped = true
+	conns := make([]transport.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	s.listener.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+}
+
+// Client is a connection to a remote ORB server. Calls are serialized per
+// client (one outstanding request at a time), matching a classic
+// synchronous ORB stub.
+type Client struct {
+	mu   sync.Mutex
+	conn transport.Conn
+}
+
+// DialClient connects to a served address.
+func DialClient(tr transport.Transport, addr string) (*Client, error) {
+	conn, err := tr.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn}, nil
+}
+
+// Invoke performs a remote call.
+func (c *Client) Invoke(key, method string, args ...any) ([]any, error) {
+	req, err := encodeRequest(false, key, method, args)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.conn.Send(req); err != nil {
+		return nil, err
+	}
+	rep, err := c.conn.Recv()
+	if err != nil {
+		return nil, err
+	}
+	return decodeReply(rep)
+}
+
+// InvokeOneway performs a fire-and-forget remote call: the request is sent
+// and no reply is awaited. Delivery is ordered with respect to other calls
+// on this client but completion is not confirmed — exactly the paper's
+// loosely coupled monitor semantics (cca.ports.Monitor.observe is oneway).
+func (c *Client) InvokeOneway(key, method string, args ...any) error {
+	req, err := encodeRequest(true, key, method, args)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn.Send(req)
+}
+
+// Proxy returns a remote object reference.
+func (c *Client) Proxy(key string) *Proxy {
+	return &Proxy{invoke: c.Invoke, key: key}
+}
+
+// Close releases the connection.
+func (c *Client) Close() error { return c.conn.Close() }

@@ -1,0 +1,446 @@
+package orb
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/sidl"
+	"repro/internal/sidl/sreflect"
+	"repro/internal/transport"
+)
+
+func TestCDRRoundTripAllTypes(t *testing.T) {
+	vals := []any{
+		nil, true, false,
+		int32(-7), int64(1 << 40), int(-99),
+		3.14159, complex(1.5, -2.5),
+		"hello", []byte{0, 1, 2, 255},
+		[]float64{1, 2, 3.5}, []int32{-1, 0, 1},
+		[]string{"a", "", "c"},
+	}
+	b, err := EncodeAll(vals...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeAll(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(vals) {
+		t.Fatalf("decoded %d values, want %d", len(got), len(vals))
+	}
+	for i := range vals {
+		if !reflect.DeepEqual(got[i], vals[i]) {
+			t.Errorf("value %d: %#v != %#v", i, got[i], vals[i])
+		}
+	}
+}
+
+func TestCDRSpecials(t *testing.T) {
+	b, err := EncodeAll(math.Inf(1), math.NaN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeAll(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(got[0].(float64), 1) || !math.IsNaN(got[1].(float64)) {
+		t.Errorf("specials = %v", got)
+	}
+}
+
+func TestCDRUnsupported(t *testing.T) {
+	if _, err := EncodeAll(struct{ X int }{}); !errors.Is(err, ErrEncode) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestCDRTruncated(t *testing.T) {
+	b, _ := EncodeAll([]float64{1, 2, 3})
+	for cut := 1; cut < len(b); cut++ {
+		if _, err := DecodeAll(b[:cut]); !errors.Is(err, ErrDecode) {
+			t.Fatalf("cut %d: err = %v", cut, err)
+		}
+	}
+	if _, err := DecodeAll([]byte{200}); !errors.Is(err, ErrDecode) {
+		t.Errorf("bad tag err = %v", err)
+	}
+}
+
+// Property: EncodeAll/DecodeAll is the identity on random primitive tuples.
+func TestCDRRoundTripProperty(t *testing.T) {
+	f := func(i int32, l int64, d float64, s string, fs []float64) bool {
+		b, err := EncodeAll(i, l, d, s, fs)
+		if err != nil {
+			return false
+		}
+		got, err := DecodeAll(b)
+		if err != nil || len(got) != 5 {
+			return false
+		}
+		if got[0].(int32) != i || got[1].(int64) != l || got[3].(string) != s {
+			return false
+		}
+		gd := got[2].(float64)
+		if gd != d && !(math.IsNaN(gd) && math.IsNaN(d)) {
+			return false
+		}
+		gfs := got[4].([]float64)
+		if len(gfs) != len(fs) {
+			return false
+		}
+		for k := range fs {
+			if gfs[k] != fs[k] && !(math.IsNaN(gfs[k]) && math.IsNaN(fs[k])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- ORB dispatch tests ---
+
+const calcSIDL = `
+package demo {
+  interface Calc {
+    double add(in double a, in double b);
+    double sum(in array<double,1> xs);
+    string greet(in string who);
+  }
+}
+`
+
+type calcImpl struct{}
+
+func (calcImpl) Add(a, b float64) float64 { return a + b }
+func (calcImpl) Sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+func (calcImpl) Greet(who string) string { return "hello " + who }
+
+func calcInfo(t *testing.T) *sreflect.TypeInfo {
+	t.Helper()
+	f, err := sidl.Parse(calcSIDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := sidl.Resolve(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	infos := sreflect.FromTable(tbl)
+	for _, ti := range infos {
+		if ti.QName == "demo.Calc" {
+			return ti
+		}
+	}
+	t.Fatal("demo.Calc not found")
+	return nil
+}
+
+func TestInProcessORBInvoke(t *testing.T) {
+	o := NewInProcessORB()
+	if err := o.OA.Register("calc", calcInfo(t), calcImpl{}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := o.Invoke("calc", "add", 2.0, 3.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].(float64) != 5 {
+		t.Errorf("add = %v", res)
+	}
+	res, err = o.Invoke("calc", "sum", []float64{1, 2, 3, 4})
+	if err != nil || res[0].(float64) != 10 {
+		t.Errorf("sum = %v, %v", res, err)
+	}
+	p := o.Proxy("calc")
+	res, err = p.Invoke("greet", "world")
+	if err != nil || res[0].(string) != "hello world" {
+		t.Errorf("greet = %v, %v", res, err)
+	}
+}
+
+func TestInProcessORBErrors(t *testing.T) {
+	o := NewInProcessORB()
+	if err := o.OA.Register("calc", calcInfo(t), calcImpl{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Invoke("ghost", "add", 1.0, 2.0); !errors.Is(err, ErrRemote) {
+		t.Errorf("no-object err = %v", err)
+	}
+	if _, err := o.Invoke("calc", "multiply", 1.0, 2.0); !errors.Is(err, ErrRemote) {
+		t.Errorf("no-method err = %v", err)
+	}
+	if _, err := o.Invoke("calc", "add", "x", "y"); !errors.Is(err, ErrRemote) {
+		t.Errorf("bad-args err = %v", err)
+	}
+	o.OA.Unregister("calc")
+	if _, err := o.Invoke("calc", "add", 1.0, 2.0); !errors.Is(err, ErrRemote) {
+		t.Errorf("post-unregister err = %v", err)
+	}
+}
+
+func TestRemoteORBOverInproc(t *testing.T) {
+	oa := NewObjectAdapter()
+	if err := oa.Register("calc", calcInfo(t), calcImpl{}); err != nil {
+		t.Fatal(err)
+	}
+	tr := &transport.InProc{}
+	l, err := tr.Listen("orb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(oa, l)
+	defer srv.Stop()
+
+	c, err := DialClient(tr, "orb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	res, err := c.Invoke("calc", "add", 20.0, 22.0)
+	if err != nil || res[0].(float64) != 42 {
+		t.Fatalf("remote add = %v, %v", res, err)
+	}
+	proxy := c.Proxy("calc")
+	res, err = proxy.Invoke("sum", []float64{5, 5})
+	if err != nil || res[0].(float64) != 10 {
+		t.Fatalf("remote sum = %v, %v", res, err)
+	}
+	// Remote error propagation.
+	if _, err := c.Invoke("calc", "nope"); !errors.Is(err, ErrRemote) || !strings.Contains(err.Error(), "nope") {
+		t.Errorf("remote err = %v", err)
+	}
+}
+
+func TestRemoteORBOverTCP(t *testing.T) {
+	oa := NewObjectAdapter()
+	if err := oa.Register("calc", calcInfo(t), calcImpl{}); err != nil {
+		t.Fatal(err)
+	}
+	l, err := transport.TCP{}.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(oa, l)
+	defer srv.Stop()
+
+	c, err := DialClient(transport.TCP{}, srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 10; i++ {
+		res, err := c.Invoke("calc", "add", float64(i), 1.0)
+		if err != nil || res[0].(float64) != float64(i)+1 {
+			t.Fatalf("iter %d: %v, %v", i, res, err)
+		}
+	}
+}
+
+func TestServerStopIdempotent(t *testing.T) {
+	oa := NewObjectAdapter()
+	tr := &transport.InProc{}
+	l, _ := tr.Listen("x")
+	srv := Serve(oa, l)
+	srv.Stop()
+	srv.Stop()
+}
+
+// observer is a servant with a oneway-style void method.
+type observer struct {
+	mu    sync.Mutex
+	steps []int32
+}
+
+func (o *observer) Observe(step int32, data []float64) {
+	o.mu.Lock()
+	o.steps = append(o.steps, step)
+	o.mu.Unlock()
+}
+
+func (o *observer) count() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return len(o.steps)
+}
+
+func observerInfo(t *testing.T) *sreflect.TypeInfo {
+	t.Helper()
+	f, err := sidl.Parse(`package m { interface Mon { oneway void observe(in int step, in array<double,1> data); } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := sidl.Resolve(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ti := range sreflect.FromTable(tbl) {
+		if ti.QName == "m.Mon" {
+			return ti
+		}
+	}
+	t.Fatal("m.Mon missing")
+	return nil
+}
+
+func TestInProcessOneway(t *testing.T) {
+	o := NewInProcessORB()
+	obs := &observer{}
+	if err := o.OA.Register("mon", observerInfo(t), obs); err != nil {
+		t.Fatal(err)
+	}
+	for i := int32(0); i < 3; i++ {
+		if err := o.InvokeOneway("mon", "observe", i, []float64{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if obs.count() != 3 {
+		t.Errorf("observed %d", obs.count())
+	}
+	// Oneway errors (unknown key) are swallowed by design.
+	if err := o.InvokeOneway("ghost", "observe", int32(0), []float64{}); err != nil {
+		t.Errorf("oneway to ghost: %v", err)
+	}
+}
+
+func TestRemoteOnewayOrderedWithTwoWay(t *testing.T) {
+	oa := NewObjectAdapter()
+	obs := &observer{}
+	if err := oa.Register("mon", observerInfo(t), obs); err != nil {
+		t.Fatal(err)
+	}
+	if err := oa.Register("calc", calcInfo(t), calcImpl{}); err != nil {
+		t.Fatal(err)
+	}
+	tr := &transport.InProc{}
+	l, err := tr.Listen("oneway")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(oa, l)
+	defer srv.Stop()
+	c, err := DialClient(tr, "oneway")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Fire several oneways, then a two-way; on one connection the two-way
+	// reply implies the earlier oneways were dispatched first.
+	for i := int32(0); i < 5; i++ {
+		if err := c.InvokeOneway("mon", "observe", i, []float64{float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Invoke("calc", "add", 1.0, 2.0); err != nil {
+		t.Fatal(err)
+	}
+	if obs.count() != 5 {
+		t.Errorf("observed %d before two-way reply, want 5", obs.count())
+	}
+}
+
+func TestServerStopWithLiveConnections(t *testing.T) {
+	// Stop must not hang while a client connection is still open.
+	oa := NewObjectAdapter()
+	if err := oa.Register("calc", calcInfo(t), calcImpl{}); err != nil {
+		t.Fatal(err)
+	}
+	tr := &transport.InProc{}
+	l, err := tr.Listen("stop-live")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(oa, l)
+	c, err := DialClient(tr, "stop-live")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Invoke("calc", "add", 1.0, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		srv.Stop() // must return even though c is still open
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stop hung with a live connection")
+	}
+	// Subsequent calls fail cleanly.
+	if _, err := c.Invoke("calc", "add", 1.0, 1.0); err == nil {
+		t.Error("invoke succeeded after server stop")
+	}
+	c.Close()
+}
+
+func TestServerSurvivesCorruptFrames(t *testing.T) {
+	// Failure injection: raw garbage and half-valid frames must produce
+	// error replies (or clean rejection), never a wedged server.
+	oa := NewObjectAdapter()
+	if err := oa.Register("calc", calcInfo(t), calcImpl{}); err != nil {
+		t.Fatal(err)
+	}
+	tr := &transport.InProc{}
+	l, err := tr.Listen("fuzz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(oa, l)
+	defer srv.Stop()
+
+	conn, err := tr.Dial("fuzz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	frames := [][]byte{
+		{},                                 // empty
+		{0xFF, 0x01, 0x02},                 // bad tag
+		{tagBool, 1},                       // oneway=true then truncated: oneway garbage, no reply
+		{tagBool, 0},                       // oneway=false then truncated: error reply expected
+		{tagBool, 0, tagInt32, 1, 2, 3, 4}, // key is not a string
+	}
+	for i, f := range frames {
+		if err := conn.Send(f); err != nil {
+			t.Fatalf("frame %d send: %v", i, err)
+		}
+	}
+	// Frames 0, 1, 3, 4 produce error replies; frame 2 is oneway (none).
+	for i := 0; i < 4; i++ {
+		rep, err := conn.Recv()
+		if err != nil {
+			t.Fatalf("reply %d: %v", i, err)
+		}
+		if _, err := decodeReply(rep); !errors.Is(err, ErrRemote) && !errors.Is(err, ErrDecode) {
+			t.Errorf("reply %d: err = %v", i, err)
+		}
+	}
+	// The server still works after the abuse.
+	c, err := DialClient(tr, "fuzz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	res, err := c.Invoke("calc", "add", 2.0, 2.0)
+	if err != nil || res[0].(float64) != 4 {
+		t.Errorf("post-fuzz invoke: %v, %v", res, err)
+	}
+}

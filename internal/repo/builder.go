@@ -1,0 +1,126 @@
+package repo
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/cca"
+	"repro/internal/cca/framework"
+)
+
+// Builder is the composition tool of the paper's Figure 2: it instantiates
+// components out of the repository into a framework, wires their ports, and
+// observes the configuration API's event stream ("the CCA Configuration
+// API supports interaction between components and various builders").
+type Builder struct {
+	R *Repository
+	F *framework.Framework
+
+	mu     sync.Mutex
+	events []cca.Event
+	types  map[string]string // instance name -> repository type name
+}
+
+// ErrBuilder wraps builder-level failures.
+var ErrBuilder = errors.New("repo: builder error")
+
+// NewBuilder attaches a builder to a repository and framework, subscribing
+// to the framework's configuration events.
+func NewBuilder(r *Repository, f *framework.Framework) *Builder {
+	b := &Builder{R: r, F: f, types: map[string]string{}}
+	f.AddEventListener(cca.EventListenerFunc(func(e cca.Event) {
+		b.mu.Lock()
+		b.events = append(b.events, e)
+		b.mu.Unlock()
+	}))
+	return b
+}
+
+// Create instantiates the repository component typeName into the framework
+// under instanceName.
+func (b *Builder) Create(instanceName, typeName string) error {
+	comp, err := b.R.Instantiate(typeName)
+	if err != nil {
+		return err
+	}
+	if err := b.F.Install(instanceName, comp); err != nil {
+		return err
+	}
+	b.mu.Lock()
+	b.types[instanceName] = typeName
+	b.mu.Unlock()
+	return nil
+}
+
+// Destroy removes an instance.
+func (b *Builder) Destroy(instanceName string) error {
+	if err := b.F.Remove(instanceName); err != nil {
+		return err
+	}
+	b.mu.Lock()
+	delete(b.types, instanceName)
+	b.mu.Unlock()
+	return nil
+}
+
+// TypeOf reports the repository type a builder-created instance came from.
+func (b *Builder) TypeOf(instanceName string) (string, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	t, ok := b.types[instanceName]
+	return t, ok
+}
+
+// Connect wires two instances by port name, consulting the repository's
+// port specifications when the port names are ambiguous.
+func (b *Builder) Connect(user, usesPort, provider, providesPort string) (cca.ConnectionID, error) {
+	return b.F.Connect(user, usesPort, provider, providesPort)
+}
+
+// AutoConnect finds the single compatible (usesPort, providesPort) pairing
+// between two instances using their repository port specs and the SIDL
+// subtype relation, and connects it. It fails when zero or multiple
+// pairings are possible — ambiguity needs an explicit Connect.
+func (b *Builder) AutoConnect(user, provider string) (cca.ConnectionID, error) {
+	b.mu.Lock()
+	userType, uok := b.types[user]
+	provType, pok := b.types[provider]
+	b.mu.Unlock()
+	if !uok || !pok {
+		return cca.ConnectionID{}, fmt.Errorf("%w: auto-connect needs builder-created instances", ErrBuilder)
+	}
+	ue, err := b.R.Retrieve(userType)
+	if err != nil {
+		return cca.ConnectionID{}, err
+	}
+	pe, err := b.R.Retrieve(provType)
+	if err != nil {
+		return cca.ConnectionID{}, err
+	}
+	tbl := b.R.Table()
+	type pair struct{ uses, provides string }
+	var pairs []pair
+	for _, u := range ue.Uses {
+		for _, p := range pe.Provides {
+			if tbl.IsSubtype(p.Type, u.Type) {
+				pairs = append(pairs, pair{u.Name, p.Name})
+			}
+		}
+	}
+	switch len(pairs) {
+	case 0:
+		return cca.ConnectionID{}, fmt.Errorf("%w: no compatible ports between %s and %s", ErrBuilder, user, provider)
+	case 1:
+		return b.F.Connect(user, pairs[0].uses, provider, pairs[0].provides)
+	default:
+		return cca.ConnectionID{}, fmt.Errorf("%w: %d compatible pairings between %s and %s; connect explicitly", ErrBuilder, len(pairs), user, provider)
+	}
+}
+
+// Events returns a snapshot of the configuration events observed so far.
+func (b *Builder) Events() []cca.Event {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]cca.Event(nil), b.events...)
+}

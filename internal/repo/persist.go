@@ -1,0 +1,145 @@
+package repo
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/cca"
+	"repro/internal/sidl"
+)
+
+// Persistence: a repository's descriptions (not its factories — code cannot
+// be serialized) can be saved to and reloaded from JSON. This realizes the
+// paper's repository as a durable artifact: interface definitions and
+// component metadata are deposited once and shared across teams, with each
+// site re-binding factories for the implementations it has ("the
+// functionality necessary to search a framework repository for components
+// as well as to manipulate components within the repository").
+
+// persistedEntry is the serializable subset of Entry.
+type persistedEntry struct {
+	Name        string     `json:"name"`
+	Version     string     `json:"version,omitempty"`
+	Description string     `json:"description,omitempty"`
+	SIDL        string     `json:"sidl,omitempty"`
+	Provides    []PortSpec `json:"provides,omitempty"`
+	Uses        []PortSpec `json:"uses,omitempty"`
+	Flavor      string     `json:"flavor,omitempty"`
+	HasFactory  bool       `json:"hasFactory,omitempty"`
+}
+
+type persistedRepo struct {
+	FormatVersion int              `json:"formatVersion"`
+	Entries       []persistedEntry `json:"entries"`
+}
+
+// Save writes the repository's entries as JSON. Factories are recorded only
+// as a HasFactory marker.
+func (r *Repository) Save(w io.Writer) error {
+	r.mu.RLock()
+	out := persistedRepo{FormatVersion: 1}
+	for _, name := range r.listLocked() {
+		e := r.entries[name]
+		out.Entries = append(out.Entries, persistedEntry{
+			Name:        e.Name,
+			Version:     e.Version,
+			Description: e.Description,
+			SIDL:        e.SIDL,
+			Provides:    e.Provides,
+			Uses:        e.Uses,
+			Flavor:      e.Flavor.String(),
+			HasFactory:  e.Factory != nil,
+		})
+	}
+	r.mu.RUnlock()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// Load deposits every entry from a stream produced by Save into the
+// repository, atomically: all SIDL sources merge first, then every entry's
+// port types are validated against the combined table (entries in a saved
+// repository may reference interfaces deposited by other entries, in any
+// order). Factories are not restored: callers re-bind them afterwards with
+// BindFactory for the component types they can instantiate locally.
+func (r *Repository) Load(src io.Reader) error {
+	var in persistedRepo
+	if err := json.NewDecoder(src).Decode(&in); err != nil {
+		return fmt.Errorf("repo: load: %w", err)
+	}
+	if in.FormatVersion != 1 {
+		return fmt.Errorf("%w: unsupported format version %d", ErrBadEntry, in.FormatVersion)
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	files := append([]*sidl.File(nil), r.files...)
+	entries := make([]*Entry, 0, len(in.Entries))
+	seen := map[string]bool{}
+	for _, pe := range in.Entries {
+		if pe.Name == "" {
+			return fmt.Errorf("%w: unnamed entry in stream", ErrBadEntry)
+		}
+		if _, dup := r.entries[pe.Name]; dup || seen[pe.Name] {
+			return fmt.Errorf("%w: %q", ErrExists, pe.Name)
+		}
+		seen[pe.Name] = true
+		flavor, err := cca.ParseFlavor(pe.Flavor)
+		if err != nil {
+			return fmt.Errorf("repo: load %s: %w", pe.Name, err)
+		}
+		if pe.SIDL != "" {
+			f, err := sidl.Parse(pe.SIDL)
+			if err != nil {
+				return fmt.Errorf("repo: load %s: %w", pe.Name, err)
+			}
+			files = append(files, f)
+		}
+		entries = append(entries, &Entry{
+			Name:        pe.Name,
+			Version:     pe.Version,
+			Description: pe.Description,
+			SIDL:        pe.SIDL,
+			Provides:    pe.Provides,
+			Uses:        pe.Uses,
+			Flavor:      flavor,
+		})
+	}
+	table, err := sidl.Resolve(files...)
+	if err != nil {
+		return fmt.Errorf("repo: load: %w", err)
+	}
+	for _, e := range entries {
+		for _, ps := range append(append([]PortSpec(nil), e.Provides...), e.Uses...) {
+			if ps.Type == "" || ps.Name == "" {
+				return fmt.Errorf("%w: port %q/%q of %s", ErrBadEntry, ps.Name, ps.Type, e.Name)
+			}
+			if table.Lookup(ps.Type) == "" {
+				return fmt.Errorf("%w: %q (port %s of %s)", ErrUnknownTyp, ps.Type, ps.Name, e.Name)
+			}
+		}
+	}
+	// Commit.
+	for _, e := range entries {
+		r.entries[e.Name] = e
+	}
+	r.files = files
+	r.table = table
+	return nil
+}
+
+// BindFactory attaches (or replaces) the instantiation factory of a
+// deposited entry — the step a site performs after Load for the component
+// implementations it actually has.
+func (r *Repository) BindFactory(name string, factory func() cca.Component) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	e.Factory = factory
+	return nil
+}

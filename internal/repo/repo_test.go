@@ -1,0 +1,283 @@
+package repo
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/cca"
+	"repro/internal/cca/framework"
+)
+
+const solverSIDL = `
+package esi {
+  interface Object { string typeName(); }
+  interface Operator extends Object {
+    void apply(in array<double,1> x, out array<double,1> y);
+  }
+  interface Solver extends Operator {
+    void solve(in array<double,1> b, inout array<double,1> x);
+  }
+}
+`
+
+const meshSIDL = `
+package chad {
+  interface Mesh { int numNodes(); }
+}
+`
+
+// stubComponent is a minimal installable component.
+type stubComponent struct {
+	provides []cca.PortInfo
+	uses     []cca.PortInfo
+}
+
+func (s *stubComponent) SetServices(svc cca.Services) error {
+	for _, p := range s.provides {
+		if err := svc.AddProvidesPort(struct{}{}, p); err != nil {
+			return err
+		}
+	}
+	for _, u := range s.uses {
+		if err := svc.RegisterUsesPort(u); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func depositSolverWorld(t *testing.T) *Repository {
+	t.Helper()
+	r := New()
+	if err := r.Deposit(Entry{
+		Name: "esi.Interfaces", Version: "1.0",
+		Description: "ESI interface standard (no factory)",
+		SIDL:        solverSIDL,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Deposit(Entry{
+		Name: "esi.CGComponent", Version: "0.9",
+		Description: "conjugate gradient solver component",
+		Provides:    []PortSpec{{Name: "solver", Type: "esi.Solver"}},
+		Factory: func() cca.Component {
+			return &stubComponent{provides: []cca.PortInfo{{Name: "solver", Type: "esi.Solver"}}}
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Deposit(Entry{
+		Name: "chad.FlowComponent",
+		SIDL: meshSIDL,
+		Uses: []PortSpec{{Name: "linsolve", Type: "esi.Operator"}},
+		Factory: func() cca.Component {
+			return &stubComponent{uses: []cca.PortInfo{{Name: "linsolve", Type: "esi.Operator"}}}
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestDepositRetrieveList(t *testing.T) {
+	r := depositSolverWorld(t)
+	e, err := r.Retrieve("esi.CGComponent")
+	if err != nil || e.Version != "0.9" {
+		t.Fatalf("retrieve: %+v, %v", e, err)
+	}
+	if _, err := r.Retrieve("nope"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("err = %v", err)
+	}
+	want := []string{"chad.FlowComponent", "esi.CGComponent", "esi.Interfaces"}
+	got := r.List()
+	if len(got) != len(want) {
+		t.Fatalf("list = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("list[%d] = %s", i, got[i])
+		}
+	}
+}
+
+func TestDepositValidation(t *testing.T) {
+	r := New()
+	if err := r.Deposit(Entry{}); !errors.Is(err, ErrBadEntry) {
+		t.Errorf("empty err = %v", err)
+	}
+	if err := r.Deposit(Entry{Name: "x", SIDL: "not sidl"}); err == nil {
+		t.Error("bad sidl accepted")
+	}
+	if err := r.Deposit(Entry{Name: "x", Provides: []PortSpec{{Name: "p", Type: "ghost.Type"}}}); !errors.Is(err, ErrUnknownTyp) {
+		t.Errorf("unknown type err = %v", err)
+	}
+	if err := r.Deposit(Entry{Name: "y", SIDL: solverSIDL}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Deposit(Entry{Name: "y"}); !errors.Is(err, ErrExists) {
+		t.Errorf("dup err = %v", err)
+	}
+	// Conflicting SIDL rejected atomically: the first deposit stays valid.
+	if err := r.Deposit(Entry{Name: "z", SIDL: `package esi { interface Object {} }`}); err == nil {
+		t.Error("conflicting SIDL accepted")
+	}
+	if r.Table().Lookup("esi.Solver") != "interface" {
+		t.Error("table corrupted by failed deposit")
+	}
+}
+
+func TestSearchByProvidedType(t *testing.T) {
+	r := depositSolverWorld(t)
+	// esi.Solver is a subtype of esi.Operator, so a search for Operator
+	// providers must find the CG component.
+	hits := r.Search(Query{ProvidesType: "esi.Operator"})
+	if len(hits) != 1 || hits[0].Name != "esi.CGComponent" {
+		t.Fatalf("hits = %+v", hits)
+	}
+	if hits := r.Search(Query{ProvidesType: "chad.Mesh"}); len(hits) != 0 {
+		t.Errorf("mesh provider hits = %v", hits)
+	}
+}
+
+func TestSearchByUsesAndName(t *testing.T) {
+	r := depositSolverWorld(t)
+	hits := r.Search(Query{UsesType: "esi.Solver"})
+	// chad.FlowComponent uses esi.Operator; a Solver (subtype) client
+	// query matches since Solver is usable where Operator is used.
+	if len(hits) != 1 || hits[0].Name != "chad.FlowComponent" {
+		t.Fatalf("uses hits = %+v", hits)
+	}
+	if hits := r.Search(Query{NameContains: "esi"}); len(hits) != 2 {
+		t.Errorf("name hits = %d", len(hits))
+	}
+	if hits := r.Search(Query{}); len(hits) != 3 {
+		t.Errorf("match-all hits = %d", len(hits))
+	}
+}
+
+func TestSearchByFlavor(t *testing.T) {
+	r := New()
+	if err := r.Deposit(Entry{Name: "par", Flavor: cca.FlavorCollective}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Deposit(Entry{Name: "ser", Flavor: cca.FlavorInProcess}); err != nil {
+		t.Fatal(err)
+	}
+	hits := r.Search(Query{Flavor: cca.FlavorInProcess})
+	if len(hits) != 1 || hits[0].Name != "ser" {
+		t.Errorf("flavor hits = %+v", hits)
+	}
+}
+
+func TestInstantiate(t *testing.T) {
+	r := depositSolverWorld(t)
+	c, err := r.Instantiate("esi.CGComponent")
+	if err != nil || c == nil {
+		t.Fatalf("instantiate: %v", err)
+	}
+	if _, err := r.Instantiate("esi.Interfaces"); !errors.Is(err, ErrNoFactory) {
+		t.Errorf("no-factory err = %v", err)
+	}
+}
+
+func TestTypeCheckerSubtyping(t *testing.T) {
+	r := depositSolverWorld(t)
+	check := r.TypeChecker()
+	if err := check("esi.Operator", "esi.Solver"); err != nil {
+		t.Errorf("solver-as-operator rejected: %v", err)
+	}
+	if err := check("esi.Solver", "esi.Operator"); !errors.Is(err, cca.ErrTypeMismatch) {
+		t.Errorf("operator-as-solver accepted: %v", err)
+	}
+	if err := check("", "esi.Solver"); err != nil {
+		t.Errorf("wildcard rejected: %v", err)
+	}
+	if err := check("a.B", "c.D"); !errors.Is(err, cca.ErrTypeMismatch) {
+		t.Errorf("unknown-type fallthrough: %v", err)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	r := depositSolverWorld(t)
+	if err := r.Remove("esi.CGComponent"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Remove("esi.CGComponent"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("err = %v", err)
+	}
+	// SIDL world persists after removal.
+	if r.Table().Lookup("esi.Solver") != "interface" {
+		t.Error("types lost on removal")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	r := depositSolverWorld(t)
+	d := r.Describe()
+	for _, want := range []string{"esi.CGComponent v0.9", "provides solver", "uses     linsolve", "conjugate gradient"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("describe missing %q:\n%s", want, d)
+		}
+	}
+}
+
+func TestBuilderCreateConnect(t *testing.T) {
+	r := depositSolverWorld(t)
+	f := framework.New(framework.Options{TypeCheck: r.TypeChecker()})
+	b := NewBuilder(r, f)
+	if err := b.Create("solver1", "esi.CGComponent"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Create("flow1", "chad.FlowComponent"); err != nil {
+		t.Fatal(err)
+	}
+	if typ, ok := b.TypeOf("solver1"); !ok || typ != "esi.CGComponent" {
+		t.Errorf("TypeOf = %s, %v", typ, ok)
+	}
+	// Subtype-aware connection: flow uses esi.Operator, solver provides
+	// esi.Solver (a subtype).
+	id, err := b.AutoConnect("flow1", "solver1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id.UsesPort != "linsolve" || id.ProvidesPort != "solver" {
+		t.Errorf("auto-connected %v", id)
+	}
+	events := b.Events()
+	kinds := map[cca.EventKind]int{}
+	for _, e := range events {
+		kinds[e.Kind]++
+	}
+	if kinds[cca.EventComponentAdded] != 2 || kinds[cca.EventConnected] != 1 {
+		t.Errorf("events = %v", kinds)
+	}
+	if err := b.Destroy("flow1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := b.TypeOf("flow1"); ok {
+		t.Error("destroyed instance still tracked")
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	r := depositSolverWorld(t)
+	f := framework.New(framework.Options{})
+	b := NewBuilder(r, f)
+	if err := b.Create("x", "ghost.Component"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := b.AutoConnect("a", "b"); !errors.Is(err, ErrBuilder) {
+		t.Errorf("err = %v", err)
+	}
+	// No compatible ports: two solver providers.
+	if err := b.Create("s1", "esi.CGComponent"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Create("s2", "esi.CGComponent"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.AutoConnect("s1", "s2"); !errors.Is(err, ErrBuilder) {
+		t.Errorf("err = %v", err)
+	}
+}

@@ -1,0 +1,237 @@
+package sidl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// File is a parsed SIDL source file: one or more package declarations.
+type File struct {
+	Packages []*PackageDecl
+}
+
+// PackageDecl is `package name [version v] { decls }`. Nested packages are
+// expressed with dotted names ("gov.cca.ports").
+type PackageDecl struct {
+	Name    string
+	Version string
+	Decls   []Decl
+	Pos     Pos
+}
+
+// Decl is any top-level declaration within a package.
+type Decl interface {
+	declName() string
+	declPos() Pos
+}
+
+// InterfaceDecl declares a SIDL interface with multiple inheritance:
+// `interface Name extends A, B { methods }`.
+type InterfaceDecl struct {
+	Name    string
+	Extends []TypeName
+	Methods []*MethodDecl
+	Doc     string
+	Pos     Pos
+}
+
+func (d *InterfaceDecl) declName() string { return d.Name }
+func (d *InterfaceDecl) declPos() Pos     { return d.Pos }
+
+// ClassDecl declares a SIDL class with single implementation inheritance
+// and multiple interface implementation:
+// `[abstract] class Name extends Base implements A, B implements-all C { }`.
+// implements-all marks every method of the named interfaces as implemented
+// by generated glue (the Babel convention), so an omitted body is not an
+// error.
+type ClassDecl struct {
+	Name          string
+	Abstract      bool
+	Extends       *TypeName
+	Implements    []TypeName
+	ImplementsAll []TypeName
+	Methods       []*MethodDecl
+	Doc           string
+	Pos           Pos
+}
+
+func (d *ClassDecl) declName() string { return d.Name }
+func (d *ClassDecl) declPos() Pos     { return d.Pos }
+
+// EnumDecl declares an enumeration: `enum Name { A, B = 3, C }`.
+type EnumDecl struct {
+	Name    string
+	Members []EnumMember
+	Doc     string
+	Pos     Pos
+}
+
+func (d *EnumDecl) declName() string { return d.Name }
+func (d *EnumDecl) declPos() Pos     { return d.Pos }
+
+// EnumMember is one enum constant, with an optional explicit value.
+type EnumMember struct {
+	Name     string
+	Value    int
+	Explicit bool
+	Pos      Pos
+}
+
+// MethodDecl declares a method.
+type MethodDecl struct {
+	Name   string
+	Static bool
+	Final  bool
+	Oneway bool
+	Ret    TypeRef
+	Params []Param
+	Throws []TypeName
+	Doc    string
+	Pos    Pos
+}
+
+// Signature renders the method's type signature (without its name) for
+// override-compatibility comparison: modes, parameter types, return type,
+// and throws clause must all match.
+func (m *MethodDecl) Signature() string {
+	var b strings.Builder
+	b.WriteString(m.Ret.String())
+	b.WriteString("(")
+	for i, p := range m.Params {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		b.WriteString(p.Mode.String())
+		b.WriteString(" ")
+		b.WriteString(p.Type.String())
+	}
+	b.WriteString(")")
+	if len(m.Throws) > 0 {
+		names := make([]string, len(m.Throws))
+		for i, t := range m.Throws {
+			names[i] = t.String()
+		}
+		b.WriteString(" throws ")
+		b.WriteString(strings.Join(names, ","))
+	}
+	return b.String()
+}
+
+// Mode is a parameter passing mode (in / out / inout).
+type Mode int
+
+// Parameter modes.
+const (
+	ModeIn Mode = iota
+	ModeOut
+	ModeInOut
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeIn:
+		return "in"
+	case ModeOut:
+		return "out"
+	case ModeInOut:
+		return "inout"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Param is one method parameter.
+type Param struct {
+	Mode Mode
+	Type TypeRef
+	Name string
+	Pos  Pos
+}
+
+// TypeName is a possibly-qualified type reference ("esi.Vector", "Solver").
+type TypeName struct {
+	Parts []string
+	Pos   Pos
+}
+
+func (t TypeName) String() string { return strings.Join(t.Parts, ".") }
+
+// Primitive enumerates SIDL's built-in types (§5: including complex numbers
+// and the usual scalar types).
+type Primitive int
+
+// SIDL primitive types.
+const (
+	PrimInvalid Primitive = iota
+	PrimVoid
+	PrimBool
+	PrimChar
+	PrimInt
+	PrimLong
+	PrimFloat
+	PrimDouble
+	PrimFComplex
+	PrimDComplex
+	PrimString
+	PrimOpaque
+)
+
+var primNames = map[string]Primitive{
+	"void": PrimVoid, "bool": PrimBool, "char": PrimChar, "int": PrimInt,
+	"long": PrimLong, "float": PrimFloat, "double": PrimDouble,
+	"fcomplex": PrimFComplex, "dcomplex": PrimDComplex,
+	"string": PrimString, "opaque": PrimOpaque,
+}
+
+var primStrings = func() map[Primitive]string {
+	m := make(map[Primitive]string, len(primNames))
+	for s, p := range primNames {
+		m[p] = s
+	}
+	return m
+}()
+
+func (p Primitive) String() string {
+	if s, ok := primStrings[p]; ok {
+		return s
+	}
+	return fmt.Sprintf("primitive(%d)", int(p))
+}
+
+// LookupPrimitive resolves a primitive type name; PrimInvalid when unknown.
+func LookupPrimitive(name string) Primitive { return primNames[name] }
+
+// TypeRef references a type in a declaration: exactly one of Prim, Array,
+// or Named is set.
+type TypeRef struct {
+	Prim  Primitive
+	Array *ArrayRef
+	Named *TypeName
+	Pos   Pos
+}
+
+// ArrayRef is the SIDL array type `array<elem, rank [, order]>` — the
+// paper's dynamically dimensioned multidimensional array primitive.
+type ArrayRef struct {
+	Elem TypeRef
+	Rank int
+	// Order is "", "row-major", or "column-major".
+	Order string
+}
+
+// IsVoid reports whether the reference is the void type.
+func (t TypeRef) IsVoid() bool { return t.Prim == PrimVoid }
+
+func (t TypeRef) String() string {
+	switch {
+	case t.Array != nil:
+		if t.Array.Order != "" {
+			return fmt.Sprintf("array<%s,%d,%s>", t.Array.Elem, t.Array.Rank, t.Array.Order)
+		}
+		return fmt.Sprintf("array<%s,%d>", t.Array.Elem, t.Array.Rank)
+	case t.Named != nil:
+		return t.Named.String()
+	default:
+		return t.Prim.String()
+	}
+}

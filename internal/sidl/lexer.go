@@ -1,0 +1,256 @@
+package sidl
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// ErrSyntax is the base error for lexical and parse failures.
+var ErrSyntax = errors.New("sidl: syntax error")
+
+// SyntaxError wraps a lexical or parse failure with its position.
+type SyntaxError struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *SyntaxError) Error() string { return fmt.Sprintf("sidl: %s: %s", e.Pos, e.Msg) }
+
+// Unwrap lets errors.Is(err, ErrSyntax) match any SyntaxError.
+func (e *SyntaxError) Unwrap() error { return ErrSyntax }
+
+func syntaxErrf(pos Pos, format string, args ...any) error {
+	return &SyntaxError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// lexer scans SIDL source into tokens. It handles //-comments, /* */
+// comments, identifiers (with '-' allowed inside to form the
+// 'implements-all' keyword), integers, dotted version literals, and
+// punctuation.
+type lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+	// pendingDoc accumulates the comment block immediately preceding the
+	// next token; a blank line breaks the association (Go doc-comment
+	// convention, which SIDL inherits here).
+	pendingDoc  []string
+	lastComment int // line the last comment ended on
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+func (l *lexer) pos() Pos { return Pos{Line: l.line, Col: l.col} }
+
+func (l *lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) skipSpaceAndComments() error {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			if c == '\n' && len(l.pendingDoc) > 0 && l.line > l.lastComment {
+				// A blank line after the comment block detaches it.
+				l.pendingDoc = nil
+			}
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			start := l.off
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+			text := strings.TrimPrefix(l.src[start:l.off], "//")
+			l.pendingDoc = append(l.pendingDoc, strings.TrimSpace(text))
+			l.lastComment = l.line
+		case c == '/' && l.peek2() == '*':
+			start := l.pos()
+			bodyStart := l.off + 2
+			l.advance()
+			l.advance()
+			closed := false
+			for l.off < len(l.src) {
+				if l.peek() == '*' && l.peek2() == '/' {
+					body := l.src[bodyStart:l.off]
+					for _, line := range strings.Split(body, "\n") {
+						l.pendingDoc = append(l.pendingDoc, strings.TrimSpace(line))
+					}
+					l.lastComment = l.line
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return syntaxErrf(start, "unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// takeDoc consumes the pending doc-comment block.
+func (l *lexer) takeDoc() string {
+	if len(l.pendingDoc) == 0 {
+		return ""
+	}
+	doc := strings.Join(l.pendingDoc, "\n")
+	l.pendingDoc = nil
+	return strings.TrimSpace(doc)
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+// next returns the next token, carrying any immediately preceding doc
+// comment in Token.Doc.
+func (l *lexer) next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	doc := l.takeDoc()
+	tok, err := l.scanToken()
+	if err != nil {
+		return tok, err
+	}
+	tok.Doc = doc
+	return tok, nil
+}
+
+// scanToken lexes one token at the current offset.
+func (l *lexer) scanToken() (Token, error) {
+	pos := l.pos()
+	if l.off >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: pos}, nil
+	}
+	c := l.peek()
+	switch {
+	case isIdentStart(c):
+		start := l.off
+		l.advance()
+		for l.off < len(l.src) && isIdentPart(l.peek()) {
+			l.advance()
+		}
+		// Allow '-' joining identifier parts: SIDL has no arithmetic, and
+		// hyphenated words appear as the 'implements-all' keyword and the
+		// 'row-major' / 'column-major' array orders.
+		for l.off < len(l.src) && l.peek() == '-' && l.off+1 < len(l.src) && isIdentStart(l.peek2()) {
+			l.advance() // '-'
+			for l.off < len(l.src) && isIdentPart(l.peek()) {
+				l.advance()
+			}
+		}
+		text := l.src[start:l.off]
+		if k, ok := keywords[text]; ok {
+			return Token{Kind: k, Text: text, Pos: pos}, nil
+		}
+		return Token{Kind: TokIdent, Text: text, Pos: pos}, nil
+
+	case unicode.IsDigit(rune(c)):
+		start := l.off
+		l.advance()
+		dots := 0
+		for l.off < len(l.src) && (unicode.IsDigit(rune(l.peek())) || (l.peek() == '.' && unicode.IsDigit(rune(l.peek2())))) {
+			if l.peek() == '.' {
+				dots++
+			}
+			l.advance()
+		}
+		text := l.src[start:l.off]
+		if dots > 0 {
+			return Token{Kind: TokVersion, Text: text, Pos: pos}, nil
+		}
+		return Token{Kind: TokInt, Text: text, Pos: pos}, nil
+
+	case c == '"':
+		l.advance()
+		var sb strings.Builder
+		for l.off < len(l.src) && l.peek() != '"' {
+			if l.peek() == '\n' {
+				return Token{}, syntaxErrf(pos, "unterminated string literal")
+			}
+			sb.WriteByte(l.advance())
+		}
+		if l.off >= len(l.src) {
+			return Token{}, syntaxErrf(pos, "unterminated string literal")
+		}
+		l.advance()
+		return Token{Kind: TokString, Text: sb.String(), Pos: pos}, nil
+	}
+
+	l.advance()
+	switch c {
+	case '{':
+		return Token{Kind: TokLBrace, Text: "{", Pos: pos}, nil
+	case '}':
+		return Token{Kind: TokRBrace, Text: "}", Pos: pos}, nil
+	case '(':
+		return Token{Kind: TokLParen, Text: "(", Pos: pos}, nil
+	case ')':
+		return Token{Kind: TokRParen, Text: ")", Pos: pos}, nil
+	case '<':
+		return Token{Kind: TokLAngle, Text: "<", Pos: pos}, nil
+	case '>':
+		return Token{Kind: TokRAngle, Text: ">", Pos: pos}, nil
+	case ',':
+		return Token{Kind: TokComma, Text: ",", Pos: pos}, nil
+	case ';':
+		return Token{Kind: TokSemi, Text: ";", Pos: pos}, nil
+	case '.':
+		return Token{Kind: TokDot, Text: ".", Pos: pos}, nil
+	case '=':
+		return Token{Kind: TokAssign, Text: "=", Pos: pos}, nil
+	}
+	return Token{}, syntaxErrf(pos, "unexpected character %q", string(rune(c)))
+}
+
+// Lex scans the entire source, returning the token stream (ending in EOF).
+func Lex(src string) ([]Token, error) {
+	l := newLexer(src)
+	var out []Token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == TokEOF {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,422 @@
+package sidl
+
+import "strconv"
+
+// Parse parses SIDL source text into a File.
+//
+// Grammar (EBNF):
+//
+//	file        = { package } EOF .
+//	package     = "package" qname [ "version" VERSION|INT ] "{" { decl } "}" .
+//	decl        = interface | class | enum .
+//	interface   = "interface" IDENT [ "extends" qname { "," qname } ]
+//	              "{" { method } "}" .
+//	class       = [ "abstract" ] "class" IDENT [ "extends" qname ]
+//	              [ "implements" qname { "," qname } ]
+//	              [ "implements-all" qname { "," qname } ]
+//	              "{" { method } "}" .
+//	enum        = "enum" IDENT "{" member { "," member } [","] "}" .
+//	member      = IDENT [ "=" INT ] .
+//	method      = { "static" | "final" | "oneway" } type IDENT
+//	              "(" [ param { "," param } ] ")"
+//	              [ "throws" qname { "," qname } ] ";" .
+//	param       = [ "in" | "out" | "inout" ] type IDENT .
+//	type        = "array" "<" type "," INT [ "," IDENT ] ">" | qname .
+//	qname       = IDENT { "." IDENT } .
+//
+// Primitive names (void, double, dcomplex, ...) lex as identifiers and are
+// recognized during type parsing.
+func Parse(src string) (*File, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.parseFile()
+}
+
+type parser struct {
+	toks []Token
+	i    int
+}
+
+func (p *parser) cur() Token  { return p.toks[p.i] }
+func (p *parser) next() Token { t := p.toks[p.i]; p.i++; return t }
+
+func (p *parser) accept(k Kind) (Token, bool) {
+	if p.cur().Kind == k {
+		return p.next(), true
+	}
+	return Token{}, false
+}
+
+func (p *parser) expect(k Kind) (Token, error) {
+	if p.cur().Kind == k {
+		return p.next(), nil
+	}
+	return Token{}, syntaxErrf(p.cur().Pos, "expected %s, found %s", k, p.cur())
+}
+
+func (p *parser) parseFile() (*File, error) {
+	f := &File{}
+	for p.cur().Kind != TokEOF {
+		pkg, err := p.parsePackage()
+		if err != nil {
+			return nil, err
+		}
+		f.Packages = append(f.Packages, pkg)
+	}
+	if len(f.Packages) == 0 {
+		return nil, syntaxErrf(p.cur().Pos, "empty file: expected at least one package")
+	}
+	return f, nil
+}
+
+func (p *parser) parsePackage() (*PackageDecl, error) {
+	kw, err := p.expect(TokPackage)
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.parseQName()
+	if err != nil {
+		return nil, err
+	}
+	pkg := &PackageDecl{Name: name.String(), Pos: kw.Pos}
+	if _, ok := p.accept(TokVersionKW); ok {
+		v := p.cur()
+		if v.Kind != TokVersion && v.Kind != TokInt {
+			return nil, syntaxErrf(v.Pos, "expected version number, found %s", v)
+		}
+		p.next()
+		pkg.Version = v.Text
+	}
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	for p.cur().Kind != TokRBrace {
+		d, err := p.parseDecl()
+		if err != nil {
+			return nil, err
+		}
+		pkg.Decls = append(pkg.Decls, d)
+	}
+	if _, err := p.expect(TokRBrace); err != nil {
+		return nil, err
+	}
+	return pkg, nil
+}
+
+func (p *parser) parseDecl() (Decl, error) {
+	switch p.cur().Kind {
+	case TokInterface:
+		return p.parseInterface()
+	case TokClass, TokAbstract:
+		return p.parseClass()
+	case TokEnum:
+		return p.parseEnum()
+	default:
+		return nil, syntaxErrf(p.cur().Pos, "expected interface, class, or enum, found %s", p.cur())
+	}
+}
+
+func (p *parser) parseInterface() (*InterfaceDecl, error) {
+	kw := p.next() // interface
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	d := &InterfaceDecl{Name: name.Text, Pos: kw.Pos, Doc: kw.Doc}
+	if _, ok := p.accept(TokExtends); ok {
+		d.Extends, err = p.parseQNameList()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	for p.cur().Kind != TokRBrace {
+		m, err := p.parseMethod()
+		if err != nil {
+			return nil, err
+		}
+		d.Methods = append(d.Methods, m)
+	}
+	p.next() // }
+	return d, nil
+}
+
+func (p *parser) parseClass() (*ClassDecl, error) {
+	d := &ClassDecl{Pos: p.cur().Pos, Doc: p.cur().Doc}
+	if _, ok := p.accept(TokAbstract); ok {
+		d.Abstract = true
+	}
+	if _, err := p.expect(TokClass); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	d.Name = name.Text
+	if _, ok := p.accept(TokExtends); ok {
+		base, err := p.parseQName()
+		if err != nil {
+			return nil, err
+		}
+		d.Extends = &base
+	}
+	for {
+		if _, ok := p.accept(TokImplements); ok {
+			list, err := p.parseQNameList()
+			if err != nil {
+				return nil, err
+			}
+			d.Implements = append(d.Implements, list...)
+			continue
+		}
+		if _, ok := p.accept(TokImplementsAll); ok {
+			list, err := p.parseQNameList()
+			if err != nil {
+				return nil, err
+			}
+			d.ImplementsAll = append(d.ImplementsAll, list...)
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	for p.cur().Kind != TokRBrace {
+		m, err := p.parseMethod()
+		if err != nil {
+			return nil, err
+		}
+		d.Methods = append(d.Methods, m)
+	}
+	p.next() // }
+	return d, nil
+}
+
+func (p *parser) parseEnum() (*EnumDecl, error) {
+	kw := p.next() // enum
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	d := &EnumDecl{Name: name.Text, Pos: kw.Pos, Doc: kw.Doc}
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	nextVal := 0
+	for p.cur().Kind != TokRBrace {
+		id, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		mem := EnumMember{Name: id.Text, Pos: id.Pos}
+		if _, ok := p.accept(TokAssign); ok {
+			v, err := p.expect(TokInt)
+			if err != nil {
+				return nil, err
+			}
+			n, err := strconv.Atoi(v.Text)
+			if err != nil {
+				return nil, syntaxErrf(v.Pos, "bad enum value %q", v.Text)
+			}
+			mem.Value = n
+			mem.Explicit = true
+			nextVal = n + 1
+		} else {
+			mem.Value = nextVal
+			nextVal++
+		}
+		d.Members = append(d.Members, mem)
+		if _, ok := p.accept(TokComma); !ok {
+			break
+		}
+	}
+	if _, err := p.expect(TokRBrace); err != nil {
+		return nil, err
+	}
+	if len(d.Members) == 0 {
+		return nil, syntaxErrf(d.Pos, "enum %s has no members", d.Name)
+	}
+	return d, nil
+}
+
+func (p *parser) parseMethod() (*MethodDecl, error) {
+	m := &MethodDecl{Pos: p.cur().Pos, Doc: p.cur().Doc}
+	for {
+		switch p.cur().Kind {
+		case TokStatic:
+			p.next()
+			m.Static = true
+			continue
+		case TokFinal:
+			p.next()
+			m.Final = true
+			continue
+		case TokOneway:
+			p.next()
+			m.Oneway = true
+			continue
+		}
+		break
+	}
+	ret, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	m.Ret = ret
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	m.Name = name.Text
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	if p.cur().Kind != TokRParen {
+		for {
+			prm, err := p.parseParam()
+			if err != nil {
+				return nil, err
+			}
+			m.Params = append(m.Params, prm)
+			if _, ok := p.accept(TokComma); !ok {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	if _, ok := p.accept(TokThrows); ok {
+		m.Throws, err = p.parseQNameList()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	if m.Oneway && !m.Ret.IsVoid() {
+		return nil, syntaxErrf(m.Pos, "oneway method %s must return void", m.Name)
+	}
+	return m, nil
+}
+
+func (p *parser) parseParam() (Param, error) {
+	prm := Param{Mode: ModeIn, Pos: p.cur().Pos}
+	switch p.cur().Kind {
+	case TokIn:
+		p.next()
+	case TokOut:
+		p.next()
+		prm.Mode = ModeOut
+	case TokInout:
+		p.next()
+		prm.Mode = ModeInOut
+	}
+	t, err := p.parseType()
+	if err != nil {
+		return Param{}, err
+	}
+	if t.IsVoid() {
+		return Param{}, syntaxErrf(prm.Pos, "void parameter")
+	}
+	prm.Type = t
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return Param{}, err
+	}
+	prm.Name = name.Text
+	return prm, nil
+}
+
+func (p *parser) parseType() (TypeRef, error) {
+	pos := p.cur().Pos
+	if _, ok := p.accept(TokArray); ok {
+		if _, err := p.expect(TokLAngle); err != nil {
+			return TypeRef{}, err
+		}
+		elem, err := p.parseType()
+		if err != nil {
+			return TypeRef{}, err
+		}
+		if elem.IsVoid() || elem.Array != nil {
+			return TypeRef{}, syntaxErrf(pos, "invalid array element type %s", elem)
+		}
+		if _, err := p.expect(TokComma); err != nil {
+			return TypeRef{}, err
+		}
+		rk, err := p.expect(TokInt)
+		if err != nil {
+			return TypeRef{}, err
+		}
+		rank, err := strconv.Atoi(rk.Text)
+		if err != nil || rank < 1 || rank > 7 {
+			return TypeRef{}, syntaxErrf(rk.Pos, "array rank %q outside [1,7]", rk.Text)
+		}
+		order := ""
+		if _, ok := p.accept(TokComma); ok {
+			o, err := p.expect(TokIdent)
+			if err != nil {
+				return TypeRef{}, err
+			}
+			switch o.Text {
+			case "row-major", "column-major":
+				order = o.Text
+			default:
+				return TypeRef{}, syntaxErrf(o.Pos, "array order %q (want row-major or column-major)", o.Text)
+			}
+		}
+		if _, err := p.expect(TokRAngle); err != nil {
+			return TypeRef{}, err
+		}
+		return TypeRef{Array: &ArrayRef{Elem: elem, Rank: rank, Order: order}, Pos: pos}, nil
+	}
+	name, err := p.parseQName()
+	if err != nil {
+		return TypeRef{}, err
+	}
+	if len(name.Parts) == 1 {
+		if prim := LookupPrimitive(name.Parts[0]); prim != PrimInvalid {
+			return TypeRef{Prim: prim, Pos: pos}, nil
+		}
+	}
+	return TypeRef{Named: &name, Pos: pos}, nil
+}
+
+func (p *parser) parseQName() (TypeName, error) {
+	first, err := p.expect(TokIdent)
+	if err != nil {
+		return TypeName{}, err
+	}
+	name := TypeName{Parts: []string{first.Text}, Pos: first.Pos}
+	for p.cur().Kind == TokDot {
+		p.next()
+		part, err := p.expect(TokIdent)
+		if err != nil {
+			return TypeName{}, err
+		}
+		name.Parts = append(name.Parts, part.Text)
+	}
+	return name, nil
+}
+
+func (p *parser) parseQNameList() ([]TypeName, error) {
+	var out []TypeName
+	for {
+		n, err := p.parseQName()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+		if _, ok := p.accept(TokComma); !ok {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package sidl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders a parsed File back to canonical SIDL text. Parsing the
+// output reproduces an equivalent AST (round-trip property, tested).
+func Format(f *File) string {
+	var b strings.Builder
+	for i, pkg := range f.Packages {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		formatPackage(&b, pkg)
+	}
+	return b.String()
+}
+
+func formatPackage(b *strings.Builder, pkg *PackageDecl) {
+	fmt.Fprintf(b, "package %s", pkg.Name)
+	if pkg.Version != "" {
+		fmt.Fprintf(b, " version %s", pkg.Version)
+	}
+	b.WriteString(" {\n")
+	for i, d := range pkg.Decls {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		switch d := d.(type) {
+		case *InterfaceDecl:
+			formatInterface(b, d)
+		case *ClassDecl:
+			formatClass(b, d)
+		case *EnumDecl:
+			formatEnum(b, d)
+		}
+	}
+	b.WriteString("}\n")
+}
+
+func formatDoc(b *strings.Builder, indent, doc string) {
+	if doc == "" {
+		return
+	}
+	for _, line := range strings.Split(doc, "\n") {
+		if line == "" {
+			fmt.Fprintf(b, "%s//\n", indent)
+		} else {
+			fmt.Fprintf(b, "%s// %s\n", indent, line)
+		}
+	}
+}
+
+func formatInterface(b *strings.Builder, d *InterfaceDecl) {
+	formatDoc(b, "  ", d.Doc)
+	fmt.Fprintf(b, "  interface %s", d.Name)
+	if len(d.Extends) > 0 {
+		fmt.Fprintf(b, " extends %s", joinNames(d.Extends))
+	}
+	b.WriteString(" {\n")
+	for _, m := range d.Methods {
+		formatMethod(b, m)
+	}
+	b.WriteString("  }\n")
+}
+
+func formatClass(b *strings.Builder, d *ClassDecl) {
+	formatDoc(b, "  ", d.Doc)
+	b.WriteString("  ")
+	if d.Abstract {
+		b.WriteString("abstract ")
+	}
+	fmt.Fprintf(b, "class %s", d.Name)
+	if d.Extends != nil {
+		fmt.Fprintf(b, " extends %s", d.Extends.String())
+	}
+	if len(d.Implements) > 0 {
+		fmt.Fprintf(b, " implements %s", joinNames(d.Implements))
+	}
+	if len(d.ImplementsAll) > 0 {
+		fmt.Fprintf(b, " implements-all %s", joinNames(d.ImplementsAll))
+	}
+	b.WriteString(" {\n")
+	for _, m := range d.Methods {
+		formatMethod(b, m)
+	}
+	b.WriteString("  }\n")
+}
+
+func formatEnum(b *strings.Builder, d *EnumDecl) {
+	formatDoc(b, "  ", d.Doc)
+	fmt.Fprintf(b, "  enum %s {\n", d.Name)
+	for i, m := range d.Members {
+		b.WriteString("    ")
+		b.WriteString(m.Name)
+		if m.Explicit {
+			fmt.Fprintf(b, " = %d", m.Value)
+		}
+		if i < len(d.Members)-1 {
+			b.WriteString(",")
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("  }\n")
+}
+
+func formatMethod(b *strings.Builder, m *MethodDecl) {
+	formatDoc(b, "    ", m.Doc)
+	b.WriteString("    ")
+	if m.Static {
+		b.WriteString("static ")
+	}
+	if m.Final {
+		b.WriteString("final ")
+	}
+	if m.Oneway {
+		b.WriteString("oneway ")
+	}
+	fmt.Fprintf(b, "%s %s(", m.Ret, m.Name)
+	for i, p := range m.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(b, "%s %s %s", p.Mode, p.Type, p.Name)
+	}
+	b.WriteString(")")
+	if len(m.Throws) > 0 {
+		fmt.Fprintf(b, " throws %s", joinNames(m.Throws))
+	}
+	b.WriteString(";\n")
+}
+
+func joinNames(ns []TypeName) string {
+	parts := make([]string, len(ns))
+	for i, n := range ns {
+		parts[i] = n.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Describe renders a one-line summary of each resolved type — used by the
+// sidlc tool's -describe mode and the repository listings.
+func (t *Table) Describe() string {
+	var b strings.Builder
+	for _, q := range t.Order {
+		switch t.Lookup(q) {
+		case "interface":
+			i := t.Interfaces[q]
+			fmt.Fprintf(&b, "interface %s (%d methods", q, len(i.Methods))
+			if len(i.Extends) > 0 {
+				names := make([]string, len(i.Extends))
+				for k, e := range i.Extends {
+					names[k] = e.QName
+				}
+				fmt.Fprintf(&b, "; extends %s", strings.Join(names, ", "))
+			}
+			b.WriteString(")\n")
+		case "class":
+			c := t.Classes[q]
+			kind := "class"
+			if c.Abstract {
+				kind = "abstract class"
+			}
+			fmt.Fprintf(&b, "%s %s (%d methods, %d interfaces)\n", kind, q, len(c.Methods), len(c.AllInterfaces))
+		case "enum":
+			e := t.Enums[q]
+			fmt.Fprintf(&b, "enum %s (%d members)\n", q, len(e.Decl.Members))
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,543 @@
+package sidl
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Semantic errors.
+var (
+	ErrSemantic  = errors.New("sidl: semantic error")
+	ErrRedefined = errors.New("sidl: type redefined")
+	ErrUnknown   = errors.New("sidl: unknown type")
+	ErrCycle     = errors.New("sidl: inheritance cycle")
+	ErrOverload  = errors.New("sidl: method overloading is not allowed")
+	ErrOverride  = errors.New("sidl: invalid override")
+	ErrAbstract  = errors.New("sidl: unimplemented interface methods")
+)
+
+func semErrf(base error, pos Pos, format string, args ...any) error {
+	return fmt.Errorf("%w: %s: %s", base, pos, fmt.Sprintf(format, args...))
+}
+
+// Method is a resolved method: its declaration plus the fully qualified
+// name of the type that declared it.
+type Method struct {
+	Decl  *MethodDecl
+	Owner string
+}
+
+// Interface is a resolved SIDL interface.
+type Interface struct {
+	QName   string
+	Pkg     string
+	Decl    *InterfaceDecl
+	Extends []*Interface
+	// Methods is the complete, linearized method set: inherited methods
+	// first (in extends order, depth-first, deduplicated), then own
+	// methods, each name appearing once. This ordering is the interface's
+	// entry-point vector (EPV) layout used by codegen and reflection.
+	Methods []*Method
+}
+
+// Class is a resolved SIDL class.
+type Class struct {
+	QName    string
+	Pkg      string
+	Decl     *ClassDecl
+	Base     *Class
+	Abstract bool
+	// Implements lists directly implemented interfaces (both implements
+	// and implements-all clauses).
+	Implements []*Interface
+	// AllInterfaces is the transitive closure of implemented interfaces,
+	// including those of base classes, sorted by qualified name.
+	AllInterfaces []*Interface
+	// Methods is the class's concrete method table: base-class methods
+	// (possibly overridden) then own methods, each name once.
+	Methods []*Method
+	// AutoImplemented marks method names satisfied by an implements-all
+	// clause (generated glue) rather than a declared method.
+	AutoImplemented map[string]bool
+}
+
+// Enum is a resolved enumeration.
+type Enum struct {
+	QName string
+	Pkg   string
+	Decl  *EnumDecl
+}
+
+// Package is a resolved SIDL package.
+type Package struct {
+	Name    string
+	Version string
+	// TypeNames lists the package's types in declaration order.
+	TypeNames []string
+}
+
+// Table is the resolved symbol table for a set of SIDL files: the paper's
+// repository contents for a component's interface description.
+type Table struct {
+	Interfaces map[string]*Interface
+	Classes    map[string]*Class
+	Enums      map[string]*Enum
+	Packages   map[string]*Package
+	// Order lists all fully qualified type names in a stable order
+	// (package declaration order, then declaration order).
+	Order []string
+}
+
+// Lookup reports the kind ("interface", "class", "enum") of a qualified
+// name, or "" when absent.
+func (t *Table) Lookup(qname string) string {
+	if _, ok := t.Interfaces[qname]; ok {
+		return "interface"
+	}
+	if _, ok := t.Classes[qname]; ok {
+		return "class"
+	}
+	if _, ok := t.Enums[qname]; ok {
+		return "enum"
+	}
+	return ""
+}
+
+// IsSubtype reports whether sub is type-compatible with super under SIDL's
+// object model: a type is a subtype of itself, of any interface it extends
+// (transitively), of any interface it implements (for classes, including
+// via base classes), and of any base class. This is the port-compatibility
+// relation the paper's §4 defines: "port compatibility is defined as
+// object-oriented type compatibility of the port interfaces, as can be
+// described in the SIDL."
+func (t *Table) IsSubtype(sub, super string) bool {
+	if sub == super {
+		return true
+	}
+	if iface, ok := t.Interfaces[sub]; ok {
+		for _, e := range iface.Extends {
+			if t.IsSubtype(e.QName, super) {
+				return true
+			}
+		}
+		return false
+	}
+	if cls, ok := t.Classes[sub]; ok {
+		for _, i := range cls.AllInterfaces {
+			if i.QName == super || t.IsSubtype(i.QName, super) {
+				return true
+			}
+		}
+		for b := cls.Base; b != nil; b = b.Base {
+			if b.QName == super {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Resolve semantically analyzes one or more parsed files into a Table.
+func Resolve(files ...*File) (*Table, error) {
+	r := &resolver{
+		t: &Table{
+			Interfaces: map[string]*Interface{},
+			Classes:    map[string]*Class{},
+			Enums:      map[string]*Enum{},
+			Packages:   map[string]*Package{},
+		},
+		declOf: map[string]Decl{},
+		pkgOf:  map[string]string{},
+	}
+	if err := r.collect(files); err != nil {
+		return nil, err
+	}
+	if err := r.resolveAll(); err != nil {
+		return nil, err
+	}
+	return r.t, nil
+}
+
+type resolver struct {
+	t      *Table
+	declOf map[string]Decl
+	pkgOf  map[string]string
+	// state for cycle detection: 0 unvisited, 1 in progress, 2 done.
+	ifaceState map[string]int
+	classState map[string]int
+}
+
+func (r *resolver) collect(files []*File) error {
+	for _, f := range files {
+		for _, pkg := range f.Packages {
+			p := r.t.Packages[pkg.Name]
+			if p == nil {
+				p = &Package{Name: pkg.Name, Version: pkg.Version}
+				r.t.Packages[pkg.Name] = p
+			} else if pkg.Version != "" && p.Version != "" && pkg.Version != p.Version {
+				return semErrf(ErrSemantic, pkg.Pos, "package %s declared with versions %s and %s", pkg.Name, p.Version, pkg.Version)
+			} else if p.Version == "" {
+				p.Version = pkg.Version
+			}
+			for _, d := range pkg.Decls {
+				q := pkg.Name + "." + d.declName()
+				if _, dup := r.declOf[q]; dup {
+					return semErrf(ErrRedefined, d.declPos(), "%s", q)
+				}
+				r.declOf[q] = d
+				r.pkgOf[q] = pkg.Name
+				p.TypeNames = append(p.TypeNames, q)
+				r.t.Order = append(r.t.Order, q)
+			}
+		}
+	}
+	return nil
+}
+
+// lookupName resolves a type name from within package pkg: unqualified
+// names resolve in the same package first, then as a global qualified name.
+func (r *resolver) lookupName(pkg string, n TypeName) (string, error) {
+	name := n.String()
+	if len(n.Parts) == 1 {
+		if _, ok := r.declOf[pkg+"."+name]; ok {
+			return pkg + "." + name, nil
+		}
+	}
+	if _, ok := r.declOf[name]; ok {
+		return name, nil
+	}
+	return "", semErrf(ErrUnknown, n.Pos, "%s (from package %s)", name, pkg)
+}
+
+func (r *resolver) resolveAll() error {
+	r.ifaceState = map[string]int{}
+	r.classState = map[string]int{}
+	// Enums first (no dependencies).
+	for q, d := range r.declOf {
+		if e, ok := d.(*EnumDecl); ok {
+			if err := checkEnum(e); err != nil {
+				return err
+			}
+			r.t.Enums[q] = &Enum{QName: q, Pkg: r.pkgOf[q], Decl: e}
+		}
+	}
+	// Interfaces (recursive over extends).
+	for _, q := range r.t.Order {
+		if _, ok := r.declOf[q].(*InterfaceDecl); ok {
+			if _, err := r.resolveInterface(q); err != nil {
+				return err
+			}
+		}
+	}
+	// Classes (recursive over extends).
+	for _, q := range r.t.Order {
+		if _, ok := r.declOf[q].(*ClassDecl); ok {
+			if _, err := r.resolveClass(q); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func checkEnum(d *EnumDecl) error {
+	seenName := map[string]bool{}
+	seenVal := map[int]string{}
+	for _, m := range d.Members {
+		if seenName[m.Name] {
+			return semErrf(ErrSemantic, m.Pos, "enum %s repeats member %s", d.Name, m.Name)
+		}
+		seenName[m.Name] = true
+		if prev, dup := seenVal[m.Value]; dup {
+			return semErrf(ErrSemantic, m.Pos, "enum %s: %s and %s share value %d", d.Name, prev, m.Name, m.Value)
+		}
+		seenVal[m.Value] = m.Name
+	}
+	return nil
+}
+
+// checkMethodTypes resolves every type referenced by a method.
+func (r *resolver) checkMethodTypes(pkg string, m *MethodDecl) error {
+	check := func(t TypeRef) error {
+		for t.Array != nil {
+			t = t.Array.Elem
+		}
+		if t.Named != nil {
+			if _, err := r.lookupName(pkg, *t.Named); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := check(m.Ret); err != nil {
+		return err
+	}
+	names := map[string]bool{}
+	for _, p := range m.Params {
+		if names[p.Name] {
+			return semErrf(ErrSemantic, p.Pos, "method %s repeats parameter %s", m.Name, p.Name)
+		}
+		names[p.Name] = true
+		if err := check(p.Type); err != nil {
+			return err
+		}
+	}
+	for _, th := range m.Throws {
+		q, err := r.lookupName(pkg, th)
+		if err != nil {
+			return err
+		}
+		switch r.declOf[q].(type) {
+		case *ClassDecl, *InterfaceDecl:
+		default:
+			return semErrf(ErrSemantic, th.Pos, "throws %s is not a class or interface", th)
+		}
+	}
+	return nil
+}
+
+func (r *resolver) resolveInterface(q string) (*Interface, error) {
+	if iface, done := r.t.Interfaces[q]; done {
+		return iface, nil
+	}
+	switch r.ifaceState[q] {
+	case 1:
+		return nil, semErrf(ErrCycle, r.declOf[q].declPos(), "interface %s", q)
+	}
+	r.ifaceState[q] = 1
+	d := r.declOf[q].(*InterfaceDecl)
+	pkg := r.pkgOf[q]
+	iface := &Interface{QName: q, Pkg: pkg, Decl: d}
+
+	// No overloading within the declaration.
+	own := map[string]*MethodDecl{}
+	for _, m := range d.Methods {
+		if _, dup := own[m.Name]; dup {
+			return nil, semErrf(ErrOverload, m.Pos, "%s.%s", q, m.Name)
+		}
+		own[m.Name] = m
+		if err := r.checkMethodTypes(pkg, m); err != nil {
+			return nil, err
+		}
+	}
+
+	// Resolve parents, merging their method tables.
+	merged := []*Method{}
+	index := map[string]int{}
+	addInherited := func(m *Method, from string) error {
+		if i, seen := index[m.Decl.Name]; seen {
+			if merged[i].Decl.Signature() != m.Decl.Signature() {
+				return semErrf(ErrOverride, d.Pos,
+					"%s inherits %s with conflicting signatures from %s and %s",
+					q, m.Decl.Name, merged[i].Owner, m.Owner)
+			}
+			return nil // diamond: same method reachable twice
+		}
+		index[m.Decl.Name] = len(merged)
+		merged = append(merged, m)
+		return nil
+	}
+	for _, en := range d.Extends {
+		pq, err := r.lookupName(pkg, en)
+		if err != nil {
+			return nil, err
+		}
+		if _, isIface := r.declOf[pq].(*InterfaceDecl); !isIface {
+			return nil, semErrf(ErrSemantic, en.Pos, "interface %s extends non-interface %s", q, pq)
+		}
+		parent, err := r.resolveInterface(pq)
+		if err != nil {
+			return nil, err
+		}
+		iface.Extends = append(iface.Extends, parent)
+		for _, m := range parent.Methods {
+			if err := addInherited(m, pq); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Own methods: may override inherited ones with an identical signature
+	// (SIDL: method overriding with multiple inheritance), unless final.
+	for _, m := range d.Methods {
+		if i, seen := index[m.Name]; seen {
+			prev := merged[i]
+			if prev.Decl.Final {
+				return nil, semErrf(ErrOverride, m.Pos, "%s.%s overrides final method of %s", q, m.Name, prev.Owner)
+			}
+			if prev.Decl.Signature() != m.Signature() {
+				return nil, semErrf(ErrOverride, m.Pos,
+					"%s.%s signature %s differs from inherited %s",
+					q, m.Name, m.Signature(), prev.Decl.Signature())
+			}
+			merged[i] = &Method{Decl: m, Owner: q}
+			continue
+		}
+		index[m.Name] = len(merged)
+		merged = append(merged, &Method{Decl: m, Owner: q})
+	}
+	iface.Methods = merged
+
+	r.ifaceState[q] = 2
+	r.t.Interfaces[q] = iface
+	return iface, nil
+}
+
+func (r *resolver) resolveClass(q string) (*Class, error) {
+	if cls, done := r.t.Classes[q]; done {
+		return cls, nil
+	}
+	if r.classState[q] == 1 {
+		return nil, semErrf(ErrCycle, r.declOf[q].declPos(), "class %s", q)
+	}
+	r.classState[q] = 1
+	d := r.declOf[q].(*ClassDecl)
+	pkg := r.pkgOf[q]
+	cls := &Class{QName: q, Pkg: pkg, Decl: d, Abstract: d.Abstract, AutoImplemented: map[string]bool{}}
+
+	own := map[string]*MethodDecl{}
+	for _, m := range d.Methods {
+		if _, dup := own[m.Name]; dup {
+			return nil, semErrf(ErrOverload, m.Pos, "%s.%s", q, m.Name)
+		}
+		own[m.Name] = m
+		if err := r.checkMethodTypes(pkg, m); err != nil {
+			return nil, err
+		}
+	}
+
+	// Single implementation inheritance.
+	merged := []*Method{}
+	index := map[string]int{}
+	if d.Extends != nil {
+		bq, err := r.lookupName(pkg, *d.Extends)
+		if err != nil {
+			return nil, err
+		}
+		if _, isClass := r.declOf[bq].(*ClassDecl); !isClass {
+			return nil, semErrf(ErrSemantic, d.Extends.Pos, "class %s extends non-class %s", q, bq)
+		}
+		base, err := r.resolveClass(bq)
+		if err != nil {
+			return nil, err
+		}
+		cls.Base = base
+		for _, m := range base.Methods {
+			index[m.Decl.Name] = len(merged)
+			merged = append(merged, m)
+		}
+		for name := range base.AutoImplemented {
+			cls.AutoImplemented[name] = true
+		}
+	}
+
+	// Interfaces: implements + implements-all.
+	addIface := func(names []TypeName, auto bool) error {
+		for _, in := range names {
+			iq, err := r.lookupName(pkg, in)
+			if err != nil {
+				return err
+			}
+			if _, isIface := r.declOf[iq].(*InterfaceDecl); !isIface {
+				return semErrf(ErrSemantic, in.Pos, "class %s implements non-interface %s", q, iq)
+			}
+			iface, err := r.resolveInterface(iq)
+			if err != nil {
+				return err
+			}
+			cls.Implements = append(cls.Implements, iface)
+			if auto {
+				for _, m := range iface.Methods {
+					cls.AutoImplemented[m.Decl.Name] = true
+				}
+			}
+		}
+		return nil
+	}
+	if err := addIface(d.Implements, false); err != nil {
+		return nil, err
+	}
+	if err := addIface(d.ImplementsAll, true); err != nil {
+		return nil, err
+	}
+
+	// Own methods with override checks against the base class.
+	for _, m := range d.Methods {
+		if i, seen := index[m.Name]; seen {
+			prev := merged[i]
+			if prev.Decl.Final {
+				return nil, semErrf(ErrOverride, m.Pos, "%s.%s overrides final method of %s", q, m.Name, prev.Owner)
+			}
+			if prev.Decl.Static != m.Static {
+				return nil, semErrf(ErrOverride, m.Pos, "%s.%s changes staticness", q, m.Name)
+			}
+			if prev.Decl.Signature() != m.Signature() {
+				return nil, semErrf(ErrOverride, m.Pos,
+					"%s.%s signature %s differs from inherited %s",
+					q, m.Name, m.Signature(), prev.Decl.Signature())
+			}
+			merged[i] = &Method{Decl: m, Owner: q}
+			continue
+		}
+		index[m.Name] = len(merged)
+		merged = append(merged, &Method{Decl: m, Owner: q})
+	}
+	cls.Methods = merged
+
+	// Interface-conformance: methods declared by implemented interfaces
+	// must exist (same signature) or be auto-implemented, unless the
+	// class is abstract.
+	closure := map[string]*Interface{}
+	var addClosure func(i *Interface)
+	addClosure = func(i *Interface) {
+		if _, ok := closure[i.QName]; ok {
+			return
+		}
+		closure[i.QName] = i
+		for _, p := range i.Extends {
+			addClosure(p)
+		}
+	}
+	for _, i := range cls.Implements {
+		addClosure(i)
+	}
+	for c := cls.Base; c != nil; c = c.Base {
+		for _, i := range c.Implements {
+			addClosure(i)
+		}
+	}
+	for _, name := range sortedKeys(closure) {
+		cls.AllInterfaces = append(cls.AllInterfaces, closure[name])
+	}
+	if !cls.Abstract {
+		for _, iface := range cls.AllInterfaces {
+			for _, im := range iface.Methods {
+				if cls.AutoImplemented[im.Decl.Name] {
+					continue
+				}
+				i, ok := index[im.Decl.Name]
+				if !ok {
+					return nil, semErrf(ErrAbstract, d.Pos, "class %s misses %s.%s", q, iface.QName, im.Decl.Name)
+				}
+				if merged[i].Decl.Signature() != im.Decl.Signature() {
+					return nil, semErrf(ErrOverride, merged[i].Decl.Pos,
+						"class %s implements %s.%s with signature %s, want %s",
+						q, iface.QName, im.Decl.Name, merged[i].Decl.Signature(), im.Decl.Signature())
+				}
+			}
+		}
+	}
+
+	r.classState[q] = 2
+	r.t.Classes[q] = cls
+	return cls, nil
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

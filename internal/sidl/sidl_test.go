@@ -1,0 +1,498 @@
+package sidl
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+const esiCorpus = `
+// The ESI-flavoured solver interfaces used across the reproduction.
+package esi version 1.0 {
+  interface Object {
+    string typeName();
+  }
+
+  interface Vector extends Object {
+    int length();
+    double dot(in array<double,1> other);
+    void axpy(in double alpha, in array<double,1> x);
+  }
+
+  interface Operator extends Object {
+    void apply(in array<double,1> x, out array<double,1> y) throws esi.SolveError;
+  }
+
+  interface Preconditioner extends Operator {
+    void setup();
+  }
+
+  /* Multiple interface inheritance with method overriding, as the ESI
+     standard requires. */
+  interface Solver extends Operator, Preconditioner {
+    string typeName();
+    void solve(in array<double,1> b, inout array<double,1> x, out int iters) throws esi.SolveError;
+  }
+
+  class SolveError {
+    string message();
+  }
+
+  abstract class SolverBase implements Solver {
+    string typeName();
+  }
+
+  class CGSolver extends SolverBase implements-all Solver {
+  }
+
+  enum Norm {
+    One,
+    Two = 5,
+    Infinity
+  }
+}
+
+package chad version 0.3 {
+  interface Mesh {
+    int numNodes();
+    void coordinates(out array<double,2> xy);
+    oneway void refine(in int level);
+  }
+  interface Field extends Mesh {
+    void values(out array<dcomplex,1> v);
+  }
+}
+`
+
+func mustResolve(t *testing.T, src string) *Table {
+	t.Helper()
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := Resolve(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex(`package a { interface B { void f(in int x); } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []Kind{TokPackage, TokIdent, TokLBrace, TokInterface, TokIdent,
+		TokLBrace, TokIdent, TokIdent, TokLParen, TokIn, TokIdent, TokIdent,
+		TokRParen, TokSemi, TokRBrace, TokRBrace, TokEOF}
+	if len(toks) != len(kinds) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(kinds), toks)
+	}
+	for i, k := range kinds {
+		if toks[i].Kind != k {
+			t.Errorf("token %d = %v, want %v", i, toks[i], k)
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, err := Lex("// line\n/* block\nspanning */ package")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 2 || toks[0].Kind != TokPackage {
+		t.Errorf("tokens = %v", toks)
+	}
+	if _, err := Lex("/* unterminated"); !errors.Is(err, ErrSyntax) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestLexHyphenatedKeywords(t *testing.T) {
+	toks, err := Lex("implements-all row-major")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != TokImplementsAll {
+		t.Errorf("tok0 = %v", toks[0])
+	}
+	if toks[1].Kind != TokIdent || toks[1].Text != "row-major" {
+		t.Errorf("tok1 = %v", toks[1])
+	}
+}
+
+func TestLexVersionVsInt(t *testing.T) {
+	toks, err := Lex("1 1.0 1.0.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != TokInt || toks[1].Kind != TokVersion || toks[2].Kind != TokVersion {
+		t.Errorf("tokens = %v", toks)
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := Lex("package\n  x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos.Line != 1 || toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("positions: %v %v", toks[0].Pos, toks[1].Pos)
+	}
+}
+
+func TestLexBadChar(t *testing.T) {
+	if _, err := Lex("package @"); !errors.Is(err, ErrSyntax) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestParseCorpus(t *testing.T) {
+	f, err := Parse(esiCorpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Packages) != 2 {
+		t.Fatalf("packages = %d", len(f.Packages))
+	}
+	esi := f.Packages[0]
+	if esi.Name != "esi" || esi.Version != "1.0" {
+		t.Errorf("pkg = %s v%s", esi.Name, esi.Version)
+	}
+	if len(esi.Decls) != 9 {
+		t.Errorf("esi decls = %d", len(esi.Decls))
+	}
+}
+
+func TestParseMethodDetails(t *testing.T) {
+	f, err := Parse(`package p {
+	  interface I {
+	    static final double f(in array<double,2,row-major> a, out dcomplex z, inout long n) throws p.E;
+	  }
+	  class E { string message(); }
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := f.Packages[0].Decls[0].(*InterfaceDecl).Methods[0]
+	if !m.Static || !m.Final || m.Oneway {
+		t.Errorf("modifiers: %+v", m)
+	}
+	if m.Ret.Prim != PrimDouble {
+		t.Errorf("ret = %v", m.Ret)
+	}
+	if len(m.Params) != 3 {
+		t.Fatalf("params = %d", len(m.Params))
+	}
+	if m.Params[0].Mode != ModeIn || m.Params[0].Type.Array == nil ||
+		m.Params[0].Type.Array.Rank != 2 || m.Params[0].Type.Array.Order != "row-major" {
+		t.Errorf("param0 = %+v", m.Params[0])
+	}
+	if m.Params[1].Mode != ModeOut || m.Params[1].Type.Prim != PrimDComplex {
+		t.Errorf("param1 = %+v", m.Params[1])
+	}
+	if m.Params[2].Mode != ModeInOut || m.Params[2].Type.Prim != PrimLong {
+		t.Errorf("param2 = %+v", m.Params[2])
+	}
+	if len(m.Throws) != 1 || m.Throws[0].String() != "p.E" {
+		t.Errorf("throws = %v", m.Throws)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		``,                                       // empty
+		`interface I {}`,                         // no package
+		`package p { interface I { void f() } }`, // missing semicolon
+		`package p { interface I { void f(in void x); } }`,                 // void param
+		`package p { interface I { oneway int f(); } }`,                    // oneway non-void
+		`package p { interface I { void f(in array<double,0> a); } }`,      // rank 0
+		`package p { interface I { void f(in array<double,2,diag> a); } }`, // bad order
+		`package p { enum E { } }`,                                         // empty enum
+		`package p { widget W {} }`,                                        // unknown decl
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); !errors.Is(err, ErrSyntax) {
+			t.Errorf("Parse(%q) err = %v, want syntax error", src, err)
+		}
+	}
+}
+
+func TestParseEnumValues(t *testing.T) {
+	f, err := Parse(`package p { enum E { A, B = 7, C, D = 2 } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := f.Packages[0].Decls[0].(*EnumDecl)
+	want := []int{0, 7, 8, 2}
+	for i, m := range e.Members {
+		if m.Value != want[i] {
+			t.Errorf("member %s = %d, want %d", m.Name, m.Value, want[i])
+		}
+	}
+}
+
+func TestResolveCorpus(t *testing.T) {
+	tbl := mustResolve(t, esiCorpus)
+	if len(tbl.Interfaces) != 7 || len(tbl.Classes) != 3 || len(tbl.Enums) != 1 {
+		t.Fatalf("counts: %d interfaces, %d classes, %d enums",
+			len(tbl.Interfaces), len(tbl.Classes), len(tbl.Enums))
+	}
+	solver := tbl.Interfaces["esi.Solver"]
+	if solver == nil {
+		t.Fatal("esi.Solver missing")
+	}
+	// Linearized methods: typeName (overridden by Solver), apply (from
+	// Operator), setup (from Preconditioner), solve (own). The diamond
+	// through Operator must not duplicate apply or typeName.
+	names := map[string]string{}
+	for _, m := range solver.Methods {
+		if _, dup := names[m.Decl.Name]; dup {
+			t.Fatalf("duplicated method %s", m.Decl.Name)
+		}
+		names[m.Decl.Name] = m.Owner
+	}
+	if len(solver.Methods) != 4 {
+		t.Fatalf("solver has %d methods: %v", len(solver.Methods), names)
+	}
+	if names["typeName"] != "esi.Solver" {
+		t.Errorf("typeName owned by %s, want esi.Solver (override)", names["typeName"])
+	}
+	if names["apply"] != "esi.Operator" || names["setup"] != "esi.Preconditioner" {
+		t.Errorf("owners: %v", names)
+	}
+}
+
+func TestResolveClassConformance(t *testing.T) {
+	tbl := mustResolve(t, esiCorpus)
+	cg := tbl.Classes["esi.CGSolver"]
+	if cg == nil {
+		t.Fatal("esi.CGSolver missing")
+	}
+	if cg.Base == nil || cg.Base.QName != "esi.SolverBase" {
+		t.Errorf("base = %v", cg.Base)
+	}
+	if !cg.AutoImplemented["solve"] || !cg.AutoImplemented["apply"] {
+		t.Errorf("auto-implemented = %v", cg.AutoImplemented)
+	}
+	// AllInterfaces includes the transitive closure.
+	var ifaceNames []string
+	for _, i := range cg.AllInterfaces {
+		ifaceNames = append(ifaceNames, i.QName)
+	}
+	joined := strings.Join(ifaceNames, ",")
+	for _, want := range []string{"esi.Solver", "esi.Operator", "esi.Preconditioner", "esi.Object"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("AllInterfaces %v missing %s", ifaceNames, want)
+		}
+	}
+}
+
+func TestIsSubtype(t *testing.T) {
+	tbl := mustResolve(t, esiCorpus)
+	cases := []struct {
+		sub, super string
+		want       bool
+	}{
+		{"esi.Solver", "esi.Solver", true},
+		{"esi.Solver", "esi.Operator", true},
+		{"esi.Solver", "esi.Object", true},
+		{"esi.Operator", "esi.Solver", false},
+		{"esi.CGSolver", "esi.Solver", true},
+		{"esi.CGSolver", "esi.SolverBase", true},
+		{"esi.CGSolver", "esi.Object", true},
+		{"esi.CGSolver", "chad.Mesh", false},
+		{"chad.Field", "chad.Mesh", true},
+		{"esi.Vector", "esi.Operator", false},
+	}
+	for _, tc := range cases {
+		if got := tbl.IsSubtype(tc.sub, tc.super); got != tc.want {
+			t.Errorf("IsSubtype(%s, %s) = %v, want %v", tc.sub, tc.super, got, tc.want)
+		}
+	}
+}
+
+func TestResolveErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want error
+	}{
+		{`package p { interface I {} interface I {} }`, ErrRedefined},
+		{`package p { interface I extends Missing {} }`, ErrUnknown},
+		{`package p { interface A extends B {} interface B extends A {} }`, ErrCycle},
+		{`package p { class A extends B {} class B extends A {} }`, ErrCycle},
+		{`package p { interface I { void f(); int f(in int x); } }`, ErrOverload},
+		{`package p { class C {} interface I extends C {} }`, ErrSemantic},
+		{`package p { interface I {} class C extends I {} }`, ErrSemantic},
+		{`package p { interface I { void f(); } class C implements I {} }`, ErrAbstract},
+		{`package p { interface I { void f(in int a, in int a); } }`, ErrSemantic},
+		{`package p { enum E { A, B = 0 } }`, ErrSemantic},
+		{`package p { interface A { final void f(); } interface B extends A { void f(); } }`, ErrOverride},
+		{`package p { interface A { void f(in int x); } interface B { void f(in double x); } interface C extends A, B {} }`, ErrOverride},
+		{`package p { interface A { void f(in int x); } class C implements A { void f(in double x); } }`, ErrOverride},
+		{`package p { interface I { void f() throws p.E; } enum E { A } }`, ErrSemantic},
+	}
+	for _, tc := range cases {
+		f, err := Parse(tc.src)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", tc.src, err)
+			continue
+		}
+		if _, err := Resolve(f); !errors.Is(err, tc.want) {
+			t.Errorf("Resolve(%q) err = %v, want %v", tc.src, err, tc.want)
+		}
+	}
+}
+
+func TestResolveAbstractClassMaySkipMethods(t *testing.T) {
+	mustResolve(t, `package p {
+	  interface I { void f(); }
+	  abstract class C implements I {}
+	}`)
+}
+
+func TestResolveDiamondDedup(t *testing.T) {
+	tbl := mustResolve(t, `package p {
+	  interface Root { void ping(); }
+	  interface L extends Root {}
+	  interface R extends Root {}
+	  interface D extends L, R {}
+	}`)
+	d := tbl.Interfaces["p.D"]
+	if len(d.Methods) != 1 || d.Methods[0].Owner != "p.Root" {
+		t.Errorf("diamond methods = %+v", d.Methods)
+	}
+}
+
+func TestPackageMergeAcrossFiles(t *testing.T) {
+	f1, err := Parse(`package p version 1.0 { interface A {} }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := Parse(`package p { interface B extends A {} }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := Resolve(f1, f2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Packages["p"].Version != "1.0" || len(tbl.Packages["p"].TypeNames) != 2 {
+		t.Errorf("merged package = %+v", tbl.Packages["p"])
+	}
+	// Conflicting versions rejected.
+	f3, _ := Parse(`package p version 2.0 { interface C {} }`)
+	if _, err := Resolve(f1, f3); !errors.Is(err, ErrSemantic) {
+		t.Errorf("version conflict err = %v", err)
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	f1, err := Parse(esiCorpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Format(f1)
+	f2, err := Parse(text)
+	if err != nil {
+		t.Fatalf("reparse of formatted output: %v\n%s", err, text)
+	}
+	if Format(f2) != text {
+		t.Error("Format is not a fixed point")
+	}
+	// Both ASTs must resolve to the same type set.
+	t1, err := Resolve(f1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := Resolve(f2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t1.Order) != len(t2.Order) {
+		t.Fatalf("order lengths differ: %v vs %v", t1.Order, t2.Order)
+	}
+	for i := range t1.Order {
+		if t1.Order[i] != t2.Order[i] {
+			t.Errorf("order[%d]: %s vs %s", i, t1.Order[i], t2.Order[i])
+		}
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	tbl := mustResolve(t, esiCorpus)
+	desc := tbl.Describe()
+	for _, want := range []string{"interface esi.Solver (4 methods", "abstract class esi.SolverBase", "enum esi.Norm (3 members)"} {
+		if !strings.Contains(desc, want) {
+			t.Errorf("Describe missing %q:\n%s", want, desc)
+		}
+	}
+}
+
+func TestSignatureDistinguishesModesAndThrows(t *testing.T) {
+	f, err := Parse(`package p {
+	  interface A { void f(in int x); }
+	  interface B { void f(out int x); }
+	  class E { string message(); }
+	  interface C { void g(); }
+	  interface D { void g() throws p.E; }
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decls := f.Packages[0].Decls
+	a := decls[0].(*InterfaceDecl).Methods[0]
+	b := decls[1].(*InterfaceDecl).Methods[0]
+	if a.Signature() == b.Signature() {
+		t.Error("in/out modes not distinguished")
+	}
+	c := decls[3].(*InterfaceDecl).Methods[0]
+	d := decls[4].(*InterfaceDecl).Methods[0]
+	if c.Signature() == d.Signature() {
+		t.Error("throws clause not distinguished")
+	}
+}
+
+func TestDocCommentsAttached(t *testing.T) {
+	f, err := Parse(`package p {
+	  // Vector is a mathematical vector.
+	  // Second line.
+	  interface Vector {
+	    // dot computes an inner product.
+	    double dot(in array<double,1> other);
+
+	    // detachedByBlankLine should NOT document this method...
+
+	    void undocumented();
+	  }
+
+	  /* Block comment documentation
+	     for the class. */
+	  class Impl implements-all Vector {}
+
+	  // Kind selects a thing.
+	  enum Kind { A }
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decls := f.Packages[0].Decls
+	iface := decls[0].(*InterfaceDecl)
+	if iface.Doc != "Vector is a mathematical vector.\nSecond line." {
+		t.Errorf("interface doc = %q", iface.Doc)
+	}
+	if iface.Methods[0].Doc != "dot computes an inner product." {
+		t.Errorf("method doc = %q", iface.Methods[0].Doc)
+	}
+	if iface.Methods[1].Doc != "" {
+		t.Errorf("blank-line-detached doc = %q", iface.Methods[1].Doc)
+	}
+	cls := decls[1].(*ClassDecl)
+	if !strings.Contains(cls.Doc, "Block comment documentation") {
+		t.Errorf("class doc = %q", cls.Doc)
+	}
+	enum := decls[2].(*EnumDecl)
+	if enum.Doc != "Kind selects a thing." {
+		t.Errorf("enum doc = %q", enum.Doc)
+	}
+}

@@ -1,0 +1,319 @@
+// Package sreflect is the SIDL runtime's reflection and dynamic-method-
+// invocation support, modeled — as the paper specifies in §5 — "based on
+// the design of the Java library classes in java.lang and
+// java.lang.reflect": "Interface information for dynamically loaded
+// components is often unavailable at compile time; thus, components and the
+// associated composition tools and frameworks must discover, query, and
+// execute methods at run time."
+//
+// TypeInfo metadata is registered either by generated code (codegen's
+// Reflection option) or directly from a resolved sidl.Table via FromTable.
+// Invoke performs dynamic method invocation against any Go implementation
+// using the standard reflect package.
+package sreflect
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sort"
+	"sync"
+
+	"repro/internal/sidl"
+)
+
+// Errors reported by the reflection runtime.
+var (
+	ErrNoType     = errors.New("sreflect: unknown type")
+	ErrNoMethod   = errors.New("sreflect: unknown method")
+	ErrBadArgs    = errors.New("sreflect: argument mismatch")
+	ErrNotBound   = errors.New("sreflect: object does not implement method")
+	ErrRegistered = errors.New("sreflect: type already registered")
+)
+
+// ParamInfo describes one parameter of a SIDL method.
+type ParamInfo struct {
+	Name string
+	Type string // SIDL type spelling, e.g. "array<double,1>"
+	Mode string // "in", "out", or "inout"
+}
+
+// MethodInfo describes one method of a SIDL interface.
+type MethodInfo struct {
+	Name   string // SIDL name ("solve")
+	GoName string // Go binding name ("Solve")
+	Ret    string // SIDL return type spelling
+	Owner  string // qualified name of the declaring interface
+	Params []ParamInfo
+	Static bool
+}
+
+// TypeInfo is the reflection record of one SIDL type.
+type TypeInfo struct {
+	QName   string
+	Kind    string // "interface", "class", or "enum"
+	Extends []string
+	Methods []MethodInfo
+}
+
+// Method finds a method by SIDL name.
+func (t *TypeInfo) Method(name string) (*MethodInfo, bool) {
+	for i := range t.Methods {
+		if t.Methods[i].Name == name {
+			return &t.Methods[i], true
+		}
+	}
+	return nil, false
+}
+
+// Registry holds reflection metadata for a set of SIDL types. The zero
+// value is unusable; use NewRegistry. Global is the process-wide registry
+// that generated bindings register into.
+type Registry struct {
+	mu    sync.RWMutex
+	types map[string]*TypeInfo
+}
+
+// Global is the process-wide registry used by generated code.
+var Global = NewRegistry()
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{types: map[string]*TypeInfo{}}
+}
+
+// Register adds a type record. Re-registering an identical QName replaces
+// the record (generated files may be re-initialized in tests).
+func (r *Registry) Register(t *TypeInfo) {
+	r.mu.Lock()
+	r.types[t.QName] = t
+	r.mu.Unlock()
+}
+
+// Lookup finds a type record by qualified name.
+func (r *Registry) Lookup(qname string) (*TypeInfo, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	t, ok := r.types[qname]
+	return t, ok
+}
+
+// Types lists registered qualified names, sorted.
+func (r *Registry) Types() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.types))
+	for q := range r.types {
+		out = append(out, q)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IsSubtype reports whether sub extends super transitively within the
+// registered metadata (both names inclusive).
+func (r *Registry) IsSubtype(sub, super string) bool {
+	if sub == super {
+		return true
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.isSubtypeLocked(sub, super, map[string]bool{})
+}
+
+func (r *Registry) isSubtypeLocked(sub, super string, seen map[string]bool) bool {
+	if sub == super {
+		return true
+	}
+	if seen[sub] {
+		return false
+	}
+	seen[sub] = true
+	t, ok := r.types[sub]
+	if !ok {
+		return false
+	}
+	for _, e := range t.Extends {
+		if r.isSubtypeLocked(e, super, seen) {
+			return true
+		}
+	}
+	return false
+}
+
+// FromTable converts a resolved SIDL table into reflection records — the
+// compiler-side path for tools that have the table in hand (repository,
+// ccafe) rather than generated init functions.
+func FromTable(t *sidl.Table) []*TypeInfo {
+	var out []*TypeInfo
+	for _, q := range t.Order {
+		switch t.Lookup(q) {
+		case "interface":
+			iface := t.Interfaces[q]
+			ti := &TypeInfo{QName: q, Kind: "interface"}
+			for _, e := range iface.Extends {
+				ti.Extends = append(ti.Extends, e.QName)
+			}
+			for _, m := range iface.Methods {
+				ti.Methods = append(ti.Methods, methodInfo(m))
+			}
+			out = append(out, ti)
+		case "class":
+			cls := t.Classes[q]
+			ti := &TypeInfo{QName: q, Kind: "class"}
+			if cls.Base != nil {
+				ti.Extends = append(ti.Extends, cls.Base.QName)
+			}
+			for _, i := range cls.Implements {
+				ti.Extends = append(ti.Extends, i.QName)
+			}
+			for _, m := range cls.Methods {
+				ti.Methods = append(ti.Methods, methodInfo(m))
+			}
+			out = append(out, ti)
+		case "enum":
+			out = append(out, &TypeInfo{QName: q, Kind: "enum"})
+		}
+	}
+	return out
+}
+
+func methodInfo(m *sidl.Method) MethodInfo {
+	mi := MethodInfo{
+		Name:   m.Decl.Name,
+		GoName: goExport(m.Decl.Name),
+		Ret:    m.Decl.Ret.String(),
+		Owner:  m.Owner,
+		Static: m.Decl.Static,
+	}
+	for _, p := range m.Decl.Params {
+		mi.Params = append(mi.Params, ParamInfo{Name: p.Name, Type: p.Type.String(), Mode: p.Mode.String()})
+	}
+	return mi
+}
+
+func goExport(s string) string {
+	if s == "" {
+		return s
+	}
+	return string(s[0]&^0x20) + s[1:]
+}
+
+// RegisterTable registers every type of a resolved table.
+func (r *Registry) RegisterTable(t *sidl.Table) {
+	for _, ti := range FromTable(t) {
+		r.Register(ti)
+	}
+}
+
+// errorType is the reflect.Type of the error interface.
+var errorType = reflect.TypeOf((*error)(nil)).Elem()
+
+// ErrInvoke wraps an error raised by the invoked implementation (the SIDL
+// throws path surfaced through dynamic invocation).
+var ErrInvoke = errors.New("sreflect: invocation raised")
+
+// Invoke performs dynamic method invocation: it calls the Go method named
+// m.GoName on obj with the given arguments and returns the results. This is
+// the §5 DMI path — slower than the generated stub (measured by experiment
+// E7) but requiring no compile-time knowledge of the interface.
+//
+// Two SIDL conventions are honoured so DMI works across marshaling
+// boundaries (the ORB and distributed ports):
+//
+//   - inout parameters: when a formal parameter is *T and the supplied
+//     argument is a T value, a fresh pointer is passed and the final
+//     pointee is appended to the results (by-value inout round trip);
+//   - throws clauses: a trailing error return is stripped from the
+//     results; a non-nil error aborts the invocation with ErrInvoke.
+func Invoke(obj any, m *MethodInfo, args ...any) ([]any, error) {
+	v := reflect.ValueOf(obj)
+	meth := v.MethodByName(m.GoName)
+	if !meth.IsValid() {
+		return nil, fmt.Errorf("%w: %T has no method %s", ErrNotBound, obj, m.GoName)
+	}
+	mt := meth.Type()
+	if mt.NumIn() != len(args) && !mt.IsVariadic() {
+		return nil, fmt.Errorf("%w: %s takes %d arguments, got %d", ErrBadArgs, m.GoName, mt.NumIn(), len(args))
+	}
+	in := make([]reflect.Value, len(args))
+	var inoutPtrs []reflect.Value
+	for i, a := range args {
+		want := mt.In(i)
+		if a == nil {
+			zero := reflect.Zero(want)
+			if want.Kind() == reflect.Ptr {
+				// nil inout: pass a fresh pointer so implementations can
+				// always write through it, and return the result.
+				p := reflect.New(want.Elem())
+				in[i] = p
+				inoutPtrs = append(inoutPtrs, p)
+				continue
+			}
+			in[i] = zero
+			continue
+		}
+		av := reflect.ValueOf(a)
+		switch {
+		case av.Type().AssignableTo(want):
+			in[i] = av
+		case want.Kind() == reflect.Ptr && av.Type().AssignableTo(want.Elem()):
+			// inout by value: box into a pointer and report back.
+			p := reflect.New(want.Elem())
+			p.Elem().Set(av)
+			in[i] = p
+			inoutPtrs = append(inoutPtrs, p)
+		case av.Type().ConvertibleTo(want):
+			in[i] = av.Convert(want)
+		default:
+			return nil, fmt.Errorf("%w: %s argument %d: have %s, want %s", ErrBadArgs, m.GoName, i, av.Type(), want)
+		}
+	}
+	outs := meth.Call(in)
+	// Trailing error return = SIDL throws.
+	if n := mt.NumOut(); n > 0 && mt.Out(n-1).Implements(errorType) {
+		last := outs[n-1]
+		if !last.IsNil() {
+			return nil, fmt.Errorf("%w: %s: %v", ErrInvoke, m.GoName, last.Interface())
+		}
+		outs = outs[:n-1]
+	}
+	res := make([]any, 0, len(outs)+len(inoutPtrs))
+	for _, o := range outs {
+		res = append(res, o.Interface())
+	}
+	for _, p := range inoutPtrs {
+		res = append(res, p.Elem().Interface())
+	}
+	return res, nil
+}
+
+// Object binds an implementation to its reflection record for repeated
+// dynamic calls — the runtime handle composition tools hold for a
+// dynamically loaded component.
+type Object struct {
+	Info *TypeInfo
+	Impl any
+}
+
+// NewObject validates that impl is invocable for every method of the type
+// (arity-level check) and returns the dynamic handle.
+func NewObject(info *TypeInfo, impl any) (*Object, error) {
+	v := reflect.ValueOf(impl)
+	for i := range info.Methods {
+		m := &info.Methods[i]
+		if !v.MethodByName(m.GoName).IsValid() {
+			return nil, fmt.Errorf("%w: %T lacks %s (for %s.%s)", ErrNotBound, impl, m.GoName, info.QName, m.Name)
+		}
+	}
+	return &Object{Info: info, Impl: impl}, nil
+}
+
+// Call invokes a method by SIDL name.
+func (o *Object) Call(method string, args ...any) ([]any, error) {
+	m, ok := o.Info.Method(method)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s.%s", ErrNoMethod, o.Info.QName, method)
+	}
+	return Invoke(o.Impl, m, args...)
+}

@@ -1,0 +1,241 @@
+package sreflect
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/sidl"
+)
+
+const corpus = `
+package esi {
+  interface Object { string typeName(); }
+  interface Vector extends Object {
+    int length();
+    double dot(in array<double,1> other);
+  }
+  class VecImpl implements-all Vector {}
+  enum Norm { One, Two }
+}
+`
+
+func table(t *testing.T) *sidl.Table {
+	t.Helper()
+	f, err := sidl.Parse(corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := sidl.Resolve(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func TestFromTableShapes(t *testing.T) {
+	infos := FromTable(table(t))
+	byName := map[string]*TypeInfo{}
+	for _, ti := range infos {
+		byName[ti.QName] = ti
+	}
+	vec := byName["esi.Vector"]
+	if vec == nil || vec.Kind != "interface" {
+		t.Fatalf("esi.Vector = %+v", vec)
+	}
+	if len(vec.Methods) != 3 { // typeName, length, dot
+		t.Fatalf("vector methods = %+v", vec.Methods)
+	}
+	m, ok := vec.Method("dot")
+	if !ok || m.GoName != "Dot" || m.Ret != "double" {
+		t.Errorf("dot = %+v", m)
+	}
+	if len(m.Params) != 1 || m.Params[0].Type != "array<double,1>" || m.Params[0].Mode != "in" {
+		t.Errorf("dot params = %+v", m.Params)
+	}
+	if byName["esi.Norm"].Kind != "enum" {
+		t.Errorf("norm kind = %s", byName["esi.Norm"].Kind)
+	}
+	cls := byName["esi.VecImpl"]
+	if cls.Kind != "class" || len(cls.Extends) != 1 || cls.Extends[0] != "esi.Vector" {
+		t.Errorf("class = %+v", cls)
+	}
+}
+
+func TestRegistrySubtype(t *testing.T) {
+	r := NewRegistry()
+	r.RegisterTable(table(t))
+	cases := []struct {
+		sub, super string
+		want       bool
+	}{
+		{"esi.Vector", "esi.Object", true},
+		{"esi.Vector", "esi.Vector", true},
+		{"esi.VecImpl", "esi.Object", true},
+		{"esi.Object", "esi.Vector", false},
+		{"esi.Missing", "esi.Object", false},
+	}
+	for _, tc := range cases {
+		if got := r.IsSubtype(tc.sub, tc.super); got != tc.want {
+			t.Errorf("IsSubtype(%s,%s) = %v", tc.sub, tc.super, got)
+		}
+	}
+	if got := r.Types(); len(got) != 4 {
+		t.Errorf("Types() = %v", got)
+	}
+}
+
+// vecImpl is a Go implementation to invoke dynamically.
+type vecImpl struct {
+	data []float64
+}
+
+func (v *vecImpl) TypeName() string { return "esi.VecImpl" }
+func (v *vecImpl) Length() int32    { return int32(len(v.data)) }
+func (v *vecImpl) Dot(other []float64) float64 {
+	var s float64
+	for i, x := range v.data {
+		s += x * other[i]
+	}
+	return s
+}
+
+func TestInvoke(t *testing.T) {
+	r := NewRegistry()
+	r.RegisterTable(table(t))
+	info, ok := r.Lookup("esi.Vector")
+	if !ok {
+		t.Fatal("esi.Vector not registered")
+	}
+	obj, err := NewObject(info, &vecImpl{data: []float64{1, 2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := obj.Call("dot", []float64{4, 5, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].(float64) != 32 {
+		t.Errorf("dot = %v", res)
+	}
+	res, err = obj.Call("length")
+	if err != nil || res[0].(int32) != 3 {
+		t.Errorf("length = %v, %v", res, err)
+	}
+	res, err = obj.Call("typeName")
+	if err != nil || res[0].(string) != "esi.VecImpl" {
+		t.Errorf("typeName = %v, %v", res, err)
+	}
+}
+
+func TestInvokeErrors(t *testing.T) {
+	r := NewRegistry()
+	r.RegisterTable(table(t))
+	info, _ := r.Lookup("esi.Vector")
+	obj, err := NewObject(info, &vecImpl{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := obj.Call("nonesuch"); !errors.Is(err, ErrNoMethod) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := obj.Call("dot"); !errors.Is(err, ErrBadArgs) {
+		t.Errorf("missing arg err = %v", err)
+	}
+	if _, err := obj.Call("dot", "wrong type"); !errors.Is(err, ErrBadArgs) {
+		t.Errorf("bad type err = %v", err)
+	}
+	// Implementation missing a method.
+	if _, err := NewObject(info, struct{}{}); !errors.Is(err, ErrNotBound) {
+		t.Errorf("unbound err = %v", err)
+	}
+}
+
+func TestInvokeConvertsCompatibleArgs(t *testing.T) {
+	r := NewRegistry()
+	r.RegisterTable(table(t))
+	info, _ := r.Lookup("esi.Vector")
+	obj, err := NewObject(info, &vecImpl{data: []float64{2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pass an int where float64 elements are expected — not convertible.
+	if _, err := obj.Call("dot", 5); !errors.Is(err, ErrBadArgs) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestInvokeNilArg(t *testing.T) {
+	r := NewRegistry()
+	r.RegisterTable(table(t))
+	info, _ := r.Lookup("esi.Vector")
+	obj, _ := NewObject(info, &vecImpl{})
+	res, err := obj.Call("dot", nil)
+	if err != nil || res[0].(float64) != 0 {
+		t.Errorf("dot(nil) = %v, %v", res, err)
+	}
+}
+
+// inoutImpl exercises the inout-by-value and throws conventions.
+type inoutImpl struct{}
+
+func (inoutImpl) Scale(factor float64, v *[]float64) error {
+	if factor == 0 {
+		return errors.New("zero factor")
+	}
+	for i := range *v {
+		(*v)[i] *= factor
+	}
+	return nil
+}
+
+func TestInvokeInoutByValue(t *testing.T) {
+	mi := &MethodInfo{Name: "scale", GoName: "Scale"}
+	// Pass the inout argument BY VALUE (as a marshaling boundary would):
+	// the final pointee must come back as an extra result.
+	res, err := Invoke(inoutImpl{}, mi, 2.0, []float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 {
+		t.Fatalf("results = %v", res)
+	}
+	got := res[0].([]float64)
+	if got[0] != 2 || got[2] != 6 {
+		t.Errorf("scaled = %v", got)
+	}
+}
+
+func TestInvokeInoutByPointer(t *testing.T) {
+	mi := &MethodInfo{Name: "scale", GoName: "Scale"}
+	v := []float64{1, 2}
+	res, err := Invoke(inoutImpl{}, mi, 3.0, &v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Direct pointer: no extra result, mutation in place.
+	if len(res) != 0 || v[1] != 6 {
+		t.Errorf("res=%v v=%v", res, v)
+	}
+}
+
+func TestInvokeTrailingErrorBecomesErrInvoke(t *testing.T) {
+	mi := &MethodInfo{Name: "scale", GoName: "Scale"}
+	_, err := Invoke(inoutImpl{}, mi, 0.0, []float64{1})
+	if !errors.Is(err, ErrInvoke) {
+		t.Fatalf("err = %v, want ErrInvoke", err)
+	}
+}
+
+func TestInvokeNilInoutGetsFreshPointer(t *testing.T) {
+	mi := &MethodInfo{Name: "scale", GoName: "Scale"}
+	res, err := Invoke(inoutImpl{}, mi, 2.0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 {
+		t.Fatalf("results = %v", res)
+	}
+	if got := res[0].([]float64); len(got) != 0 {
+		t.Errorf("pointee = %v", got)
+	}
+}

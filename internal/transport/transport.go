@@ -1,0 +1,278 @@
+// Package transport provides byte-level message transports for the CCA
+// reproduction's distributed connections: the paper's §6.1 "connections
+// through proxy intermediaries enabling distributed object interactions"
+// and §2.2's dynamically attached remote visualization.
+//
+// Two transports are provided: an in-process loopback (for deterministic
+// tests and the in-address-space ORB baseline) and TCP over net (for
+// genuinely remote components). Both carry length-prefixed frames.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Errors reported by transports.
+var (
+	ErrClosed      = errors.New("transport: connection closed")
+	ErrNoListener  = errors.New("transport: no listener at address")
+	ErrAddrInUse   = errors.New("transport: address already in use")
+	ErrFrameTooBig = errors.New("transport: frame exceeds limit")
+)
+
+// MaxFrame bounds a single message frame (64 MiB), protecting against
+// corrupt length prefixes.
+const MaxFrame = 64 << 20
+
+// Conn is a bidirectional, message-oriented connection.
+type Conn interface {
+	// Send transmits one frame.
+	Send(frame []byte) error
+	// Recv blocks for the next frame.
+	Recv() ([]byte, error)
+	// Close releases the connection; pending Recv calls fail with
+	// ErrClosed (or io.EOF mapped to ErrClosed).
+	Close() error
+}
+
+// Listener accepts inbound connections.
+type Listener interface {
+	Accept() (Conn, error)
+	Close() error
+	// Addr is the address clients dial.
+	Addr() string
+}
+
+// Transport creates listeners and dials connections.
+type Transport interface {
+	Listen(addr string) (Listener, error)
+	Dial(addr string) (Conn, error)
+	Name() string
+}
+
+// --- in-process transport ---
+
+// InProc is an in-process loopback transport. Addresses are arbitrary
+// strings scoped to the InProc instance. The zero value is ready to use.
+type InProc struct {
+	mu        sync.Mutex
+	listeners map[string]*inprocListener
+}
+
+// Name implements Transport.
+func (t *InProc) Name() string { return "inproc" }
+
+// Listen implements Transport.
+func (t *InProc) Listen(addr string) (Listener, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.listeners == nil {
+		t.listeners = map[string]*inprocListener{}
+	}
+	if _, dup := t.listeners[addr]; dup {
+		return nil, fmt.Errorf("%w: %q", ErrAddrInUse, addr)
+	}
+	l := &inprocListener{t: t, addr: addr, backlog: make(chan *inprocConn, 16)}
+	t.listeners[addr] = l
+	return l, nil
+}
+
+// Dial implements Transport.
+func (t *InProc) Dial(addr string) (Conn, error) {
+	t.mu.Lock()
+	l, ok := t.listeners[addr]
+	t.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoListener, addr)
+	}
+	client, server := pipePair()
+	select {
+	case l.backlog <- server:
+		return client, nil
+	default:
+		return nil, fmt.Errorf("transport: %q backlog full", addr)
+	}
+}
+
+type inprocListener struct {
+	t       *InProc
+	addr    string
+	backlog chan *inprocConn
+	once    sync.Once
+}
+
+func (l *inprocListener) Accept() (Conn, error) {
+	c, ok := <-l.backlog
+	if !ok {
+		return nil, ErrClosed
+	}
+	return c, nil
+}
+
+func (l *inprocListener) Close() error {
+	l.once.Do(func() {
+		l.t.mu.Lock()
+		delete(l.t.listeners, l.addr)
+		l.t.mu.Unlock()
+		close(l.backlog)
+	})
+	return nil
+}
+
+func (l *inprocListener) Addr() string { return l.addr }
+
+// inprocConn is one direction pair of buffered frame channels.
+type inprocConn struct {
+	send   chan<- []byte
+	recv   <-chan []byte
+	closed chan struct{}
+	peer   *inprocConn
+	once   sync.Once
+}
+
+func pipePair() (*inprocConn, *inprocConn) {
+	ab := make(chan []byte, 64)
+	ba := make(chan []byte, 64)
+	a := &inprocConn{send: ab, recv: ba, closed: make(chan struct{})}
+	b := &inprocConn{send: ba, recv: ab, closed: make(chan struct{})}
+	a.peer, b.peer = b, a
+	return a, b
+}
+
+func (c *inprocConn) Send(frame []byte) error {
+	if len(frame) > MaxFrame {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooBig, len(frame))
+	}
+	select {
+	case <-c.closed:
+		return ErrClosed
+	case <-c.peer.closed:
+		return ErrClosed
+	case c.send <- frame:
+		return nil
+	}
+}
+
+func (c *inprocConn) Recv() ([]byte, error) {
+	select {
+	case f := <-c.recv:
+		return f, nil
+	case <-c.closed:
+		// Drain anything already queued before reporting closure.
+		select {
+		case f := <-c.recv:
+			return f, nil
+		default:
+			return nil, ErrClosed
+		}
+	case <-c.peer.closed:
+		select {
+		case f := <-c.recv:
+			return f, nil
+		default:
+			return nil, ErrClosed
+		}
+	}
+}
+
+func (c *inprocConn) Close() error {
+	c.once.Do(func() { close(c.closed) })
+	return nil
+}
+
+// --- TCP transport ---
+
+// TCP is a Transport over real sockets with 4-byte big-endian length
+// framing. Addresses are host:port; Listen with ":0" picks a free port
+// (recover it from Listener.Addr).
+type TCP struct{}
+
+// Name implements Transport.
+func (TCP) Name() string { return "tcp" }
+
+// Listen implements Transport.
+func (TCP) Listen(addr string) (Listener, error) {
+	nl, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return tcpListener{nl}, nil
+}
+
+// Dial implements Transport.
+func (TCP) Dial(addr string) (Conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &tcpConn{c: nc}, nil
+}
+
+type tcpListener struct{ nl net.Listener }
+
+func (l tcpListener) Accept() (Conn, error) {
+	nc, err := l.nl.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return &tcpConn{c: nc}, nil
+}
+
+func (l tcpListener) Close() error { return l.nl.Close() }
+func (l tcpListener) Addr() string { return l.nl.Addr().String() }
+
+type tcpConn struct {
+	c      net.Conn
+	sendMu sync.Mutex
+	recvMu sync.Mutex
+}
+
+func (c *tcpConn) Send(frame []byte) error {
+	if len(frame) > MaxFrame {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooBig, len(frame))
+	}
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(frame)))
+	if _, err := c.c.Write(hdr[:]); err != nil {
+		return mapErr(err)
+	}
+	_, err := c.c.Write(frame)
+	return mapErr(err)
+}
+
+func (c *tcpConn) Recv() ([]byte, error) {
+	c.recvMu.Lock()
+	defer c.recvMu.Unlock()
+	var hdr [4]byte
+	if _, err := io.ReadFull(c.c, hdr[:]); err != nil {
+		return nil, mapErr(err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooBig, n)
+	}
+	frame := make([]byte, n)
+	if _, err := io.ReadFull(c.c, frame); err != nil {
+		return nil, mapErr(err)
+	}
+	return frame, nil
+}
+
+func (c *tcpConn) Close() error { return c.c.Close() }
+
+func mapErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return ErrClosed
+	}
+	return err
+}

@@ -1,0 +1,207 @@
+// Package viz provides the loosely coupled visualization and analysis
+// components of the paper's Figure 1 lower half: "components for
+// visualization, which can often be more loosely coupled and differently
+// distributed than the numerical components", attachable to an ongoing
+// simulation — §2.2: "a researcher may wish to visualize flow fields on a
+// local workstation by dynamically attaching a visualization tool to an
+// ongoing simulation that is running on a remote parallel machine."
+//
+// Three components are provided: StatsMonitor (a MonitorPort listener fed
+// by the flow component's fan-out), an ASCII contour renderer, and a binary
+// PGM image writer; Attachment pulls a parallel component's distributed
+// field onto a single rank through a collective port connection.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"sync"
+
+	"repro/internal/cca"
+	"repro/internal/cca/collective"
+	"repro/internal/hydro"
+	"repro/internal/mpi"
+)
+
+// StatsMonitor is a monitor component recording (and optionally printing)
+// per-step statistics. It provides a "monitor" port that FlowComponent's
+// uses-port fans out to.
+type StatsMonitor struct {
+	// Out, when non-nil, receives one line per observation.
+	Out io.Writer
+
+	mu      sync.Mutex
+	history []hydro.Stats
+}
+
+var (
+	_ cca.Component     = (*StatsMonitor)(nil)
+	_ hydro.MonitorPort = (*StatsMonitor)(nil)
+)
+
+// SetServices implements cca.Component.
+func (s *StatsMonitor) SetServices(svc cca.Services) error {
+	return svc.AddProvidesPort(s, cca.PortInfo{Name: "monitor", Type: hydro.TypeMonitor})
+}
+
+// Observe implements hydro.MonitorPort.
+func (s *StatsMonitor) Observe(step int, st hydro.Stats) {
+	s.mu.Lock()
+	s.history = append(s.history, st)
+	s.mu.Unlock()
+	if s.Out != nil {
+		fmt.Fprintf(s.Out, "%s\n", st)
+	}
+}
+
+// History returns a snapshot of the observations.
+func (s *StatsMonitor) History() []hydro.Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]hydro.Stats(nil), s.history...)
+}
+
+// RenderASCII bins scattered node values onto a w×h character grid
+// (averaging samples per cell) and maps normalized magnitude onto a
+// density ramp. Rows print top-to-bottom with y increasing upward.
+func RenderASCII(coords [][2]float64, values []float64, w, h int) string {
+	const ramp = " .:-=+*#%@"
+	grid, minV, maxV := binToGrid(coords, values, w, h)
+	span := maxV - minV
+	var b strings.Builder
+	for row := h - 1; row >= 0; row-- {
+		for col := 0; col < w; col++ {
+			c := grid[row][col]
+			if c.n == 0 {
+				b.WriteByte(' ')
+				continue
+			}
+			v := c.sum / float64(c.n)
+			t := 0.0
+			if span > 0 {
+				t = (v - minV) / span
+			}
+			idx := int(t * float64(len(ramp)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(ramp) {
+				idx = len(ramp) - 1
+			}
+			b.WriteByte(ramp[idx])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// EncodePGM renders the field into a binary (P5) PGM image of size w×h.
+func EncodePGM(coords [][2]float64, values []float64, w, h int) []byte {
+	grid, minV, maxV := binToGrid(coords, values, w, h)
+	span := maxV - minV
+	var b strings.Builder
+	fmt.Fprintf(&b, "P5\n%d %d\n255\n", w, h)
+	out := []byte(b.String())
+	for row := h - 1; row >= 0; row-- {
+		for col := 0; col < w; col++ {
+			c := grid[row][col]
+			var pix byte
+			if c.n > 0 {
+				v := c.sum / float64(c.n)
+				t := 0.0
+				if span > 0 {
+					t = (v - minV) / span
+				}
+				pix = byte(math.Round(t * 255))
+			}
+			out = append(out, pix)
+		}
+	}
+	return out
+}
+
+type cell struct {
+	sum float64
+	n   int
+}
+
+func binToGrid(coords [][2]float64, values []float64, w, h int) (grid [][]cell, minV, maxV float64) {
+	if w < 1 {
+		w = 1
+	}
+	if h < 1 {
+		h = 1
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, c := range coords {
+		minX, maxX = math.Min(minX, c[0]), math.Max(maxX, c[0])
+		minY, maxY = math.Min(minY, c[1]), math.Max(maxY, c[1])
+	}
+	grid = make([][]cell, h)
+	for i := range grid {
+		grid[i] = make([]cell, w)
+	}
+	minV, maxV = math.Inf(1), math.Inf(-1)
+	for i, c := range coords {
+		if i >= len(values) {
+			break
+		}
+		col, row := 0, 0
+		if maxX > minX {
+			col = int((c[0] - minX) / (maxX - minX) * float64(w-1))
+		}
+		if maxY > minY {
+			row = int((c[1] - minY) / (maxY - minY) * float64(h-1))
+		}
+		grid[row][col].sum += values[i]
+		grid[row][col].n++
+		minV = math.Min(minV, values[i])
+		maxV = math.Max(maxV, values[i])
+	}
+	if minV > maxV { // no samples
+		minV, maxV = 0, 0
+	}
+	return grid, minV, maxV
+}
+
+// Attachment is a serial tool's live connection to a parallel component's
+// collective DistArray port: the dynamic-attach scenario of §2.2.
+type Attachment struct {
+	Conn *collective.Connection
+	// WorldRank is the rank the data lands on.
+	WorldRank int
+	buf       []float64
+}
+
+// Attach plans a collective connection pulling the provider's distributed
+// field onto worldRank.
+func Attach(provider collective.DistArrayPort, worldRank int) (*Attachment, error) {
+	side := provider.Side()
+	if side.Map == nil {
+		return nil, fmt.Errorf("viz: provider side is unbound (initialize the component first)")
+	}
+	conn, err := collective.Connect(provider, collective.Serial(side.Map.GlobalLen(), worldRank))
+	if err != nil {
+		return nil, err
+	}
+	return &Attachment{Conn: conn, WorldRank: worldRank}, nil
+}
+
+// Snapshot pulls the current field; collective over every rank in either
+// side. Only the attachment's world rank receives data (others get nil).
+func (a *Attachment) Snapshot(comm *mpi.Comm) ([]float64, error) {
+	var out []float64
+	if comm.Rank() == a.WorldRank {
+		if a.buf == nil {
+			a.buf = make([]float64, a.Conn.Plan.GlobalLen())
+		}
+		out = a.buf
+	}
+	if err := a.Conn.Pull(comm, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
