@@ -695,6 +695,36 @@ func BenchmarkE6_GetPort(b *testing.B) {
 	}
 }
 
+// BenchmarkE6_GetPortParallel measures GetPort/ReleasePort contention across
+// goroutines. With the framework's RWMutex-plus-snapshot connection state the
+// read hot path takes only a read lock, so throughput should scale with
+// GOMAXPROCS instead of serializing on a single mutex.
+func BenchmarkE6_GetPortParallel(b *testing.B) {
+	fw := framework.New(framework.Options{})
+	prov := &portProvider{op: &benchOp{n: 4}}
+	user := &portUser{}
+	if err := fw.Install("p", prov); err != nil {
+		b.Fatal(err)
+	}
+	if err := fw.Install("u", user); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := fw.Connect("u", "op", "p", "op"); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			p, err := user.svc.GetPort("op")
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = p
+			user.svc.ReleasePort("op")
+		}
+	})
+}
+
 func BenchmarkE6_DynamicAttachSnapshot(b *testing.B) {
 	// Time from "attach request" to first frame delivered, amortized:
 	// plan + one pull per iteration over a 4-rank field.

@@ -11,12 +11,15 @@
 //	bench -run e1,e4       run selected experiments
 //	bench -ablation        include the design-choice ablations
 //	bench -quick           shorter timing loops
+//	bench -json out.json   also write machine-readable results
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -37,7 +40,53 @@ import (
 var (
 	ablation = flag.Bool("ablation", false, "include design-choice ablations")
 	quick    = flag.Bool("quick", false, "shorter timing loops")
+	jsonPath = flag.String("json", "", "write machine-readable results to this path")
 )
+
+// benchResult is one measurement row of the -json output; the envelope and
+// field meanings are documented in EXPERIMENTS.md.
+type benchResult struct {
+	Experiment  string  `json:"experiment"`
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"` // -1 when not measured (multi-rank runs)
+}
+
+var results []benchResult
+
+// record captures one row for -json output; a no-op without the flag.
+func record(experiment, name string, ns, allocs float64) {
+	if *jsonPath == "" {
+		return
+	}
+	results = append(results, benchResult{Experiment: experiment, Name: name, NsPerOp: ns, AllocsPerOp: allocs})
+}
+
+func writeJSON(path string) error {
+	env := struct {
+		Schema     string        `json:"schema"`
+		Timestamp  string        `json:"timestamp"`
+		GoVersion  string        `json:"go_version"`
+		GOMAXPROCS int           `json:"gomaxprocs"`
+		Quick      bool          `json:"quick"`
+		Results    []benchResult `json:"results"`
+	}{
+		Schema:     "repro-bench/1",
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Quick:      *quick,
+		Results:    results,
+	}
+	if env.Results == nil {
+		env.Results = []benchResult{} // emit [] rather than null
+	}
+	b, err := json.MarshalIndent(env, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
 
 func main() {
 	runList := flag.String("run", "", "comma-separated experiment ids (e1..e9); empty = all")
@@ -75,6 +124,10 @@ func main() {
 		fmt.Println("E5 needs testing.B statistics; run:")
 		fmt.Println("  go test -bench=BenchmarkE5 -benchtime=1000x .")
 	}
+	if *jsonPath != "" {
+		check(writeJSON(*jsonPath))
+		fmt.Printf("\nwrote %d results to %s\n", len(results), *jsonPath)
+	}
 }
 
 // budget returns the per-measurement time budget.
@@ -87,17 +140,28 @@ func budget() time.Duration {
 
 // measure runs f repeatedly until the budget elapses and reports ns/op.
 func measure(f func()) float64 {
+	ns, _ := measureAllocs(f)
+	return ns
+}
+
+// measureAllocs is measure plus a heap-allocation count per op, taken from
+// the runtime Mallocs counter across the final timing round.
+func measureAllocs(f func()) (nsPerOp, allocsPerOp float64) {
 	// Warm up.
 	f()
 	n := 1
+	var m0, m1 runtime.MemStats
 	for {
+		runtime.ReadMemStats(&m0)
 		start := time.Now()
 		for i := 0; i < n; i++ {
 			f()
 		}
 		el := time.Since(start)
 		if el >= budget() {
-			return float64(el.Nanoseconds()) / float64(n)
+			runtime.ReadMemStats(&m1)
+			return float64(el.Nanoseconds()) / float64(n),
+				float64(m1.Mallocs-m0.Mallocs) / float64(n)
 		}
 		if el <= 0 {
 			n *= 1000
@@ -209,10 +273,11 @@ func e1() {
 	base := 0.0
 	fmt.Printf("%-24s %12s %8s\n", "mechanism", "ns/call", "×direct")
 	for i, r := range rows {
-		ns := measure(r.fn)
+		ns, allocs := measureAllocs(r.fn)
 		if i == 0 {
 			base = ns
 		}
+		record("e1", r.name, ns, allocs)
 		fmt.Printf("%-24s %12.2f %8.2f\n", r.name, ns, ns/base)
 	}
 	fmt.Println("paper claim C1: port ≈ direct; C2: SIDL binding ≈ 2-3 extra calls")
@@ -262,12 +327,14 @@ func e2() {
 	for _, n := range []int{1, 16, 256, 4096, 65536} {
 		xs := make([]float64, n)
 		var srv e2Sum
-		dn := measure(func() { _ = srv.Sum(xs) })
-		on := measure(func() {
+		dn, dAllocs := measureAllocs(func() { _ = srv.Sum(xs) })
+		on, oAllocs := measureAllocs(func() {
 			if _, err := proxy.Invoke("sum", xs); err != nil {
 				panic(err)
 			}
 		})
+		record("e2", fmt.Sprintf("port/%dB", 8*n), dn, dAllocs)
+		record("e2", fmt.Sprintf("orb/%dB", 8*n), on, oAllocs)
 		fmt.Printf("%-12s %14.1f %14.1f %9.0f×\n", fmt.Sprintf("%dB", 8*n), dn, on, on/dn)
 	}
 	fmt.Println("paper claim C3: same-address-space ORB calls are far too inefficient")
@@ -285,17 +352,19 @@ func e3() {
 				acc += e.Payload.(float64)
 			}))
 		}
-		en := measure(func() { bean.Fire("tick", 1.5) })
+		en, eAllocs := measureAllocs(func() { bean.Fire("tick", 1.5) })
 
 		sinks := make([]*tickSink, fan)
 		for i := range sinks {
 			sinks[i] = &tickSink{}
 		}
-		pn := measure(func() {
+		pn, pAllocs := measureAllocs(func() {
 			for _, s := range sinks {
 				s.Tick(1.5)
 			}
 		})
+		record("e3", fmt.Sprintf("events/fan=%d", fan), en, eAllocs)
+		record("e3", fmt.Sprintf("ports/fan=%d", fan), pn, pAllocs)
 		fmt.Printf("%-10d %16.1f %16.1f %7.1f×\n", fan, en, pn, en/pn)
 	}
 }
@@ -333,9 +402,11 @@ func e4() {
 		plan, err := collective.NewPlan(c.src, c.dst)
 		check(err)
 		ns := measureTransfer(plan, c.world, false)
+		record("e4", c.name, ns, -1)
 		fmt.Printf("%-26s %6d %10.1f %12.0f\n", c.name, plan.Messages(), ns/1e3, 8*float64(n)/ns*1e3)
 		if *ablation && plan.Matched() {
 			nsF := measureTransfer(plan, c.world, true)
+			record("e4", c.name+" (fast path disabled)", nsF, -1)
 			fmt.Printf("%-26s %6s %10.1f %12.0f\n", "  └ fast path disabled", "-", nsF/1e3, 8*float64(n)/nsF*1e3)
 		}
 	}
@@ -374,7 +445,7 @@ func e6() {
 	u := &user{}
 	check(fw.Install("u", u))
 
-	connDisc := measure(func() {
+	connDisc, cdAllocs := measureAllocs(func() {
 		id, err := fw.Connect("u", "op", "p", "op")
 		if err != nil {
 			panic(err)
@@ -385,12 +456,14 @@ func e6() {
 	})
 	_, err := fw.Connect("u", "op", "p", "op")
 	check(err)
-	getPort := measure(func() {
+	getPort, gpAllocs := measureAllocs(func() {
 		if _, err := u.svc.GetPort("op"); err != nil {
 			panic(err)
 		}
 		u.svc.ReleasePort("op")
 	})
+	record("e6", "connect+disconnect", connDisc, cdAllocs)
+	record("e6", "getPort+release", getPort, gpAllocs)
 	fmt.Printf("connect+disconnect: %8.1f ns (%.2fM ops/s)\n", connDisc, 1e3/connDisc)
 	fmt.Printf("getPort+release:    %8.1f ns (%.2fM ops/s)\n", getPort, 1e3/getPort)
 }
@@ -432,6 +505,7 @@ func e7() {
 		name string
 		ns   float64
 	}{{"lex", lex}, {"parse", parse}, {"resolve", resolve}, {"codegen", gen}} {
+		record("e7", row.name, row.ns, -1)
 		fmt.Printf("%-10s %10.1f %12.1f\n", row.name, row.ns/1e3, kb/1024/(row.ns/1e9))
 	}
 }
@@ -452,7 +526,7 @@ func e8() {
 		res          float64
 		ms           float64
 	}
-	var results []result
+	var rows []result
 	for _, method := range []string{"cg", "gmres", "bicgstab"} {
 		for _, prec := range []string{"none", "jacobi", "sor", "ilu0"} {
 			fw := framework.New(framework.Options{TypeCheck: esi.TypeChecker()})
@@ -475,11 +549,12 @@ func e8() {
 				}
 				iters = it
 			})
-			results = append(results, result{method, prec, iters, solver.FinalResidual(), ns / 1e6})
+			rows = append(rows, result{method, prec, iters, solver.FinalResidual(), ns / 1e6})
 		}
 	}
-	sort.Slice(results, func(i, j int) bool { return results[i].ms < results[j].ms })
-	for _, r := range results {
+	sort.Slice(rows, func(i, j int) bool { return rows[i].ms < rows[j].ms })
+	for _, r := range rows {
+		record("e8", r.method+"/"+r.prec, r.ms*1e6, -1)
 		fmt.Printf("%-10s %-8s %8d %12.3e %12.2f\n", r.method, r.prec, r.iters, r.res, r.ms)
 	}
 }
@@ -517,6 +592,8 @@ func e9() {
 					allred = v
 				}
 			})
+			record("e9", fmt.Sprintf("bcast/p=%d/n=%d", p, n), bcast, -1)
+			record("e9", fmt.Sprintf("allreduce/p=%d/n=%d", p, n), allred, -1)
 			fmt.Printf("%-12s %6d %10d %14.1f\n", "bcast", p, n, bcast/1e3)
 			fmt.Printf("%-12s %6d %10d %14.1f\n", "allreduce", p, n, allred/1e3)
 		}

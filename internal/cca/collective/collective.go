@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/array"
 	"repro/internal/mpi"
+	"repro/internal/par"
 )
 
 // Errors reported by collective connections.
@@ -98,6 +99,72 @@ type run struct {
 	n                  int
 }
 
+// packGrain is the element-count threshold below which pack/unpack stays
+// serial; larger transfers copy runs in parallel on the shared worker pool.
+const packGrain = 8192
+
+// pairSched is the precomputed schedule for one (source, destination) world
+// rank pair: its runs, each run's offset into the packed message, and the
+// message's total element count. Computing offsets at plan time keeps the
+// per-Transfer work to pure copies, which parallelize cleanly.
+type pairSched struct {
+	runs  []run
+	offs  []int
+	total int
+}
+
+// forRuns executes body over the schedule's run indices, in parallel when
+// the total element count justifies it. Runs are disjoint, so chunking by
+// run index is safe.
+func (ps *pairSched) forRuns(body func(i int)) {
+	if ps.total < packGrain || len(ps.runs) == 1 {
+		for i := range ps.runs {
+			body(i)
+		}
+		return
+	}
+	// Grain in run counts, sized so one chunk moves ~packGrain elements.
+	grain := len(ps.runs) * packGrain / ps.total
+	if grain < 1 {
+		grain = 1
+	}
+	par.For(len(ps.runs), grain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// pack gathers this pair's runs from local storage into one message buffer.
+func (ps *pairSched) pack(local []float64) []float64 {
+	buf := make([]float64, ps.total)
+	ps.forRuns(func(i int) {
+		r := ps.runs[i]
+		copy(buf[ps.offs[i]:ps.offs[i]+r.n], local[r.srcLocal:r.srcLocal+r.n])
+	})
+	return buf
+}
+
+// unpack scatters a received message into destination storage.
+func (ps *pairSched) unpack(buf, out []float64) error {
+	if len(buf) != ps.total {
+		return fmt.Errorf("%w: message has %d elements, schedule wants %d", ErrBuffer, len(buf), ps.total)
+	}
+	ps.forRuns(func(i int) {
+		r := ps.runs[i]
+		copy(out[r.dstLocal:r.dstLocal+r.n], buf[ps.offs[i]:ps.offs[i]+r.n])
+	})
+	return nil
+}
+
+// copyLocal performs the rank-local runs directly from local to out.
+func (ps *pairSched) copyLocal(local, out []float64) {
+	ps.forRuns(func(i int) {
+		r := ps.runs[i]
+		copy(out[r.dstLocal:r.dstLocal+r.n], local[r.srcLocal:r.srcLocal+r.n])
+	})
+}
+
 // Plan is the precomputed message schedule of one collective connection.
 // Plans are immutable and safe for concurrent Transfer calls on disjoint
 // communicators.
@@ -111,8 +178,9 @@ type Plan struct {
 	// recvFrom[w] the source world ranks w receives from.
 	sendTo   map[int][]int
 	recvFrom map[int][]int
-	// runsBySend[(s,d)] groups runs for one packed message.
-	runsByPair map[[2]int][]run
+	// runsByPair[(s,d)] is the packed-message schedule for one rank pair,
+	// with per-run offsets precomputed at plan time.
+	runsByPair map[[2]int]*pairSched
 }
 
 // NewPlan validates both sides and computes the redistribution schedule.
@@ -128,7 +196,7 @@ func NewPlan(src, dst Side) (*Plan, error) {
 			ErrMismatch, src.Map.GlobalLen(), dst.Map.GlobalLen())
 	}
 	p := &Plan{src: src, dst: dst,
-		sendTo: map[int][]int{}, recvFrom: map[int][]int{}, runsByPair: map[[2]int][]run{}}
+		sendTo: map[int][]int{}, recvFrom: map[int][]int{}, runsByPair: map[[2]int]*pairSched{}}
 
 	// Merge-intersect the two run lists over the global index space.
 	sruns, druns := src.Map.Runs(), dst.Map.Runs()
@@ -160,7 +228,14 @@ func NewPlan(src, dst Side) (*Plan, error) {
 			p.matched = false
 		}
 		key := [2]int{r.srcWorld, r.dstWorld}
-		p.runsByPair[key] = append(p.runsByPair[key], r)
+		ps := p.runsByPair[key]
+		if ps == nil {
+			ps = &pairSched{}
+			p.runsByPair[key] = ps
+		}
+		ps.runs = append(ps.runs, r)
+		ps.offs = append(ps.offs, ps.total)
+		ps.total += r.n
 	}
 	pairSeen := map[[2]int]bool{}
 	for key := range p.runsByPair {
@@ -237,22 +312,15 @@ func (p *Plan) Transfer(comm *mpi.Comm, local, out []float64) error {
 		return fmt.Errorf("%w: rank %d destination buffer %d, want %d", ErrBuffer, me, len(out), want)
 	}
 
-	// Rank-local runs: straight copies (the §6.2-style zero-cost path).
-	for _, r := range p.runsByPair[[2]int{me, me}] {
-		copy(out[r.dstLocal:r.dstLocal+r.n], local[r.srcLocal:r.srcLocal+r.n])
+	// Rank-local runs: straight copies (the §6.2-style zero-cost path),
+	// chunked over the worker pool when the volume justifies it.
+	if ps := p.runsByPair[[2]int{me, me}]; ps != nil {
+		ps.copyLocal(local, out)
 	}
 	// Pack and send one message per destination.
 	for _, d := range p.sendTo[me] {
-		runs := p.runsByPair[[2]int{me, d}]
-		total := 0
-		for _, r := range runs {
-			total += r.n
-		}
-		buf := make([]float64, 0, total)
-		for _, r := range runs {
-			buf = append(buf, local[r.srcLocal:r.srcLocal+r.n]...)
-		}
-		if err := comm.Send(d, transferTag, buf); err != nil {
+		ps := p.runsByPair[[2]int{me, d}]
+		if err := comm.Send(d, transferTag, ps.pack(local)); err != nil {
 			return err
 		}
 	}
@@ -262,13 +330,8 @@ func (p *Plan) Transfer(comm *mpi.Comm, local, out []float64) error {
 		if err != nil {
 			return err
 		}
-		off := 0
-		for _, r := range p.runsByPair[[2]int{s, me}] {
-			if off+r.n > len(buf) {
-				return fmt.Errorf("%w: short message from rank %d", ErrBuffer, s)
-			}
-			copy(out[r.dstLocal:r.dstLocal+r.n], buf[off:off+r.n])
-			off += r.n
+		if err := p.runsByPair[[2]int{s, me}].unpack(buf, out); err != nil {
+			return fmt.Errorf("rank %d from %d: %w", me, s, err)
 		}
 	}
 	return nil
@@ -286,35 +349,19 @@ func (p *Plan) TransferForced(comm *mpi.Comm, local, out []float64) error {
 		return fmt.Errorf("%w: rank %d destination buffer %d, want %d", ErrBuffer, me, len(out), want)
 	}
 	// Self-runs become a real message.
-	if runs := p.runsByPair[[2]int{me, me}]; len(runs) > 0 {
-		total := 0
-		for _, r := range runs {
-			total += r.n
-		}
-		buf := make([]float64, 0, total)
-		for _, r := range runs {
-			buf = append(buf, local[r.srcLocal:r.srcLocal+r.n]...)
-		}
-		if err := comm.Send(me, transferTag, buf); err != nil {
+	if ps := p.runsByPair[[2]int{me, me}]; ps != nil {
+		if err := comm.Send(me, transferTag, ps.pack(local)); err != nil {
 			return err
 		}
 	}
 	for _, d := range p.sendTo[me] {
-		runs := p.runsByPair[[2]int{me, d}]
-		total := 0
-		for _, r := range runs {
-			total += r.n
-		}
-		buf := make([]float64, 0, total)
-		for _, r := range runs {
-			buf = append(buf, local[r.srcLocal:r.srcLocal+r.n]...)
-		}
-		if err := comm.Send(d, transferTag, buf); err != nil {
+		ps := p.runsByPair[[2]int{me, d}]
+		if err := comm.Send(d, transferTag, ps.pack(local)); err != nil {
 			return err
 		}
 	}
 	recvFrom := p.recvFrom[me]
-	if len(p.runsByPair[[2]int{me, me}]) > 0 {
+	if p.runsByPair[[2]int{me, me}] != nil {
 		recvFrom = append([]int{me}, recvFrom...)
 	}
 	for _, s := range recvFrom {
@@ -322,10 +369,8 @@ func (p *Plan) TransferForced(comm *mpi.Comm, local, out []float64) error {
 		if err != nil {
 			return err
 		}
-		off := 0
-		for _, r := range p.runsByPair[[2]int{s, me}] {
-			copy(out[r.dstLocal:r.dstLocal+r.n], buf[off:off+r.n])
-			off += r.n
+		if err := p.runsByPair[[2]int{s, me}].unpack(buf, out); err != nil {
+			return fmt.Errorf("rank %d from %d: %w", me, s, err)
 		}
 	}
 	return nil

@@ -24,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/cca"
 )
@@ -57,8 +58,17 @@ type Options struct {
 }
 
 // Framework is the reference CCA-compliant container.
+//
+// Locking: mu is a readers-writer lock over the component/port registries.
+// Structural mutations (Install/Remove/Connect/Disconnect and port
+// registration) take the write lock and replace connection lists with fresh
+// immutable snapshots; the hot paths a running pipeline hits on every
+// timestep — GetPort, GetPorts, PortInfo, name listings — take only the
+// read lock, so concurrent components never serialize on each other and
+// claim C1 (§6.2: a port call costs no more than a direct call) survives
+// under intra-process parallelism.
 type Framework struct {
-	mu         sync.Mutex
+	mu         sync.RWMutex
 	opts       Options
 	components map[string]*instance
 	listeners  []cca.EventListener
@@ -100,9 +110,9 @@ func (f *Framework) AddEventListener(l cca.EventListener) {
 
 // emit must be called WITHOUT f.mu held; it snapshots listeners itself.
 func (f *Framework) emit(e cca.Event) {
-	f.mu.Lock()
+	f.mu.RLock()
 	ls := append([]cca.EventListener(nil), f.listeners...)
-	f.mu.Unlock()
+	f.mu.RUnlock()
 	for _, l := range ls {
 		l.OnEvent(e)
 	}
@@ -177,8 +187,8 @@ func (f *Framework) Remove(name string) error {
 
 // Component returns the installed component instance by name.
 func (f *Framework) Component(name string) (cca.Component, bool) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	inst, ok := f.components[name]
 	if !ok {
 		return nil, false
@@ -188,16 +198,16 @@ func (f *Framework) Component(name string) (cca.Component, bool) {
 
 // ComponentNames lists installed instances, sorted.
 func (f *Framework) ComponentNames() []string {
-	f.mu.Lock()
-	defer f.mu.Unlock()
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	return cca.SortedNames(f.components)
 }
 
 // Services returns a component's services handle — used by builders and
 // tests to inspect port registrations.
 func (f *Framework) Services(name string) (cca.Services, bool) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	inst, ok := f.components[name]
 	if !ok {
 		return nil, false
@@ -241,7 +251,12 @@ func (f *Framework) Connect(user, usesPort, provider, providesPort string) (cca.
 	if f.opts.Proxy != nil {
 		port = f.opts.Proxy(port, pe.info)
 	}
-	ue.conns = append(ue.conns, connection{id: id, port: port})
+	// Swap in a fresh snapshot rather than appending in place: readers that
+	// captured the old slice under the read lock keep a consistent view.
+	next := make([]connection, len(ue.conns)+1)
+	copy(next, ue.conns)
+	next[len(ue.conns)] = connection{id: id, port: port}
+	ue.conns = next
 	f.mu.Unlock()
 
 	f.emit(cca.Event{Kind: cca.EventConnected, Connection: id})
@@ -264,7 +279,11 @@ func (f *Framework) Disconnect(id cca.ConnectionID) error {
 	found := false
 	for i, c := range ue.conns {
 		if c.id == id {
-			ue.conns = append(ue.conns[:i], ue.conns[i+1:]...)
+			// Snapshot swap (copy-on-write): never edit the published slice.
+			next := make([]connection, 0, len(ue.conns)-1)
+			next = append(next, ue.conns[:i]...)
+			next = append(next, ue.conns[i+1:]...)
+			ue.conns = next
 			found = true
 			break
 		}
@@ -279,8 +298,8 @@ func (f *Framework) Disconnect(id cca.ConnectionID) error {
 
 // Connections lists every live connection, in no particular order.
 func (f *Framework) Connections() []cca.ConnectionID {
-	f.mu.Lock()
-	defer f.mu.Unlock()
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	var out []cca.ConnectionID
 	for _, inst := range f.components {
 		for _, ue := range inst.svc.uses {
@@ -311,15 +330,21 @@ type connection struct {
 }
 
 type usesEntry struct {
-	info  cca.PortInfo
+	info cca.PortInfo
+	// conns is an immutable snapshot: writers (Connect/Disconnect, under
+	// the framework write lock) replace the whole slice and never mutate
+	// it in place, so a reader may use a captured snapshot after dropping
+	// the read lock.
 	conns []connection
-	inUse int
+	// inUse is atomic because GetPort/ReleasePort adjust it while holding
+	// only the read lock.
+	inUse atomic.Int64
 }
 
 // services implements cca.Services for one component instance. Mutating
-// operations share the framework mutex; GetPort is also serialized, but the
-// returned port is called without any framework involvement (the §6.2
-// zero-overhead path).
+// operations take the framework write lock; GetPort/GetPorts take only the
+// read lock, and the returned port is called without any framework
+// involvement (the §6.2 zero-overhead path).
 type services struct {
 	fw       *Framework
 	name     string
@@ -395,73 +420,91 @@ func (s *services) UnregisterUsesPort(name string) error {
 	return nil
 }
 
-// GetPort implements cca.Services.
+// GetPort implements cca.Services. It is the framework's hottest read path
+// (Figure 3 step 4, executed by every component on every use), so it takes
+// only the read lock: the connection list is an immutable snapshot and the
+// use count is atomic, so concurrent callers never serialize.
 func (s *services) GetPort(name string) (cca.Port, error) {
-	s.fw.mu.Lock()
-	defer s.fw.mu.Unlock()
+	s.fw.mu.RLock()
 	ue, ok := s.uses[name]
+	var conns []connection
+	if ok {
+		conns = ue.conns
+	}
+	s.fw.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("%w: uses %s.%s", cca.ErrPortNotUses, s.name, name)
 	}
-	switch len(ue.conns) {
+	switch len(conns) {
 	case 0:
 		return nil, fmt.Errorf("%w: %s.%s", cca.ErrNotConnected, s.name, name)
 	case 1:
-		ue.inUse++
-		return ue.conns[0].port, nil
+		ue.inUse.Add(1)
+		return conns[0].port, nil
 	default:
-		return nil, fmt.Errorf("%w: %s.%s has %d", cca.ErrMultiConnected, s.name, name, len(ue.conns))
+		return nil, fmt.Errorf("%w: %s.%s has %d", cca.ErrMultiConnected, s.name, name, len(conns))
 	}
 }
 
-// GetPorts implements cca.Services.
+// GetPorts implements cca.Services. Read lock only; see GetPort.
 func (s *services) GetPorts(name string) ([]cca.Port, error) {
-	s.fw.mu.Lock()
-	defer s.fw.mu.Unlock()
+	s.fw.mu.RLock()
 	ue, ok := s.uses[name]
+	var conns []connection
+	if ok {
+		conns = ue.conns
+	}
+	s.fw.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("%w: uses %s.%s", cca.ErrPortNotUses, s.name, name)
 	}
-	out := make([]cca.Port, len(ue.conns))
-	for i, c := range ue.conns {
+	out := make([]cca.Port, len(conns))
+	for i, c := range conns {
 		out[i] = c.port
 	}
-	ue.inUse += len(out)
+	ue.inUse.Add(int64(len(out)))
 	return out, nil
 }
 
 // ReleasePort implements cca.Services.
 func (s *services) ReleasePort(name string) error {
-	s.fw.mu.Lock()
-	defer s.fw.mu.Unlock()
+	s.fw.mu.RLock()
 	ue, ok := s.uses[name]
+	s.fw.mu.RUnlock()
 	if !ok {
 		return fmt.Errorf("%w: uses %s.%s", cca.ErrPortNotUses, s.name, name)
 	}
-	if ue.inUse > 0 {
-		ue.inUse--
+	// Clamped decrement: never drop below zero even under unbalanced
+	// concurrent releases.
+	for {
+		v := ue.inUse.Load()
+		if v <= 0 {
+			return nil
+		}
+		if ue.inUse.CompareAndSwap(v, v-1) {
+			return nil
+		}
 	}
-	return nil
 }
 
 // ProvidesPortNames implements cca.Services.
 func (s *services) ProvidesPortNames() []string {
-	s.fw.mu.Lock()
-	defer s.fw.mu.Unlock()
+	s.fw.mu.RLock()
+	defer s.fw.mu.RUnlock()
 	return cca.SortedNames(s.provides)
 }
 
 // UsesPortNames implements cca.Services.
 func (s *services) UsesPortNames() []string {
-	s.fw.mu.Lock()
-	defer s.fw.mu.Unlock()
+	s.fw.mu.RLock()
+	defer s.fw.mu.RUnlock()
 	return cca.SortedNames(s.uses)
 }
 
 // PortInfo implements cca.Services.
 func (s *services) PortInfo(name string) (cca.PortInfo, bool) {
-	s.fw.mu.Lock()
-	defer s.fw.mu.Unlock()
+	s.fw.mu.RLock()
+	defer s.fw.mu.RUnlock()
 	if pe, ok := s.provides[name]; ok {
 		return pe.info, true
 	}

@@ -1,0 +1,160 @@
+package framework
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cca"
+)
+
+// stressPort is a trivial provides-port implementation.
+type stressPort struct{ id int }
+
+func (p *stressPort) Ping() int { return p.id }
+
+type stressProvider struct{ port *stressPort }
+
+func (p *stressProvider) SetServices(svc cca.Services) error {
+	return svc.AddProvidesPort(p.port, cca.PortInfo{Name: "p", Type: "stress.Ping"})
+}
+
+type stressUser struct{ svc cca.Services }
+
+func (u *stressUser) SetServices(svc cca.Services) error {
+	u.svc = svc
+	return svc.RegisterUsesPort(cca.PortInfo{Name: "u", Type: "stress.Ping"})
+}
+
+// TestConcurrentGetPortConnectDisconnect hammers the framework's read hot
+// path (GetPort/GetPorts/ReleasePort) from many goroutines while writers
+// churn Connect/Disconnect — the exact interleaving the RWMutex-plus-
+// snapshot design must survive. Run under -race (CI does); the assertions
+// check that readers only ever observe consistent snapshots: every fetched
+// port is callable, and the only errors are the expected not-connected /
+// multi-connected transients.
+func TestConcurrentGetPortConnectDisconnect(t *testing.T) {
+	fw := New(Options{})
+	user := &stressUser{}
+	if err := fw.Install("u", user); err != nil {
+		t.Fatal(err)
+	}
+	const providers = 3
+	for i := 0; i < providers; i++ {
+		if err := fw.Install(string(rune('a'+i)), &stressProvider{port: &stressPort{id: i}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var (
+		stop     atomic.Bool
+		gets     atomic.Int64
+		connects atomic.Int64
+		wg       sync.WaitGroup
+	)
+
+	// Writers: churn connections to all three providers.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for !stop.Load() {
+				var ids []cca.ConnectionID
+				for i := 0; i < providers; i++ {
+					id, err := fw.Connect("u", "u", string(rune('a'+i)), "p")
+					if err != nil {
+						t.Errorf("writer %d: connect: %v", w, err)
+						return
+					}
+					ids = append(ids, id)
+				}
+				connects.Add(int64(len(ids)))
+				for _, id := range ids {
+					if err := fw.Disconnect(id); err != nil && !errors.Is(err, cca.ErrNotConnected) {
+						t.Errorf("writer %d: disconnect: %v", w, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+
+	// Readers: GetPort / GetPorts / ReleasePort loops.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for !stop.Load() {
+				p, err := user.svc.GetPort("u")
+				switch {
+				case err == nil:
+					if p.(*stressPort).Ping() < 0 {
+						t.Errorf("reader %d: bad port", r)
+						return
+					}
+					gets.Add(1)
+					if err := user.svc.ReleasePort("u"); err != nil {
+						t.Errorf("reader %d: release: %v", r, err)
+						return
+					}
+				case errors.Is(err, cca.ErrNotConnected), errors.Is(err, cca.ErrMultiConnected):
+					// Expected transients while writers churn.
+				default:
+					t.Errorf("reader %d: unexpected GetPort error: %v", r, err)
+					return
+				}
+				ports, err := user.svc.GetPorts("u")
+				if err != nil {
+					t.Errorf("reader %d: GetPorts: %v", r, err)
+					return
+				}
+				for _, q := range ports {
+					if q.(*stressPort).Ping() < 0 {
+						t.Errorf("reader %d: bad fan-out port", r)
+						return
+					}
+				}
+				for range ports {
+					_ = user.svc.ReleasePort("u")
+				}
+			}
+		}(r)
+	}
+
+	// Metadata readers: listings must never see torn state.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			if n := len(fw.ComponentNames()); n != providers+1 {
+				t.Errorf("ComponentNames: %d components, want %d", n, providers+1)
+				return
+			}
+			_ = fw.Connections()
+			if _, ok := user.svc.PortInfo("u"); !ok {
+				t.Error("PortInfo lost the uses port")
+				return
+			}
+		}
+	}()
+
+	deadline := time.After(300 * time.Millisecond)
+	for done := false; !done && !t.Failed(); {
+		select {
+		case <-deadline:
+			done = true
+		default:
+			_ = fw.Connections()
+			runtime.Gosched()
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	if connects.Load() == 0 || gets.Load() == 0 {
+		t.Fatalf("stress exercised nothing: %d connects, %d gets", connects.Load(), gets.Load())
+	}
+	t.Logf("stress: %d connects, %d successful gets", connects.Load(), gets.Load())
+}

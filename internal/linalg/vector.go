@@ -16,6 +16,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"repro/internal/par"
 )
 
 // Errors reported by solvers and matrix constructors.
@@ -31,6 +33,12 @@ var (
 // across its communicator.
 type Dot func(a, b []float64) float64
 
+// VecGrain is the serial-fallback threshold for the parallel vector
+// kernels: vectors shorter than this run the plain serial loops. The
+// elementwise ops are memory-bound (a handful of flops per cache line), so
+// the cutoff is high — below it, chunk scheduling costs more than it buys.
+const VecGrain = 8192
+
 // DotSerial is the plain serial inner product.
 func DotSerial(a, b []float64) float64 {
 	var s float64
@@ -40,28 +48,56 @@ func DotSerial(a, b []float64) float64 {
 	return s
 }
 
+// DotPar is the parallel inner product: chunked partial sums over the
+// shared worker pool, combined in fixed chunk order, so the result is
+// deterministic run-to-run (it differs from DotSerial only by summation
+// reassociation, O(n·eps)). Below VecGrain it is exactly DotSerial. This is
+// the default inner product installed by Options.fill.
+func DotPar(a, b []float64) float64 {
+	return par.ReduceFloat64(len(a), VecGrain, func(lo, hi int) float64 {
+		var s float64
+		for i := lo; i < hi; i++ {
+			s += a[i] * b[i]
+		}
+		return s
+	})
+}
+
 // Norm2 returns the Euclidean norm of v under the given inner product.
 func Norm2(dot Dot, v []float64) float64 { return math.Sqrt(dot(v, v)) }
 
-// Axpy computes y += alpha*x.
+// Norm2Par is the parallel Euclidean norm (Norm2 under DotPar).
+func Norm2Par(v []float64) float64 { return math.Sqrt(DotPar(v, v)) }
+
+// Axpy computes y += alpha*x. Large vectors update in parallel chunks;
+// the operation is elementwise, so the result is bitwise identical to the
+// serial loop.
 func Axpy(alpha float64, x, y []float64) {
-	for i, v := range x {
-		y[i] += alpha * v
-	}
+	par.For(len(x), VecGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			y[i] += alpha * x[i]
+		}
+	})
 }
 
-// Scale multiplies v by alpha in place.
+// Scale multiplies v by alpha in place (parallel over chunks, elementwise
+// exact).
 func Scale(alpha float64, v []float64) {
-	for i := range v {
-		v[i] *= alpha
-	}
+	par.For(len(v), VecGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			v[i] *= alpha
+		}
+	})
 }
 
-// Waxpby computes w = alpha*x + beta*y elementwise.
+// Waxpby computes w = alpha*x + beta*y elementwise (parallel over chunks,
+// elementwise exact).
 func Waxpby(alpha float64, x []float64, beta float64, y, w []float64) {
-	for i := range w {
-		w[i] = alpha*x[i] + beta*y[i]
-	}
+	par.For(len(w), VecGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			w[i] = alpha*x[i] + beta*y[i]
+		}
+	})
 }
 
 // CopyVec copies src into a fresh slice.
@@ -114,8 +150,9 @@ type Options struct {
 	Tol float64
 	// MaxIter bounds the iteration count (default 10·n).
 	MaxIter int
-	// Dot is the inner product (default DotSerial). Parallel components
-	// override it with a globally reduced product.
+	// Dot is the inner product (default DotPar, which equals DotSerial
+	// below VecGrain). SPMD components override it with a globally
+	// reduced product.
 	Dot Dot
 	// Prec is the preconditioner (default identity).
 	Prec Preconditioner
@@ -135,7 +172,7 @@ func (o Options) fill(n int) Options {
 		}
 	}
 	if o.Dot == nil {
-		o.Dot = DotSerial
+		o.Dot = DotPar
 	}
 	if o.Prec == nil {
 		o.Prec = IdentityPrec{}

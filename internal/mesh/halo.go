@@ -246,7 +246,7 @@ func (op *DistOperator) Apply(x, y []float64) error {
 // comm — the parallel inner product for the Krylov solvers.
 func GlobalDot(comm *mpi.Comm) linalg.Dot {
 	return func(a, b []float64) float64 {
-		local := linalg.DotSerial(a, b)
+		local := linalg.DotPar(a, b)
 		global, err := comm.AllreduceScalar(local, mpi.Sum)
 		if err != nil {
 			panic("mesh: global dot allreduce: " + err.Error())

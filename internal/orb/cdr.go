@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Codec errors.
@@ -52,16 +53,49 @@ func (e *Encoder) Bytes() []byte { return e.buf }
 // Reset clears the encoder for reuse.
 func (e *Encoder) Reset() { e.buf = e.buf[:0] }
 
+// maxPooledBuf caps the capacity of buffers kept in the encoder pool so one
+// giant array transfer cannot pin memory for the rest of the run.
+const maxPooledBuf = 1 << 20
+
+var encoderPool = sync.Pool{New: func() any { return new(Encoder) }}
+
+// GetEncoder returns a reset Encoder from the package pool. Pair with
+// PutEncoder once the encoded bytes have been fully consumed (sent or
+// copied) — the marshaling hot path then runs allocation-free at steady
+// state.
+func GetEncoder() *Encoder {
+	e := encoderPool.Get().(*Encoder)
+	e.Reset()
+	return e
+}
+
+// PutEncoder returns e to the pool. The caller must not touch e or any
+// slice obtained from e.Bytes() afterwards.
+func PutEncoder(e *Encoder) {
+	if e == nil || cap(e.buf) > maxPooledBuf {
+		return
+	}
+	encoderPool.Put(e)
+}
+
+// grow extends the buffer by n bytes and returns the new tail.
+func (e *Encoder) grow(n int) []byte {
+	l := len(e.buf)
+	if cap(e.buf)-l < n {
+		nb := make([]byte, l, 2*cap(e.buf)+n)
+		copy(nb, e.buf)
+		e.buf = nb
+	}
+	e.buf = e.buf[:l+n]
+	return e.buf[l:]
+}
+
 func (e *Encoder) u32(v uint32) {
-	var b [4]byte
-	binary.LittleEndian.PutUint32(b[:], v)
-	e.buf = append(e.buf, b[:]...)
+	binary.LittleEndian.PutUint32(e.grow(4), v)
 }
 
 func (e *Encoder) u64(v uint64) {
-	var b [8]byte
-	binary.LittleEndian.PutUint64(b[:], v)
-	e.buf = append(e.buf, b[:]...)
+	binary.LittleEndian.PutUint64(e.grow(8), v)
 }
 
 // EncodeString appends a string.
@@ -109,14 +143,16 @@ func (e *Encoder) Encode(v any) error {
 	case []float64:
 		e.buf = append(e.buf, tagFloat64Slice)
 		e.u32(uint32(len(x)))
-		for _, f := range x {
-			e.u64(math.Float64bits(f))
+		b := e.grow(8 * len(x)) // single grow, then straight stores
+		for i, f := range x {
+			binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(f))
 		}
 	case []int32:
 		e.buf = append(e.buf, tagInt32Slice)
 		e.u32(uint32(len(x)))
-		for _, n := range x {
-			e.u32(uint32(n))
+		b := e.grow(4 * len(x))
+		for i, n := range x {
+			binary.LittleEndian.PutUint32(b[4*i:], uint32(n))
 		}
 	case []string:
 		e.buf = append(e.buf, tagStringSlice)

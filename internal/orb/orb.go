@@ -72,7 +72,10 @@ func (oa *ObjectAdapter) lookup(key string) (*Servant, error) {
 // arguments. Reply: bool ok, then results (ok) or message (error); oneway
 // requests produce a nil reply (nothing is sent back) — the SIDL `oneway`
 // semantics used by loosely coupled monitor ports.
-func (oa *ObjectAdapter) dispatch(req []byte) []byte {
+//
+// The returned encoder comes from the package pool; the caller must send or
+// copy its Bytes and then release it with PutEncoder.
+func (oa *ObjectAdapter) dispatch(req []byte) *Encoder {
 	d := NewDecoder(req)
 	ow, err := d.Decode()
 	if err != nil {
@@ -82,11 +85,12 @@ func (oa *ObjectAdapter) dispatch(req []byte) []byte {
 	if !ok {
 		return errReply(fmt.Errorf("%w: missing oneway flag", ErrBadReply))
 	}
-	reply := func(b []byte) []byte {
+	reply := func(e *Encoder) *Encoder {
 		if oneway {
+			PutEncoder(e)
 			return nil
 		}
-		return b
+		return e
 	}
 	key, err := d.DecodeString()
 	if err != nil {
@@ -115,39 +119,40 @@ func (oa *ObjectAdapter) dispatch(req []byte) []byte {
 	if oneway {
 		return nil
 	}
-	var e Encoder
-	if err := e.Encode(true); err != nil {
-		return errReply(err)
-	}
+	e := GetEncoder()
+	e.Encode(true) //nolint:errcheck // bool always encodes
 	for _, r := range results {
 		if err := e.Encode(r); err != nil {
-			return errReply(err)
+			e.Reset()
+			e.Encode(false) //nolint:errcheck // bool always encodes
+			e.EncodeString(err.Error())
+			return e
 		}
 	}
-	return e.Bytes()
+	return e
 }
 
-// encodeRequest builds a request frame.
-func encodeRequest(oneway bool, key, method string, args []any) ([]byte, error) {
-	var e Encoder
-	if err := e.Encode(oneway); err != nil {
-		return nil, err
-	}
+// encodeRequest builds a request frame in a pooled encoder; the caller
+// releases it with PutEncoder after the frame is sent.
+func encodeRequest(oneway bool, key, method string, args []any) (*Encoder, error) {
+	e := GetEncoder()
+	e.Encode(oneway) //nolint:errcheck // bool always encodes
 	e.EncodeString(key)
 	e.EncodeString(method)
 	for _, a := range args {
 		if err := e.Encode(a); err != nil {
+			PutEncoder(e)
 			return nil, err
 		}
 	}
-	return e.Bytes(), nil
+	return e, nil
 }
 
-func errReply(err error) []byte {
-	var e Encoder
+func errReply(err error) *Encoder {
+	e := GetEncoder()
 	e.Encode(false) //nolint:errcheck // bool always encodes
 	e.EncodeString(err.Error())
-	return e.Bytes()
+	return e
 }
 
 func decodeReply(rep []byte) ([]any, error) {
@@ -197,7 +202,11 @@ func (o *InProcessORB) Invoke(key, method string, args ...any) ([]any, error) {
 	if err != nil {
 		return nil, err
 	}
-	return decodeReply(o.OA.dispatch(req))
+	rep := o.OA.dispatch(req.Bytes())
+	PutEncoder(req)
+	out, err := decodeReply(rep.Bytes()) // decodeReply copies every value
+	PutEncoder(rep)
+	return out, err
 }
 
 // InvokeOneway performs a marshaled call discarding results and errors.
@@ -206,7 +215,8 @@ func (o *InProcessORB) InvokeOneway(key, method string, args ...any) error {
 	if err != nil {
 		return err
 	}
-	o.OA.dispatch(req)
+	PutEncoder(o.OA.dispatch(req.Bytes()))
+	PutEncoder(req)
 	return nil
 }
 
@@ -277,7 +287,9 @@ func Serve(oa *ObjectAdapter, l transport.Listener) *Server {
 					if rep == nil {
 						continue // oneway: no reply frame
 					}
-					if err := conn.Send(rep); err != nil {
+					err = conn.Send(rep.Bytes()) // Send does not retain the frame
+					PutEncoder(rep)
+					if err != nil {
 						return
 					}
 				}
@@ -337,7 +349,9 @@ func (c *Client) Invoke(key, method string, args ...any) ([]any, error) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if err := c.conn.Send(req); err != nil {
+	err = c.conn.Send(req.Bytes())
+	PutEncoder(req)
+	if err != nil {
 		return nil, err
 	}
 	rep, err := c.conn.Recv()
@@ -358,7 +372,9 @@ func (c *Client) InvokeOneway(key, method string, args ...any) error {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.conn.Send(req)
+	err = c.conn.Send(req.Bytes())
+	PutEncoder(req)
+	return err
 }
 
 // Proxy returns a remote object reference.

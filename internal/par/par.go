@@ -1,0 +1,199 @@
+// Package par is the reproduction's shared intra-process parallel-kernel
+// substrate. The paper's Figure 1 pipeline is a set of *parallel*
+// components — mesh, discretization, preconditioner, Krylov solver —
+// cooperating over collective ports, and its §6.2 performance claims only
+// matter if the kernels behind those ports actually use the hardware. This
+// package gives every numeric layer (linalg SpMV and vector ops, the
+// collective-port pack/unpack path) one chunked parallel-for over a single
+// persistent worker pool, so nested use across components cannot
+// oversubscribe the machine.
+//
+// Design:
+//
+//   - one process-wide pool of runtime.GOMAXPROCS(0) workers, started
+//     lazily on first parallel call and kept for the process lifetime;
+//   - For(n, grain, body) splits [0,n) into contiguous chunks of ~grain
+//     elements; below one grain — or on a single-worker pool (GOMAXPROCS=1)
+//     — it degenerates to a plain serial call, so small problems and
+//     single-core machines pay nothing;
+//   - the caller participates in its own loop (it is the guaranteed
+//     executor), helpers are enqueued best-effort: if the pool is
+//     saturated — e.g. nested parallel-for inside an SPMD cohort — the
+//     caller simply does more of the work itself, and no configuration of
+//     callers can deadlock the pool;
+//   - chunk boundaries depend only on (n, grain), never on worker count or
+//     scheduling, so ReduceFloat64's partial sums combine in a fixed order
+//     and parallel reductions are bitwise deterministic run-to-run.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultGrain is the serial-fallback threshold used when a caller passes
+// grain <= 0: loops shorter than this run inline with zero synchronization.
+// The value is a compromise between SpMV rows (cheap per element) and
+// dot-product elements (very cheap per element); hot callers pass their own
+// grain.
+const DefaultGrain = 4096
+
+// pool is the process-wide worker set.
+type workerPool struct {
+	jobs    chan func()
+	workers int
+}
+
+var (
+	poolOnce sync.Once
+	pool     *workerPool
+)
+
+// getPool starts the persistent workers on first use, sized by
+// runtime.GOMAXPROCS at that moment.
+func getPool() *workerPool {
+	poolOnce.Do(func() {
+		w := runtime.GOMAXPROCS(0)
+		if w < 1 {
+			w = 1
+		}
+		p := &workerPool{jobs: make(chan func(), 4*w), workers: w}
+		for i := 0; i < w; i++ {
+			go p.worker()
+		}
+		pool = p
+	})
+	return pool
+}
+
+func (p *workerPool) worker() {
+	for f := range p.jobs {
+		f()
+	}
+}
+
+// Workers reports the size of the persistent pool (started if necessary).
+func Workers() int { return getPool().workers }
+
+// For runs body over the half-open range [0, n) in parallel chunks of
+// roughly grain elements (grain <= 0 selects DefaultGrain). body is called
+// with disjoint [lo, hi) subranges covering [0, n) exactly once; calls may
+// run concurrently, so body must not share mutable state across chunks.
+// When n <= grain the body runs inline on the caller's goroutine.
+//
+// For returns only after every chunk has completed. A panic in any chunk is
+// re-raised on the calling goroutine.
+func For(n, grain int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain <= 0 {
+		grain = DefaultGrain
+	}
+	if n <= grain {
+		body(0, n)
+		return
+	}
+	p := getPool()
+	if p.workers == 1 {
+		// A one-worker pool adds coordination but no concurrency; run
+		// inline. One covering call is a valid chunking, and reductions
+		// stay deterministic because their chunk boundaries are computed
+		// by the caller (ReduceFloat64), not here.
+		body(0, n)
+		return
+	}
+	chunks := (n + grain - 1) / grain
+	size := (n + chunks - 1) / chunks
+
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicked atomic.Pointer[any]
+	)
+	wg.Add(chunks)
+	run := func(recovering bool) {
+		if recovering {
+			defer func() {
+				if r := recover(); r != nil {
+					v := any(r)
+					panicked.CompareAndSwap(nil, &v)
+					// The claimed chunk's Done already ran via the inner
+					// defer; remaining chunks stay claimable by others.
+				}
+			}()
+		}
+		for {
+			c := int(next.Add(1)) - 1
+			if c >= chunks {
+				return
+			}
+			lo := c * size
+			hi := lo + size
+			if hi > n {
+				hi = n
+			}
+			func() {
+				defer wg.Done()
+				body(lo, hi)
+			}()
+		}
+	}
+	// Enqueue up to workers helpers without ever blocking: a full queue
+	// means the pool is busy and the caller absorbs the work. wg counts
+	// chunk completions (not helpers), so helpers that start late — or
+	// never — cannot stall the wait below.
+	helpers := p.workers
+	if helpers > chunks-1 {
+		helpers = chunks - 1
+	}
+	for i := 0; i < helpers; i++ {
+		select {
+		case p.jobs <- func() { run(true) }:
+		default:
+			i = helpers // queue full: stop enqueueing
+		}
+	}
+	run(false) // the caller is the guaranteed executor
+	wg.Wait()
+	if pv := panicked.Load(); pv != nil {
+		panic(*pv)
+	}
+}
+
+// ReduceFloat64 computes a chunked parallel reduction: chunk(lo, hi)
+// produces one partial per ~grain-sized subrange of [0, n), and the
+// partials are summed in ascending chunk order. Because chunk boundaries
+// depend only on (n, grain), the float64 result is identical run-to-run and
+// independent of worker count — serial-vs-parallel differences are pure
+// reassociation rounding, bounded by the usual O(n·eps) summation error.
+func ReduceFloat64(n, grain int, chunk func(lo, hi int) float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	if grain <= 0 {
+		grain = DefaultGrain
+	}
+	if n <= grain {
+		return chunk(0, n)
+	}
+	chunks := (n + grain - 1) / grain
+	size := (n + chunks - 1) / chunks
+	partials := make([]float64, chunks)
+	For(chunks, 1, func(clo, chi int) {
+		for c := clo; c < chi; c++ {
+			lo := c * size
+			hi := lo + size
+			if hi > n {
+				hi = n
+			}
+			partials[c] = chunk(lo, hi)
+		}
+	})
+	var s float64
+	for _, v := range partials {
+		s += v
+	}
+	return s
+}

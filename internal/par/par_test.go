@@ -1,0 +1,117 @@
+package par
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+)
+
+// TestForCoversRangeExactlyOnce checks every index is visited exactly once
+// across sizes straddling the serial/parallel cutoff.
+func TestForCoversRangeExactlyOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 100, DefaultGrain - 1, DefaultGrain, DefaultGrain + 1, 3*DefaultGrain + 17} {
+		counts := make([]int32, n)
+		For(n, 0, func(lo, hi int) {
+			if lo < 0 || hi > n || lo > hi {
+				t.Errorf("n=%d: bad chunk [%d,%d)", n, lo, hi)
+			}
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&counts[i], 1)
+			}
+		})
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, c)
+			}
+		}
+	}
+}
+
+// TestForSmallGrain forces many chunks so helpers genuinely run.
+func TestForSmallGrain(t *testing.T) {
+	const n = 10000
+	var sum atomic.Int64
+	For(n, 16, func(lo, hi int) {
+		var local int64
+		for i := lo; i < hi; i++ {
+			local += int64(i)
+		}
+		sum.Add(local)
+	})
+	want := int64(n) * int64(n-1) / 2
+	if got := sum.Load(); got != want {
+		t.Fatalf("sum = %d, want %d", got, want)
+	}
+}
+
+// TestForNested exercises a parallel-for issued from inside a parallel-for,
+// the shape an SPMD cohort produces (rank goroutines each running parallel
+// kernels). Must not deadlock even with the pool saturated.
+func TestForNested(t *testing.T) {
+	var total atomic.Int64
+	For(64, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			For(1000, 50, func(l, h int) {
+				total.Add(int64(h - l))
+			})
+		}
+	})
+	if got := total.Load(); got != 64*1000 {
+		t.Fatalf("nested total = %d, want %d", got, 64*1000)
+	}
+}
+
+// TestReduceDeterministic: the chunked reduction must give bit-identical
+// results across repeated runs (fixed chunk boundaries, ordered combine).
+func TestReduceDeterministic(t *testing.T) {
+	const n = 100003
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = math.Sin(float64(i)) * 1e-3
+	}
+	chunk := func(lo, hi int) float64 {
+		var s float64
+		for i := lo; i < hi; i++ {
+			s += xs[i]
+		}
+		return s
+	}
+	first := ReduceFloat64(n, 1024, chunk)
+	for trial := 0; trial < 20; trial++ {
+		if got := ReduceFloat64(n, 1024, chunk); got != first {
+			t.Fatalf("trial %d: %v != %v (nondeterministic reduction)", trial, got, first)
+		}
+	}
+	// And it must agree with the serial sum within reassociation error.
+	serial := chunk(0, n)
+	if d := math.Abs(first - serial); d > 1e-9*math.Abs(serial)+1e-12 {
+		t.Fatalf("parallel %v vs serial %v: diff %v", first, serial, d)
+	}
+}
+
+// TestForPanicPropagates: a panic in a chunk must surface on the caller.
+func TestForPanicPropagates(t *testing.T) {
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("panic did not propagate")
+		}
+	}()
+	For(10*DefaultGrain, 0, func(lo, hi int) {
+		if lo == 0 {
+			panic("boom")
+		}
+	})
+}
+
+func BenchmarkForOverheadSerial(b *testing.B) {
+	// Below the grain: must cost ~a function call.
+	for i := 0; i < b.N; i++ {
+		For(64, 0, func(lo, hi int) {})
+	}
+}
+
+func BenchmarkForOverheadParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		For(8*DefaultGrain, 0, func(lo, hi int) {})
+	}
+}

@@ -31,7 +31,8 @@ const MaxFrame = 64 << 20
 
 // Conn is a bidirectional, message-oriented connection.
 type Conn interface {
-	// Send transmits one frame.
+	// Send transmits one frame. Implementations do not retain frame: the
+	// caller may reuse its backing array as soon as Send returns.
 	Send(frame []byte) error
 	// Recv blocks for the next frame.
 	Recv() ([]byte, error)
@@ -148,12 +149,16 @@ func (c *inprocConn) Send(frame []byte) error {
 	if len(frame) > MaxFrame {
 		return fmt.Errorf("%w: %d bytes", ErrFrameTooBig, len(frame))
 	}
+	// Copy before handing off: Conn.Send promises the caller may reuse the
+	// frame as soon as Send returns (the ORB pools its encode buffers), but
+	// a channel retains the slice until the peer receives it.
+	owned := append([]byte(nil), frame...)
 	select {
 	case <-c.closed:
 		return ErrClosed
 	case <-c.peer.closed:
 		return ErrClosed
-	case c.send <- frame:
+	case c.send <- owned:
 		return nil
 	}
 }
@@ -240,10 +245,10 @@ func (c *tcpConn) Send(frame []byte) error {
 	defer c.sendMu.Unlock()
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(frame)))
-	if _, err := c.c.Write(hdr[:]); err != nil {
-		return mapErr(err)
-	}
-	_, err := c.c.Write(frame)
+	// One writev for header+payload: a single syscall, and no risk of the
+	// kernel flushing a 4-byte segment before the payload lands.
+	bufs := net.Buffers{hdr[:], frame}
+	_, err := bufs.WriteTo(c.c)
 	return mapErr(err)
 }
 
