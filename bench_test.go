@@ -17,6 +17,8 @@ package repro
 import (
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/beans"
@@ -273,6 +275,56 @@ func BenchmarkE2_ORBRemoteTCP(b *testing.B) {
 				}
 				sink = res[0].(float64)
 			}
+		})
+	}
+}
+
+// BenchmarkE2_ORBRemoteTCPPipelined measures the multiplexed remote path:
+// 16 callers keep their requests in flight concurrently on one TCP
+// connection, so correlation-ID pipelining amortizes round trips and the
+// write coalescer batches frames into shared writev windows. Compare
+// against BenchmarkE2_ORBRemoteTCP (one outstanding call) for the
+// throughput win.
+func BenchmarkE2_ORBRemoteTCPPipelined(b *testing.B) {
+	info := e2Info(b)
+	const callers = 16
+	for _, n := range []int{1, 4096} {
+		b.Run(fmt.Sprintf("floats=%d", n), func(b *testing.B) {
+			oa := orb.NewObjectAdapter()
+			if err := oa.Register("sum", info, sumServer{}); err != nil {
+				b.Fatal(err)
+			}
+			l, err := transport.TCP{}.Listen("127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			srv := orb.Serve(oa, l)
+			defer srv.Stop()
+			c, err := orb.DialClient(transport.TCP{}, srv.Addr())
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			xs := make([]float64, n)
+			b.SetBytes(int64(8 * n))
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			var next atomic.Int64
+			for g := 0; g < callers; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for next.Add(1) <= int64(b.N) {
+						res, err := c.Invoke("sum", "sum", xs)
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						sink = res[0].(float64)
+					}
+				}()
+			}
+			wg.Wait()
 		})
 	}
 }

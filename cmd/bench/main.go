@@ -22,6 +22,7 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/beans"
@@ -35,6 +36,7 @@ import (
 	"repro/internal/sidl"
 	"repro/internal/sidl/codegen"
 	"repro/internal/sidl/sreflect"
+	"repro/internal/transport"
 )
 
 var (
@@ -172,6 +174,48 @@ func measureAllocs(f func()) (nsPerOp, allocsPerOp float64) {
 			scale = 2
 		}
 		n = int(float64(n) * scale)
+	}
+}
+
+// measureConcurrent times callers goroutines running f concurrently until
+// the budget elapses. It reports aggregate ns/op (wall time over total
+// completed ops — the throughput view, which is what concurrency improves)
+// and process-wide allocs/op (client and server share the process here, so
+// the figure covers both sides of each call).
+func measureConcurrent(callers int, f func()) (nsPerOp, allocsPerOp float64) {
+	f() // warm up
+	per := 1
+	var m0, m1 runtime.MemStats
+	for {
+		runtime.ReadMemStats(&m0)
+		start := time.Now()
+		var wg sync.WaitGroup
+		for i := 0; i < callers; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for j := 0; j < per; j++ {
+					f()
+				}
+			}()
+		}
+		wg.Wait()
+		el := time.Since(start)
+		total := callers * per
+		if el >= budget() {
+			runtime.ReadMemStats(&m1)
+			return float64(el.Nanoseconds()) / float64(total),
+				float64(m1.Mallocs-m0.Mallocs) / float64(total)
+		}
+		if el <= 0 {
+			per *= 1000
+			continue
+		}
+		scale := float64(budget()) / float64(el) * 1.3
+		if scale < 2 {
+			scale = 2
+		}
+		per = int(float64(per) * scale)
 	}
 }
 
@@ -338,6 +382,51 @@ func e2() {
 		fmt.Printf("%-12s %14.1f %14.1f %9.0f×\n", fmt.Sprintf("%dB", 8*n), dn, on, on/dn)
 	}
 	fmt.Println("paper claim C3: same-address-space ORB calls are far too inefficient")
+	e2Remote(info)
+}
+
+// e2Remote measures the genuinely remote half of E2: one TCP connection,
+// 1/4/16 concurrent in-flight callers. "serial" recreates the
+// pre-multiplexing client — one outstanding request per connection — by
+// wrapping Invoke in a mutex; "mux" lets the pipelined client correlate
+// concurrent calls on the wire, so N callers share round trips instead of
+// paying N of them.
+func e2Remote(info *sreflect.TypeInfo) {
+	oa := orb.NewObjectAdapter()
+	check(oa.Register("sum", info, e2Sum{}))
+	l, err := transport.TCP{}.Listen("127.0.0.1:0")
+	check(err)
+	srv := orb.Serve(oa, l)
+	defer srv.Stop()
+	c, err := orb.DialClient(transport.TCP{}, srv.Addr())
+	check(err)
+	defer c.Close()
+
+	fmt.Printf("\nremote TCP, concurrent in-flight callers on one connection:\n")
+	fmt.Printf("%-10s %8s %14s %14s %9s %12s\n",
+		"payload", "callers", "serial ns/op", "mux ns/op", "speedup", "mux allocs")
+	var serialMu sync.Mutex
+	for _, n := range []int{1, 4096} {
+		xs := make([]float64, n)
+		invoke := func() {
+			if _, err := c.Invoke("sum", "sum", xs); err != nil {
+				panic(err)
+			}
+		}
+		for _, callers := range []int{1, 4, 16} {
+			sn, sAllocs := measureConcurrent(callers, func() {
+				serialMu.Lock()
+				invoke()
+				serialMu.Unlock()
+			})
+			mn, mAllocs := measureConcurrent(callers, invoke)
+			record("e2", fmt.Sprintf("remote-serial/c=%d/%dB", callers, 8*n), sn, sAllocs)
+			record("e2", fmt.Sprintf("remote-mux/c=%d/%dB", callers, 8*n), mn, mAllocs)
+			fmt.Printf("%-10s %8d %14.1f %14.1f %8.1f× %12.1f\n",
+				fmt.Sprintf("%dB", 8*n), callers, sn, mn, sn/mn, mAllocs)
+		}
+	}
+	fmt.Println("mux: correlation-ID pipelining; serial: one outstanding call per connection")
 }
 
 // --- E3 ---

@@ -203,6 +203,72 @@ func (d *Decoder) u64() (uint64, error) {
 	return binary.LittleEndian.Uint64(b), nil
 }
 
+// elems validates a decoded element count against the bytes actually
+// remaining, so a corrupt length prefix (e.g. 0xFFFFFFFF) fails fast with
+// ErrDecode instead of forcing a multi-gigabyte allocation.
+func (d *Decoder) elems(n uint32, size int) (int, error) {
+	if int64(n)*int64(size) > int64(len(d.buf)-d.off) {
+		return 0, fmt.Errorf("%w: %d elements of %dB exceed %d remaining bytes",
+			ErrDecode, n, size, len(d.buf)-d.off)
+	}
+	return int(n), nil
+}
+
+// Interning for the request envelope's identifier strings (object keys and
+// method names): every dispatched request re-decodes the same few names, so
+// handing back one canonical copy removes two allocations per call. The
+// table is bounded — identifiers are small and finite in practice, and a
+// peer sending unbounded garbage names must not grow it without limit.
+var (
+	internMu  sync.RWMutex
+	internTab = map[string]string{}
+)
+
+const (
+	maxInternLen = 64
+	maxInternTab = 4096
+)
+
+func intern(b []byte) string {
+	internMu.RLock()
+	s, ok := internTab[string(b)] // string(b) in a map index does not copy
+	internMu.RUnlock()
+	if ok {
+		return s
+	}
+	s = string(b)
+	if len(s) <= maxInternLen {
+		internMu.Lock()
+		if len(internTab) < maxInternTab {
+			internTab[s] = s
+		}
+		internMu.Unlock()
+	}
+	return s
+}
+
+// decodeStringInterned reads a string value and returns its interned copy;
+// the dispatch path uses it for keys and method names.
+func (d *Decoder) decodeStringInterned() (string, error) {
+	tb, err := d.take(1)
+	if err != nil {
+		return "", err
+	}
+	if tb[0] != tagString {
+		d.off-- // re-read through the generic path for the type error
+		return d.DecodeString()
+	}
+	n, err := d.u32()
+	if err != nil {
+		return "", err
+	}
+	b, err := d.take(int(n))
+	if err != nil {
+		return "", err
+	}
+	return intern(b), nil
+}
+
 // DecodeString reads a string value (tag must be string).
 func (d *Decoder) DecodeString() (string, error) {
 	v, err := d.Decode()
@@ -278,13 +344,17 @@ func (d *Decoder) Decode() (any, error) {
 		if err != nil {
 			return nil, err
 		}
-		out := make([]float64, n)
+		m, err := d.elems(n, 8)
+		if err != nil {
+			return nil, err
+		}
+		b, err := d.take(8 * m)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]float64, m)
 		for i := range out {
-			v, err := d.u64()
-			if err != nil {
-				return nil, err
-			}
-			out[i] = math.Float64frombits(v)
+			out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
 		}
 		return out, nil
 	case tagInt32Slice:
@@ -292,13 +362,17 @@ func (d *Decoder) Decode() (any, error) {
 		if err != nil {
 			return nil, err
 		}
-		out := make([]int32, n)
+		m, err := d.elems(n, 4)
+		if err != nil {
+			return nil, err
+		}
+		b, err := d.take(4 * m)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]int32, m)
 		for i := range out {
-			v, err := d.u32()
-			if err != nil {
-				return nil, err
-			}
-			out[i] = int32(v)
+			out[i] = int32(binary.LittleEndian.Uint32(b[4*i:]))
 		}
 		return out, nil
 	case tagStringSlice:
@@ -306,7 +380,12 @@ func (d *Decoder) Decode() (any, error) {
 		if err != nil {
 			return nil, err
 		}
-		out := make([]string, n)
+		// The shortest string element is 5 bytes (tag + length prefix).
+		m, err := d.elems(n, 5)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]string, m)
 		for i := range out {
 			s, err := d.DecodeString()
 			if err != nil {

@@ -1,0 +1,209 @@
+package orb
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/transport"
+)
+
+// Client is a multiplexed connection to a remote ORB server. Any number of
+// goroutines may Invoke concurrently: each call is assigned a correlation
+// ID and a completion channel, the request frames share the connection
+// (pipelined — concurrent calls cost one round trip together, not one
+// each), and a single demux goroutine routes reply frames to their waiting
+// callers by ID. On connection loss every pending and future call fails
+// with the transport error.
+type Client struct {
+	conn   transport.Conn
+	nextID atomic.Uint64
+
+	mu    sync.Mutex
+	calls map[uint64]chan muxReply
+	err   error // sticky: set once the demux loop exits
+}
+
+// muxReply is one demultiplexed completion: a reply frame (still carrying
+// its correlation header) or a connection-level error.
+type muxReply struct {
+	frame []byte
+	err   error
+}
+
+// replyChanPool recycles completion channels across calls. A channel is
+// only returned to the pool by a caller that knows no send can still be
+// pending on it: after receiving its completion, or after forgetting the
+// call before the demux loop claimed it.
+var replyChanPool = sync.Pool{New: func() any { return make(chan muxReply, 1) }}
+
+// DialClient connects to a served address and starts the reply
+// demultiplexer.
+func DialClient(tr transport.Transport, addr string) (*Client, error) {
+	conn, err := tr.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{conn: conn, calls: map[uint64]chan muxReply{}}
+	go c.demux()
+	return c, nil
+}
+
+// demux routes reply frames to per-call completion channels until the
+// connection dies, then fails everything still pending.
+func (c *Client) demux() {
+	for {
+		frame, err := c.conn.Recv()
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		id, _, ok := splitFrame(frame)
+		if !ok || id == onewayID {
+			transport.ReleaseFrame(frame)
+			c.conn.Close()
+			c.fail(fmt.Errorf("%w: reply frame without correlation ID", ErrBadReply))
+			return
+		}
+		c.mu.Lock()
+		ch := c.calls[id]
+		delete(c.calls, id)
+		c.mu.Unlock()
+		if ch == nil {
+			// Cancelled or timed-out call: the late reply is discarded.
+			transport.ReleaseFrame(frame)
+			continue
+		}
+		ch <- muxReply{frame: frame} // buffered, never blocks
+	}
+}
+
+// fail records the terminal error and completes every pending call with it.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	for id, ch := range c.calls {
+		delete(c.calls, id)
+		ch <- muxReply{err: c.err}
+	}
+	c.mu.Unlock()
+}
+
+// forget abandons a pending call; it reports false when the demux loop
+// already claimed the call (a completion has been or is being delivered).
+func (c *Client) forget(id uint64) bool {
+	c.mu.Lock()
+	_, ok := c.calls[id]
+	delete(c.calls, id)
+	c.mu.Unlock()
+	return ok
+}
+
+// Invoke performs a remote call. Concurrent Invokes on one client share the
+// connection and complete independently, in any order.
+func (c *Client) Invoke(key, method string, args ...any) ([]any, error) {
+	return c.InvokeContext(context.Background(), key, method, args...)
+}
+
+// InvokeContext performs a remote call honoring ctx for timeout and
+// cancellation. A cancelled call is abandoned client-side only: the server
+// still executes it, and the demux loop discards the late reply frame.
+func (c *Client) InvokeContext(ctx context.Context, key, method string, args ...any) ([]any, error) {
+	id := c.nextID.Add(1)
+	req, err := encodeRequest(id, key, method, args)
+	if err != nil {
+		return nil, err
+	}
+	ch := replyChanPool.Get().(chan muxReply)
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		PutEncoder(req)
+		return nil, err
+	}
+	c.calls[id] = ch
+	c.mu.Unlock()
+	err = c.conn.Send(req.Bytes())
+	PutEncoder(req)
+	if err != nil {
+		if !c.forget(id) {
+			// The demux claimed the call despite the failed send (e.g. the
+			// sticky write error raced a delivered reply); drain it.
+			if r := <-ch; r.frame != nil {
+				transport.ReleaseFrame(r.frame)
+			}
+		}
+		replyChanPool.Put(ch)
+		return nil, err
+	}
+	if ctx.Done() == nil {
+		// Uncancellable context (the Invoke path): a plain receive skips
+		// the two-case select machinery.
+		r := <-ch
+		replyChanPool.Put(ch)
+		if r.err != nil {
+			return nil, r.err
+		}
+		out, derr := decodeReply(r.frame[frameHeader:])
+		transport.ReleaseFrame(r.frame) // decodeReply copied every value
+		return out, derr
+	}
+	select {
+	case r := <-ch:
+		replyChanPool.Put(ch)
+		if r.err != nil {
+			return nil, r.err
+		}
+		out, derr := decodeReply(r.frame[frameHeader:])
+		transport.ReleaseFrame(r.frame) // decodeReply copied every value
+		return out, derr
+	case <-ctx.Done():
+		if !c.forget(id) {
+			// The completion raced the cancellation and is guaranteed to
+			// arrive; drain it so the frame returns to the pool.
+			if r := <-ch; r.frame != nil {
+				transport.ReleaseFrame(r.frame)
+			}
+		}
+		replyChanPool.Put(ch)
+		return nil, ctx.Err()
+	}
+}
+
+// InvokeOneway performs a fire-and-forget remote call: the request is sent
+// with the reserved oneway correlation ID and no reply is ever produced.
+// Delivery is ordered with respect to other calls issued from the same
+// goroutine (the server dispatches oneways inline in arrival order), but
+// completion is not confirmed — exactly the paper's loosely coupled
+// monitor semantics (cca.ports.Monitor.observe is oneway).
+func (c *Client) InvokeOneway(key, method string, args ...any) error {
+	req, err := encodeRequest(onewayID, key, method, args)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	err = c.err
+	c.mu.Unlock()
+	if err != nil {
+		PutEncoder(req)
+		return err
+	}
+	err = c.conn.Send(req.Bytes())
+	PutEncoder(req)
+	return err
+}
+
+// Proxy returns a remote object reference.
+func (c *Client) Proxy(key string) *Proxy {
+	return &Proxy{invoke: c.Invoke, key: key}
+}
+
+// Close releases the connection; pending calls fail with
+// transport.ErrClosed.
+func (c *Client) Close() error {
+	return c.conn.Close()
+}

@@ -1,0 +1,125 @@
+package orb
+
+// Wire-layer fuzzing: the CDR decoder, the adapter's request dispatch, and
+// the client's reply decoder must return errors on corrupt or truncated
+// input — never panic, and never allocate proportionally to a corrupt
+// length prefix rather than to the input itself.
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+// fuzzSeeds returns valid encodings plus MaxFrame-ish length-prefix edge
+// cases (huge element counts with almost no bytes behind them).
+func fuzzSeeds(tb testing.TB) [][]byte {
+	tb.Helper()
+	valid, err := EncodeAll(
+		nil, true, int32(-7), int64(1<<40), int(-99), 3.14,
+		complex(1, -2), "hello", []byte{1, 2, 3},
+		[]float64{1, 2, 3.5}, []int32{-1, 0, 1}, []string{"a", "", "c"},
+	)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	hugeLen := func(tag byte) []byte {
+		return []byte{tag, 0xFF, 0xFF, 0xFF, 0xFF, 1, 2, 3}
+	}
+	return [][]byte{
+		valid,
+		{},
+		{tagString, 200},
+		hugeLen(tagString),
+		hugeLen(tagBytes),
+		hugeLen(tagFloat64Slice),
+		hugeLen(tagInt32Slice),
+		hugeLen(tagStringSlice),
+	}
+}
+
+func FuzzCDRDecode(f *testing.F) {
+	for _, s := range fuzzSeeds(f) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, b []byte) {
+		vals, err := DecodeAll(b)
+		if err != nil {
+			if !errors.Is(err, ErrDecode) {
+				t.Fatalf("non-ErrDecode failure: %v", err)
+			}
+			return
+		}
+		// Whatever decoded must re-encode: decode output stays within the
+		// codec's value domain.
+		if _, err := EncodeAll(vals...); err != nil {
+			t.Fatalf("decoded values do not re-encode: %v", err)
+		}
+	})
+}
+
+func FuzzDispatch(f *testing.F) {
+	oa := NewObjectAdapter()
+	if err := oa.Register("calc", calcInfo(f), calcImpl{}); err != nil {
+		f.Fatal(err)
+	}
+	// Seeds: a well-formed request, a request for a missing object, and
+	// every decoder edge case behind a valid correlation header.
+	if req, err := encodeRequest(1, "calc", "add", []any{1.0, 2.0}); err == nil {
+		f.Add(append([]byte(nil), req.Bytes()...))
+		PutEncoder(req)
+	}
+	if req, err := encodeRequest(0, "ghost", "m", nil); err == nil {
+		f.Add(append([]byte(nil), req.Bytes()...))
+		PutEncoder(req)
+	}
+	for _, s := range fuzzSeeds(f) {
+		var hdr [frameHeader]byte
+		binary.LittleEndian.PutUint64(hdr[:], 7)
+		f.Add(append(hdr[:], s...))
+		f.Add(s) // headerless / short frames
+	}
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		id, body, ok := splitFrame(frame)
+		if !ok {
+			return // the server drops the connection; nothing to dispatch
+		}
+		e := oa.dispatchBody(body, id == onewayID)
+		if id == onewayID {
+			if e != nil {
+				t.Fatal("oneway dispatch produced a reply")
+			}
+			return
+		}
+		if e == nil {
+			t.Fatal("two-way dispatch produced no reply")
+		}
+		rep := e.Bytes()
+		if len(rep) < frameHeader {
+			t.Fatalf("reply shorter than its header: %d bytes", len(rep))
+		}
+		// The reply must itself be decodable (as a success or an error).
+		if _, err := decodeReply(rep[frameHeader:]); err != nil &&
+			!errors.Is(err, ErrRemote) && !errors.Is(err, ErrDecode) {
+			t.Fatalf("undecodable reply: %v", err)
+		}
+		PutEncoder(e)
+	})
+}
+
+func FuzzDecodeReply(f *testing.F) {
+	ok1, _ := EncodeAll(true, 42.0)
+	bad1, _ := EncodeAll(false, "boom")
+	f.Add(ok1)
+	f.Add(bad1)
+	f.Add([]byte{tagBool})
+	for _, s := range fuzzSeeds(f) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, body []byte) {
+		out, err := decodeReply(body)
+		if err != nil && out != nil {
+			t.Fatal("decodeReply returned values alongside an error")
+		}
+	})
+}

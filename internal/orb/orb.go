@@ -6,7 +6,6 @@ import (
 	"sync"
 
 	"repro/internal/sidl/sreflect"
-	"repro/internal/transport"
 )
 
 // ORB errors.
@@ -67,24 +66,33 @@ func (oa *ObjectAdapter) lookup(key string) (*Servant, error) {
 	return s, nil
 }
 
-// dispatch decodes a request frame, invokes the servant, and encodes the
-// reply frame. Request wire format: bool oneway, key, method, then
-// arguments. Reply: bool ok, then results (ok) or message (error); oneway
-// requests produce a nil reply (nothing is sent back) — the SIDL `oneway`
-// semantics used by loosely coupled monitor ports.
+// dispatchBody decodes a request body (the frame after its correlation
+// header), invokes the servant, and encodes the reply frame with its
+// correlation header reserved but unstamped. Oneway requests produce a nil
+// reply (nothing is sent back) — the SIDL `oneway` semantics used by
+// loosely coupled monitor ports.
 //
-// The returned encoder comes from the package pool; the caller must send or
-// copy its Bytes and then release it with PutEncoder.
-func (oa *ObjectAdapter) dispatch(req []byte) *Encoder {
-	d := NewDecoder(req)
-	ow, err := d.Decode()
-	if err != nil {
-		return errReply(err)
-	}
-	oneway, ok := ow.(bool)
-	if !ok {
-		return errReply(fmt.Errorf("%w: missing oneway flag", ErrBadReply))
-	}
+// dispatchBody is safe for concurrent use: the adapter state is
+// read-locked per lookup, and servant implementations are required to be
+// goroutine-safe when served remotely (the server dispatches two-way
+// requests concurrently).
+//
+// The returned encoder comes from the package pool; the caller must stamp
+// the correlation ID, send or copy its Bytes, and then release it with
+// PutEncoder.
+// argsPool recycles decoded-argument slices across dispatches. Safe because
+// neither Call's fast paths nor the reflect path retain the slice beyond
+// the invocation (result values are always freshly boxed).
+var argsPool = sync.Pool{New: func() any { s := make([]any, 0, 8); return &s }}
+
+func putArgs(p *[]any, used []any) {
+	clear(used) // drop value references so boxed arguments can be collected
+	*p = used[:0]
+	argsPool.Put(p)
+}
+
+func (oa *ObjectAdapter) dispatchBody(body []byte, oneway bool) *Encoder {
+	d := NewDecoder(body)
 	reply := func(e *Encoder) *Encoder {
 		if oneway {
 			PutEncoder(e)
@@ -92,95 +100,52 @@ func (oa *ObjectAdapter) dispatch(req []byte) *Encoder {
 		}
 		return e
 	}
-	key, err := d.DecodeString()
+	key, err := d.decodeStringInterned()
 	if err != nil {
 		return reply(errReply(err))
 	}
-	method, err := d.DecodeString()
+	method, err := d.decodeStringInterned()
 	if err != nil {
 		return reply(errReply(err))
 	}
-	var args []any
+	argsp := argsPool.Get().(*[]any)
+	args := (*argsp)[:0]
 	for d.More() {
 		a, err := d.Decode()
 		if err != nil {
+			putArgs(argsp, args)
 			return reply(errReply(err))
 		}
 		args = append(args, a)
 	}
 	sv, err := oa.lookup(key)
 	if err != nil {
+		putArgs(argsp, args)
 		return reply(errReply(err))
 	}
 	results, err := sv.Obj.Call(method, args...)
+	putArgs(argsp, args) // callees do not retain the argument slice
 	if err != nil {
 		return reply(errReply(err))
 	}
 	if oneway {
 		return nil
 	}
-	e := GetEncoder()
+	e := newReply()
 	e.Encode(true) //nolint:errcheck // bool always encodes
 	for _, r := range results {
 		if err := e.Encode(r); err != nil {
 			e.Reset()
+			h := e.grow(frameHeader)
+			for i := range h {
+				h[i] = 0
+			}
 			e.Encode(false) //nolint:errcheck // bool always encodes
 			e.EncodeString(err.Error())
 			return e
 		}
 	}
 	return e
-}
-
-// encodeRequest builds a request frame in a pooled encoder; the caller
-// releases it with PutEncoder after the frame is sent.
-func encodeRequest(oneway bool, key, method string, args []any) (*Encoder, error) {
-	e := GetEncoder()
-	e.Encode(oneway) //nolint:errcheck // bool always encodes
-	e.EncodeString(key)
-	e.EncodeString(method)
-	for _, a := range args {
-		if err := e.Encode(a); err != nil {
-			PutEncoder(e)
-			return nil, err
-		}
-	}
-	return e, nil
-}
-
-func errReply(err error) *Encoder {
-	e := GetEncoder()
-	e.Encode(false) //nolint:errcheck // bool always encodes
-	e.EncodeString(err.Error())
-	return e
-}
-
-func decodeReply(rep []byte) ([]any, error) {
-	d := NewDecoder(rep)
-	okv, err := d.Decode()
-	if err != nil {
-		return nil, err
-	}
-	ok, isBool := okv.(bool)
-	if !isBool {
-		return nil, fmt.Errorf("%w: leading %T", ErrBadReply, okv)
-	}
-	if !ok {
-		msg, err := d.DecodeString()
-		if err != nil {
-			return nil, err
-		}
-		return nil, fmt.Errorf("%w: %s", ErrRemote, msg)
-	}
-	var out []any
-	for d.More() {
-		v, err := d.Decode()
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, v)
-	}
-	return out, nil
 }
 
 // InProcessORB is the §3.3 baseline: requests to co-located objects still
@@ -198,24 +163,24 @@ func NewInProcessORB() *InProcessORB {
 
 // Invoke performs a marshaled same-address-space call.
 func (o *InProcessORB) Invoke(key, method string, args ...any) ([]any, error) {
-	req, err := encodeRequest(false, key, method, args)
+	req, err := encodeRequest(onewayID, key, method, args)
 	if err != nil {
 		return nil, err
 	}
-	rep := o.OA.dispatch(req.Bytes())
+	rep := o.OA.dispatchBody(req.Bytes()[frameHeader:], false)
 	PutEncoder(req)
-	out, err := decodeReply(rep.Bytes()) // decodeReply copies every value
+	out, err := decodeReply(rep.Bytes()[frameHeader:]) // decodeReply copies every value
 	PutEncoder(rep)
 	return out, err
 }
 
 // InvokeOneway performs a marshaled call discarding results and errors.
 func (o *InProcessORB) InvokeOneway(key, method string, args ...any) error {
-	req, err := encodeRequest(true, key, method, args)
+	req, err := encodeRequest(onewayID, key, method, args)
 	if err != nil {
 		return err
 	}
-	PutEncoder(o.OA.dispatch(req.Bytes()))
+	PutEncoder(o.OA.dispatchBody(req.Bytes()[frameHeader:], true))
 	PutEncoder(req)
 	return nil
 }
@@ -236,151 +201,3 @@ func (p *Proxy) Invoke(method string, args ...any) ([]any, error) {
 func (o *InProcessORB) Proxy(key string) *Proxy {
 	return &Proxy{invoke: o.Invoke, key: key}
 }
-
-// Server serves object-adapter requests over a transport listener — the
-// remote half of the distributed baseline and of distributed CCA port
-// connections that choose ORB transport.
-type Server struct {
-	OA       *ObjectAdapter
-	listener transport.Listener
-	wg       sync.WaitGroup
-	mu       sync.Mutex
-	stopped  bool
-	conns    map[transport.Conn]struct{}
-}
-
-// Serve starts accepting connections on l, dispatching each request frame
-// through the adapter. It returns immediately; Stop shuts the server down.
-func Serve(oa *ObjectAdapter, l transport.Listener) *Server {
-	s := &Server{OA: oa, listener: l, conns: map[transport.Conn]struct{}{}}
-	s.wg.Add(1)
-	go func() {
-		defer s.wg.Done()
-		for {
-			conn, err := l.Accept()
-			if err != nil {
-				return
-			}
-			s.mu.Lock()
-			if s.stopped {
-				s.mu.Unlock()
-				conn.Close()
-				return
-			}
-			s.conns[conn] = struct{}{}
-			s.mu.Unlock()
-			s.wg.Add(1)
-			go func() {
-				defer s.wg.Done()
-				defer func() {
-					conn.Close()
-					s.mu.Lock()
-					delete(s.conns, conn)
-					s.mu.Unlock()
-				}()
-				for {
-					req, err := conn.Recv()
-					if err != nil {
-						return
-					}
-					rep := s.OA.dispatch(req)
-					if rep == nil {
-						continue // oneway: no reply frame
-					}
-					err = conn.Send(rep.Bytes()) // Send does not retain the frame
-					PutEncoder(rep)
-					if err != nil {
-						return
-					}
-				}
-			}()
-		}
-	}()
-	return s
-}
-
-// Addr reports the served address.
-func (s *Server) Addr() string { return s.listener.Addr() }
-
-// Stop closes the listener and every live connection, then waits for
-// handler goroutines to drain. Clients with outstanding requests observe
-// transport.ErrClosed.
-func (s *Server) Stop() {
-	s.mu.Lock()
-	if s.stopped {
-		s.mu.Unlock()
-		return
-	}
-	s.stopped = true
-	conns := make([]transport.Conn, 0, len(s.conns))
-	for c := range s.conns {
-		conns = append(conns, c)
-	}
-	s.mu.Unlock()
-	s.listener.Close()
-	for _, c := range conns {
-		c.Close()
-	}
-	s.wg.Wait()
-}
-
-// Client is a connection to a remote ORB server. Calls are serialized per
-// client (one outstanding request at a time), matching a classic
-// synchronous ORB stub.
-type Client struct {
-	mu   sync.Mutex
-	conn transport.Conn
-}
-
-// DialClient connects to a served address.
-func DialClient(tr transport.Transport, addr string) (*Client, error) {
-	conn, err := tr.Dial(addr)
-	if err != nil {
-		return nil, err
-	}
-	return &Client{conn: conn}, nil
-}
-
-// Invoke performs a remote call.
-func (c *Client) Invoke(key, method string, args ...any) ([]any, error) {
-	req, err := encodeRequest(false, key, method, args)
-	if err != nil {
-		return nil, err
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	err = c.conn.Send(req.Bytes())
-	PutEncoder(req)
-	if err != nil {
-		return nil, err
-	}
-	rep, err := c.conn.Recv()
-	if err != nil {
-		return nil, err
-	}
-	return decodeReply(rep)
-}
-
-// InvokeOneway performs a fire-and-forget remote call: the request is sent
-// and no reply is awaited. Delivery is ordered with respect to other calls
-// on this client but completion is not confirmed — exactly the paper's
-// loosely coupled monitor semantics (cca.ports.Monitor.observe is oneway).
-func (c *Client) InvokeOneway(key, method string, args ...any) error {
-	req, err := encodeRequest(true, key, method, args)
-	if err != nil {
-		return err
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	err = c.conn.Send(req.Bytes())
-	PutEncoder(req)
-	return err
-}
-
-// Proxy returns a remote object reference.
-func (c *Client) Proxy(key string) *Proxy {
-	return &Proxy{invoke: c.Invoke, key: key}
-}
-
-// Close releases the connection.
-func (c *Client) Close() error { return c.conn.Close() }

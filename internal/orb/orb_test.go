@@ -1,6 +1,7 @@
 package orb
 
 import (
+	"encoding/binary"
 	"errors"
 	"math"
 	"reflect"
@@ -132,7 +133,7 @@ func (calcImpl) Sum(xs []float64) float64 {
 }
 func (calcImpl) Greet(who string) string { return "hello " + who }
 
-func calcInfo(t *testing.T) *sreflect.TypeInfo {
+func calcInfo(t testing.TB) *sreflect.TypeInfo {
 	t.Helper()
 	f, err := sidl.Parse(calcSIDL)
 	if err != nil {
@@ -280,7 +281,7 @@ func (o *observer) count() int {
 	return len(o.steps)
 }
 
-func observerInfo(t *testing.T) *sreflect.TypeInfo {
+func observerInfo(t testing.TB) *sreflect.TypeInfo {
 	t.Helper()
 	f, err := sidl.Parse(`package m { interface Mon { oneway void observe(in int step, in array<double,1> data); } }`)
 	if err != nil {
@@ -391,9 +392,18 @@ func TestServerStopWithLiveConnections(t *testing.T) {
 	c.Close()
 }
 
+// withID prefixes a CDR body with a wire-v2 correlation header.
+func withID(id uint64, body ...byte) []byte {
+	f := make([]byte, frameHeader+len(body))
+	binary.LittleEndian.PutUint64(f, id)
+	copy(f[frameHeader:], body)
+	return f
+}
+
 func TestServerSurvivesCorruptFrames(t *testing.T) {
-	// Failure injection: raw garbage and half-valid frames must produce
-	// error replies (or clean rejection), never a wedged server.
+	// Failure injection: garbage bodies behind valid correlation headers
+	// must produce error replies (or, for oneway IDs, silence), never a
+	// wedged server.
 	oa := NewObjectAdapter()
 	if err := oa.Register("calc", calcInfo(t), calcImpl{}); err != nil {
 		t.Fatal(err)
@@ -412,25 +422,39 @@ func TestServerSurvivesCorruptFrames(t *testing.T) {
 	}
 	defer conn.Close()
 	frames := [][]byte{
-		{},                                 // empty
-		{0xFF, 0x01, 0x02},                 // bad tag
-		{tagBool, 1},                       // oneway=true then truncated: oneway garbage, no reply
-		{tagBool, 0},                       // oneway=false then truncated: error reply expected
-		{tagBool, 0, tagInt32, 1, 2, 3, 4}, // key is not a string
+		withID(1),                                 // empty body
+		withID(2, 0xFF, 0x01, 0x02),               // bad tag
+		withID(0, tagBool, 1),                     // oneway ID, garbage body: no reply
+		withID(3, tagInt32, 1, 2, 3, 4),           // key is not a string
+		withID(4, tagString, 4, 0, 0, 0, 'c'),     // truncated key string
+		withID(5, tagString, 1, 0, 0, 0, 'x'),     // key only, method missing
 	}
 	for i, f := range frames {
 		if err := conn.Send(f); err != nil {
 			t.Fatalf("frame %d send: %v", i, err)
 		}
 	}
-	// Frames 0, 1, 3, 4 produce error replies; frame 2 is oneway (none).
-	for i := 0; i < 4; i++ {
+	// Every frame with a nonzero ID produces an error reply carrying that
+	// ID back; the oneway frame produces none. Replies may arrive in any
+	// order (dispatch is concurrent), so collect them all.
+	seen := map[uint64]bool{}
+	for i := 0; i < 5; i++ {
 		rep, err := conn.Recv()
 		if err != nil {
 			t.Fatalf("reply %d: %v", i, err)
 		}
-		if _, err := decodeReply(rep); !errors.Is(err, ErrRemote) && !errors.Is(err, ErrDecode) {
-			t.Errorf("reply %d: err = %v", i, err)
+		id, body, ok := splitFrame(rep)
+		if !ok || id == 0 {
+			t.Fatalf("reply %d: bad frame header (id=%d ok=%v)", i, id, ok)
+		}
+		seen[id] = true
+		if _, err := decodeReply(body); !errors.Is(err, ErrRemote) && !errors.Is(err, ErrDecode) {
+			t.Errorf("reply id %d: err = %v", id, err)
+		}
+	}
+	for id := uint64(1); id <= 5; id++ {
+		if !seen[id] {
+			t.Errorf("no reply for correlation ID %d", id)
 		}
 	}
 	// The server still works after the abuse.
@@ -442,5 +466,42 @@ func TestServerSurvivesCorruptFrames(t *testing.T) {
 	res, err := c.Invoke("calc", "add", 2.0, 2.0)
 	if err != nil || res[0].(float64) != 4 {
 		t.Errorf("post-fuzz invoke: %v, %v", res, err)
+	}
+}
+
+func TestServerDropsHeaderlessConnection(t *testing.T) {
+	// A frame too short to carry a correlation header cannot be answered;
+	// the server must drop that connection without taking down the rest.
+	oa := NewObjectAdapter()
+	if err := oa.Register("calc", calcInfo(t), calcImpl{}); err != nil {
+		t.Fatal(err)
+	}
+	tr := &transport.InProc{}
+	l, err := tr.Listen("short")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(oa, l)
+	defer srv.Stop()
+
+	conn, err := tr.Dial("short")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Send([]byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Recv(); !errors.Is(err, transport.ErrClosed) {
+		t.Errorf("recv after short frame: err = %v, want ErrClosed", err)
+	}
+	conn.Close()
+
+	c, err := DialClient(tr, "short")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if res, err := c.Invoke("calc", "add", 1.0, 1.0); err != nil || res[0].(float64) != 2 {
+		t.Errorf("fresh connection after drop: %v, %v", res, err)
 	}
 }

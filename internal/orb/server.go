@@ -1,0 +1,169 @@
+package orb
+
+import (
+	"sync"
+
+	"repro/internal/par"
+	"repro/internal/transport"
+)
+
+// dispatchCap bounds the two-way requests a server executes concurrently,
+// sized from the shared par worker pool so remote dispatch cannot
+// oversubscribe the machine the numeric kernels also run on. Dispatch slots
+// are overlap slots, not CPU slots — a handler spends most of its life in
+// transport I/O, not compute — so the cap runs well past the worker count,
+// with a floor that keeps single-core hosts pipelining deep enough for the
+// write coalescer to form full batches of replies.
+func dispatchCap() int {
+	c := 4 * par.Workers()
+	if c < 32 {
+		c = 32
+	}
+	return c
+}
+
+// Server serves object-adapter requests over a transport listener — the
+// remote half of the distributed baseline and of distributed CCA port
+// connections that choose ORB transport.
+//
+// Each connection is drained by one read loop. Oneway requests dispatch
+// inline in that loop, preserving their ordering relative to every later
+// request on the same connection. Two-way requests dispatch on a bounded
+// worker set (dispatchCap, shared across connections) so many in-flight
+// calls from a multiplexing client execute concurrently and one slow call
+// cannot stall the pipeline; when the cap is reached the read loop blocks,
+// which is the server's backpressure. Replies are written as handlers
+// complete, in any order — the transport's write coalescer batches replies
+// that complete within the same flush window into one writev.
+type Server struct {
+	OA       *ObjectAdapter
+	listener transport.Listener
+	work     chan dispatchItem
+	wg       sync.WaitGroup // accept loop + per-connection read loops
+	workerWg sync.WaitGroup // dispatch workers
+	mu       sync.Mutex
+	stopped  bool
+	conns    map[transport.Conn]struct{}
+}
+
+// dispatchItem is one two-way request handed from a read loop to the
+// dispatch workers. req is the pooled frame; the body follows its
+// correlation header.
+type dispatchItem struct {
+	conn transport.Conn
+	id   uint64
+	req  []byte
+}
+
+// Serve starts accepting connections on l, dispatching each request frame
+// through the adapter. It returns immediately; Stop shuts the server down.
+func Serve(oa *ObjectAdapter, l transport.Listener) *Server {
+	s := &Server{
+		OA:       oa,
+		listener: l,
+		work:     make(chan dispatchItem, dispatchCap()),
+		conns:    map[transport.Conn]struct{}{},
+	}
+	// Persistent dispatch workers rather than a goroutine per request: a
+	// handler runs through reflect with deep call frames, and a fresh
+	// goroutine would regrow its stack for every request. Warm workers pay
+	// that once.
+	for i := 0; i < dispatchCap(); i++ {
+		s.workerWg.Add(1)
+		go func() {
+			defer s.workerWg.Done()
+			for it := range s.work {
+				rep := s.OA.dispatchBody(it.req[frameHeader:], false)
+				stampReply(rep, it.id)
+				// A write failure is connection-level; the read loop
+				// observes it on its next Recv and tears the connection
+				// down.
+				it.conn.Send(rep.Bytes()) //nolint:errcheck
+				PutEncoder(rep)
+				transport.ReleaseFrame(it.req)
+			}
+		}()
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			s.mu.Lock()
+			if s.stopped {
+				s.mu.Unlock()
+				conn.Close()
+				return
+			}
+			s.conns[conn] = struct{}{}
+			s.mu.Unlock()
+			s.wg.Add(1)
+			go s.serveConn(conn)
+		}
+	}()
+	return s
+}
+
+// serveConn is one connection's read loop.
+func (s *Server) serveConn(conn transport.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	for {
+		req, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		id, body, ok := splitFrame(req)
+		if !ok {
+			// No correlation header: there is no ID to answer on and the
+			// stream can no longer be trusted; drop the connection.
+			transport.ReleaseFrame(req)
+			return
+		}
+		if id == onewayID {
+			if e := s.OA.dispatchBody(body, true); e != nil {
+				PutEncoder(e) // defensive: oneway dispatch returns nil
+			}
+			transport.ReleaseFrame(req)
+			continue
+		}
+		// Blocks when every worker is busy and the queue is full — the
+		// server's backpressure.
+		s.work <- dispatchItem{conn: conn, id: id, req: req}
+	}
+}
+
+// Addr reports the served address.
+func (s *Server) Addr() string { return s.listener.Addr() }
+
+// Stop closes the listener and every live connection, waits for the read
+// loops to exit, then drains and retires the dispatch workers. Clients with
+// outstanding requests observe transport.ErrClosed.
+func (s *Server) Stop() {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	s.stopped = true
+	conns := make([]transport.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	s.listener.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()   // read loops done: no more producers for work
+	close(s.work) // workers finish queued requests, then exit
+	s.workerWg.Wait()
+}

@@ -232,6 +232,13 @@ func Invoke(obj any, m *MethodInfo, args ...any) ([]any, error) {
 	if !meth.IsValid() {
 		return nil, fmt.Errorf("%w: %T has no method %s", ErrNotBound, obj, m.GoName)
 	}
+	return invokeMethod(meth, m, args)
+}
+
+// invokeMethod is the call half of Invoke, operating on an already-resolved
+// method value — Object caches these, since MethodByName rebuilds the
+// method wrapper (a reflect.FuncOf construction) on every lookup.
+func invokeMethod(meth reflect.Value, m *MethodInfo, args []any) ([]any, error) {
 	mt := meth.Type()
 	if mt.NumIn() != len(args) && !mt.IsVariadic() {
 		return nil, fmt.Errorf("%w: %s takes %d arguments, got %d", ErrBadArgs, m.GoName, mt.NumIn(), len(args))
@@ -294,19 +301,33 @@ func Invoke(obj any, m *MethodInfo, args ...any) ([]any, error) {
 type Object struct {
 	Info *TypeInfo
 	Impl any
+	// meths caches the bound method values by SIDL method name: resolving a
+	// method through MethodByName costs a linear scan plus a fresh wrapper
+	// construction per call, which dominates hot dispatch paths.
+	meths map[string]reflect.Value
+	// funcs caches each bound method extracted as a plain func value, so
+	// Call can monomorphize common signatures (see fastCall) instead of
+	// paying reflect.Value.Call's per-invocation frame allocation.
+	funcs map[string]any
 }
 
 // NewObject validates that impl is invocable for every method of the type
-// (arity-level check) and returns the dynamic handle.
+// (arity-level check) and returns the dynamic handle with every method
+// value pre-resolved.
 func NewObject(info *TypeInfo, impl any) (*Object, error) {
 	v := reflect.ValueOf(impl)
+	meths := make(map[string]reflect.Value, len(info.Methods))
+	funcs := make(map[string]any, len(info.Methods))
 	for i := range info.Methods {
 		m := &info.Methods[i]
-		if !v.MethodByName(m.GoName).IsValid() {
+		mv := v.MethodByName(m.GoName)
+		if !mv.IsValid() {
 			return nil, fmt.Errorf("%w: %T lacks %s (for %s.%s)", ErrNotBound, impl, m.GoName, info.QName, m.Name)
 		}
+		meths[m.Name] = mv
+		funcs[m.Name] = mv.Interface()
 	}
-	return &Object{Info: info, Impl: impl}, nil
+	return &Object{Info: info, Impl: impl, meths: meths, funcs: funcs}, nil
 }
 
 // Call invokes a method by SIDL name.
@@ -315,5 +336,83 @@ func (o *Object) Call(method string, args ...any) ([]any, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %s.%s", ErrNoMethod, o.Info.QName, method)
 	}
+	if f, ok := o.funcs[method]; ok {
+		if out, handled, err := fastCall(f, args); handled {
+			return out, err
+		}
+	}
+	if mv, ok := o.meths[method]; ok {
+		return invokeMethod(mv, m, args)
+	}
 	return Invoke(o.Impl, m, args...)
+}
+
+// fastCall dispatches methods whose Go signature matches one of the common
+// scalar/array shapes of SIDL interfaces through a direct typed call —
+// a monomorphic thunk, skipping reflect.Value.Call and its per-invocation
+// argument frame. Signatures outside the set report handled == false and
+// take the generic reflect path; a fast path is only taken when every
+// argument matches the formal type exactly, so the reflect path's
+// conversion and inout conventions are unaffected.
+func fastCall(f any, args []any) (out []any, handled bool, err error) {
+	switch fn := f.(type) {
+	case func():
+		if len(args) == 0 {
+			fn()
+			return nil, true, nil
+		}
+	case func() float64:
+		if len(args) == 0 {
+			return []any{fn()}, true, nil
+		}
+	case func(float64) float64:
+		if len(args) == 1 {
+			if a, ok := args[0].(float64); ok {
+				return []any{fn(a)}, true, nil
+			}
+		}
+	case func(float64, float64) float64:
+		if len(args) == 2 {
+			a, ok1 := args[0].(float64)
+			b, ok2 := args[1].(float64)
+			if ok1 && ok2 {
+				return []any{fn(a, b)}, true, nil
+			}
+		}
+	case func([]float64) float64:
+		if len(args) == 1 {
+			if xs, ok := args[0].([]float64); ok {
+				return []any{fn(xs)}, true, nil
+			}
+		}
+	case func([]float64):
+		if len(args) == 1 {
+			if xs, ok := args[0].([]float64); ok {
+				fn(xs)
+				return nil, true, nil
+			}
+		}
+	case func(int32, []float64):
+		if len(args) == 2 {
+			a, ok1 := args[0].(int32)
+			xs, ok2 := args[1].([]float64)
+			if ok1 && ok2 {
+				fn(a, xs)
+				return nil, true, nil
+			}
+		}
+	case func(string) string:
+		if len(args) == 1 {
+			if s, ok := args[0].(string); ok {
+				return []any{fn(s)}, true, nil
+			}
+		}
+	case func(int32) int32:
+		if len(args) == 1 {
+			if a, ok := args[0].(int32); ok {
+				return []any{fn(a)}, true, nil
+			}
+		}
+	}
+	return nil, false, nil
 }

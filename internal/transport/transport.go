@@ -6,14 +6,28 @@
 // Two transports are provided: an in-process loopback (for deterministic
 // tests and the in-address-space ORB baseline) and TCP over net (for
 // genuinely remote components). Both carry length-prefixed frames.
+//
+// The hot-path cost model is built for a multiplexed RPC layer above:
+//
+//   - Send is safe for concurrent use and frames from concurrent senders
+//     never interleave. On TCP, senders that overlap a flush in progress
+//     are coalesced: their frames gather in a pending queue and the next
+//     flush writes them all with one writev (group commit — Nagle in
+//     userspace without the timer). A lone sender flushes immediately, so
+//     uncontended latency is one writev, exactly as before.
+//   - Recv on TCP reads through a buffered reader, so the common case is
+//     one read syscall per flush window rather than two per frame, and
+//     payload buffers come from a package pool (see ReleaseFrame).
 package transport
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"net"
+	"runtime"
 	"sync"
 )
 
@@ -31,10 +45,14 @@ const MaxFrame = 64 << 20
 
 // Conn is a bidirectional, message-oriented connection.
 type Conn interface {
-	// Send transmits one frame. Implementations do not retain frame: the
-	// caller may reuse its backing array as soon as Send returns.
+	// Send transmits one frame. Send is safe for concurrent use; frames
+	// from concurrent senders are delivered whole, in some serial order.
+	// Implementations do not retain frame past return: the caller may
+	// reuse its backing array as soon as Send returns.
 	Send(frame []byte) error
-	// Recv blocks for the next frame.
+	// Recv blocks for the next frame. The returned slice is owned by the
+	// caller; callers that fully consume a frame may hand it back with
+	// ReleaseFrame to keep the receive path allocation-free.
 	Recv() ([]byte, error)
 	// Close releases the connection; pending Recv calls fail with
 	// ErrClosed (or io.EOF mapped to ErrClosed).
@@ -54,6 +72,56 @@ type Transport interface {
 	Listen(addr string) (Listener, error)
 	Dial(addr string) (Conn, error)
 	Name() string
+}
+
+// --- pooled receive frames ---
+
+// maxPooledFrame caps the capacity of buffers kept in the frame pool so one
+// giant transfer cannot pin memory for the rest of the run (mirrors the ORB
+// encoder pool's cap).
+const maxPooledFrame = 1 << 20
+
+// The frame pool recycles payload buffers between Recv and ReleaseFrame.
+// Buffers travel inside *[]byte boxes; grabFrame strips the box off and
+// parks it in boxPool so that at steady state neither Get nor Put
+// allocates.
+var (
+	framePool sync.Pool // holds *[]byte boxes with spare capacity
+	boxPool   = sync.Pool{New: func() any { return new([]byte) }}
+)
+
+// grabFrame returns a length-n buffer, reusing pooled storage when it fits.
+func grabFrame(n int) []byte {
+	if p, ok := framePool.Get().(*[]byte); ok {
+		b := *p
+		*p = nil
+		boxPool.Put(p)
+		if cap(b) >= n {
+			return b[:n]
+		}
+	}
+	if n > maxPooledFrame {
+		return make([]byte, n)
+	}
+	c := 512
+	for c < n {
+		c <<= 1
+	}
+	return make([]byte, n, c)
+}
+
+// ReleaseFrame returns a frame obtained from Conn.Recv to the package pool.
+// The caller must not touch the frame (or anything aliasing it) afterwards.
+// Releasing is optional — an unreleased frame is simply garbage-collected —
+// but consumers that copy out everything they need (the ORB's decoder
+// copies every value) run allocation-free at steady state by releasing.
+func ReleaseFrame(f []byte) {
+	if cap(f) == 0 || cap(f) > maxPooledFrame {
+		return
+	}
+	p := boxPool.Get().(*[]byte)
+	*p = f[:0]
+	framePool.Put(p)
 }
 
 // --- in-process transport ---
@@ -92,10 +160,21 @@ func (t *InProc) Dial(addr string) (Conn, error) {
 		return nil, fmt.Errorf("%w: %q", ErrNoListener, addr)
 	}
 	client, server := pipePair()
+	// The backlog handoff is guarded by the listener mutex: Close closes
+	// the backlog channel under the same mutex after setting closed, so a
+	// dial racing a close observes ErrClosed instead of panicking on a
+	// send to a closed channel.
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrClosed, addr)
+	}
 	select {
 	case l.backlog <- server:
+		l.mu.Unlock()
 		return client, nil
 	default:
+		l.mu.Unlock()
 		return nil, fmt.Errorf("transport: %q backlog full", addr)
 	}
 }
@@ -103,8 +182,9 @@ func (t *InProc) Dial(addr string) (Conn, error) {
 type inprocListener struct {
 	t       *InProc
 	addr    string
+	mu      sync.Mutex
+	closed  bool
 	backlog chan *inprocConn
-	once    sync.Once
 }
 
 func (l *inprocListener) Accept() (Conn, error) {
@@ -116,12 +196,23 @@ func (l *inprocListener) Accept() (Conn, error) {
 }
 
 func (l *inprocListener) Close() error {
-	l.once.Do(func() {
-		l.t.mu.Lock()
-		delete(l.t.listeners, l.addr)
-		l.t.mu.Unlock()
+	l.t.mu.Lock()
+	delete(l.t.listeners, l.addr)
+	l.t.mu.Unlock()
+	l.mu.Lock()
+	first := !l.closed
+	if first {
+		l.closed = true
 		close(l.backlog)
-	})
+	}
+	l.mu.Unlock()
+	if first {
+		// Close queued, never-accepted connections so their dialers see
+		// ErrClosed instead of hanging on Recv.
+		for c := range l.backlog {
+			c.Close()
+		}
+	}
 	return nil
 }
 
@@ -151,8 +242,11 @@ func (c *inprocConn) Send(frame []byte) error {
 	}
 	// Copy before handing off: Conn.Send promises the caller may reuse the
 	// frame as soon as Send returns (the ORB pools its encode buffers), but
-	// a channel retains the slice until the peer receives it.
-	owned := append([]byte(nil), frame...)
+	// a channel retains the slice until the peer receives it. The copy
+	// lives in a pooled buffer the receiver can hand back with
+	// ReleaseFrame.
+	owned := grabFrame(len(frame))
+	copy(owned, frame)
 	select {
 	case <-c.closed:
 		return ErrClosed
@@ -215,7 +309,7 @@ func (TCP) Dial(addr string) (Conn, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &tcpConn{c: nc}, nil
+	return newTCPConn(nc), nil
 }
 
 type tcpListener struct{ nl net.Listener }
@@ -225,46 +319,212 @@ func (l tcpListener) Accept() (Conn, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &tcpConn{c: nc}, nil
+	return newTCPConn(nc), nil
 }
 
 func (l tcpListener) Close() error { return l.nl.Close() }
 func (l tcpListener) Addr() string { return l.nl.Addr().String() }
 
+// coalesceCutoff is the largest frame copied into the shared write buffer.
+// Larger frames are queued as their own iovec and written zero-copy; the
+// copy would cost more than the extra iovec saves.
+const coalesceCutoff = 4 << 10
+
+// recvBufSize sizes the buffered reader: big enough that a whole flush
+// window of small frames (header + payload) arrives in one read syscall.
+const recvBufSize = 64 << 10
+
+// maxFlushWindow caps how many frames a flusher gathers before it stops
+// yielding and writes: deep enough to batch every in-flight call of a busy
+// multiplexed connection, small enough that a sustained stream of senders
+// cannot postpone the flush unboundedly.
+const maxFlushWindow = 64
+
+// wseg is one queued write segment: a [lo,hi) window of the shared
+// coalesce buffer, or (ref != nil) a zero-copy reference to a large frame.
+type wseg struct {
+	lo, hi int
+	ref    []byte
+}
+
+// tcpConn frames messages over a net.Conn.
+//
+// The write side is a group-commit coalescer: Send queues its frame
+// (4-byte length header always goes through the coalesce buffer; small
+// payloads are copied after it, large payloads are referenced zero-copy)
+// and the first sender to find no flush in progress becomes the leader,
+// flushing windows of queued frames with one writev each until the queue is
+// empty. Frames queued by concurrent senders while a window is being
+// written batch into the next writev. Senders of small (copied) frames
+// return as soon as their frame is queued — the leader owns the copy — so
+// a pipelined burst pays one sleep/wake pair per window, not per frame;
+// write failures are sticky and surface on later Sends and on the peer's
+// read side. Senders of zero-copy frames wait until their segment has been
+// written, so the referenced buffer never outlives the call.
 type tcpConn struct {
 	c      net.Conn
-	sendMu sync.Mutex
+	br     *bufio.Reader
 	recvMu sync.Mutex
+
+	wmu       sync.Mutex
+	wcond     *sync.Cond
+	flushing  bool   // a flusher's writev is in progress
+	nq, ndone uint64 // frames queued / frames flushed
+	werr      error  // sticky write-side error
+	wbuf      []byte // coalesced bytes awaiting flush
+	wsegs     []wseg // flush order over wbuf windows and zero-copy refs
+	spareBuf  []byte // double buffers recycled between flushes
+	spareSegs []wseg
+	iov       net.Buffers // flusher-owned iovec scratch
+}
+
+func newTCPConn(nc net.Conn) *tcpConn {
+	c := &tcpConn{c: nc, br: bufio.NewReaderSize(nc, recvBufSize)}
+	c.wcond = sync.NewCond(&c.wmu)
+	return c
 }
 
 func (c *tcpConn) Send(frame []byte) error {
 	if len(frame) > MaxFrame {
 		return fmt.Errorf("%w: %d bytes", ErrFrameTooBig, len(frame))
 	}
-	c.sendMu.Lock()
-	defer c.sendMu.Unlock()
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(frame)))
-	// One writev for header+payload: a single syscall, and no risk of the
-	// kernel flushing a 4-byte segment before the payload lands.
-	bufs := net.Buffers{hdr[:], frame}
-	_, err := bufs.WriteTo(c.c)
-	return mapErr(err)
+
+	c.wmu.Lock()
+	if c.werr != nil {
+		err := c.werr
+		c.wmu.Unlock()
+		return err
+	}
+	c.appendSmall(hdr[:])
+	small := len(frame) <= coalesceCutoff
+	if small {
+		c.appendSmall(frame)
+	} else {
+		c.wsegs = append(c.wsegs, wseg{ref: frame})
+	}
+	c.nq++
+	mySeq := c.nq
+	switch {
+	case !c.flushing:
+		// Become the leader: flush until the queue is empty, covering
+		// frames other senders enqueue meanwhile (they return without
+		// waiting, so nobody else will).
+		c.flushing = true
+		c.flushLoop()
+	case !small:
+		// Zero-copy frames stay referenced until written; the caller may
+		// recycle the buffer as soon as Send returns, so wait out the
+		// leader's flush of our segment.
+		for c.ndone < mySeq && c.werr == nil {
+			c.wcond.Wait()
+		}
+	default:
+		// Small frame, leader active: the copy in the coalesce buffer is
+		// the leader's to write. Returning now saves a sleep/wake pair per
+		// frame; a write failure surfaces as the sticky error on later
+		// operations and as connection loss on the read side.
+	}
+	var err error
+	if c.ndone < mySeq {
+		err = c.werr // nil for a small frame the leader has yet to write
+	}
+	c.wmu.Unlock()
+	return err
+}
+
+// flushLoop runs the group-commit leader: flush windows until the queue is
+// empty or the write side fails. Called with wmu held and the flushing flag
+// claimed; returns with wmu held and the flag released.
+//
+// Before each writev the leader yields while the window keeps growing:
+// senders that are already runnable (e.g. just woken by a reply batch) get
+// to queue their frames into the same writev. Without the yield, a fast
+// non-blocking writev on a single P finishes before any other sender runs,
+// and the coalescer degenerates to one syscall per frame. The window is
+// bounded so a steady stream of senders cannot postpone the flush
+// indefinitely, and a lone sender pays exactly one yield.
+func (c *tcpConn) flushLoop() {
+	for c.werr == nil && c.ndone < c.nq {
+		for {
+			prev := c.nq
+			c.wmu.Unlock()
+			runtime.Gosched()
+			c.wmu.Lock()
+			if c.nq == prev || c.nq-c.ndone >= maxFlushWindow {
+				break
+			}
+		}
+		c.flush()
+	}
+	c.flushing = false
+}
+
+// appendSmall copies b into the coalesce buffer, merging into the previous
+// segment when that segment is also a buffer window (consecutive small
+// frames become one iovec).
+func (c *tcpConn) appendSmall(b []byte) {
+	lo := len(c.wbuf)
+	c.wbuf = append(c.wbuf, b...)
+	if n := len(c.wsegs); n > 0 && c.wsegs[n-1].ref == nil {
+		c.wsegs[n-1].hi = len(c.wbuf)
+		return
+	}
+	c.wsegs = append(c.wsegs, wseg{lo: lo, hi: len(c.wbuf)})
+}
+
+// flush takes ownership of the queued segments and writes them with one
+// writev. Called with wmu held and flushing already claimed by the caller;
+// the lock is released around the syscall so senders can queue the next
+// window, and reacquired before returning.
+func (c *tcpConn) flush() {
+	buf, segs, top := c.wbuf, c.wsegs, c.nq
+	c.wbuf, c.wsegs = c.spareBuf, c.spareSegs
+	c.spareBuf, c.spareSegs = nil, nil
+	c.wmu.Unlock()
+
+	c.iov = c.iov[:0]
+	for _, s := range segs {
+		if s.ref != nil {
+			c.iov = append(c.iov, s.ref)
+		} else {
+			c.iov = append(c.iov, buf[s.lo:s.hi])
+		}
+	}
+	iov := c.iov
+	_, err := iov.WriteTo(c.c)
+	clear(c.iov) // drop payload references; pooled arrays must not stay pinned
+
+	c.wmu.Lock()
+	c.flushing = false
+	c.ndone = top
+	if err != nil && c.werr == nil {
+		c.werr = mapErr(err)
+	}
+	if cap(buf) <= maxPooledFrame {
+		c.spareBuf = buf[:0]
+	}
+	c.spareSegs = segs[:0]
+	c.wcond.Broadcast()
 }
 
 func (c *tcpConn) Recv() ([]byte, error) {
 	c.recvMu.Lock()
 	defer c.recvMu.Unlock()
 	var hdr [4]byte
-	if _, err := io.ReadFull(c.c, hdr[:]); err != nil {
+	// Through the buffered reader, header and payload usually arrive with
+	// a single read syscall (often along with the next frames of the same
+	// flush window).
+	if _, err := io.ReadFull(c.br, hdr[:]); err != nil {
 		return nil, mapErr(err)
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n > MaxFrame {
 		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooBig, n)
 	}
-	frame := make([]byte, n)
-	if _, err := io.ReadFull(c.c, frame); err != nil {
+	frame := grabFrame(int(n))
+	if _, err := io.ReadFull(c.br, frame); err != nil {
 		return nil, mapErr(err)
 	}
 	return frame, nil

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 // transports under test; TCP listens on a kernel-assigned port.
@@ -233,6 +234,195 @@ func TestConcurrentSenders(t *testing.T) {
 	wg.Wait()
 	if n := <-counts; n != senders*frames {
 		t.Fatalf("received %d frames", n)
+	}
+}
+
+func TestInProcDialCloseRace(t *testing.T) {
+	// Regression: Dial used to send on the listener backlog without
+	// synchronizing against Close closing it — a send on a closed channel
+	// panicked the dialer. A dial racing a close must yield ErrNoListener
+	// or ErrClosed, never panic.
+	for i := 0; i < 100; i++ {
+		ip := &InProc{}
+		l, err := ip.Listen("race")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() {
+			for {
+				c, err := l.Accept()
+				if err != nil {
+					return
+				}
+				c.Close()
+			}
+		}()
+		start := make(chan struct{})
+		var wg sync.WaitGroup
+		for d := 0; d < 4; d++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				c, err := ip.Dial("race")
+				switch {
+				case err == nil:
+					c.Close()
+				case errors.Is(err, ErrNoListener), errors.Is(err, ErrClosed):
+				default:
+					t.Errorf("dial during close: %v", err)
+				}
+			}()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			l.Close()
+		}()
+		close(start)
+		wg.Wait()
+	}
+}
+
+func TestInProcQueuedConnClosedByListenerClose(t *testing.T) {
+	// A connection that was queued but never accepted must observe
+	// ErrClosed after the listener closes, not hang.
+	ip := &InProc{}
+	l, err := ip.Listen("orphan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := ip.Dial("orphan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Recv()
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrClosed) {
+			t.Errorf("recv err = %v, want ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("orphaned dialer hung after listener close")
+	}
+}
+
+func TestCoalescedMixedSizeSenders(t *testing.T) {
+	// Concurrent senders mixing frames below and above the coalescer's
+	// zero-copy cutoff must still deliver every frame whole and
+	// uncorrupted.
+	tr := TCP{}
+	l, err := tr.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	const senders, frames = 8, 40
+	sizes := []int{1, 100, coalesceCutoff, coalesceCutoff + 1, 64 << 10}
+	type got struct {
+		n   int
+		err error
+	}
+	results := make(chan got, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			results <- got{0, err}
+			return
+		}
+		n := 0
+		for i := 0; i < senders*frames; i++ {
+			f, err := c.Recv()
+			if err != nil {
+				results <- got{n, err}
+				return
+			}
+			if len(f) == 0 {
+				results <- got{n, fmt.Errorf("empty frame")}
+				return
+			}
+			fill := f[0]
+			for _, b := range f {
+				if b != fill {
+					results <- got{n, fmt.Errorf("corrupt frame: %d != %d", b, fill)}
+					return
+				}
+			}
+			ReleaseFrame(f)
+			n++
+		}
+		results <- got{n, nil}
+	}()
+	c, err := tr.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < frames; i++ {
+				size := sizes[(s+i)%len(sizes)]
+				frame := make([]byte, size)
+				fill := byte(s + 1)
+				for j := range frame {
+					frame[j] = fill
+				}
+				if err := c.Send(frame); err != nil {
+					t.Errorf("send: %v", err)
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	r := <-results
+	if r.err != nil || r.n != senders*frames {
+		t.Fatalf("received %d/%d frames, err = %v", r.n, senders*frames, r.err)
+	}
+}
+
+func TestSendErrorAfterPeerClose(t *testing.T) {
+	// Once the write side fails, subsequent Sends report the sticky error.
+	tr := TCP{}
+	l, err := tr.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	accepted := make(chan Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	c, err := tr.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := <-accepted
+	srv.Close()
+	c.Close()
+	var sendErr error
+	for i := 0; i < 50; i++ {
+		if sendErr = c.Send([]byte("x")); sendErr != nil {
+			break
+		}
+	}
+	if sendErr == nil {
+		t.Fatal("sends kept succeeding on a closed connection")
+	}
+	if err := c.Send([]byte("y")); err == nil {
+		t.Error("send after sticky error succeeded")
 	}
 }
 
