@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 )
 
 // Codec errors.
@@ -217,33 +218,37 @@ func (d *Decoder) elems(n uint32, size int) (int, error) {
 // Interning for the request envelope's identifier strings (object keys and
 // method names): every dispatched request re-decodes the same few names, so
 // handing back one canonical copy removes two allocations per call. The
-// table is bounded — identifiers are small and finite in practice, and a
-// peer sending unbounded garbage names must not grow it without limit.
-var (
-	internMu  sync.RWMutex
-	internTab = map[string]string{}
-)
-
+// table is a fixed-size direct-mapped cache of lock-free slots: a colliding
+// name overwrites its slot, so remote-supplied garbage identifiers can only
+// evict legitimate names transiently — they re-intern on their next use —
+// and can never disable interning for the rest of the process.
 const (
 	maxInternLen = 64
-	maxInternTab = 4096
+	internSlots  = 4096 // power of two, ~hundreds of identifiers in practice
 )
 
+var internTab [internSlots]atomic.Pointer[string]
+
+// internHash is FNV-1a; identifiers are short, so inlining the loop beats
+// hash/fnv's interface plumbing.
+func internHash(b []byte) uint32 {
+	h := uint32(2166136261)
+	for _, c := range b {
+		h = (h ^ uint32(c)) * 16777619
+	}
+	return h
+}
+
 func intern(b []byte) string {
-	internMu.RLock()
-	s, ok := internTab[string(b)] // string(b) in a map index does not copy
-	internMu.RUnlock()
-	if ok {
-		return s
+	if len(b) > maxInternLen {
+		return string(b)
 	}
-	s = string(b)
-	if len(s) <= maxInternLen {
-		internMu.Lock()
-		if len(internTab) < maxInternTab {
-			internTab[s] = s
-		}
-		internMu.Unlock()
+	slot := &internTab[internHash(b)&(internSlots-1)]
+	if p := slot.Load(); p != nil && *p == string(b) { // comparison does not copy
+		return *p
 	}
+	s := string(b)
+	slot.Store(&s)
 	return s
 }
 

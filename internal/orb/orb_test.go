@@ -1,8 +1,10 @@
 package orb
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
+	"fmt"
 	"math"
 	"reflect"
 	"strings"
@@ -422,12 +424,12 @@ func TestServerSurvivesCorruptFrames(t *testing.T) {
 	}
 	defer conn.Close()
 	frames := [][]byte{
-		withID(1),                                 // empty body
-		withID(2, 0xFF, 0x01, 0x02),               // bad tag
-		withID(0, tagBool, 1),                     // oneway ID, garbage body: no reply
-		withID(3, tagInt32, 1, 2, 3, 4),           // key is not a string
-		withID(4, tagString, 4, 0, 0, 0, 'c'),     // truncated key string
-		withID(5, tagString, 1, 0, 0, 0, 'x'),     // key only, method missing
+		withID(1),                             // empty body
+		withID(2, 0xFF, 0x01, 0x02),           // bad tag
+		withID(0, tagBool, 1),                 // oneway ID, garbage body: no reply
+		withID(3, tagInt32, 1, 2, 3, 4),       // key is not a string
+		withID(4, tagString, 4, 0, 0, 0, 'c'), // truncated key string
+		withID(5, tagString, 1, 0, 0, 0, 'x'), // key only, method missing
 	}
 	for i, f := range frames {
 		if err := conn.Send(f); err != nil {
@@ -503,5 +505,31 @@ func TestServerDropsHeaderlessConnection(t *testing.T) {
 	defer c.Close()
 	if res, err := c.Invoke("calc", "add", 1.0, 1.0); err != nil || res[0].(float64) != 2 {
 		t.Errorf("fresh connection after drop: %v, %v", res, err)
+	}
+}
+
+func TestInternSurvivesGarbageFlood(t *testing.T) {
+	// Regression: the intern table used to be a fill-once global map, so a
+	// peer sending a few thousand distinct garbage identifiers permanently
+	// disabled interning for every legitimate name. The direct-mapped cache
+	// evicts on collision instead: after an arbitrary flood, a real name
+	// re-interns on first use and subsequent lookups return the cached copy
+	// allocation-free.
+	for i := 0; i < 3*internSlots; i++ {
+		intern([]byte(fmt.Sprintf("garbage.%d", i)))
+	}
+	name := []byte("esi.Solver.Apply")
+	intern(name) // repopulate the slot the flood may have evicted
+	if got := testing.AllocsPerRun(100, func() {
+		if s := intern(name); s != "esi.Solver.Apply" {
+			t.Fatalf("intern returned %q", s)
+		}
+	}); got != 0 {
+		t.Errorf("interned lookup allocates %.1f/op after garbage flood; want 0", got)
+	}
+	// Oversized identifiers bypass the table entirely but still decode.
+	long := bytes.Repeat([]byte("x"), maxInternLen+1)
+	if s := intern(long); s != string(long) {
+		t.Errorf("oversized intern returned %q", s)
 	}
 }

@@ -475,9 +475,12 @@ func (c *tcpConn) appendSmall(b []byte) {
 }
 
 // flush takes ownership of the queued segments and writes them with one
-// writev. Called with wmu held and flushing already claimed by the caller;
-// the lock is released around the syscall so senders can queue the next
-// window, and reacquired before returning.
+// writev. Called with wmu held and flushing claimed by the caller; the lock
+// is released around the syscall so senders can queue the next window, and
+// reacquired before returning. The flushing flag stays claimed throughout —
+// only flushLoop releases it, after its final window — so a sender that
+// observes an unlocked wmu mid-flush can never become a second leader and
+// race writes to the socket.
 func (c *tcpConn) flush() {
 	buf, segs, top := c.wbuf, c.wsegs, c.nq
 	c.wbuf, c.wsegs = c.spareBuf, c.spareSegs
@@ -497,8 +500,9 @@ func (c *tcpConn) flush() {
 	clear(c.iov) // drop payload references; pooled arrays must not stay pinned
 
 	c.wmu.Lock()
-	c.flushing = false
-	c.ndone = top
+	if top > c.ndone {
+		c.ndone = top
+	}
 	if err != nil && c.werr == nil {
 		c.werr = mapErr(err)
 	}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -464,5 +465,88 @@ func TestFrameFidelityProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestFlushLeaderStress(t *testing.T) {
+	// Regression for a leader-election race: flush() used to release the
+	// flushing flag after every window while flushLoop kept looping, so a
+	// sender that caught wmu during the leader's between-window yield saw
+	// !flushing and became a second concurrent leader — racing on the
+	// shared iovec scratch and interleaving writev calls on one socket.
+	// With the flag owned solely by flushLoop there is exactly one leader
+	// per drain. Reproducing the old bug needs sustained sender pressure
+	// (so the leader drains for many windows, each yield an election
+	// window), a receiver that does nothing but drain (so the TCP buffer
+	// never fills and flushes stay short), frames on both sides of the
+	// coalesce cutoff, and >=4 Ps; under -race this setup reported the old
+	// bug within a few runs.
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	if runtime.GOMAXPROCS(0) < 4 {
+		runtime.GOMAXPROCS(4)
+	}
+	tr := TCP{}
+	l, err := tr.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	const senders, frames = 32, 2000
+	type got struct {
+		n   int
+		err error
+	}
+	results := make(chan got, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			results <- got{0, err}
+			return
+		}
+		n := 0
+		for {
+			f, err := c.Recv()
+			if err != nil {
+				// The client closes the conn once every sender is done;
+				// ErrClosed here is the normal end of stream.
+				results <- got{n, nil}
+				return
+			}
+			if len(f) != 64 && len(f) != coalesceCutoff+1 {
+				results <- got{n, fmt.Errorf("frame of unexpected size %d", len(f))}
+				return
+			}
+			ReleaseFrame(f)
+			n++
+		}
+	}()
+	c, err := tr.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			small := make([]byte, 64)
+			big := make([]byte, coalesceCutoff+1)
+			for i := 0; i < frames; i++ {
+				f := small
+				if (s+i)%7 == 0 {
+					f = big
+				}
+				if err := c.Send(f); err != nil {
+					t.Errorf("send: %v", err)
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	c.Close()
+	r := <-results
+	if r.err != nil || r.n != senders*frames {
+		t.Fatalf("received %d/%d frames, err = %v", r.n, senders*frames, r.err)
 	}
 }
