@@ -597,6 +597,63 @@ func e7() {
 		record("e7", row.name, row.ns, -1)
 		fmt.Printf("%-10s %10.1f %12.1f\n", row.name, row.ns/1e3, kb/1024/(row.ns/1e9))
 	}
+	e7Supervision()
+}
+
+// e7Supervision measures what supervision costs on the happy path: the
+// same remote call over one TCP connection, through the bare multiplexed
+// client and through the Supervised wrapper (classification, idempotent
+// retry bookkeeping, circuit-breaker check, heartbeat timer armed). The
+// robustness machinery must not erode claim C1 — the target is staying
+// within 5% of the unsupervised path.
+func e7Supervision() {
+	f, err := sidl.Parse(`package bench { interface Sum { double sum(in array<double,1> xs); } }`)
+	check(err)
+	tbl, err := sidl.Resolve(f)
+	check(err)
+	var info *sreflect.TypeInfo
+	for _, ti := range sreflect.FromTable(tbl) {
+		if ti.QName == "bench.Sum" {
+			info = ti
+		}
+	}
+	oa := orb.NewObjectAdapter()
+	check(oa.Register("sum", info, e2Sum{}))
+	l, err := transport.TCP{}.Listen("127.0.0.1:0")
+	check(err)
+	srv := orb.Serve(oa, l)
+	defer srv.Stop()
+
+	bare, err := orb.DialClient(transport.TCP{}, srv.Addr())
+	check(err)
+	defer bare.Close()
+	sup, err := orb.DialSupervised(transport.TCP{}, srv.Addr(), orb.SupervisorOptions{
+		Idempotent: orb.AllIdempotent,
+		Heartbeat:  time.Second,
+	})
+	check(err)
+	defer sup.Close()
+
+	fmt.Printf("\nsupervision overhead, remote TCP happy path:\n")
+	fmt.Printf("%-10s %14s %16s %10s\n", "payload", "bare ns/call", "superv. ns/call", "overhead")
+	for _, n := range []int{1, 4096} {
+		xs := make([]float64, n)
+		bn, bAllocs := measureAllocs(func() {
+			if _, err := bare.Invoke("sum", "sum", xs); err != nil {
+				panic(err)
+			}
+		})
+		sn, sAllocs := measureAllocs(func() {
+			if _, err := sup.Invoke("sum", "sum", xs); err != nil {
+				panic(err)
+			}
+		})
+		record("e7", fmt.Sprintf("remote-bare/%dB", 8*n), bn, bAllocs)
+		record("e7", fmt.Sprintf("remote-supervised/%dB", 8*n), sn, sAllocs)
+		fmt.Printf("%-10s %14.1f %16.1f %9.1f%%\n",
+			fmt.Sprintf("%dB", 8*n), bn, sn, 100*(sn-bn)/bn)
+	}
+	fmt.Println("target: supervised within 5% of bare (robustness must not erode C1)")
 }
 
 // --- E8 ---

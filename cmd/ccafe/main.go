@@ -8,6 +8,14 @@
 //	ccafe              # interactive shell on stdin
 //	ccafe -f script    # run a script file
 //
+// Distributed-connection flags (supervised remote ports):
+//
+//	--connect-timeout   initial dial budget for `remote` (default 5s)
+//	--retry             per-call attempt budget for idempotent methods
+//	                    across reconnects (default 4)
+//	--breaker-threshold consecutive failed redials before the circuit
+//	                    opens and calls are shed (default 5)
+//
 // Commands:
 //
 //	repository                    list deposited component types
@@ -23,6 +31,16 @@
 //	connections                   list live connections
 //	ports <instance>              list an instance's ports
 //	solve <solver-instance> [tol] run the solver against a manufactured RHS
+//	export <instance> <port> [addr]
+//	                              serve a provides port over TCP for remote
+//	                              frameworks (addr default 127.0.0.1:0)
+//	remote <instance> <addr> <key> [type]
+//	                              install a supervised proxy component for a
+//	                              remotely exported port (type default
+//	                              esi.MatrixData); the connection redials
+//	                              with backoff, retries idempotent calls,
+//	                              and circuit-breaks per the flags above
+//	health <instance> <port>      show a provides port's connection health
 //	remove <instance>             remove an instance
 //	save <file>                   persist the repository (descriptions) as JSON
 //	load <file>                   merge a saved repository into this session
@@ -37,18 +55,33 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/cca"
 	"repro/internal/core"
+	"repro/internal/dist"
 	"repro/internal/esi"
 	"repro/internal/linalg"
+	"repro/internal/orb"
+	"repro/internal/transport"
 )
 
 func main() {
 	script := flag.String("f", "", "script file (default: interactive stdin)")
+	connectTimeout := flag.Duration("connect-timeout", 5*time.Second,
+		"initial dial budget for remote connections")
+	retry := flag.Int("retry", 4,
+		"per-call attempt budget for idempotent methods across reconnects")
+	breakerThreshold := flag.Int("breaker-threshold", 5,
+		"consecutive failed redials before the circuit breaker opens")
 	flag.Parse()
 
-	app, err := core.NewApp(core.Options{WithESI: true})
+	// FlavorDistributed: the shell hosts supervised proxy components for
+	// remotely exported ports (the `remote` command).
+	app, err := core.NewApp(core.Options{
+		Flavor:  cca.FlavorInProcess | cca.FlavorDistributed,
+		WithESI: true,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ccafe:", err)
 		os.Exit(1)
@@ -67,7 +100,12 @@ func main() {
 		interactive = false
 	}
 
-	sh := &shell{app: app}
+	sh := &shell{app: app, supOpts: orb.SupervisorOptions{
+		ConnectTimeout:   *connectTimeout,
+		MaxAttempts:      *retry,
+		BreakerThreshold: *breakerThreshold,
+	}}
+	defer sh.shutdown()
 	scanner := bufio.NewScanner(in)
 	if interactive {
 		fmt.Print("ccafe> ")
@@ -86,7 +124,21 @@ func main() {
 }
 
 type shell struct {
-	app *core.App
+	app     *core.App
+	supOpts orb.SupervisorOptions
+	exports []*dist.Exporter
+	remotes []*dist.RemotePort
+}
+
+// shutdown releases every exporter and supervised connection the session
+// opened.
+func (sh *shell) shutdown() {
+	for _, r := range sh.remotes {
+		r.Close()
+	}
+	for _, e := range sh.exports {
+		e.Close()
+	}
 }
 
 // exec runs one command line; returns true on quit.
@@ -184,6 +236,19 @@ func (sh *shell) exec(line string) bool {
 		}
 	case "solve":
 		err = sh.solve(args)
+	case "export":
+		err = sh.export(args)
+	case "remote":
+		err = sh.remote(args)
+	case "health":
+		if len(args) != 2 {
+			err = fmt.Errorf("usage: health <instance> <port>")
+			break
+		}
+		var h cca.Health
+		if h, err = sh.app.Fw.PortHealth(args[0], args[1]); err == nil {
+			fmt.Printf("  %s.%s: %s\n", args[0], args[1], h)
+		}
 	case "remove":
 		if len(args) != 1 {
 			err = fmt.Errorf("usage: remove <instance>")
@@ -311,5 +376,51 @@ func (sh *shell) solve(args []string) error {
 	}
 	fmt.Printf("  converged=%v iters=%d relres=%.3e max|x-1|=%.3e\n",
 		solver.Converged(), iters, solver.FinalResidual(), maxErr)
+	return nil
+}
+
+// export serves an instance's provides port over TCP for remote frameworks.
+func (sh *shell) export(args []string) error {
+	if len(args) < 2 || len(args) > 3 {
+		return fmt.Errorf("usage: export <instance> <port> [addr]")
+	}
+	addr := "127.0.0.1:0"
+	if len(args) == 3 {
+		addr = args[2]
+	}
+	l, err := transport.TCP{}.Listen(addr)
+	if err != nil {
+		return err
+	}
+	exp := dist.NewExporter(sh.app.Fw, l)
+	key, err := exp.Export(args[0], args[1])
+	if err != nil {
+		exp.Close()
+		return err
+	}
+	sh.exports = append(sh.exports, exp)
+	fmt.Printf("  exported %s at %s\n", key, exp.Addr())
+	return nil
+}
+
+// remote installs a supervised proxy component for a remotely exported
+// port, wired to the shell's --connect-timeout/--retry/--breaker-threshold
+// supervision settings. Connection health transitions surface in `events`
+// and `health`.
+func (sh *shell) remote(args []string) error {
+	if len(args) < 3 || len(args) > 4 {
+		return fmt.Errorf("usage: remote <instance> <addr> <key> [type]")
+	}
+	portType := esi.TypeMatrixData
+	if len(args) == 4 {
+		portType = args[3]
+	}
+	rp, err := dist.InstallSupervisedRemoteOperator(
+		sh.app.Fw, args[0], transport.TCP{}, args[1], args[2], portType, sh.supOpts)
+	if err != nil {
+		return err
+	}
+	sh.remotes = append(sh.remotes, rp)
+	fmt.Printf("  %s: supervised connection to %s (%s)\n", args[0], args[1], portType)
 	return nil
 }

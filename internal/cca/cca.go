@@ -95,14 +95,45 @@ type ComponentRelease interface {
 
 // Errors reported by Services implementations and frameworks.
 var (
-	ErrPortExists     = errors.New("cca: port already registered")
-	ErrPortUnknown    = errors.New("cca: no such port")
-	ErrPortNotUses    = errors.New("cca: port is not a registered uses port")
-	ErrNotConnected   = errors.New("cca: uses port is not connected")
-	ErrMultiConnected = errors.New("cca: uses port has multiple connections; use GetPorts")
-	ErrTypeMismatch   = errors.New("cca: port types are incompatible")
-	ErrNilPort        = errors.New("cca: nil port")
+	ErrPortExists       = errors.New("cca: port already registered")
+	ErrPortUnknown      = errors.New("cca: no such port")
+	ErrPortNotUses      = errors.New("cca: port is not a registered uses port")
+	ErrNotConnected     = errors.New("cca: uses port is not connected")
+	ErrMultiConnected   = errors.New("cca: uses port has multiple connections; use GetPorts")
+	ErrTypeMismatch     = errors.New("cca: port types are incompatible")
+	ErrNilPort          = errors.New("cca: nil port")
+	ErrConnectionBroken = errors.New("cca: connection broken")
 )
+
+// Health is the framework-tracked state of a connection to a (possibly
+// remote) provides port. Direct in-process connections are always Healthy;
+// distributed connections move through the state machine as their transport
+// supervisor observes the peer: Healthy → Degraded on connection loss
+// (reconnect in progress, calls may be retried), Degraded → Broken when the
+// peer is judged truly down (circuit open — GetPort fails fast with
+// ErrConnectionBroken instead of letting callers hang on a dead socket),
+// and back to Healthy when a redial succeeds.
+type Health int32
+
+// Connection health states.
+const (
+	HealthHealthy Health = iota
+	HealthDegraded
+	HealthBroken
+)
+
+func (h Health) String() string {
+	switch h {
+	case HealthHealthy:
+		return "healthy"
+	case HealthDegraded:
+		return "degraded"
+	case HealthBroken:
+		return "broken"
+	default:
+		return fmt.Sprintf("health(%d)", int32(h))
+	}
+}
 
 // Services is the CCAServices handle (§4, §6.1): the minimal framework
 // service set the paper identifies — "creation of CCA Ports and access to
@@ -163,6 +194,15 @@ const (
 	EventConnected
 	EventDisconnected
 	EventComponentFailed
+	// Connection-health transitions (§6.2 framework interposition): emitted
+	// by the framework when a supervised distributed connection changes
+	// health state. Degraded means the transport is down and a reconnect is
+	// in progress; Broken means the circuit breaker judged the peer dead
+	// (GetPort fails fast); Restored means a redial succeeded from either
+	// non-healthy state.
+	EventConnectionDegraded
+	EventConnectionRestored
+	EventConnectionBroken
 )
 
 func (k EventKind) String() string {
@@ -177,6 +217,12 @@ func (k EventKind) String() string {
 		return "disconnected"
 	case EventComponentFailed:
 		return "component-failed"
+	case EventConnectionDegraded:
+		return "connection-degraded"
+	case EventConnectionRestored:
+		return "connection-restored"
+	case EventConnectionBroken:
+		return "connection-broken"
 	default:
 		return fmt.Sprintf("event(%d)", int(k))
 	}

@@ -255,7 +255,7 @@ func (f *Framework) Connect(user, usesPort, provider, providesPort string) (cca.
 	// captured the old slice under the read lock keep a consistent view.
 	next := make([]connection, len(ue.conns)+1)
 	copy(next, ue.conns)
-	next[len(ue.conns)] = connection{id: id, port: port}
+	next[len(ue.conns)] = connection{id: id, port: port, health: pe.health}
 	ue.conns = next
 	f.mu.Unlock()
 
@@ -317,16 +317,95 @@ func (f *Framework) ReportFailure(component string, err error) {
 	f.emit(cca.Event{Kind: cca.EventComponentFailed, Component: component, Err: err})
 }
 
+// SetPortHealth records the health of a provides port and notifies
+// listeners of the transition on every live connection to it. It is the
+// bridge between a transport supervisor (orb.Supervised via dist) and the
+// configuration API: Degraded emits EventConnectionDegraded, Broken emits
+// EventConnectionBroken, and a return to Healthy emits
+// EventConnectionRestored. Setting the current state again is a no-op.
+// While a port is Broken, GetPort on any connection to it fails with
+// cca.ErrConnectionBroken.
+func (f *Framework) SetPortHealth(component, port string, h cca.Health, cause error) error {
+	f.mu.Lock()
+	inst, ok := f.components[component]
+	if !ok {
+		f.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrComponentUnknown, component)
+	}
+	pe, ok := inst.svc.provides[port]
+	if !ok {
+		f.mu.Unlock()
+		return fmt.Errorf("%w: provides %s.%s", cca.ErrPortUnknown, component, port)
+	}
+	prev := cca.Health(pe.health.Swap(int32(h)))
+	var affected []cca.ConnectionID
+	if prev != h {
+		for _, other := range f.components {
+			for _, ue := range other.svc.uses {
+				for _, c := range ue.conns {
+					if c.id.Provider == component && c.id.ProvidesPort == port {
+						affected = append(affected, c.id)
+					}
+				}
+			}
+		}
+	}
+	f.mu.Unlock()
+	if prev == h {
+		return nil
+	}
+	kind := cca.EventConnectionRestored
+	switch h {
+	case cca.HealthDegraded:
+		kind = cca.EventConnectionDegraded
+	case cca.HealthBroken:
+		kind = cca.EventConnectionBroken
+	}
+	if len(affected) == 0 {
+		// No connections yet: the state still sticks on the provides entry
+		// (later connects inherit it); surface the transition at component
+		// granularity so monitors see supervisor activity either way.
+		f.emit(cca.Event{Kind: kind, Component: component, Err: cause})
+		return nil
+	}
+	for _, id := range affected {
+		f.emit(cca.Event{Kind: kind, Component: component, Connection: id, Err: cause})
+	}
+	return nil
+}
+
+// PortHealth reports the recorded health of a provides port (Healthy for
+// ports no supervisor has ever reported on).
+func (f *Framework) PortHealth(component, port string) (cca.Health, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	inst, ok := f.components[component]
+	if !ok {
+		return cca.HealthHealthy, fmt.Errorf("%w: %q", ErrComponentUnknown, component)
+	}
+	pe, ok := inst.svc.provides[port]
+	if !ok {
+		return cca.HealthHealthy, fmt.Errorf("%w: provides %s.%s", cca.ErrPortUnknown, component, port)
+	}
+	return cca.Health(pe.health.Load()), nil
+}
+
 // --- services implementation ---
 
 type providesEntry struct {
 	port cca.Port
 	info cca.PortInfo
+	// health is the shared health cell for every connection to this
+	// provides port. Connections copy the pointer at connect time, so a
+	// health transition reported once (SetPortHealth) is visible to every
+	// GetPort through any connection snapshot without republishing slices.
+	health *atomic.Int32
 }
 
 type connection struct {
-	id   cca.ConnectionID
-	port cca.Port
+	id     cca.ConnectionID
+	port   cca.Port
+	health *atomic.Int32 // shared with the provides entry; nil ⇒ always healthy
 }
 
 type usesEntry struct {
@@ -373,7 +452,7 @@ func (s *services) AddProvidesPort(port cca.Port, info cca.PortInfo) error {
 	if _, dup := s.uses[info.Name]; dup {
 		return fmt.Errorf("%w: %s.%s registered as uses", cca.ErrPortExists, s.name, info.Name)
 	}
-	s.provides[info.Name] = providesEntry{port: port, info: info}
+	s.provides[info.Name] = providesEntry{port: port, info: info, health: new(atomic.Int32)}
 	return nil
 }
 
@@ -439,6 +518,12 @@ func (s *services) GetPort(name string) (cca.Port, error) {
 	case 0:
 		return nil, fmt.Errorf("%w: %s.%s", cca.ErrNotConnected, s.name, name)
 	case 1:
+		// A Broken connection fails fast with a typed error rather than
+		// handing out a port whose every call would hang on a dead peer —
+		// the framework-interposed half of the supervision contract.
+		if h := conns[0].health; h != nil && cca.Health(h.Load()) == cca.HealthBroken {
+			return nil, fmt.Errorf("%w: %v", cca.ErrConnectionBroken, conns[0].id)
+		}
 		ue.inUse.Add(1)
 		return conns[0].port, nil
 	default:

@@ -1,0 +1,196 @@
+package framework
+
+// Tests for the connection health state machine: SetPortHealth transitions,
+// the events they emit through the configuration API, and GetPort's typed
+// failure on a Broken connection.
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/cca"
+)
+
+// eventLog collects emitted events.
+type eventLog struct {
+	mu     sync.Mutex
+	events []cca.Event
+}
+
+func (l *eventLog) OnEvent(e cca.Event) {
+	l.mu.Lock()
+	l.events = append(l.events, e)
+	l.mu.Unlock()
+}
+
+func (l *eventLog) ofKind(k cca.EventKind) []cca.Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []cca.Event
+	for _, e := range l.events {
+		if e.Kind == k {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func TestPortHealthLifecycle(t *testing.T) {
+	f, caller, _ := newConnected(t)
+	log := &eventLog{}
+	f.AddEventListener(log)
+
+	// Default: healthy, and calls flow.
+	if h, err := f.PortHealth("adder", "add"); err != nil || h != cca.HealthHealthy {
+		t.Fatalf("initial health = %v, %v", h, err)
+	}
+	if _, err := caller.Compute(1, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	// Degraded: event carries the affected connection; GetPort still works
+	// (the supervisor is reconnecting — callers may proceed and retry).
+	cause := errors.New("remote peer lost")
+	if err := f.SetPortHealth("adder", "add", cca.HealthDegraded, cause); err != nil {
+		t.Fatal(err)
+	}
+	ev := log.ofKind(cca.EventConnectionDegraded)
+	if len(ev) != 1 {
+		t.Fatalf("degraded events = %d, want 1", len(ev))
+	}
+	if ev[0].Connection.Provider != "adder" || !errors.Is(ev[0].Err, cause) {
+		t.Errorf("degraded event = %+v", ev[0])
+	}
+	if _, err := caller.Compute(1, 2); err != nil {
+		t.Errorf("degraded connection refused a call: %v", err)
+	}
+
+	// Broken: GetPort sheds with the typed error instead of hanging.
+	if err := f.SetPortHealth("adder", "add", cca.HealthBroken, cause); err != nil {
+		t.Fatal(err)
+	}
+	if len(log.ofKind(cca.EventConnectionBroken)) != 1 {
+		t.Error("no broken event")
+	}
+	if _, err := caller.svc.GetPort("sum"); !errors.Is(err, cca.ErrConnectionBroken) {
+		t.Errorf("GetPort on broken = %v, want ErrConnectionBroken", err)
+	}
+	if h, _ := f.PortHealth("adder", "add"); h != cca.HealthBroken {
+		t.Errorf("health = %v, want broken", h)
+	}
+
+	// Restored: event emitted, calls flow again.
+	if err := f.SetPortHealth("adder", "add", cca.HealthHealthy, nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(log.ofKind(cca.EventConnectionRestored)) != 1 {
+		t.Error("no restored event")
+	}
+	if _, err := caller.Compute(3, 4); err != nil {
+		t.Errorf("restored connection refused a call: %v", err)
+	}
+}
+
+func TestPortHealthNoOpAndErrors(t *testing.T) {
+	f, _, _ := newConnected(t)
+	log := &eventLog{}
+	f.AddEventListener(log)
+
+	// Re-setting the current state emits nothing.
+	if err := f.SetPortHealth("adder", "add", cca.HealthHealthy, nil); err != nil {
+		t.Fatal(err)
+	}
+	log.mu.Lock()
+	n := len(log.events)
+	log.mu.Unlock()
+	if n != 0 {
+		t.Errorf("no-op transition emitted %d events", n)
+	}
+
+	if err := f.SetPortHealth("ghost", "add", cca.HealthBroken, nil); err == nil {
+		t.Error("unknown component accepted")
+	}
+	if err := f.SetPortHealth("adder", "ghost", cca.HealthBroken, nil); err == nil {
+		t.Error("unknown port accepted")
+	}
+	if _, err := f.PortHealth("ghost", "add"); err == nil {
+		t.Error("unknown component health query accepted")
+	}
+}
+
+func TestPortHealthWithoutConnections(t *testing.T) {
+	// A provides port with no uses connections still tracks health; the
+	// event degrades to component granularity.
+	f := New(Options{})
+	if err := f.Install("adder", &adderComponent{}); err != nil {
+		t.Fatal(err)
+	}
+	log := &eventLog{}
+	f.AddEventListener(log)
+	if err := f.SetPortHealth("adder", "add", cca.HealthBroken, errors.New("down")); err != nil {
+		t.Fatal(err)
+	}
+	ev := log.ofKind(cca.EventConnectionBroken)
+	if len(ev) != 1 || ev[0].Component != "adder" {
+		t.Fatalf("component-granularity event = %+v", ev)
+	}
+}
+
+func TestBrokenHealthOnlyAffectsItsPort(t *testing.T) {
+	// Two providers fanned into one uses port: breaking one must not block
+	// GetPorts access to the other.
+	f := New(Options{})
+	a1 := &adderComponent{}
+	a2 := &adderComponent{bias: 100}
+	caller := &callerComponent{}
+	for name, comp := range map[string]cca.Component{"a1": a1, "a2": a2, "caller": caller} {
+		if err := f.Install(name, comp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := f.Connect("caller", "sum", "a1", "add"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Connect("caller", "sum", "a2", "add"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SetPortHealth("a1", "add", cca.HealthBroken, nil); err != nil {
+		t.Fatal(err)
+	}
+	ports, err := caller.svc.GetPorts("sum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ports) != 2 {
+		t.Fatalf("GetPorts = %d ports", len(ports))
+	}
+	// The single-port accessor refuses the ambiguous fan-out as before;
+	// health filtering applies to the unambiguous single-connection path.
+	if _, err := caller.svc.GetPort("sum"); !errors.Is(err, cca.ErrMultiConnected) {
+		t.Errorf("GetPort fan-out err = %v", err)
+	}
+}
+
+func TestHealthStrings(t *testing.T) {
+	cases := map[cca.Health]string{
+		cca.HealthHealthy:  "healthy",
+		cca.HealthDegraded: "degraded",
+		cca.HealthBroken:   "broken",
+	}
+	for h, want := range cases {
+		if h.String() != want {
+			t.Errorf("%d.String() = %q, want %q", h, h.String(), want)
+		}
+	}
+	kinds := map[cca.EventKind]string{
+		cca.EventConnectionDegraded: "connection-degraded",
+		cca.EventConnectionRestored: "connection-restored",
+		cca.EventConnectionBroken:   "connection-broken",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("kind %d = %q, want %q", k, k.String(), want)
+		}
+	}
+}

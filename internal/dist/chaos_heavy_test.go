@@ -1,0 +1,111 @@
+//go:build chaos
+
+package dist
+
+// Heavy chaos scenarios: the examples/remote topology over real TCP with
+// long stalls, sustained frame loss, and kill/restart cycles concurrent
+// with an in-flight solve. Too slow for tier-1; CI runs them under
+// `go test -race -tags chaos -run TestChaosHeavy ./internal/dist/`.
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/orb"
+	"repro/internal/transport"
+)
+
+// heavyOpts allows long stalls (CallTimeout must exceed the 200ms injected
+// delay or every stalled frame would be misread as a loss) and a deep retry
+// budget so multi-hundred-ms outages are ridden out.
+func heavyOpts() orb.SupervisorOptions {
+	o := chaosOpts()
+	o.CallTimeout = 500 * time.Millisecond
+	o.MaxAttempts = 12
+	return o
+}
+
+func TestChaosHeavyStalls200ms(t *testing.T) {
+	// 5% of frames stall for 200ms — the ISSUE's slow-network scenario.
+	// Stalls stay under CallTimeout, so they cost latency, never retries,
+	// and never the answer.
+	c := newChaosTopologyOn(t, transport.TCP{}, "127.0.0.1:0",
+		transport.Faults{Seed: 42, DelayProb: 0.05, Delay: 200 * time.Millisecond}, 8, heavyOpts())
+	c.solveAndCheck()
+	if st := c.tr.Stats(); st.Delays == 0 {
+		t.Error("no frames delayed: scenario did not exercise the fault plan")
+	}
+}
+
+func TestChaosHeavyFrameDrop1Percent(t *testing.T) {
+	// Sustained 1% loss over TCP across a larger solve.
+	c := newChaosTopologyOn(t, transport.TCP{}, "127.0.0.1:0",
+		transport.Faults{Seed: 42, DropProb: 0.01}, 16, heavyOpts())
+	for i := 0; i < 3; i++ {
+		c.solveAndCheck()
+	}
+	if st := c.tr.Stats(); st.Drops == 0 {
+		t.Error("no frames dropped: scenario did not exercise the fault plan")
+	}
+}
+
+func TestChaosHeavyKillRestartDuringSolve(t *testing.T) {
+	// The server process dies and comes back — twice — while a solve is in
+	// flight. Every frame is also slowed slightly so the solve is long
+	// enough to straddle the outages. The solver must converge to the
+	// clean answer with no visible failure.
+	c := newChaosTopologyOn(t, transport.TCP{}, "127.0.0.1:0",
+		transport.Faults{Seed: 9, DelayProb: 1, Delay: 2 * time.Millisecond}, 16, heavyOpts())
+
+	errc := make(chan error, 1)
+	go func() {
+		x := make([]float64, c.m.NRows)
+		if _, err := c.solver.Solve(c.b, &x); err != nil {
+			errc <- fmt.Errorf("solve during outages: %w", err)
+			return
+		}
+		for i, v := range x {
+			if math.Abs(v-1) > 1e-6 {
+				errc <- fmt.Errorf("x[%d] = %v: chaos changed the answer", i, v)
+				return
+			}
+		}
+		errc <- nil
+	}()
+
+	for cycle := 0; cycle < 2; cycle++ {
+		time.Sleep(80 * time.Millisecond)
+		c.killServer()
+		time.Sleep(120 * time.Millisecond)
+		c.startServer()
+	}
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("solve did not finish after kill/restart cycles")
+	}
+	// A clean re-solve after the chaos confirms the topology healed fully.
+	c.solveAndCheck()
+}
+
+func TestChaosHeavySoak(t *testing.T) {
+	// Everything at once, repeatedly: drops, stalls, and periodic severs
+	// under continuous solving.
+	c := newChaosTopologyOn(t, transport.TCP{}, "127.0.0.1:0", transport.Faults{
+		Seed:      5,
+		DropProb:  0.02,
+		DelayProb: 0.05,
+		Delay:     10 * time.Millisecond,
+	}, 10, heavyOpts())
+	for i := 0; i < 5; i++ {
+		c.solveAndCheck()
+		if i == 2 {
+			c.tr.SeverAll()
+		}
+	}
+}

@@ -101,11 +101,26 @@ func (p *probeComponent) SetServices(svc cca.Services) error {
 	return svc.RegisterUsesPort(cca.PortInfo{Name: "target", Type: p.portType})
 }
 
+// Caller is the ORB client surface a RemotePort forwards through. Both the
+// bare *orb.Client and the supervised *orb.Supervised satisfy it, so every
+// typed adapter works identically over an unsupervised or a self-healing
+// connection.
+type Caller interface {
+	Invoke(key, method string, args ...any) ([]any, error)
+	InvokeOneway(key, method string, args ...any) error
+	Close() error
+}
+
+var (
+	_ Caller = (*orb.Client)(nil)
+	_ Caller = (*orb.Supervised)(nil)
+)
+
 // RemotePort is a generic dynamic proxy for an exported port: Call forwards
 // a method by SIDL name through the ORB. Typed adapters (RemoteOperator,
 // RemoteMatrixData) wrap it with compile-time interfaces.
 type RemotePort struct {
-	Client *orb.Client
+	Client Caller
 	Key    string
 	Type   string
 }
@@ -117,6 +132,22 @@ func Dial(tr transport.Transport, addr, key, portType string) (*RemotePort, erro
 		return nil, err
 	}
 	return &RemotePort{Client: c, Key: key, Type: portType}, nil
+}
+
+// DialSupervised connects to an exporter under supervision: the connection
+// redials with backoff after loss, idempotent methods retry transparently,
+// and a circuit breaker sheds calls from a dead peer. The ESI operator
+// surface is read-only, so every method is marked idempotent by default
+// when opts.Idempotent is nil.
+func DialSupervised(tr transport.Transport, addr, key, portType string, opts orb.SupervisorOptions) (*RemotePort, error) {
+	if opts.Idempotent == nil {
+		opts.Idempotent = orb.AllIdempotent
+	}
+	s, err := orb.DialSupervised(tr, addr, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &RemotePort{Client: s, Key: key, Type: portType}, nil
 }
 
 // Call invokes a remote method by SIDL method name.
@@ -245,6 +276,56 @@ func (p *ProxyComponent) RequiredFlavor() cca.Flavor { return cca.FlavorDistribu
 // port "A".
 func InstallRemoteOperator(fw *framework.Framework, instance string, tr transport.Transport, addr, key, portType string) (*RemotePort, error) {
 	rp, err := Dial(tr, addr, key, portType)
+	if err != nil {
+		return nil, err
+	}
+	var port cca.Port
+	switch portType {
+	case esi.TypeMatrixData:
+		port = &RemoteMatrixData{RemoteOperator{R: rp}}
+	case esi.TypeOperator:
+		port = &RemoteOperator{R: rp}
+	default:
+		rp.Close()
+		return nil, fmt.Errorf("%w: no typed adapter for %q", ErrDist, portType)
+	}
+	if err := fw.Install(instance, &ProxyComponent{PortName: "A", PortType: portType, Port: port}); err != nil {
+		rp.Close()
+		return nil, err
+	}
+	return rp, nil
+}
+
+// healthFor maps supervised connection states onto the configuration API's
+// connection health values.
+func healthFor(s orb.ConnState) cca.Health {
+	switch s {
+	case orb.StateDegraded:
+		return cca.HealthDegraded
+	case orb.StateBroken:
+		return cca.HealthBroken
+	default:
+		return cca.HealthHealthy
+	}
+}
+
+// InstallSupervisedRemoteOperator is InstallRemoteOperator over a
+// supervised connection: the proxy component's provides port redials,
+// retries, and circuit-breaks per opts, and every supervision state change
+// is surfaced through the framework's event mechanism as a
+// ConnectionDegraded / ConnectionBroken / ConnectionRestored event on the
+// proxy's port — so builders and tools observe remote-link health through
+// the same configuration API they already use (§5).
+func InstallSupervisedRemoteOperator(fw *framework.Framework, instance string, tr transport.Transport, addr, key, portType string, opts orb.SupervisorOptions) (*RemotePort, error) {
+	// Bridge supervision transitions to framework health events. The
+	// supervisor may fire before Install completes (initial dial retries);
+	// SetPortHealth on a not-yet-installed component is a harmless error.
+	if opts.OnState == nil {
+		opts.OnState = func(s orb.ConnState, cause error) {
+			_ = fw.SetPortHealth(instance, "A", healthFor(s), cause)
+		}
+	}
+	rp, err := DialSupervised(tr, addr, key, portType, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -22,7 +22,8 @@ type Client struct {
 
 	mu    sync.Mutex
 	calls map[uint64]chan muxReply
-	err   error // sticky: set once the demux loop exits
+	err   error         // sticky: set once the demux loop exits
+	done  chan struct{} // closed by fail(); see Done
 }
 
 // muxReply is one demultiplexed completion: a reply frame (still carrying
@@ -45,9 +46,21 @@ func DialClient(tr transport.Transport, addr string) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &Client{conn: conn, calls: map[uint64]chan muxReply{}}
+	c := &Client{conn: conn, calls: map[uint64]chan muxReply{}, done: make(chan struct{})}
 	go c.demux()
 	return c, nil
+}
+
+// Done is closed when the connection has died (the demux loop exited) and
+// every pending and future call fails. Supervisors select on it to redial
+// proactively instead of waiting for the next call to fail.
+func (c *Client) Done() <-chan struct{} { return c.done }
+
+// Err reports the sticky connection error, or nil while the client is live.
+func (c *Client) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
 }
 
 // demux routes reply frames to per-call completion channels until the
@@ -84,6 +97,7 @@ func (c *Client) fail(err error) {
 	c.mu.Lock()
 	if c.err == nil {
 		c.err = err
+		close(c.done)
 	}
 	for id, ch := range c.calls {
 		delete(c.calls, id)

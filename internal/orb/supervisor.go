@@ -1,0 +1,560 @@
+package orb
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// ErrSupervisorClosed is reported by calls on a Supervised client after
+// Close.
+var ErrSupervisorClosed = errors.New("orb: supervised client closed")
+
+// ConnState is the supervised connection's externally visible health:
+// Healthy (live client), Degraded (connection lost, redial in progress —
+// idempotent calls wait and retry, others fail fast with a Retryable
+// error), Broken (circuit open: the peer has resisted BreakerThreshold
+// consecutive dials, so every call is shed immediately until a half-open
+// probe succeeds).
+type ConnState int32
+
+// Supervised connection states.
+const (
+	StateHealthy ConnState = iota
+	StateDegraded
+	StateBroken
+)
+
+func (s ConnState) String() string {
+	switch s {
+	case StateHealthy:
+		return "healthy"
+	case StateDegraded:
+		return "degraded"
+	case StateBroken:
+		return "broken"
+	default:
+		return fmt.Sprintf("state(%d)", int32(s))
+	}
+}
+
+// Heartbeat wire detail: an idle supervised connection is probed with a
+// oneway request (correlation ID 0) to this reserved key/method. The server
+// needs no handler — an unknown-key oneway is decoded and dropped — so the
+// probe costs one frame and no reply; its purpose is forcing a write, which
+// is what surfaces a silently dead transport.
+const (
+	pingKey    = "orb/supervisor"
+	pingMethod = "ping"
+)
+
+// SupervisorOptions tunes a Supervised client. The zero value is usable:
+// every field has a documented default.
+type SupervisorOptions struct {
+	// ConnectTimeout bounds the initial DialSupervised: dial attempts are
+	// retried with backoff until one succeeds or this budget elapses.
+	// Default 5s.
+	ConnectTimeout time.Duration
+	// RetryBase and RetryCap shape the capped exponential redial/retry
+	// backoff: attempt n waits cap(RetryBase·2ⁿ) with jitter drawn in
+	// [d/2, d). Defaults 5ms and 1s.
+	RetryBase time.Duration
+	RetryCap  time.Duration
+	// MaxAttempts is the per-call attempt budget for idempotent-marked
+	// methods (first try included). Non-idempotent methods always get
+	// exactly one attempt. Default 4.
+	MaxAttempts int
+	// CallTimeout, when nonzero, bounds each attempt of an idempotent call
+	// (on top of the caller's context): a lost request or reply frame turns
+	// into a timely retry instead of an indefinite hang. Default 0 (off).
+	CallTimeout time.Duration
+	// BreakerThreshold opens the circuit after this many consecutive
+	// failed dials. Default 5.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open circuit rests before the next
+	// half-open probe dial. Default 2s.
+	BreakerCooldown time.Duration
+	// Heartbeat, when nonzero, probes the connection with a oneway ping
+	// after this much idle time, so a silently dead peer is detected (and
+	// redial begins) without waiting for the next real call. Default 0.
+	Heartbeat time.Duration
+	// Idempotent marks methods safe to re-execute; the supervisor
+	// transparently retries them across reconnects under the caller's
+	// context deadline. Nil marks nothing.
+	Idempotent func(method string) bool
+	// OnState observes health transitions (the framework bridges these to
+	// configuration-API events). Called outside the supervisor lock, but
+	// sequentially; it must not call back into the Supervised client.
+	OnState func(s ConnState, cause error)
+	// Seed fixes the jitter RNG for reproducible schedules. Default 1.
+	Seed int64
+}
+
+// AllIdempotent marks every method idempotent — appropriate for read-only
+// port interfaces like the ESI operator surface.
+func AllIdempotent(string) bool { return true }
+
+// IdempotentMethods marks exactly the named methods idempotent.
+func IdempotentMethods(methods ...string) func(string) bool {
+	set := make(map[string]bool, len(methods))
+	for _, m := range methods {
+		set[m] = true
+	}
+	return func(m string) bool { return set[m] }
+}
+
+func (o SupervisorOptions) withDefaults() SupervisorOptions {
+	if o.ConnectTimeout <= 0 {
+		o.ConnectTimeout = 5 * time.Second
+	}
+	if o.RetryBase <= 0 {
+		o.RetryBase = 5 * time.Millisecond
+	}
+	if o.RetryCap <= 0 {
+		o.RetryCap = time.Second
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 4
+	}
+	if o.BreakerThreshold <= 0 {
+		o.BreakerThreshold = 5
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = 2 * time.Second
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Supervised is a self-healing multiplexed ORB client: the paper's
+// framework-interposed proxy made resilient. It wraps Client with a
+// supervisor that (1) classifies every failure as Retryable, Timeout, or
+// Fatal; (2) redials lost connections with capped exponential backoff plus
+// jitter; (3) transparently retries idempotent-marked methods under the
+// caller's context deadline; (4) sheds load through a closed → open →
+// half-open circuit breaker once the peer looks truly dead; and (5)
+// optionally probes idle connections with a oneway heartbeat. All methods
+// are safe for concurrent use.
+type Supervised struct {
+	tr   transport.Transport
+	addr string
+	opts SupervisorOptions
+
+	mu          sync.Mutex
+	cur         *Client       // nil while disconnected
+	gen         uint64        // bumped on every adopted connection
+	ready       chan struct{} // closed while cur != nil; replaced on loss
+	state       ConnState
+	consecDials int   // consecutive failed dials (breaker input)
+	redialing   bool  // a redial loop is running
+	closed      bool  // Close called
+	rng         *rand.Rand
+
+	stop     chan struct{} // closed by Close
+	wg       sync.WaitGroup
+	lastSend atomic.Int64 // unix nanos of the last successful call activity
+}
+
+// DialSupervised connects to a served address under supervision. The
+// initial dial is retried with backoff until ConnectTimeout elapses, so a
+// client may be started slightly before its server.
+func DialSupervised(tr transport.Transport, addr string, opts SupervisorOptions) (*Supervised, error) {
+	s := &Supervised{
+		tr:    tr,
+		addr:  addr,
+		opts:  opts.withDefaults(),
+		ready: make(chan struct{}),
+		stop:  make(chan struct{}),
+	}
+	s.rng = rand.New(rand.NewSource(s.opts.Seed))
+	deadline := time.Now().Add(s.opts.ConnectTimeout)
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		c, err := DialClient(tr, addr)
+		if err == nil {
+			s.adopt(c)
+			break
+		}
+		lastErr = err
+		d := s.backoff(attempt)
+		if time.Now().Add(d).After(deadline) {
+			return nil, fmt.Errorf("orb: supervised dial %s: %w", addr, lastErr)
+		}
+		time.Sleep(d)
+	}
+	if s.opts.Heartbeat > 0 {
+		s.wg.Add(1)
+		go s.heartbeatLoop()
+	}
+	return s, nil
+}
+
+// Addr reports the supervised endpoint.
+func (s *Supervised) Addr() string { return s.addr }
+
+// State reports the current connection health.
+func (s *Supervised) State() ConnState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state
+}
+
+// setStateLocked transitions the health state; the returned thunk (nil when
+// the state did not change) must be called after the lock is released.
+func (s *Supervised) setStateLocked(st ConnState, cause error) func() {
+	if s.state == st {
+		return nil
+	}
+	s.state = st
+	if cb := s.opts.OnState; cb != nil {
+		return func() { cb(st, cause) }
+	}
+	return nil
+}
+
+// adopt installs a freshly dialed client and spawns its death watcher.
+func (s *Supervised) adopt(c *Client) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		c.Close()
+		return
+	}
+	s.cur = c
+	s.gen++
+	g := s.gen
+	s.consecDials = 0
+	s.redialing = false
+	close(s.ready)
+	notify := s.setStateLocked(StateHealthy, nil)
+	s.mu.Unlock()
+	if notify != nil {
+		notify()
+	}
+	s.lastSend.Store(time.Now().UnixNano())
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		select {
+		case <-c.Done():
+			s.dropClient(c, g, c.Err())
+		case <-s.stop:
+		}
+	}()
+}
+
+// dropClient tears down a client observed failing (by a caller or the
+// death watcher) and starts the redial loop. Generation-checked, so a
+// stale report about an already replaced connection is a no-op.
+func (s *Supervised) dropClient(c *Client, g uint64, cause error) {
+	s.mu.Lock()
+	if s.closed || s.gen != g || s.cur != c {
+		s.mu.Unlock()
+		c.Close() // stale: still make sure its demux winds down
+		return
+	}
+	s.cur = nil
+	s.ready = make(chan struct{})
+	notify := s.setStateLocked(StateDegraded, cause)
+	if !s.redialing {
+		s.redialing = true
+		s.wg.Add(1)
+		go s.redialLoop(cause)
+	}
+	s.mu.Unlock()
+	if notify != nil {
+		notify()
+	}
+	c.Close()
+}
+
+// redialLoop re-establishes the connection with capped exponential backoff
+// and jitter. After BreakerThreshold consecutive failures the circuit
+// opens (state Broken: calls shed immediately) and further attempts become
+// half-open probes paced by BreakerCooldown.
+func (s *Supervised) redialLoop(cause error) {
+	defer s.wg.Done()
+	for attempt := 0; ; attempt++ {
+		var delay time.Duration
+		s.mu.Lock()
+		if s.closed {
+			s.redialing = false
+			s.mu.Unlock()
+			return
+		}
+		var notify func()
+		if s.consecDials >= s.opts.BreakerThreshold {
+			notify = s.setStateLocked(StateBroken, cause)
+		}
+		if s.state == StateBroken {
+			delay = s.opts.BreakerCooldown // rest until the half-open probe
+		} else {
+			delay = s.backoffLocked(attempt)
+		}
+		s.mu.Unlock()
+		if notify != nil {
+			notify()
+		}
+		if !s.sleep(delay) {
+			s.mu.Lock()
+			s.redialing = false
+			s.mu.Unlock()
+			return
+		}
+		c, err := DialClient(s.tr, s.addr)
+		if err != nil {
+			cause = err
+			s.mu.Lock()
+			s.consecDials++
+			s.mu.Unlock()
+			continue
+		}
+		s.adopt(c) // clears redialing under the lock
+		return
+	}
+}
+
+// sleep waits d unless Close interrupts; reports whether the wait ran full.
+func (s *Supervised) sleep(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-s.stop:
+		return false
+	}
+}
+
+func (s *Supervised) backoff(attempt int) time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.backoffLocked(attempt)
+}
+
+// backoffLocked computes cap(RetryBase·2ᵃᵗᵗᵉᵐᵖᵗ) jittered into [d/2, d).
+func (s *Supervised) backoffLocked(attempt int) time.Duration {
+	d := s.opts.RetryBase
+	for i := 0; i < attempt && d < s.opts.RetryCap; i++ {
+		d *= 2
+	}
+	if d > s.opts.RetryCap {
+		d = s.opts.RetryCap
+	}
+	half := int64(d / 2)
+	if half <= 0 {
+		return d
+	}
+	return time.Duration(half + s.rng.Int63n(half))
+}
+
+// acquire returns the live client, waiting (bounded by RetryCap and ctx)
+// for a reconnect when wait is set. Broken state fails fast — that is the
+// breaker shedding load.
+func (s *Supervised) acquire(ctx context.Context, wait bool) (*Client, uint64, error) {
+	for {
+		s.mu.Lock()
+		switch {
+		case s.closed:
+			s.mu.Unlock()
+			return nil, 0, classed(ClassFatal, ErrSupervisorClosed)
+		case s.cur != nil:
+			c, g := s.cur, s.gen
+			s.mu.Unlock()
+			return c, g, nil
+		case s.state == StateBroken:
+			s.mu.Unlock()
+			return nil, 0, classed(ClassRetryable, fmt.Errorf("%w: %s", ErrCircuitOpen, s.addr))
+		}
+		ready := s.ready
+		s.mu.Unlock()
+		if !wait {
+			return nil, 0, classed(ClassRetryable,
+				fmt.Errorf("%w: reconnecting to %s", transport.ErrClosed, s.addr))
+		}
+		t := time.NewTimer(s.opts.RetryCap)
+		select {
+		case <-ready:
+			t.Stop()
+			continue
+		case <-ctx.Done():
+			t.Stop()
+			return nil, 0, classed(ClassTimeout, ctx.Err())
+		case <-s.stop:
+			t.Stop()
+			return nil, 0, classed(ClassFatal, ErrSupervisorClosed)
+		case <-t.C:
+			// Bounded wait: report Retryable and let the caller's attempt
+			// budget decide, rather than hanging without a deadline.
+			return nil, 0, classed(ClassRetryable,
+				fmt.Errorf("%w: still reconnecting to %s", transport.ErrClosed, s.addr))
+		}
+	}
+}
+
+// Invoke performs a supervised remote call; see InvokeContext.
+func (s *Supervised) Invoke(key, method string, args ...any) ([]any, error) {
+	return s.InvokeContext(context.Background(), key, method, args...)
+}
+
+// InvokeContext performs a supervised remote call. Failures surface as
+// *CallError. Idempotent-marked methods are retried across reconnects —
+// with backoff, within MaxAttempts, and never past ctx's deadline; when
+// CallTimeout is set each attempt is individually bounded, so a frame lost
+// in transit costs one attempt, not the whole deadline. Non-idempotent
+// methods fail on the first connection-level error (the server may or may
+// not have executed them — only the caller can decide to resubmit).
+func (s *Supervised) InvokeContext(ctx context.Context, key, method string, args ...any) ([]any, error) {
+	idem := s.opts.Idempotent != nil && s.opts.Idempotent(method)
+	attempts := 1
+	if idem {
+		attempts = s.opts.MaxAttempts
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			if !s.sleepCtx(ctx, s.backoff(attempt-1)) {
+				return nil, classed(ClassTimeout, ctx.Err())
+			}
+		}
+		c, g, err := s.acquire(ctx, idem)
+		if err != nil {
+			lastErr = err
+			if !idem || Classify(err) != ClassRetryable {
+				return nil, err
+			}
+			continue
+		}
+		callCtx, cancel := ctx, func() {}
+		if idem && s.opts.CallTimeout > 0 {
+			callCtx, cancel = context.WithTimeout(ctx, s.opts.CallTimeout)
+		}
+		res, err := c.InvokeContext(callCtx, key, method, args...)
+		cancel()
+		if err == nil {
+			s.lastSend.Store(time.Now().UnixNano())
+			return res, nil
+		}
+		switch Classify(err) {
+		case ClassFatal:
+			// Application-level failure: the connection is fine and a
+			// retry would re-raise the same exception.
+			return nil, classed(ClassFatal, err)
+		case ClassTimeout:
+			if ctx.Err() != nil || !idem {
+				return nil, classed(ClassTimeout, err)
+			}
+			// Only the per-attempt CallTimeout expired (likely a dropped
+			// frame); the caller's deadline is intact, so retry. The
+			// connection itself may be healthy — do not tear it down.
+			lastErr = classed(ClassTimeout, err)
+		case ClassRetryable:
+			s.dropClient(c, g, err)
+			lastErr = classed(ClassRetryable, err)
+			if !idem {
+				return nil, lastErr
+			}
+		}
+	}
+	return nil, lastErr
+}
+
+// sleepCtx waits d unless ctx or Close interrupts; reports true when the
+// wait ran full.
+func (s *Supervised) sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	case <-s.stop:
+		return false
+	}
+}
+
+// InvokeOneway performs a supervised fire-and-forget call. Oneways are
+// never retried (their contract is at-most-once, best effort); a
+// connection-level failure tears the connection down for the supervisor to
+// heal and is reported to the caller.
+func (s *Supervised) InvokeOneway(key, method string, args ...any) error {
+	c, g, err := s.acquire(context.Background(), false)
+	if err != nil {
+		return err
+	}
+	if err := c.InvokeOneway(key, method, args...); err != nil {
+		if Classify(err) == ClassRetryable {
+			s.dropClient(c, g, err)
+			return classed(ClassRetryable, err)
+		}
+		return classed(ClassFatal, err)
+	}
+	s.lastSend.Store(time.Now().UnixNano())
+	return nil
+}
+
+// Proxy returns a remote object reference whose calls are supervised.
+func (s *Supervised) Proxy(key string) *Proxy {
+	return &Proxy{invoke: s.Invoke, key: key}
+}
+
+// heartbeatLoop probes the connection with a oneway ping whenever it has
+// been idle for a full Heartbeat interval. The ping carries correlation
+// ID 0 and no reply; detection works because writing is the one operation
+// a silently dead transport cannot fake indefinitely.
+func (s *Supervised) heartbeatLoop() {
+	defer s.wg.Done()
+	tick := time.NewTicker(s.opts.Heartbeat)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-tick.C:
+		}
+		if time.Since(time.Unix(0, s.lastSend.Load())) < s.opts.Heartbeat {
+			continue // real traffic is probing the connection already
+		}
+		s.mu.Lock()
+		c, g := s.cur, s.gen
+		s.mu.Unlock()
+		if c == nil {
+			continue // redial in progress
+		}
+		if err := c.InvokeOneway(pingKey, pingMethod); err != nil {
+			s.dropClient(c, g, fmt.Errorf("orb: heartbeat: %w", err))
+		} else {
+			s.lastSend.Store(time.Now().UnixNano())
+		}
+	}
+}
+
+// Close stops supervision (redial loop, heartbeat, watchers) and releases
+// the connection. Pending calls fail; later calls report
+// ErrSupervisorClosed.
+func (s *Supervised) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	c := s.cur
+	s.cur = nil
+	close(s.stop)
+	s.mu.Unlock()
+	if c != nil {
+		c.Close()
+	}
+	s.wg.Wait()
+	return nil
+}

@@ -1,0 +1,237 @@
+package transport
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Faults configures a Faulty transport wrapper. Probabilities are per
+// frame, evaluated on the Send side of every wrapped connection (both the
+// dialed and the accepted end are wrapped, so faults apply to requests and
+// replies alike). All randomness comes from one seeded source, so a chaos
+// run is reproducible from its seed.
+type Faults struct {
+	// Seed initializes the fault RNG; runs with equal seeds and equal
+	// traffic order inject identical faults.
+	Seed int64
+	// DropProb silently discards a sent frame (the peer never sees it).
+	DropProb float64
+	// CorruptProb flips one byte of a sent frame (delivered corrupted).
+	CorruptProb float64
+	// DelayProb stalls a sent frame by Delay before delivery.
+	DelayProb float64
+	Delay     time.Duration
+	// SeverAfterSends closes the connection (both directions) after this
+	// many frames have been sent on it; 0 means never.
+	SeverAfterSends int
+}
+
+// Faulty wraps an inner Transport, injecting deterministic faults into
+// every connection established through it — the test substrate the
+// supervision layer is proven against. The zero fault set is a transparent
+// pass-through. Faulty additionally supports whole-"network" operations:
+// SeverAll hard-closes every live connection (a crash), BlackholeAll makes
+// every live connection swallow writes without delivering or erroring (a
+// silent partition only a heartbeat can detect).
+type Faulty struct {
+	Inner Transport
+
+	mu     sync.Mutex
+	faults Faults
+	rng    *rand.Rand
+	conns  map[*faultyConn]struct{}
+	stats  FaultStats
+}
+
+// FaultStats counts injected faults, so a chaos test can assert its fault
+// plan actually fired (a scenario that injects nothing proves nothing).
+type FaultStats struct {
+	Drops    int
+	Corrupts int
+	Delays   int
+	Severs   int
+}
+
+// Stats reports the faults injected so far.
+func (t *Faulty) Stats() FaultStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
+}
+
+// NewFaulty wraps inner with the given fault plan.
+func NewFaulty(inner Transport, f Faults) *Faulty {
+	return &Faulty{
+		Inner:  inner,
+		faults: f,
+		rng:    rand.New(rand.NewSource(f.Seed)),
+		conns:  map[*faultyConn]struct{}{},
+	}
+}
+
+// Name implements Transport.
+func (t *Faulty) Name() string { return "faulty+" + t.Inner.Name() }
+
+// SetFaults replaces the fault plan for frames sent from now on (the RNG
+// stream continues; it is not reseeded).
+func (t *Faulty) SetFaults(f Faults) {
+	t.mu.Lock()
+	t.faults = f
+	t.mu.Unlock()
+}
+
+// SeverAll closes every live wrapped connection: the network partition /
+// process-crash event. Listeners stay up, so new dials succeed.
+func (t *Faulty) SeverAll() {
+	for _, c := range t.snapshot() {
+		c.Close()
+	}
+}
+
+// BlackholeAll turns every live wrapped connection into an asymmetric
+// partition: Recv blocks forever (no data, no close notification — the
+// silent death of a vanished peer), while writes fail as a reset would.
+// An idle connection therefore shows no symptom at all until something
+// writes — which is precisely what a heartbeat probe exists to do. New
+// dials are unaffected.
+func (t *Faulty) BlackholeAll() {
+	for _, c := range t.snapshot() {
+		c.blackhole.Store(true)
+	}
+}
+
+func (t *Faulty) snapshot() []*faultyConn {
+	t.mu.Lock()
+	out := make([]*faultyConn, 0, len(t.conns))
+	for c := range t.conns {
+		out = append(out, c)
+	}
+	t.mu.Unlock()
+	return out
+}
+
+// Listen implements Transport; accepted connections are wrapped.
+func (t *Faulty) Listen(addr string) (Listener, error) {
+	l, err := t.Inner.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyListener{t: t, inner: l}, nil
+}
+
+// Dial implements Transport; the dialed connection is wrapped.
+func (t *Faulty) Dial(addr string) (Conn, error) {
+	c, err := t.Inner.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return t.wrap(c), nil
+}
+
+func (t *Faulty) wrap(inner Conn) *faultyConn {
+	fc := &faultyConn{t: t, inner: inner}
+	t.mu.Lock()
+	t.conns[fc] = struct{}{}
+	t.mu.Unlock()
+	return fc
+}
+
+type faultyListener struct {
+	t     *Faulty
+	inner Listener
+}
+
+func (l *faultyListener) Accept() (Conn, error) {
+	c, err := l.inner.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.t.wrap(c), nil
+}
+
+func (l *faultyListener) Close() error { return l.inner.Close() }
+func (l *faultyListener) Addr() string { return l.inner.Addr() }
+
+// faultyConn applies the fault plan on the send side and passes Recv
+// through. Fault decisions are drawn under the transport mutex so
+// concurrent senders consume the shared RNG stream race-free.
+type faultyConn struct {
+	t         *Faulty
+	inner     Conn
+	sends     int64 // guarded by t.mu
+	blackhole atomic.Bool
+}
+
+// decide draws this frame's fate. It returns the (possibly corrupted) frame
+// to deliver, a pre-delivery delay, and whether to drop or sever instead.
+func (c *faultyConn) decide(frame []byte) (out []byte, delay time.Duration, drop, sever bool) {
+	t := c.t
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	f := t.faults
+	c.sends++
+	if f.SeverAfterSends > 0 && c.sends >= int64(f.SeverAfterSends) {
+		t.stats.Severs++
+		return nil, 0, false, true
+	}
+	if f.DropProb > 0 && t.rng.Float64() < f.DropProb {
+		t.stats.Drops++
+		return nil, 0, true, false
+	}
+	if f.DelayProb > 0 && t.rng.Float64() < f.DelayProb {
+		t.stats.Delays++
+		delay = f.Delay
+	}
+	out = frame
+	if f.CorruptProb > 0 && len(frame) > 0 && t.rng.Float64() < f.CorruptProb {
+		t.stats.Corrupts++
+		out = append([]byte(nil), frame...)
+		out[t.rng.Intn(len(out))] ^= 0xff
+	}
+	return out, delay, false, false
+}
+
+func (c *faultyConn) Send(frame []byte) error {
+	if c.blackhole.Load() {
+		return fmt.Errorf("%w: blackholed", ErrClosed)
+	}
+	out, delay, drop, sever := c.decide(frame)
+	switch {
+	case sever:
+		c.inner.Close()
+		return fmt.Errorf("%w: injected sever", ErrClosed)
+	case drop:
+		return nil
+	}
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	return c.inner.Send(out)
+}
+
+func (c *faultyConn) Recv() ([]byte, error) {
+	f, err := c.inner.Recv()
+	if err == nil && c.blackhole.Load() {
+		// Frames already in flight when the blackhole opened vanish too:
+		// park until the connection is closed for real.
+		ReleaseFrame(f)
+		for {
+			g, err := c.inner.Recv()
+			if err != nil {
+				return nil, err
+			}
+			ReleaseFrame(g)
+		}
+	}
+	return f, err
+}
+
+func (c *faultyConn) Close() error {
+	c.t.mu.Lock()
+	delete(c.t.conns, c)
+	c.t.mu.Unlock()
+	return c.inner.Close()
+}

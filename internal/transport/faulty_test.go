@@ -1,0 +1,266 @@
+package transport
+
+// Tests for the Faulty wrapper and the transport error paths the
+// supervision layer depends on: deterministic fault injection, severed
+// and blackholed connections, Recv after a conn's own Close, and
+// Recv-side oversized-frame rejection.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// faultyPair dials through a Faulty wrapper over InProc and returns both
+// connection ends (client side wrapped, server side wrapped too: Listen
+// and Dial both interpose).
+func faultyPair(t *testing.T, f Faults) (*Faulty, Conn, Conn) {
+	t.Helper()
+	ft := NewFaulty(&InProc{}, f)
+	l, err := ft.Listen("faulty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	accepted := make(chan Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	c, err := ft.Dial("faulty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := <-accepted
+	t.Cleanup(func() { c.Close(); srv.Close() })
+	return ft, c, srv
+}
+
+func TestFaultyPassThrough(t *testing.T) {
+	// Zero faults: a transparent wrapper.
+	_, c, srv := faultyPair(t, Faults{})
+	if err := c.Send([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := srv.Recv()
+	if err != nil || !bytes.Equal(got, []byte("hello")) {
+		t.Fatalf("recv = %q, %v", got, err)
+	}
+}
+
+func TestFaultyDeterministic(t *testing.T) {
+	// Equal seeds and traffic order must inject identical faults — the
+	// property that makes a chaos run reproducible. One sender, one
+	// direction: determinism is promised for a fixed send order, and only
+	// sends draw from the RNG.
+	run := func() (FaultStats, []bool) {
+		ft := NewFaulty(&InProc{}, Faults{Seed: 99, DropProb: 0.3})
+		l, err := ft.Listen("det")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		got := make(chan []bool, 1)
+		go func() {
+			c, err := l.Accept()
+			if err != nil {
+				got <- nil
+				return
+			}
+			delivered := make([]bool, 40)
+			for {
+				f, err := c.Recv() // drains queued frames past peer close
+				if err != nil {
+					break
+				}
+				delivered[f[0]] = true
+				ReleaseFrame(f)
+			}
+			got <- delivered
+		}()
+		c, err := ft.Dial("det")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 40; i++ {
+			if err := c.Send([]byte{byte(i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		c.Close()
+		delivered := <-got
+		if delivered == nil {
+			t.Fatal("accept failed")
+		}
+		return ft.Stats(), delivered
+	}
+	s1, d1 := run()
+	s2, d2 := run()
+	if s1.Drops == 0 {
+		t.Fatal("no drops at 30% probability over 40 frames")
+	}
+	if s1 != s2 {
+		t.Errorf("stats differ across identical runs: %+v vs %+v", s1, s2)
+	}
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			t.Errorf("frame %d delivered=%v in run 1 but %v in run 2", i, d1[i], d2[i])
+		}
+	}
+}
+
+func TestFaultyCorruptFlipsOneByte(t *testing.T) {
+	_, c, srv := faultyPair(t, Faults{CorruptProb: 1})
+	orig := []byte("payload-under-test")
+	if err := c.Send(orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := srv.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(orig) {
+		t.Fatalf("len = %d, want %d", len(got), len(orig))
+	}
+	diff := 0
+	for i := range got {
+		if got[i] != orig[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Errorf("%d bytes differ, want exactly 1", diff)
+	}
+	// The caller's buffer must not be touched: corruption copies.
+	if !bytes.Equal(orig, []byte("payload-under-test")) {
+		t.Error("corruption mutated the sender's buffer")
+	}
+}
+
+func TestFaultySendOnSeveredConnection(t *testing.T) {
+	_, c, srv := faultyPair(t, Faults{SeverAfterSends: 1})
+	// The first send trips the sever: the connection is closed under the
+	// caller and the send fails like a reset.
+	if err := c.Send([]byte("doomed")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("severed send err = %v, want ErrClosed", err)
+	}
+	// Both directions are dead.
+	if err := c.Send([]byte("after")); !errors.Is(err, ErrClosed) {
+		t.Errorf("send after sever = %v, want ErrClosed", err)
+	}
+	if _, err := srv.Recv(); !errors.Is(err, ErrClosed) {
+		t.Errorf("peer recv after sever = %v, want ErrClosed", err)
+	}
+}
+
+func TestFaultyBlackhole(t *testing.T) {
+	ft, c, srv := faultyPair(t, Faults{})
+	if err := c.Send([]byte("before")); err != nil {
+		t.Fatal(err)
+	}
+	if f, err := srv.Recv(); err != nil || !bytes.Equal(f, []byte("before")) {
+		t.Fatalf("pre-blackhole recv = %q, %v", f, err)
+	}
+	ft.BlackholeAll()
+	// Writes fail like a reset; that is the only observable symptom.
+	if err := c.Send([]byte("lost")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("blackholed send = %v, want ErrClosed", err)
+	}
+	// Reads hang (no data, no close notification) until a real Close.
+	got := make(chan error, 1)
+	go func() {
+		_, err := srv.Recv()
+		got <- err
+	}()
+	select {
+	case err := <-got:
+		t.Fatalf("blackholed recv returned early: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	srv.Close()
+	select {
+	case err := <-got:
+		if !errors.Is(err, ErrClosed) {
+			t.Errorf("recv after close = %v, want ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("close did not unblock blackholed recv")
+	}
+}
+
+func TestFaultySeverAllThenRedial(t *testing.T) {
+	ft, c, _ := faultyPair(t, Faults{})
+	ft.SeverAll()
+	if err := c.Send([]byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send after SeverAll = %v, want ErrClosed", err)
+	}
+	// Listeners survive SeverAll: new dials must succeed.
+	c2, err := ft.Dial("faulty")
+	if err != nil {
+		t.Fatalf("redial after SeverAll: %v", err)
+	}
+	c2.Close()
+}
+
+func TestRecvAfterOwnClose(t *testing.T) {
+	// A connection must fail its own reads after Close — the demux loop's
+	// exit condition — on every transport.
+	eachTransport(t, func(t *testing.T, tr Transport, addr string) {
+		l, err := tr.Listen(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		go func() {
+			if c, err := l.Accept(); err == nil {
+				defer c.Close()
+				_, _ = c.Recv() // hold the peer open
+			}
+		}()
+		c, err := tr.Dial(l.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Close()
+		if _, err := c.Recv(); !errors.Is(err, ErrClosed) {
+			t.Errorf("Recv after own Close = %v, want ErrClosed", err)
+		}
+	})
+}
+
+func TestTCPRecvRejectsOversizedHeader(t *testing.T) {
+	// A malicious or corrupted length prefix over MaxFrame must be
+	// rejected before any allocation, not trusted as an allocation size.
+	l, err := TCP{}.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	accepted := make(chan Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	raw, err := net.Dial("tcp", l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	srv := <-accepted
+	defer srv.Close()
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrame+1)
+	if _, err := raw.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Recv(); !errors.Is(err, ErrFrameTooBig) {
+		t.Errorf("oversized header Recv = %v, want ErrFrameTooBig", err)
+	}
+}

@@ -240,6 +240,19 @@ func (c *inprocConn) Send(frame []byte) error {
 	if len(frame) > MaxFrame {
 		return fmt.Errorf("%w: %d bytes", ErrFrameTooBig, len(frame))
 	}
+	// An already-closed connection must refuse writes deterministically:
+	// in the blocking select below the buffered channel send can stay
+	// ready after close, and Go picks among ready cases at random — a
+	// severed connection would then accept a frame now and then, which
+	// would blind failure detectors (heartbeats) that rely on the write
+	// error.
+	select {
+	case <-c.closed:
+		return ErrClosed
+	case <-c.peer.closed:
+		return ErrClosed
+	default:
+	}
 	// Copy before handing off: Conn.Send promises the caller may reuse the
 	// frame as soon as Send returns (the ORB pools its encode buffers), but
 	// a channel retains the slice until the peer receives it. The copy
@@ -249,8 +262,10 @@ func (c *inprocConn) Send(frame []byte) error {
 	copy(owned, frame)
 	select {
 	case <-c.closed:
+		ReleaseFrame(owned)
 		return ErrClosed
 	case <-c.peer.closed:
+		ReleaseFrame(owned)
 		return ErrClosed
 	case c.send <- owned:
 		return nil
