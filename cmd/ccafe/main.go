@@ -16,6 +16,11 @@
 //	--breaker-threshold consecutive failed redials before the circuit
 //	                    opens and calls are shed (default 5)
 //
+// Observability flags:
+//
+//	--metrics-addr      serve the metrics/trace snapshot as JSON over HTTP
+//	                    at this address (e.g. 127.0.0.1:9090; off by default)
+//
 // Commands:
 //
 //	repository                    list deposited component types
@@ -41,6 +46,10 @@
 //	                              with backoff, retries idempotent calls,
 //	                              and circuit-breaks per the flags above
 //	health <instance> <port>      show a provides port's connection health
+//	stats [prefix]                dump framework/ORB/transport metrics,
+//	                              optionally filtered by name prefix
+//	trace on|off                  toggle port-call tracing
+//	trace [n]                     show the last n recorded spans (default 16)
 //	remove <instance>             remove an instance
 //	save <file>                   persist the repository (descriptions) as JSON
 //	load <file>                   merge a saved repository into this session
@@ -62,6 +71,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/esi"
 	"repro/internal/linalg"
+	"repro/internal/obs"
 	"repro/internal/orb"
 	"repro/internal/transport"
 )
@@ -74,7 +84,19 @@ func main() {
 		"per-call attempt budget for idempotent methods across reconnects")
 	breakerThreshold := flag.Int("breaker-threshold", 5,
 		"consecutive failed redials before the circuit breaker opens")
+	metricsAddr := flag.String("metrics-addr", "",
+		"serve the observability snapshot over HTTP at this address")
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		bound, closeMetrics, err := obs.Serve(*metricsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ccafe:", err)
+			os.Exit(1)
+		}
+		defer closeMetrics() //nolint:errcheck
+		fmt.Fprintf(os.Stderr, "ccafe: metrics at http://%s/\n", bound)
+	}
 
 	// FlavorDistributed: the shell hosts supervised proxy components for
 	// remotely exported ports (the `remote` command).
@@ -249,6 +271,10 @@ func (sh *shell) exec(line string) bool {
 		if h, err = sh.app.Fw.PortHealth(args[0], args[1]); err == nil {
 			fmt.Printf("  %s.%s: %s\n", args[0], args[1], h)
 		}
+	case "stats":
+		sh.stats(args)
+	case "trace":
+		err = sh.trace(args)
 	case "remove":
 		if len(args) != 1 {
 			err = fmt.Errorf("usage: remove <instance>")
@@ -376,6 +402,68 @@ func (sh *shell) solve(args []string) error {
 	}
 	fmt.Printf("  converged=%v iters=%d relres=%.3e max|x-1|=%.3e\n",
 		solver.Converged(), iters, solver.FinalResidual(), maxErr)
+	return nil
+}
+
+// stats dumps the observability registry: counters and gauges as plain
+// values, histograms as count/mean/p50/p99 summaries (nanoseconds for the
+// duration histograms). An optional prefix filters by metric name.
+func (sh *shell) stats(args []string) {
+	prefix := ""
+	if len(args) > 0 {
+		prefix = args[0]
+	}
+	snap := obs.Default.Snapshot()
+	for _, n := range obs.Default.Names() {
+		if !strings.HasPrefix(n, prefix) {
+			continue
+		}
+		if v, ok := snap.Counters[n]; ok {
+			fmt.Printf("  %-44s %d\n", n, v)
+		} else if v, ok := snap.Gauges[n]; ok {
+			fmt.Printf("  %-44s %d\n", n, v)
+		} else if h, ok := snap.Histograms[n]; ok {
+			fmt.Printf("  %-44s n=%d mean=%.0f p50=%d p99=%d\n",
+				n, h.Count, h.Mean(), h.Quantile(0.5), h.Quantile(0.99))
+		}
+	}
+}
+
+// trace toggles the span recorder or dumps its ring, newest last.
+func (sh *shell) trace(args []string) error {
+	n := 16
+	if len(args) > 0 {
+		switch args[0] {
+		case "on":
+			obs.Tracer.SetEnabled(true)
+			fmt.Println("  tracing on")
+			return nil
+		case "off":
+			obs.Tracer.SetEnabled(false)
+			fmt.Println("  tracing off")
+			return nil
+		default:
+			v, err := strconv.Atoi(args[0])
+			if err != nil || v < 1 {
+				return fmt.Errorf("usage: trace on|off|<n>")
+			}
+			n = v
+		}
+	}
+	spans := obs.Tracer.Spans()
+	if len(spans) > n {
+		spans = spans[len(spans)-n:]
+	}
+	for _, s := range spans {
+		name := s.Key
+		if s.Method != "" {
+			name += "." + s.Method
+		}
+		fmt.Printf("  %016x %-12s %-24s %9.1fµs %s\n",
+			s.Trace, s.Kind, name, float64(s.Dur)/1e3, s.Err)
+	}
+	fmt.Printf("  %d span(s) recorded, tracing=%v\n",
+		obs.Tracer.Recorded(), obs.Tracer.Enabled())
 	return nil
 }
 

@@ -27,7 +27,36 @@ import (
 	"sync/atomic"
 
 	"repro/internal/cca"
+	"repro/internal/obs"
 )
+
+// Framework instruments. GetPort is the claim-C1 hot path, so it carries
+// no per-call instrumentation at all: its acquisition count rides in the
+// high half of the inUse word it already maintains (see usesEntry) and is
+// sampled at obs snapshot time as cca.getport_calls, so the instrumented
+// path is byte-for-byte the bare path (cmd/bench experiment E10). The
+// health gauges are fed from the same transitions that drive the PR 3
+// connection-event stream (SetPortHealth).
+var (
+	cGetPorts    = obs.NewCounter("cca.getports_calls")
+	cConnects    = obs.NewCounter("cca.connects")
+	cDisconnects = obs.NewCounter("cca.disconnects")
+	cHealthEvts  = obs.NewCounter("cca.health_transitions")
+	gDegraded    = obs.NewGauge("cca.ports_degraded")
+	gBroken      = obs.NewGauge("cca.ports_broken")
+)
+
+// healthGauge maps a non-healthy state to its gauge (nil for Healthy).
+func healthGauge(h cca.Health) *obs.Gauge {
+	switch h {
+	case cca.HealthDegraded:
+		return gDegraded
+	case cca.HealthBroken:
+		return gBroken
+	default:
+		return nil
+	}
+}
 
 // ErrComponent reports component-level installation errors.
 var (
@@ -72,6 +101,10 @@ type Framework struct {
 	opts       Options
 	components map[string]*instance
 	listeners  []cca.EventListener
+	// retiredAcq preserves the lifetime acquisition counts of uses
+	// entries that have been removed, so cca.getport_calls never goes
+	// backwards. Guarded by mu.
+	retiredAcq uint64
 }
 
 type instance struct {
@@ -88,7 +121,25 @@ func New(opts Options) *Framework {
 	if opts.TypeCheck == nil {
 		opts.TypeCheck = defaultTypeCheck
 	}
-	return &Framework{opts: opts, components: map[string]*instance{}}
+	f := &Framework{opts: opts, components: map[string]*instance{}}
+	// Sampled, not counted per call: every live framework contributes its
+	// acquisition total when an obs snapshot is taken.
+	obs.AddCounterFunc("cca.getport_calls", f.getPortCalls)
+	return f
+}
+
+// getPortCalls sums lifetime port acquisitions across every uses entry
+// plus those of entries already removed — the cca.getport_calls reading.
+func (f *Framework) getPortCalls() uint64 {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	total := f.retiredAcq
+	for _, inst := range f.components {
+		for _, ue := range inst.svc.uses {
+			total += uint64(ue.inUse.Load()) >> acqShift
+		}
+	}
+	return total
 }
 
 func defaultTypeCheck(usesType, providesType string) error {
@@ -174,6 +225,9 @@ func (f *Framework) Remove(name string) error {
 		}
 	}
 	f.mu.Lock()
+	for _, ue := range inst.svc.uses {
+		f.retiredAcq += uint64(ue.inUse.Load()) >> acqShift
+	}
 	delete(f.components, name)
 	f.mu.Unlock()
 	if rel, ok := inst.comp.(cca.ComponentRelease); ok {
@@ -259,6 +313,7 @@ func (f *Framework) Connect(user, usesPort, provider, providesPort string) (cca.
 	ue.conns = next
 	f.mu.Unlock()
 
+	cConnects.Inc()
 	f.emit(cca.Event{Kind: cca.EventConnected, Connection: id})
 	return id, nil
 }
@@ -292,6 +347,7 @@ func (f *Framework) Disconnect(id cca.ConnectionID) error {
 	if !found {
 		return fmt.Errorf("%w: %v", cca.ErrNotConnected, id)
 	}
+	cDisconnects.Inc()
 	f.emit(cca.Event{Kind: cca.EventDisconnected, Connection: id})
 	return nil
 }
@@ -354,6 +410,15 @@ func (f *Framework) SetPortHealth(component, port string, h cca.Health, cause er
 	if prev == h {
 		return nil
 	}
+	cHealthEvts.Inc()
+	// The port's contribution moves between the non-healthy gauges; a
+	// Healthy port contributes to neither.
+	if g := healthGauge(prev); g != nil {
+		g.Add(-1)
+	}
+	if g := healthGauge(h); g != nil {
+		g.Add(1)
+	}
 	kind := cca.EventConnectionRestored
 	switch h {
 	case cca.HealthDegraded:
@@ -408,6 +473,17 @@ type connection struct {
 	health *atomic.Int32 // shared with the provides entry; nil ⇒ always healthy
 }
 
+// inUse packing: the low 32 bits of usesEntry.inUse hold the
+// currently-outstanding port count (the in-use balance GetPort/ReleasePort
+// maintain), the high 32 bits the lifetime acquisition count. One atomic
+// RMW updates both, so observability adds zero instructions to the
+// claim-C1 hot path; obs snapshots read the high half lazily.
+const (
+	acqShift = 32
+	acqOne   = int64(1) << acqShift
+	outMask  = acqOne - 1
+)
+
 type usesEntry struct {
 	info cca.PortInfo
 	// conns is an immutable snapshot: writers (Connect/Disconnect, under
@@ -416,7 +492,8 @@ type usesEntry struct {
 	// the read lock.
 	conns []connection
 	// inUse is atomic because GetPort/ReleasePort adjust it while holding
-	// only the read lock.
+	// only the read lock. See the packing constants above: low half is
+	// the outstanding balance, high half the lifetime acquisition count.
 	inUse atomic.Int64
 }
 
@@ -495,6 +572,7 @@ func (s *services) UnregisterUsesPort(name string) error {
 	if len(ue.conns) > 0 {
 		return fmt.Errorf("cca: uses %s.%s still has %d connections", s.name, name, len(ue.conns))
 	}
+	s.fw.retiredAcq += uint64(ue.inUse.Load()) >> acqShift
 	delete(s.uses, name)
 	return nil
 }
@@ -524,7 +602,7 @@ func (s *services) GetPort(name string) (cca.Port, error) {
 		if h := conns[0].health; h != nil && cca.Health(h.Load()) == cca.HealthBroken {
 			return nil, fmt.Errorf("%w: %v", cca.ErrConnectionBroken, conns[0].id)
 		}
-		ue.inUse.Add(1)
+		ue.inUse.Add(acqOne | 1) // one acquisition, one outstanding
 		return conns[0].port, nil
 	default:
 		return nil, fmt.Errorf("%w: %s.%s has %d", cca.ErrMultiConnected, s.name, name, len(conns))
@@ -547,7 +625,9 @@ func (s *services) GetPorts(name string) ([]cca.Port, error) {
 	for i, c := range conns {
 		out[i] = c.port
 	}
-	ue.inUse.Add(int64(len(out)))
+	n := int64(len(out))
+	ue.inUse.Add(n<<acqShift | n)
+	cGetPorts.Inc()
 	return out, nil
 }
 
@@ -559,11 +639,12 @@ func (s *services) ReleasePort(name string) error {
 	if !ok {
 		return fmt.Errorf("%w: uses %s.%s", cca.ErrPortNotUses, s.name, name)
 	}
-	// Clamped decrement: never drop below zero even under unbalanced
-	// concurrent releases.
+	// Clamped decrement of the outstanding (low) half: never drop below
+	// zero even under unbalanced concurrent releases. The acquisition
+	// (high) half is monotonic and untouched here.
 	for {
 		v := ue.inUse.Load()
-		if v <= 0 {
+		if v&outMask == 0 {
 			return nil
 		}
 		if ue.inUse.CompareAndSwap(v, v-1) {

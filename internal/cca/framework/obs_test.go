@@ -1,0 +1,104 @@
+package framework
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestGetPortCallsPackedCounter pins the zero-overhead acquisition count:
+// the high half of the inUse word tallies every GetPort, survives release
+// and component removal, and surfaces as cca.getport_calls in an obs
+// snapshot.
+func TestGetPortCallsPackedCounter(t *testing.T) {
+	f, caller, _ := newConnected(t)
+	base := f.getPortCalls()
+	const n = 7
+	for i := 0; i < n; i++ {
+		if _, err := caller.Compute(1, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := f.getPortCalls(); got != base+n {
+		t.Fatalf("getPortCalls = %d, want %d", got, base+n)
+	}
+	// The outstanding balance went back to zero even though the
+	// acquisition half kept counting.
+	svc, _ := f.Services("caller")
+	p, err := svc.GetPort("sum")
+	if err != nil || p == nil {
+		t.Fatalf("GetPort after releases: %v", err)
+	}
+	if err := svc.ReleasePort("sum"); err != nil {
+		t.Fatal(err)
+	}
+	// Removing the component retires its count rather than losing it.
+	before := f.getPortCalls()
+	if err := f.Remove("caller"); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.getPortCalls(); got != before {
+		t.Fatalf("getPortCalls after Remove = %d, want %d", got, before)
+	}
+	// The sampled metric is visible through the default registry (summed
+	// across every live framework, so only monotonicity is checkable).
+	if got := obs.Default.Snapshot().Counters["cca.getport_calls"]; got < before {
+		t.Fatalf("snapshot cca.getport_calls = %d, want >= %d", got, before)
+	}
+}
+
+// TestReleasePortClampStaysClamped pins the packed clamp: releases beyond
+// the outstanding balance are no-ops and never disturb the acquisition
+// half.
+func TestReleasePortClampStaysClamped(t *testing.T) {
+	f, caller, _ := newConnected(t)
+	base := f.getPortCalls()
+	if _, err := caller.Compute(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	svc, _ := f.Services("caller")
+	for i := 0; i < 3; i++ {
+		if err := svc.ReleasePort("sum"); err != nil {
+			t.Fatalf("over-release %d: %v", i, err)
+		}
+	}
+	if got := f.getPortCalls(); got != base+1 {
+		t.Fatalf("getPortCalls after over-release = %d, want %d", got, base+1)
+	}
+	// And the balance is still usable.
+	if _, err := caller.Compute(3, 4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGetPortCallsConcurrent exercises the packed word under parallel
+// acquire/release: the acquisition half must equal the exact number of
+// successful GetPorts.
+func TestGetPortCallsConcurrent(t *testing.T) {
+	f, _, _ := newConnected(t)
+	base := f.getPortCalls()
+	svc, _ := f.Services("caller")
+	const workers, per = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if _, err := svc.GetPort("sum"); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := svc.ReleasePort("sum"); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := f.getPortCalls(); got != base+workers*per {
+		t.Fatalf("getPortCalls = %d, want %d", got, base+workers*per)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"repro/internal/cca"
 	"repro/internal/cca/framework"
 	"repro/internal/esi"
+	"repro/internal/obs"
 	"repro/internal/orb"
 	"repro/internal/sidl/sreflect"
 	"repro/internal/transport"
@@ -29,6 +30,13 @@ import (
 
 // ErrDist reports distributed-connection failures.
 var ErrDist = errors.New("dist: distributed connection error")
+
+// Distributed-topology counters: how many ports this process has exported
+// and how many remote proxies it has installed.
+var (
+	cExports        = obs.NewCounter("dist.exports")
+	cRemoteInstalls = obs.NewCounter("dist.remote_installs")
+)
 
 // Exporter publishes provides ports from a framework over a transport.
 type Exporter struct {
@@ -87,6 +95,7 @@ func (e *Exporter) Export(component, port string) (key string, err error) {
 	if err := e.OA.Register(key, ti, impl); err != nil {
 		return "", err
 	}
+	cExports.Inc()
 	return key, nil
 }
 
@@ -293,6 +302,7 @@ func InstallRemoteOperator(fw *framework.Framework, instance string, tr transpor
 		rp.Close()
 		return nil, err
 	}
+	cRemoteInstalls.Inc()
 	return rp, nil
 }
 
@@ -343,6 +353,7 @@ func InstallSupervisedRemoteOperator(fw *framework.Framework, instance string, t
 		rp.Close()
 		return nil, err
 	}
+	cRemoteInstalls.Inc()
 	return rp, nil
 }
 

@@ -1,0 +1,7 @@
+//go:build !amd64
+
+package obs
+
+// Mono returns monotonic nanoseconds. Without a TSC fast path it is
+// simply the runtime's monotonic clock.
+func Mono() int64 { return nanotime() }

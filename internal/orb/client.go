@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/transport"
 )
 
@@ -72,7 +74,7 @@ func (c *Client) demux() {
 			c.fail(err)
 			return
 		}
-		id, _, ok := splitFrame(frame)
+		id, _, _, ok := splitFrame(frame)
 		if !ok || id == onewayID {
 			transport.ReleaseFrame(frame)
 			c.conn.Close()
@@ -125,9 +127,78 @@ func (c *Client) Invoke(key, method string, args ...any) ([]any, error) {
 // InvokeContext performs a remote call honoring ctx for timeout and
 // cancellation. A cancelled call is abandoned client-side only: the server
 // still executes it, and the demux loop discards the late reply frame.
+//
+// InvokeContext is also the client's instrumentation point: with metrics
+// enabled it maintains per-method RED instruments and the in-flight gauge
+// (durations are a uniform 1-in-8 sample; see redSampleMask), and with
+// tracing enabled it draws a trace ID, stamps it into the request frame,
+// and records the round trip as a client-call span. With both off the
+// overhead is two atomic loads.
 func (c *Client) InvokeContext(ctx context.Context, key, method string, args ...any) ([]any, error) {
+	trace := obs.ActiveTraceID()
+	metered := obs.MetricsEnabled()
+	if trace == 0 && !metered {
+		return c.invoke(ctx, 0, key, method, args)
+	}
+	if trace != 0 {
+		return c.invokeTraced(ctx, trace, metered, key, method, args)
+	}
+	red := clientRED(method)
+	red.calls.Inc()
+	gClientInflight.Add(1)
+	var t0 int64
+	sampled := red.sampleDur()
+	if sampled {
+		t0 = obs.Mono()
+	}
+	out, err := c.invoke(ctx, 0, key, method, args)
+	if sampled {
+		red.dur.Observe(durNS(obs.Mono() - t0))
+	}
+	gClientInflight.Add(-1)
+	if err != nil {
+		red.errs[Classify(err)].Inc()
+	}
+	return out, err
+}
+
+// invokeTraced is the traced round trip. Span timestamps come from two
+// monotonic reads anchored to the wall clock (obs.MonoToWall). RED
+// durations stay 1-in-8 sampled here too — the span already carries this
+// call's exact duration.
+func (c *Client) invokeTraced(ctx context.Context, trace uint64, metered bool, key, method string, args []any) ([]any, error) {
+	t0 := obs.Mono()
+	var red *methodRED
+	if metered {
+		red = clientRED(method)
+		red.calls.Inc()
+		gClientInflight.Add(1)
+	}
+	out, err := c.invoke(ctx, trace, key, method, args)
+	dur := time.Duration(durNS(obs.Mono() - t0))
+	if red != nil {
+		gClientInflight.Add(-1)
+		if red.sampleDur() {
+			red.dur.Observe(uint64(dur))
+		}
+		if err != nil {
+			red.errs[Classify(err)].Inc()
+		}
+	}
+	span := obs.Span{Trace: trace, Kind: obs.SpanClientCall, Key: key, Method: method,
+		Start: obs.MonoToWall(t0), Dur: dur}
+	if err != nil {
+		span.Err = err.Error()
+	}
+	obs.Tracer.Record(span)
+	return out, err
+}
+
+// invoke is the uninstrumented call path; trace is stamped into the frame
+// header (0 = untraced).
+func (c *Client) invoke(ctx context.Context, trace uint64, key, method string, args []any) ([]any, error) {
 	id := c.nextID.Add(1)
-	req, err := encodeRequest(id, key, method, args)
+	req, err := encodeRequest(id, trace, key, method, args)
 	if err != nil {
 		return nil, err
 	}
@@ -195,7 +266,13 @@ func (c *Client) InvokeContext(ctx context.Context, key, method string, args ...
 // completion is not confirmed — exactly the paper's loosely coupled
 // monitor semantics (cca.ports.Monitor.observe is oneway).
 func (c *Client) InvokeOneway(key, method string, args ...any) error {
-	req, err := encodeRequest(onewayID, key, method, args)
+	trace := obs.ActiveTraceID()
+	var t0 int64
+	if trace != 0 {
+		t0 = obs.Mono()
+	}
+	cClientOneways.Inc()
+	req, err := encodeRequest(onewayID, trace, key, method, args)
 	if err != nil {
 		return err
 	}
@@ -208,6 +285,14 @@ func (c *Client) InvokeOneway(key, method string, args ...any) error {
 	}
 	err = c.conn.Send(req.Bytes())
 	PutEncoder(req)
+	if trace != 0 {
+		span := obs.Span{Trace: trace, Kind: obs.SpanOneway, Key: key, Method: method,
+			Start: obs.MonoToWall(t0), Dur: time.Duration(durNS(obs.Mono() - t0))}
+		if err != nil {
+			span.Err = err.Error()
+		}
+		obs.Tracer.Record(span)
+	}
 	return err
 }
 

@@ -65,11 +65,11 @@ func FuzzDispatch(f *testing.F) {
 	}
 	// Seeds: a well-formed request, a request for a missing object, and
 	// every decoder edge case behind a valid correlation header.
-	if req, err := encodeRequest(1, "calc", "add", []any{1.0, 2.0}); err == nil {
+	if req, err := encodeRequest(1, 0, "calc", "add", []any{1.0, 2.0}); err == nil {
 		f.Add(append([]byte(nil), req.Bytes()...))
 		PutEncoder(req)
 	}
-	if req, err := encodeRequest(0, "ghost", "m", nil); err == nil {
+	if req, err := encodeRequest(0, 9, "ghost", "m", nil); err == nil {
 		f.Add(append([]byte(nil), req.Bytes()...))
 		PutEncoder(req)
 	}
@@ -80,11 +80,11 @@ func FuzzDispatch(f *testing.F) {
 		f.Add(s) // headerless / short frames
 	}
 	f.Fuzz(func(t *testing.T, frame []byte) {
-		id, body, ok := splitFrame(frame)
+		id, trace, body, ok := splitFrame(frame)
 		if !ok {
 			return // the server drops the connection; nothing to dispatch
 		}
-		e := oa.dispatchBody(body, id == onewayID)
+		e := oa.dispatchBody(body, id == onewayID, trace, 0)
 		if id == onewayID {
 			if e != nil {
 				t.Fatal("oneway dispatch produced a reply")

@@ -1,0 +1,225 @@
+package orb
+
+// Golden wire-format vectors: byte-exact fixtures for the v2 frame layout
+// (correlation ID + trace ID + CDR body) and the CDR encodings themselves.
+// These bytes are the protocol contract between client and server builds —
+// if any of these tests fail, the wire format changed, and every deployed
+// peer speaking the old format breaks. Regenerate the fixtures with
+//
+//	go test ./internal/orb -run Golden -update-golden
+//
+// ONLY when the change is intentional and called out as a protocol bump.
+
+import (
+	"bytes"
+	"encoding/hex"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden wire-format fixtures")
+
+// goldenVectors enumerates every pinned encoding. The builder functions
+// copy their bytes out of pooled encoders before releasing them.
+func goldenVectors(t *testing.T) []struct {
+	name  string
+	bytes []byte
+} {
+	t.Helper()
+	fromEncoder := func(e *Encoder, err error) []byte {
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := append([]byte(nil), e.Bytes()...)
+		PutEncoder(e)
+		return out
+	}
+	okReply := func(id, trace uint64, results ...any) []byte {
+		e := newReply()
+		e.Encode(true) //nolint:errcheck
+		for _, r := range results {
+			if err := e.Encode(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		stampReply(e, id, trace)
+		out := append([]byte(nil), e.Bytes()...)
+		PutEncoder(e)
+		return out
+	}
+	errReplyBytes := func(id, trace uint64, msg string) []byte {
+		e := errReply(errors.New(msg))
+		stampReply(e, id, trace)
+		out := append([]byte(nil), e.Bytes()...)
+		PutEncoder(e)
+		return out
+	}
+	cdr := func(vals ...any) []byte {
+		b, err := EncodeAll(vals...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	return []struct {
+		name  string
+		bytes []byte
+	}{
+		// v2 frames: correlation ID, trace ID, body. The request header
+		// bytes are little-endian, so the fixture pins endianness too.
+		{"request_twoway", fromEncoder(encodeRequest(
+			0x0102030405060708, 0x1112131415161718, "calc", "add",
+			[]any{1.5, int32(-2)}))},
+		{"request_untraced", fromEncoder(encodeRequest(
+			42, 0, "op/A", "apply", []any{[]float64{1, 2, 3.5}, []float64{0, 0, 0}}))},
+		// Oneway: reserved correlation ID 0 — the supervisor heartbeat is
+		// the canonical producer.
+		{"request_oneway_ping", fromEncoder(encodeRequest(
+			onewayID, 0, "orb/supervisor", "ping", nil))},
+		{"reply_ok", okReply(9, 7, []float64{2, 4, 7})},
+		{"reply_error", errReplyBytes(3, 0, "orb: no such object: \"ghost\"")},
+		// CDR value streams: every primitive tag, and the rank-1 arrays.
+		{"cdr_primitives", cdr(nil, true, false, int32(-7), int64(1<<40),
+			int(-99), 3.14, complex(1, -2), "hello", []byte{1, 2, 3})},
+		{"cdr_arrays", cdr([]float64{1, 2, 3.5}, []int32{-1, 0, 1},
+			[]string{"a", "", "c"})},
+		// Identifier strings (interned on decode): interning is a decoder
+		// optimization and must leave the wire bytes identical to a plain
+		// tagged string.
+		{"cdr_interned_names", cdr("calc", "add", "calc", "add")},
+	}
+}
+
+func goldenPath(name string) string {
+	return filepath.Join("testdata", "golden", name+".hex")
+}
+
+// readGolden parses a fixture: hex with arbitrary whitespace and
+// line comments starting with '#'.
+func readGolden(t *testing.T, name string) []byte {
+	t.Helper()
+	raw, err := os.ReadFile(goldenPath(name))
+	if err != nil {
+		t.Fatalf("missing golden fixture (run with -update-golden to create): %v", err)
+	}
+	var sb strings.Builder
+	for _, line := range strings.Split(string(raw), "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		sb.WriteString(strings.Map(func(r rune) rune {
+			if r == ' ' || r == '\t' || r == '\r' {
+				return -1
+			}
+			return r
+		}, line))
+	}
+	b, err := hex.DecodeString(sb.String())
+	if err != nil {
+		t.Fatalf("corrupt golden fixture %s: %v", name, err)
+	}
+	return b
+}
+
+// writeGolden renders bytes as commented hex: the 16-byte frame header (when
+// present) on its own line, then 16-byte rows.
+func writeGolden(t *testing.T, name string, b []byte) {
+	t.Helper()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "# golden wire vector %q — regenerate only on an intentional protocol bump\n", name)
+	for i := 0; i < len(b); i += 16 {
+		end := i + 16
+		if end > len(b) {
+			end = len(b)
+		}
+		fmt.Fprintf(&sb, "%x\n", b[i:end])
+	}
+	if err := os.MkdirAll(filepath.Dir(goldenPath(name)), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(goldenPath(name), []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGoldenWireVectors is the regression gate: today's encoders must
+// produce byte-identical output to the checked-in fixtures.
+func TestGoldenWireVectors(t *testing.T) {
+	for _, v := range goldenVectors(t) {
+		t.Run(v.name, func(t *testing.T) {
+			if *updateGolden {
+				writeGolden(t, v.name, v.bytes)
+				return
+			}
+			want := readGolden(t, v.name)
+			if !bytes.Equal(v.bytes, want) {
+				t.Fatalf("wire format changed for %s:\n got %x\nwant %x\n"+
+					"If intentional, regenerate with -update-golden and call out the protocol bump.",
+					v.name, v.bytes, want)
+			}
+		})
+	}
+}
+
+// TestGoldenFramesStillParse decodes the fixtures through the real paths:
+// the pinned bytes are not just stable, they still mean what they meant.
+func TestGoldenFramesStillParse(t *testing.T) {
+	if *updateGolden {
+		t.Skip("fixtures being rewritten")
+	}
+	// Two-way request: header fields and body identifiers.
+	id, trace, body, ok := splitFrame(readGolden(t, "request_twoway"))
+	if !ok || id != 0x0102030405060708 || trace != 0x1112131415161718 {
+		t.Fatalf("request header: id=%x trace=%x ok=%v", id, trace, ok)
+	}
+	d := NewDecoder(body)
+	if key, err := d.decodeStringInterned(); err != nil || key != "calc" {
+		t.Fatalf("key = %q, %v", key, err)
+	}
+	if m, err := d.decodeStringInterned(); err != nil || m != "add" {
+		t.Fatalf("method = %q, %v", m, err)
+	}
+	// Oneway ping: reserved ID 0, untraced.
+	id, trace, _, ok = splitFrame(readGolden(t, "request_oneway_ping"))
+	if !ok || id != onewayID || trace != 0 {
+		t.Fatalf("oneway header: id=%d trace=%d ok=%v", id, trace, ok)
+	}
+	// Success reply round trip.
+	_, _, body, ok = splitFrame(readGolden(t, "reply_ok"))
+	if !ok {
+		t.Fatal("reply_ok: short frame")
+	}
+	res, err := decodeReply(body)
+	if err != nil || len(res) != 1 {
+		t.Fatalf("reply_ok decode: %v %v", res, err)
+	}
+	if v := res[0].([]float64); len(v) != 3 || v[2] != 7 {
+		t.Fatalf("reply_ok payload = %v", v)
+	}
+	// Error reply surfaces ErrRemote with the pinned message.
+	_, _, body, _ = splitFrame(readGolden(t, "reply_error"))
+	if _, err := decodeReply(body); !errors.Is(err, ErrRemote) ||
+		!strings.Contains(err.Error(), "ghost") {
+		t.Fatalf("reply_error decode: %v", err)
+	}
+	// CDR streams decode to the original values.
+	vals, err := DecodeAll(readGolden(t, "cdr_primitives"))
+	if err != nil || len(vals) != 10 {
+		t.Fatalf("cdr_primitives: %d values, %v", len(vals), err)
+	}
+	if vals[6].(float64) != 3.14 || vals[8].(string) != "hello" {
+		t.Fatalf("cdr_primitives values = %v", vals)
+	}
+	arrs, err := DecodeAll(readGolden(t, "cdr_arrays"))
+	if err != nil || len(arrs) != 3 {
+		t.Fatalf("cdr_arrays: %v %v", arrs, err)
+	}
+	if s := arrs[2].([]string); len(s) != 3 || s[1] != "" {
+		t.Fatalf("cdr_arrays strings = %v", arrs[2])
+	}
+}

@@ -4,7 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sidl/sreflect"
 )
 
@@ -91,7 +93,83 @@ func putArgs(p *[]any, used []any) {
 	argsPool.Put(p)
 }
 
-func (oa *ObjectAdapter) dispatchBody(body []byte, oneway bool) *Encoder {
+func (oa *ObjectAdapter) dispatchBody(body []byte, oneway bool, trace uint64, recvMono int64) *Encoder {
+	metered := obs.MetricsEnabled()
+	if trace == 0 && !metered {
+		e, _, _, _ := oa.dispatch(body, oneway)
+		return e
+	}
+	if trace != 0 {
+		return oa.dispatchTraced(body, oneway, trace, metered, recvMono)
+	}
+	// Metered, untraced: rates and errors are exact on every dispatch;
+	// durations are a uniform 1-in-8 sample (redSampleMask) so the two
+	// monotonic clock reads stay off the common path. The decision is
+	// drawn before dispatch decodes the method name, hence the shared
+	// serverDurTick rather than the per-method one.
+	var t0 int64
+	sampled := serverDurTick.Add(1)&redSampleMask == 0
+	if sampled {
+		t0 = obs.Mono()
+	}
+	e, _, method, err := oa.dispatch(body, oneway)
+	if method == "" {
+		// The body died before its method name decoded; there is no
+		// method to file RED numbers under.
+		cDispatchBadBody.Inc()
+		return e
+	}
+	red := serverRED(method)
+	red.calls.Inc()
+	if sampled {
+		red.dur.Observe(durNS(obs.Mono() - t0))
+	}
+	if err != nil {
+		red.errs[Classify(err)].Inc()
+	}
+	return e
+}
+
+// dispatchTraced is the traced dispatch path: the span timestamp comes
+// from two monotonic reads anchored to the wall clock (obs.MonoToWall),
+// and recvMono — the read loop's arrival clock, 0 for in-process calls —
+// becomes the span's Queue (the time the frame waited for a dispatch
+// slot). RED durations stay 1-in-8 sampled here too; the span already
+// carries this call's exact duration.
+func (oa *ObjectAdapter) dispatchTraced(body []byte, oneway bool, trace uint64, metered bool, recvMono int64) *Encoder {
+	t0 := obs.Mono()
+	e, key, method, err := oa.dispatch(body, oneway)
+	dur := time.Duration(durNS(obs.Mono() - t0))
+	if metered {
+		if method == "" {
+			cDispatchBadBody.Inc()
+		} else {
+			red := serverRED(method)
+			red.calls.Inc()
+			if red.sampleDur() {
+				red.dur.Observe(uint64(dur))
+			}
+			if err != nil {
+				red.errs[Classify(err)].Inc()
+			}
+		}
+	}
+	span := obs.Span{Trace: trace, Kind: obs.SpanDispatch, Key: key, Method: method,
+		Start: obs.MonoToWall(t0), Dur: dur}
+	if recvMono != 0 {
+		span.Queue = time.Duration(durNS(t0 - recvMono))
+	}
+	if err != nil {
+		span.Err = err.Error()
+	}
+	obs.Tracer.Record(span)
+	return e
+}
+
+// dispatch is the uninstrumented decode → invoke → encode path. It also
+// reports the decoded key/method and the failure (if any) that went into
+// the reply, for dispatchBody's RED metrics and dispatch span.
+func (oa *ObjectAdapter) dispatch(body []byte, oneway bool) (_ *Encoder, key, method string, _ error) {
 	d := NewDecoder(body)
 	reply := func(e *Encoder) *Encoder {
 		if oneway {
@@ -102,11 +180,11 @@ func (oa *ObjectAdapter) dispatchBody(body []byte, oneway bool) *Encoder {
 	}
 	key, err := d.decodeStringInterned()
 	if err != nil {
-		return reply(errReply(err))
+		return reply(errReply(err)), key, "", err
 	}
-	method, err := d.decodeStringInterned()
+	method, err = d.decodeStringInterned()
 	if err != nil {
-		return reply(errReply(err))
+		return reply(errReply(err)), key, "", err
 	}
 	argsp := argsPool.Get().(*[]any)
 	args := (*argsp)[:0]
@@ -114,22 +192,22 @@ func (oa *ObjectAdapter) dispatchBody(body []byte, oneway bool) *Encoder {
 		a, err := d.Decode()
 		if err != nil {
 			putArgs(argsp, args)
-			return reply(errReply(err))
+			return reply(errReply(err)), key, method, err
 		}
 		args = append(args, a)
 	}
 	sv, err := oa.lookup(key)
 	if err != nil {
 		putArgs(argsp, args)
-		return reply(errReply(err))
+		return reply(errReply(err)), key, method, err
 	}
 	results, err := sv.Obj.Call(method, args...)
 	putArgs(argsp, args) // callees do not retain the argument slice
 	if err != nil {
-		return reply(errReply(err))
+		return reply(errReply(err)), key, method, err
 	}
 	if oneway {
-		return nil
+		return nil, key, method, nil
 	}
 	e := newReply()
 	e.Encode(true) //nolint:errcheck // bool always encodes
@@ -142,10 +220,10 @@ func (oa *ObjectAdapter) dispatchBody(body []byte, oneway bool) *Encoder {
 			}
 			e.Encode(false) //nolint:errcheck // bool always encodes
 			e.EncodeString(err.Error())
-			return e
+			return e, key, method, err
 		}
 	}
-	return e
+	return e, key, method, nil
 }
 
 // InProcessORB is the §3.3 baseline: requests to co-located objects still
@@ -163,11 +241,11 @@ func NewInProcessORB() *InProcessORB {
 
 // Invoke performs a marshaled same-address-space call.
 func (o *InProcessORB) Invoke(key, method string, args ...any) ([]any, error) {
-	req, err := encodeRequest(onewayID, key, method, args)
+	req, err := encodeRequest(onewayID, 0, key, method, args)
 	if err != nil {
 		return nil, err
 	}
-	rep := o.OA.dispatchBody(req.Bytes()[frameHeader:], false)
+	rep := o.OA.dispatchBody(req.Bytes()[frameHeader:], false, 0, 0)
 	PutEncoder(req)
 	out, err := decodeReply(rep.Bytes()[frameHeader:]) // decodeReply copies every value
 	PutEncoder(rep)
@@ -176,11 +254,11 @@ func (o *InProcessORB) Invoke(key, method string, args ...any) ([]any, error) {
 
 // InvokeOneway performs a marshaled call discarding results and errors.
 func (o *InProcessORB) InvokeOneway(key, method string, args ...any) error {
-	req, err := encodeRequest(onewayID, key, method, args)
+	req, err := encodeRequest(onewayID, 0, key, method, args)
 	if err != nil {
 		return err
 	}
-	PutEncoder(o.OA.dispatchBody(req.Bytes()[frameHeader:], true))
+	PutEncoder(o.OA.dispatchBody(req.Bytes()[frameHeader:], true, 0, 0))
 	PutEncoder(req)
 	return nil
 }

@@ -445,7 +445,7 @@ func TestServerSurvivesCorruptFrames(t *testing.T) {
 		if err != nil {
 			t.Fatalf("reply %d: %v", i, err)
 		}
-		id, body, ok := splitFrame(rep)
+		id, _, body, ok := splitFrame(rep)
 		if !ok || id == 0 {
 			t.Fatalf("reply %d: bad frame header (id=%d ok=%v)", i, id, ok)
 		}

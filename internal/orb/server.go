@@ -3,6 +3,7 @@ package orb
 import (
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/transport"
 )
@@ -48,11 +49,15 @@ type Server struct {
 
 // dispatchItem is one two-way request handed from a read loop to the
 // dispatch workers. req is the pooled frame; the body follows its
-// correlation header.
+// correlation+trace header. recvMono is the read loop's arrival clock for
+// traced frames (0 otherwise) — the dispatch span turns it into queueing
+// delay.
 type dispatchItem struct {
-	conn transport.Conn
-	id   uint64
-	req  []byte
+	conn     transport.Conn
+	id       uint64
+	trace    uint64
+	recvMono int64
+	req      []byte
 }
 
 // Serve starts accepting connections on l, dispatching each request frame
@@ -73,8 +78,8 @@ func Serve(oa *ObjectAdapter, l transport.Listener) *Server {
 		go func() {
 			defer s.workerWg.Done()
 			for it := range s.work {
-				rep := s.OA.dispatchBody(it.req[frameHeader:], false)
-				stampReply(rep, it.id)
+				rep := s.OA.dispatchBody(it.req[frameHeader:], false, it.trace, it.recvMono)
+				stampReply(rep, it.id, it.trace)
 				// A write failure is connection-level; the read loop
 				// observes it on its next Recv and tears the connection
 				// down.
@@ -121,15 +126,21 @@ func (s *Server) serveConn(conn transport.Conn) {
 		if err != nil {
 			return
 		}
-		id, body, ok := splitFrame(req)
+		id, trace, body, ok := splitFrame(req)
 		if !ok {
 			// No correlation header: there is no ID to answer on and the
 			// stream can no longer be trusted; drop the connection.
 			transport.ReleaseFrame(req)
 			return
 		}
+		var recvMono int64
+		if trace != 0 {
+			// Clock the traced frame's arrival before it queues for a
+			// dispatch slot; the dispatch span reports the gap as Queue.
+			recvMono = obs.Mono()
+		}
 		if id == onewayID {
-			if e := s.OA.dispatchBody(body, true); e != nil {
+			if e := s.OA.dispatchBody(body, true, trace, recvMono); e != nil {
 				PutEncoder(e) // defensive: oneway dispatch returns nil
 			}
 			transport.ReleaseFrame(req)
@@ -137,7 +148,7 @@ func (s *Server) serveConn(conn transport.Conn) {
 		}
 		// Blocks when every worker is busy and the queue is full — the
 		// server's backpressure.
-		s.work <- dispatchItem{conn: conn, id: id, req: req}
+		s.work <- dispatchItem{conn: conn, id: id, trace: trace, recvMono: recvMono, req: req}
 	}
 }
 

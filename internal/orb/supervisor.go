@@ -190,6 +190,7 @@ func DialSupervised(tr transport.Transport, addr string, opts SupervisorOptions)
 		}
 		time.Sleep(d)
 	}
+	gSupStates[StateHealthy].Add(1) // the connection now exists, Healthy
 	if s.opts.Heartbeat > 0 {
 		s.wg.Add(1)
 		go s.heartbeatLoop()
@@ -212,6 +213,13 @@ func (s *Supervised) State() ConnState {
 func (s *Supervised) setStateLocked(st ConnState, cause error) func() {
 	if s.state == st {
 		return nil
+	}
+	// Breaker-state gauges: this connection's contribution moves from its
+	// old state's gauge to the new one's.
+	gSupStates[s.state].Add(-1)
+	gSupStates[st].Add(1)
+	if st == StateBroken {
+		cSupBreakerOpens.Inc()
 	}
 	s.state = st
 	if cb := s.opts.OnState; cb != nil {
@@ -309,6 +317,7 @@ func (s *Supervised) redialLoop(cause error) {
 			s.mu.Unlock()
 			return
 		}
+		cSupRedials.Inc()
 		c, err := DialClient(s.tr, s.addr)
 		if err != nil {
 			cause = err
@@ -421,6 +430,7 @@ func (s *Supervised) InvokeContext(ctx context.Context, key, method string, args
 	var lastErr error
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
+			cSupRetries.Inc()
 			if !s.sleepCtx(ctx, s.backoff(attempt-1)) {
 				return nil, classed(ClassTimeout, ctx.Err())
 			}
@@ -548,6 +558,7 @@ func (s *Supervised) Close() error {
 		return nil
 	}
 	s.closed = true
+	gSupStates[s.state].Add(-1) // retire this connection's state contribution
 	c := s.cur
 	s.cur = nil
 	close(s.stop)

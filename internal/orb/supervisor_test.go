@@ -7,6 +7,7 @@ package orb
 import (
 	"context"
 	"errors"
+	"sync"
 	"testing"
 	"time"
 
@@ -91,14 +92,33 @@ func TestSupervisedHappyPath(t *testing.T) {
 	}
 }
 
+// lateTransport fails the first `fails` Dial attempts with ErrNoListener,
+// then delegates — a deterministic stand-in for "the server comes up while
+// the client is still dialing", with no wall-clock dependence.
+type lateTransport struct {
+	transport.Transport
+	mu    sync.Mutex
+	fails int
+}
+
+func (l *lateTransport) Dial(addr string) (transport.Conn, error) {
+	l.mu.Lock()
+	if l.fails > 0 {
+		l.fails--
+		l.mu.Unlock()
+		return nil, transport.ErrNoListener
+	}
+	l.mu.Unlock()
+	return l.Transport.Dial(addr)
+}
+
 func TestSupervisedDialRetriesUntilServerUp(t *testing.T) {
-	// The server comes up after the client starts dialing; the initial
-	// dial loop must absorb the gap within ConnectTimeout.
-	tr := &transport.InProc{}
-	go func() {
-		time.Sleep(30 * time.Millisecond)
-		calcServer(t, tr, "sup-late")
-	}()
+	// The first dials fail as if the server were not yet up; the initial
+	// dial loop must absorb the failures within ConnectTimeout.
+	inner := &transport.InProc{}
+	stop, _ := calcServer(t, inner, "sup-late")
+	defer stop()
+	tr := &lateTransport{Transport: inner, fails: 3}
 	opts, _ := fastOpts()
 	s, err := DialSupervised(tr, "sup-late", opts)
 	if err != nil {
@@ -178,7 +198,7 @@ func TestSupervisedCircuitBreaker(t *testing.T) {
 func TestSupervisedNonIdempotentFailsFast(t *testing.T) {
 	tr := &transport.InProc{}
 	stop, _ := calcServer(t, tr, "sup-nonidem")
-	opts, _ := fastOpts()
+	opts, states := fastOpts()
 	opts.Idempotent = IdempotentMethods("sum") // add is NOT idempotent here
 	s, err := DialSupervised(tr, "sup-nonidem", opts)
 	if err != nil {
@@ -188,11 +208,8 @@ func TestSupervisedNonIdempotentFailsFast(t *testing.T) {
 	stop()
 	// Let the watcher notice the death so the first attempt fails at
 	// acquire rather than mid-call.
-	deadline := time.Now().Add(2 * time.Second)
-	for s.State() == StateHealthy && time.Now().Before(deadline) {
-		time.Sleep(time.Millisecond)
-	}
-	start := time.Now()
+	waitState(t, states, StateDegraded)
+	retries0 := cSupRetries.Value()
 	_, err = s.Invoke("calc", "add", 1.0, 1.0)
 	if err == nil {
 		t.Fatal("call with dead server succeeded")
@@ -200,10 +217,10 @@ func TestSupervisedNonIdempotentFailsFast(t *testing.T) {
 	if Classify(err) == ClassFatal {
 		t.Errorf("connection loss classified fatal: %v", err)
 	}
-	// One attempt, no retry loop: it must fail well before the retry
-	// budget (6 attempts x backoff) would elapse.
-	if elapsed := time.Since(start); elapsed > time.Second {
-		t.Errorf("non-idempotent call retried for %v", elapsed)
+	// One attempt, no retry loop: the supervisor retry counter must not
+	// move for a non-idempotent method.
+	if got := cSupRetries.Value(); got != retries0 {
+		t.Errorf("non-idempotent call retried %d times", got-retries0)
 	}
 }
 
@@ -366,7 +383,7 @@ func TestClassify(t *testing.T) {
 func TestSupervisedOnewayNotRetried(t *testing.T) {
 	tr := &transport.InProc{}
 	stop, _ := calcServer(t, tr, "sup-oneway")
-	opts, _ := fastOpts()
+	opts, states := fastOpts()
 	s, err := DialSupervised(tr, "sup-oneway", opts)
 	if err != nil {
 		t.Fatal(err)
@@ -378,10 +395,7 @@ func TestSupervisedOnewayNotRetried(t *testing.T) {
 		t.Fatalf("oneway on live conn: %v", err)
 	}
 	stop()
-	deadline := time.Now().Add(2 * time.Second)
-	for s.State() == StateHealthy && time.Now().Before(deadline) {
-		time.Sleep(time.Millisecond)
-	}
+	waitState(t, states, StateDegraded)
 	if err := s.InvokeOneway("calc", "observe", 2.0); err == nil {
 		t.Error("oneway with dead server succeeded")
 	}

@@ -1,0 +1,172 @@
+package orb
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/transport"
+)
+
+// TestTracePropagation proves the tentpole wiring: a traced remote call
+// leaves a client-call span on the caller and a dispatch span (carrying
+// the server's queueing delay) on the callee, sharing one nonzero trace
+// ID — the ID crossed the wire in the v2 frame header and came back in
+// the reply.
+func TestTracePropagation(t *testing.T) {
+	oa := NewObjectAdapter()
+	if err := oa.Register("calc", calcInfo(t), calcImpl{}); err != nil {
+		t.Fatal(err)
+	}
+	tr := &transport.InProc{}
+	l, err := tr.Listen("traced")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(oa, l)
+	defer srv.Stop()
+	c, err := DialClient(tr, "traced")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	obs.Tracer.Reset()
+	obs.Tracer.SetEnabled(true)
+	defer func() {
+		obs.Tracer.SetEnabled(false)
+		obs.Tracer.Reset()
+	}()
+
+	if _, err := c.Invoke("calc", "add", 1.0, 2.0); err != nil {
+		t.Fatal(err)
+	}
+	// The dispatch span is recorded before the reply is sent, and the
+	// client-call span before Invoke returns — both are visible now
+	// without any synchronization.
+	byKind := map[obs.SpanKind]obs.Span{}
+	for _, s := range obs.Tracer.Spans() {
+		byKind[s.Kind] = s
+	}
+	cc, ok := byKind[obs.SpanClientCall]
+	if !ok {
+		t.Fatalf("no client-call span in %v", obs.Tracer.Spans())
+	}
+	if cc.Trace == 0 || cc.Key != "calc" || cc.Method != "add" || cc.Err != "" {
+		t.Fatalf("client-call span = %+v", cc)
+	}
+	dp, ok := byKind[obs.SpanDispatch]
+	if !ok {
+		t.Fatal("no dispatch span: trace ID did not cross the wire")
+	}
+	if dp.Trace != cc.Trace {
+		t.Fatalf("span trace IDs disagree: client=%d dispatch=%d", cc.Trace, dp.Trace)
+	}
+	if dp.Key != "calc" || dp.Method != "add" || dp.Err != "" {
+		t.Fatalf("dispatch span = %+v", dp)
+	}
+	// A remote dispatch carries its queueing delay (arrival → dispatch
+	// slot), and the client-side round trip bounds the server-side work.
+	if dp.Queue < 0 || dp.Queue > cc.Dur {
+		t.Fatalf("dispatch queue delay %v outside [0, %v]", dp.Queue, cc.Dur)
+	}
+
+	// A failing call's spans carry the error.
+	obs.Tracer.Reset()
+	if _, err := c.Invoke("ghost", "m"); err == nil {
+		t.Fatal("call to missing object succeeded")
+	}
+	byKind = map[obs.SpanKind]obs.Span{}
+	for _, s := range obs.Tracer.Spans() {
+		byKind[s.Kind] = s
+	}
+	if byKind[obs.SpanClientCall].Err == "" || byKind[obs.SpanDispatch].Err == "" {
+		t.Fatalf("error not recorded on spans: %+v", obs.Tracer.Spans())
+	}
+}
+
+// TestUntracedCallsRecordNothing pins the off switch: with tracing
+// disabled, frames carry trace ID 0 and no span is recorded anywhere.
+func TestUntracedCallsRecordNothing(t *testing.T) {
+	oa := NewObjectAdapter()
+	if err := oa.Register("calc", calcInfo(t), calcImpl{}); err != nil {
+		t.Fatal(err)
+	}
+	tr := &transport.InProc{}
+	l, err := tr.Listen("untraced")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(oa, l)
+	defer srv.Stop()
+	c, err := DialClient(tr, "untraced")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	obs.Tracer.Reset()
+	if _, err := c.Invoke("calc", "add", 1.0, 2.0); err != nil {
+		t.Fatal(err)
+	}
+	if n := obs.Tracer.Recorded(); n != 0 {
+		t.Fatalf("untraced call recorded %d spans", n)
+	}
+}
+
+// TestClientServerRED pins the per-method RED wiring: one successful
+// remote call moves the client and server call counters and duration
+// histograms for exactly that method, and a classified error lands in the
+// right error counter.
+func TestClientServerRED(t *testing.T) {
+	// Durations are normally a 1-in-8 sample; observe every call so one
+	// invoke moves the histogram deterministically.
+	oldMask := redSampleMask
+	redSampleMask = 0
+	defer func() { redSampleMask = oldMask }()
+
+	oa := NewObjectAdapter()
+	if err := oa.Register("calc", calcInfo(t), calcImpl{}); err != nil {
+		t.Fatal(err)
+	}
+	tr := &transport.InProc{}
+	l, err := tr.Listen("red")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(oa, l)
+	defer srv.Stop()
+	c, err := DialClient(tr, "red")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	cli, sv := clientRED("add"), serverRED("add")
+	calls0, durs0 := cli.calls.Value(), cli.dur.Snapshot().Count
+	sCalls0 := sv.calls.Value()
+	fatal0 := cli.errs[ClassFatal].Value()
+
+	if _, err := c.Invoke("calc", "add", 1.0, 2.0); err != nil {
+		t.Fatal(err)
+	}
+	if got := cli.calls.Value(); got != calls0+1 {
+		t.Fatalf("client calls = %d, want %d", got, calls0+1)
+	}
+	if got := cli.dur.Snapshot().Count; got != durs0+1 {
+		t.Fatalf("client durations = %d, want %d", got, durs0+1)
+	}
+	if got := sv.calls.Value(); got != sCalls0+1 {
+		t.Fatalf("server calls = %d, want %d", got, sCalls0+1)
+	}
+	if got := gClientInflight.Value(); got < 0 {
+		t.Fatalf("in-flight gauge went negative: %d", got)
+	}
+
+	// A remote exception classifies Fatal on the client side.
+	if _, err := c.Invoke("calc", "add", "not-a-number"); err == nil {
+		t.Fatal("bad-argument call succeeded")
+	}
+	if got := cli.errs[ClassFatal].Value(); got != fatal0+1 {
+		t.Fatalf("client fatal errors = %d, want %d", got, fatal0+1)
+	}
+}

@@ -5,15 +5,24 @@ import (
 	"fmt"
 )
 
-// Wire format (v2, multiplexed). Every frame on a remote ORB connection is
+// Wire format (v2, multiplexed + traced). Every frame on a remote ORB
+// connection is
 //
-//	[8-byte little-endian correlation ID] [CDR body]
+//	[8-byte little-endian correlation ID] [8-byte little-endian trace ID] [CDR body]
 //
 // Request bodies are: key, method, args... . A correlation ID of 0 marks a
 // oneway request — no reply frame is ever produced for it; nonzero IDs are
 // client-assigned and unique among that client's in-flight calls. Reply
 // frames echo the request's correlation ID; their body is: bool ok, then
 // results (ok) or a message string (!ok).
+//
+// The trace ID is observability metadata: 0 means untraced; a nonzero ID
+// is drawn by a client whose tracing is enabled (obs.ActiveTraceID),
+// recorded into every span the call produces on either end, and echoed
+// into the reply — so client-call, server-recv, and dispatch spans of one
+// remote port call share an ID and can be joined across processes. The
+// ORB never branches on the trace ID beyond "is it zero"; a server
+// without tracing enabled just carries it.
 //
 // Because replies carry the ID they answer, one connection can carry any
 // number of concurrent in-flight requests and replies may arrive in any
@@ -23,27 +32,36 @@ import (
 // loop, preserving their ordering relative to later requests on the same
 // connection (the paper's loosely coupled monitor semantics).
 
-// frameHeader is the byte length of the correlation-ID prefix.
-const frameHeader = 8
+// frameHeader is the byte length of the frame prefix: correlation ID then
+// trace ID.
+const frameHeader = 16
+
+// traceOffset is where the trace ID sits inside the header.
+const traceOffset = 8
 
 // onewayID is the reserved correlation ID for fire-and-forget requests.
 const onewayID = 0
 
-// splitFrame separates the correlation ID from the CDR body. ok is false
-// when the frame is too short to carry a header — a protocol violation.
-func splitFrame(frame []byte) (id uint64, body []byte, ok bool) {
+// splitFrame separates the correlation ID, trace ID, and CDR body. ok is
+// false when the frame is too short to carry a header — a protocol
+// violation.
+func splitFrame(frame []byte) (id, trace uint64, body []byte, ok bool) {
 	if len(frame) < frameHeader {
-		return 0, nil, false
+		return 0, 0, nil, false
 	}
-	return binary.LittleEndian.Uint64(frame), frame[frameHeader:], true
+	return binary.LittleEndian.Uint64(frame),
+		binary.LittleEndian.Uint64(frame[traceOffset:]),
+		frame[frameHeader:], true
 }
 
-// encodeRequest builds a request frame (correlation header + body) in a
-// pooled encoder; the caller releases it with PutEncoder after the frame is
-// sent.
-func encodeRequest(id uint64, key, method string, args []any) (*Encoder, error) {
+// encodeRequest builds a request frame (correlation + trace header, then
+// body) in a pooled encoder; the caller releases it with PutEncoder after
+// the frame is sent.
+func encodeRequest(id, trace uint64, key, method string, args []any) (*Encoder, error) {
 	e := GetEncoder()
-	binary.LittleEndian.PutUint64(e.grow(frameHeader), id)
+	h := e.grow(frameHeader)
+	binary.LittleEndian.PutUint64(h, id)
+	binary.LittleEndian.PutUint64(h[traceOffset:], trace)
 	e.EncodeString(key)
 	e.EncodeString(method)
 	for _, a := range args {
@@ -55,8 +73,8 @@ func encodeRequest(id uint64, key, method string, args []any) (*Encoder, error) 
 	return e, nil
 }
 
-// newReply returns a pooled encoder with the correlation header reserved
-// and zeroed; stampReply fills it in once the request's ID is known.
+// newReply returns a pooled encoder with the frame header reserved and
+// zeroed; stampReply fills it in once the request's IDs are known.
 func newReply() *Encoder {
 	e := GetEncoder()
 	h := e.grow(frameHeader)
@@ -66,10 +84,12 @@ func newReply() *Encoder {
 	return e
 }
 
-// stampReply writes the correlation ID into a reply frame built by
-// newReply.
-func stampReply(e *Encoder, id uint64) {
-	binary.LittleEndian.PutUint64(e.Bytes(), id)
+// stampReply writes the correlation and trace IDs into a reply frame built
+// by newReply.
+func stampReply(e *Encoder, id, trace uint64) {
+	b := e.Bytes()
+	binary.LittleEndian.PutUint64(b, id)
+	binary.LittleEndian.PutUint64(b[traceOffset:], trace)
 }
 
 // errReply builds an error reply frame (header still unstamped).
@@ -80,9 +100,9 @@ func errReply(err error) *Encoder {
 	return e
 }
 
-// decodeReply unmarshals a reply body (the frame after its correlation
-// header). Every returned value is copied out of rep: the caller may
-// release the backing frame immediately after.
+// decodeReply unmarshals a reply body (the frame after its header). Every
+// returned value is copied out of rep: the caller may release the backing
+// frame immediately after.
 func decodeReply(rep []byte) ([]any, error) {
 	d := NewDecoder(rep)
 	okv, err := d.Decode()

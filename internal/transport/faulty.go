@@ -6,6 +6,18 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
+)
+
+// Injected-fault counters: FaultStats mirrored into the obs registry so a
+// chaos run's fault plan shows up on the same dashboard as the RED
+// metrics it perturbs.
+var (
+	cFaultDrops    = obs.NewCounter("transport.faults.drops")
+	cFaultCorrupts = obs.NewCounter("transport.faults.corrupts")
+	cFaultDelays   = obs.NewCounter("transport.faults.delays")
+	cFaultSevers   = obs.NewCounter("transport.faults.severs")
 )
 
 // Faults configures a Faulty transport wrapper. Probabilities are per
@@ -175,19 +187,23 @@ func (c *faultyConn) decide(frame []byte) (out []byte, delay time.Duration, drop
 	c.sends++
 	if f.SeverAfterSends > 0 && c.sends >= int64(f.SeverAfterSends) {
 		t.stats.Severs++
+		cFaultSevers.Inc()
 		return nil, 0, false, true
 	}
 	if f.DropProb > 0 && t.rng.Float64() < f.DropProb {
 		t.stats.Drops++
+		cFaultDrops.Inc()
 		return nil, 0, true, false
 	}
 	if f.DelayProb > 0 && t.rng.Float64() < f.DelayProb {
 		t.stats.Delays++
+		cFaultDelays.Inc()
 		delay = f.Delay
 	}
 	out = frame
 	if f.CorruptProb > 0 && len(frame) > 0 && t.rng.Float64() < f.CorruptProb {
 		t.stats.Corrupts++
+		cFaultCorrupts.Inc()
 		out = append([]byte(nil), frame...)
 		out[t.rng.Intn(len(out))] ^= 0xff
 	}

@@ -29,7 +29,64 @@ import (
 	"net"
 	"runtime"
 	"sync"
+	"sync/atomic"
+
+	"repro/internal/obs"
 )
+
+// Transport-level instruments, shared by both transports: frame and byte
+// counters on each direction (payload bytes; length prefixes excluded),
+// and the coalescer's flush-window occupancy histogram — the one number
+// that says whether group commit is actually batching.
+var (
+	cFramesSent = obs.NewCounter("transport.frames_sent")
+	cBytesSent  = obs.NewCounter("transport.bytes_sent")
+	cFramesRecv = obs.NewCounter("transport.frames_recv")
+	cBytesRecv  = obs.NewCounter("transport.bytes_recv")
+	hFlushWin   = obs.NewHistogram("transport.tcp.flush_window_frames")
+)
+
+// TCP connections tally frames/bytes in per-connection cells instead of
+// the shared counters above: the tally sites already hold a per-conn lock
+// (wmu on Send, recvMu on Recv), so a single-writer atomic Store is enough
+// for visibility and the hot path pays no read-modify-write. The cells
+// surface through additive func-backed registry counters — summed only
+// when a snapshot is taken — under the same names the in-process transport
+// feeds directly (the registry adds both sources together).
+const (
+	statFramesSent = iota
+	statBytesSent
+	statFramesRecv
+	statBytesRecv
+	numConnStats
+)
+
+var tcpStats = struct {
+	mu      sync.Mutex
+	conns   map[*tcpConn]struct{}
+	retired [numConnStats]uint64 // tallies of closed connections
+}{conns: map[*tcpConn]struct{}{}}
+
+func init() {
+	for i, name := range [numConnStats]string{
+		statFramesSent: "transport.frames_sent",
+		statBytesSent:  "transport.bytes_sent",
+		statFramesRecv: "transport.frames_recv",
+		statBytesRecv:  "transport.bytes_recv",
+	} {
+		obs.AddCounterFunc(name, func() uint64 { return tcpStatTotal(i) })
+	}
+}
+
+func tcpStatTotal(i int) uint64 {
+	tcpStats.mu.Lock()
+	defer tcpStats.mu.Unlock()
+	total := tcpStats.retired[i]
+	for c := range tcpStats.conns {
+		total += c.stats[i].Load()
+	}
+	return total
+}
 
 // Errors reported by transports.
 var (
@@ -268,6 +325,8 @@ func (c *inprocConn) Send(frame []byte) error {
 		ReleaseFrame(owned)
 		return ErrClosed
 	case c.send <- owned:
+		cFramesSent.Inc()
+		cBytesSent.Add(uint64(len(frame)))
 		return nil
 	}
 }
@@ -275,11 +334,15 @@ func (c *inprocConn) Send(frame []byte) error {
 func (c *inprocConn) Recv() ([]byte, error) {
 	select {
 	case f := <-c.recv:
+		cFramesRecv.Inc()
+		cBytesRecv.Add(uint64(len(f)))
 		return f, nil
 	case <-c.closed:
 		// Drain anything already queued before reporting closure.
 		select {
 		case f := <-c.recv:
+			cFramesRecv.Inc()
+			cBytesRecv.Add(uint64(len(f)))
 			return f, nil
 		default:
 			return nil, ErrClosed
@@ -287,6 +350,8 @@ func (c *inprocConn) Recv() ([]byte, error) {
 	case <-c.peer.closed:
 		select {
 		case f := <-c.recv:
+			cFramesRecv.Inc()
+			cBytesRecv.Add(uint64(len(f)))
 			return f, nil
 		default:
 			return nil, ErrClosed
@@ -391,12 +456,41 @@ type tcpConn struct {
 	spareBuf  []byte // double buffers recycled between flushes
 	spareSegs []wseg
 	iov       net.Buffers // flusher-owned iovec scratch
+
+	// stats cells are written only under the respective lock (wmu for the
+	// sent pair, recvMu for the recv pair); atomic Stores make them safe
+	// to sum from tcpStatTotal without taking either.
+	stats [numConnStats]atomic.Uint64
 }
 
 func newTCPConn(nc net.Conn) *tcpConn {
 	c := &tcpConn{c: nc, br: bufio.NewReaderSize(nc, recvBufSize)}
 	c.wcond = sync.NewCond(&c.wmu)
+	tcpStats.mu.Lock()
+	tcpStats.conns[c] = struct{}{}
+	tcpStats.mu.Unlock()
 	return c
+}
+
+// bump adds n to a stats cell. The caller holds the lock that serializes
+// every writer of that cell, so a plain load + atomic store suffices.
+func (c *tcpConn) bump(i int, n uint64) {
+	c.stats[i].Store(c.stats[i].Load() + n)
+}
+
+// retireStats folds a closing connection's tallies into the package-wide
+// retired totals so the func-backed counters stay monotonic after the
+// conn is gone. Idempotent; a count landing concurrently with retirement
+// may be dropped, which a metrics read tolerates.
+func (c *tcpConn) retireStats() {
+	tcpStats.mu.Lock()
+	if _, live := tcpStats.conns[c]; live {
+		delete(tcpStats.conns, c)
+		for i := range c.stats {
+			tcpStats.retired[i] += c.stats[i].Load()
+		}
+	}
+	tcpStats.mu.Unlock()
 }
 
 func (c *tcpConn) Send(frame []byte) error {
@@ -411,6 +505,10 @@ func (c *tcpConn) Send(frame []byte) error {
 		err := c.werr
 		c.wmu.Unlock()
 		return err
+	}
+	if obs.MetricsEnabled() {
+		c.bump(statFramesSent, 1)
+		c.bump(statBytesSent, uint64(len(frame)))
 	}
 	c.appendSmall(hdr[:])
 	small := len(frame) <= coalesceCutoff
@@ -498,9 +596,11 @@ func (c *tcpConn) appendSmall(b []byte) {
 // race writes to the socket.
 func (c *tcpConn) flush() {
 	buf, segs, top := c.wbuf, c.wsegs, c.nq
+	window := top - c.ndone // frames this writev covers (single flusher: stable)
 	c.wbuf, c.wsegs = c.spareBuf, c.spareSegs
 	c.spareBuf, c.spareSegs = nil, nil
 	c.wmu.Unlock()
+	hFlushWin.Observe(window)
 
 	c.iov = c.iov[:0]
 	for _, s := range segs {
@@ -546,10 +646,17 @@ func (c *tcpConn) Recv() ([]byte, error) {
 	if _, err := io.ReadFull(c.br, frame); err != nil {
 		return nil, mapErr(err)
 	}
+	if obs.MetricsEnabled() {
+		c.bump(statFramesRecv, 1)
+		c.bump(statBytesRecv, uint64(n))
+	}
 	return frame, nil
 }
 
-func (c *tcpConn) Close() error { return c.c.Close() }
+func (c *tcpConn) Close() error {
+	c.retireStats()
+	return c.c.Close()
+}
 
 func mapErr(err error) error {
 	if err == nil {

@@ -111,6 +111,33 @@ func TestCcafeScriptedSession(t *testing.T) {
 	}
 }
 
+func TestCcafeStatsAndTrace(t *testing.T) {
+	// The observability commands: tracing toggles, and a solve moves the
+	// framework GetPort counter visible through `stats`.
+	script := strings.Join([]string{
+		"trace on",
+		"matrix A poisson 8",
+		"create solver esi.SolverComponent.cg",
+		"connect solver A A A",
+		"solve solver 1e-8",
+		"stats cca.",
+		"trace 8",
+		"trace off",
+		"quit",
+	}, "\n")
+	path := filepath.Join(t.TempDir(), "session")
+	if err := os.WriteFile(path, []byte(script), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := runTool(t, "cmd/ccafe", "", "-f", path)
+	for _, want := range []string{"tracing on", "cca.getport_calls",
+		"span(s) recorded", "tracing off"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ccafe stats/trace output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestQuickstartExample(t *testing.T) {
 	out := runTool(t, "examples/quickstart", "")
 	if !strings.Contains(out, "3.1415926536") {
