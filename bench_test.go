@@ -1,7 +1,9 @@
 package repro
 
 // This file holds the reproduction's benchmark harness: one benchmark
-// family per experiment in DESIGN.md's per-experiment index (E1–E9). The
+// family per experiment in DESIGN.md's per-experiment index (E1–E9; the
+// later additions E2b, E7b, E10, and E11 are measured by the cmd/bench
+// harness instead — see DESIGN.md §3). The
 // paper (HPDC 1999) has no results tables — it is a standards proposal —
 // so each experiment operationalizes one of its quantitative claims (C1–C5)
 // or architecture figures (F1–F3); EXPERIMENTS.md records the outcomes.

@@ -1,0 +1,249 @@
+// Distviz demonstrates the distributed collective port: Figure 1's
+// visualization tool attaching, from a separate OS process, to a parallel
+// simulation's distributed array — §6.3's M→N redistribution carried over
+// §6.1's distributed connection instead of an in-process transfer.
+//
+// The parent process is the "simulation": an M-rank cohort holding a
+// block-distributed wave field that it keeps evolving. It publishes the
+// cohort's DistArray ports over TCP and re-executes itself as the "viz"
+// child process. The child attaches with a different distribution (a
+// cyclic map over N ranks), installs the attachment into a local framework
+// as an ordinary provides port, and pulls frames through it — each frame
+// an epoch-consistent snapshot redistributed as chunked bulk frames.
+//
+// Mid-run, an injected fault severs the viz connection. Supervision
+// surfaces it as a connection-degraded event through the framework's
+// configuration API, redials, announces connection-restored, and the
+// interrupted pull completes with correct data — the event pair every
+// remote port flavor shares.
+//
+// Run:
+//
+//	go run ./examples/distviz [-m 2] [-n 3] [-len 40000] [-frames 4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"os/exec"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/array"
+	"repro/internal/cca"
+	ccoll "repro/internal/cca/collective"
+	"repro/internal/cca/framework"
+	dcoll "repro/internal/dist/collective"
+	"repro/internal/orb"
+	"repro/internal/transport"
+)
+
+func main() {
+	var (
+		m      = flag.Int("m", 2, "simulation cohort ranks (provider)")
+		n      = flag.Int("n", 3, "viz cohort ranks (consumer)")
+		gl     = flag.Int("len", 40000, "global array length")
+		frames = flag.Int("frames", 4, "frames the viz pulls")
+		sever  = flag.Int("sever", 25, "sever viz connection after this many frames sent (0 = never)")
+		viz    = flag.Bool("viz", false, "run as the viz child process")
+		addr   = flag.String("addr", "", "simulation address (viz mode)")
+	)
+	flag.Parse()
+	if *viz {
+		runViz(*addr, *n, *gl, *frames, *sever)
+		return
+	}
+	runSim(*m, *n, *gl, *frames, *sever)
+}
+
+// simField is one simulation rank's chunk of the wave field. LocalData
+// returns a copy under the cohort lock, so a begin-epoch snapshot never
+// races the time-stepping loop.
+type simField struct {
+	mu   *sync.Mutex
+	side ccoll.Side
+	data []float64
+}
+
+func (f *simField) Side() ccoll.Side { return f.side }
+
+func (f *simField) LocalData() []float64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]float64(nil), f.data...)
+}
+
+// Snapshot implements ccoll.SnapshotPort: the copy LocalData makes is
+// already retain-forever, so the publisher keeps it without a second pass.
+func (f *simField) Snapshot() []float64 { return f.LocalData() }
+
+// step writes field value s + g/1e6: every element encodes (step, global
+// index) so the viz can verify both placement and epoch consistency.
+func step(fields []*simField, m array.DataMap, s int) {
+	fields[0].mu.Lock()
+	defer fields[0].mu.Unlock()
+	for _, run := range m.Runs() {
+		d := fields[run.Rank].data
+		for k := 0; k < run.Global.Len(); k++ {
+			g := run.Global.Lo + k
+			d[run.Local+k] = float64(s) + float64(g)/1e6
+		}
+	}
+}
+
+func runSim(m, n, gl, frames, sever int) {
+	dm := array.NewBlockMap(gl, m)
+	mu := &sync.Mutex{}
+	fields := make([]*simField, m)
+	ports := make([]ccoll.DistArrayPort, m)
+	for r := 0; r < m; r++ {
+		fields[r] = &simField{mu: mu, side: ccoll.Side{Map: dm}, data: make([]float64, dm.LocalLen(r))}
+		ports[r] = fields[r]
+	}
+	step(fields, dm, 0)
+
+	oa := orb.NewObjectAdapter()
+	l, err := transport.TCP{}.Listen("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := orb.Serve(oa, l)
+	defer srv.Stop()
+	if _, err := dcoll.Publish(oa, "wave", ports); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sim: publishing wave (%s) at %s\n", dm, srv.Addr())
+
+	// Keep time-stepping while the viz pulls: epochs isolate each frame
+	// from the mutation.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for s := 1; ; s++ {
+			select {
+			case <-stop:
+				return
+			default:
+				step(fields, dm, s)
+				time.Sleep(200 * time.Microsecond)
+			}
+		}
+	}()
+
+	// Re-exec this binary as the viz process, pointed at our address.
+	exe, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	child := exec.Command(exe, "-viz",
+		"-addr", srv.Addr(),
+		"-n", strconv.Itoa(n),
+		"-len", strconv.Itoa(gl),
+		"-frames", strconv.Itoa(frames),
+		"-sever", strconv.Itoa(sever))
+	child.Stdout = os.Stdout
+	child.Stderr = os.Stderr
+	if err := child.Run(); err != nil {
+		log.Fatalf("sim: viz process failed: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+	fmt.Println("sim: viz exited cleanly")
+}
+
+func runViz(addr string, n, gl, frames, sever int) {
+	if addr == "" {
+		log.Fatal("viz: -addr required")
+	}
+	dm := array.NewCyclicMap(gl, n, 64)
+
+	// The injected fault: the viz's dialed connections sever after a fixed
+	// number of frames. On the first degraded event the fault plan is
+	// cleared, so the supervised redial heals for good — one clean
+	// degraded→restored cycle mid-run.
+	faulty := transport.NewFaulty(transport.TCP{}, transport.Faults{SeverAfterSends: sever})
+	var clearOnce sync.Once
+
+	fw := framework.New(framework.Options{Flavor: cca.FlavorInProcess | cca.FlavorDistributed})
+	fw.AddEventListener(cca.EventListenerFunc(func(e cca.Event) {
+		switch e.Kind {
+		case cca.EventConnectionDegraded, cca.EventConnectionRestored, cca.EventConnectionBroken:
+			fmt.Printf("viz: event %s on %s\n", e.Kind, e.Component)
+		}
+		if e.Kind == cca.EventConnectionDegraded {
+			clearOnce.Do(func() { faulty.SetFaults(transport.Faults{}) })
+		}
+	}))
+
+	imp, err := dcoll.InstallRemoteDistArray(fw, "wave-proxy", faulty, addr, "wave", dm, dcoll.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer imp.Close()
+	fmt.Printf("viz: attached %s, provider has %d ranks\n", dm, imp.ProviderRanks())
+
+	// Pull through the framework-mediated port, as any component would.
+	viz := &vizComponent{}
+	if err := fw.Install("viz", viz); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := fw.Connect("viz", "in", "wave-proxy", "data"); err != nil {
+		log.Fatal(err)
+	}
+	port, err := viz.svc.GetPort("in")
+	if err != nil {
+		log.Fatal(err)
+	}
+	pull := port.(ccoll.PullPort)
+
+	for f := 0; f < frames; f++ {
+		outs := make([][]float64, n)
+		for r := 0; r < n; r++ {
+			outs[r] = make([]float64, pull.LocalLen(r))
+			if err := pull.Pull(r, outs[r]); err != nil {
+				log.Fatalf("viz: frame %d rank %d: %v", f, r, err)
+			}
+		}
+		// Each element encodes (step, global index): verify placement and
+		// that one rank's frame is a single epoch (no torn timestep).
+		for r := 0; r < n; r++ {
+			s := -1.0
+			for _, run := range dm.Runs() {
+				if run.Rank != r {
+					continue
+				}
+				for k := 0; k < run.Global.Len(); k++ {
+					g := run.Global.Lo + k
+					v := outs[r][run.Local+k]
+					gotStep := math.Round(v - float64(g)/1e6)
+					if math.Abs(v-gotStep-float64(g)/1e6) > 1e-9 {
+						log.Fatalf("viz: frame %d rank %d global %d holds %v — wrong placement", f, r, g, v)
+					}
+					if s < 0 {
+						s = gotStep
+					} else if s != gotStep {
+						log.Fatalf("viz: frame %d rank %d mixes steps %v and %v — torn epoch", f, r, s, gotStep)
+					}
+				}
+			}
+			fmt.Printf("viz: frame %d rank %d consistent at sim step %.0f\n", f, r, s)
+		}
+	}
+	fmt.Println("viz: done")
+}
+
+// vizComponent is the consuming component: one uses port of the pull type.
+type vizComponent struct{ svc cca.Services }
+
+func (v *vizComponent) SetServices(svc cca.Services) error {
+	v.svc = svc
+	return svc.RegisterUsesPort(cca.PortInfo{Name: "in", Type: ccoll.PullPortType})
+}
+
+func (v *vizComponent) RequiredFlavor() cca.Flavor { return cca.FlavorDistributed }

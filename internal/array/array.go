@@ -1,12 +1,3 @@
-// Package array provides the scientific data types the CCA paper's SIDL
-// requires (§5): dynamically dimensioned multidimensional arrays with
-// Fortran- or C-style storage order, complex-number arrays, and the
-// distributed-array descriptors that collective ports (§6.3) use to describe
-// how data is laid out across the ranks of a parallel component.
-//
-// The paper singles out "Fortran-style dynamic multidimensional arrays and
-// complex numbers" as the abstractions missing from COM/CORBA/JavaBeans;
-// this package is the Go realization of those IDL primitive types.
 package array
 
 import (

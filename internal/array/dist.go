@@ -287,6 +287,36 @@ func NewIrregularMap(n int, ranges [][]IndexRange) (*IrregularMap, error) {
 	return m, nil
 }
 
+// NewRunsMap reconstructs a map directly from canonical runs. It is the
+// decode side of a wire-serialized DataMap: a distribution crosses a
+// process boundary as its run list (the only thing the collective planner
+// consumes), and the receiver rebuilds a map whose canonical form — hence
+// whose redistribution schedule — is identical to the sender's. The rank
+// count is the largest rank named plus one; the runs are validated as an
+// exact tiling of [0, n).
+func NewRunsMap(n int, runs []Run) (*IrregularMap, error) {
+	p := 0
+	for _, r := range runs {
+		if r.Rank >= p {
+			p = r.Rank + 1
+		}
+	}
+	if p == 0 {
+		p = 1 // an empty map still needs one (empty) rank
+	}
+	m := &IrregularMap{n: n, p: p, runs: append([]Run(nil), runs...), locals: make([]int, p)}
+	sort.Slice(m.runs, func(i, j int) bool { return m.runs[i].Global.Lo < m.runs[j].Global.Lo })
+	for _, r := range m.runs {
+		if r.Rank >= 0 && r.Rank < p {
+			m.locals[r.Rank] += r.Global.Len()
+		}
+	}
+	if err := Validate(m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
 // GlobalLen implements DataMap.
 func (m *IrregularMap) GlobalLen() int { return m.n }
 

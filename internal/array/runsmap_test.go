@@ -1,0 +1,105 @@
+package array
+
+// Tests for NewRunsMap: the decode side of a wire-serialized DataMap.
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestNewRunsMapRoundTrip(t *testing.T) {
+	maps := []DataMap{
+		NewBlockMap(17, 3),
+		NewCyclicMap(20, 4, 3),
+		NewSerialMap(9),
+	}
+	for _, src := range maps {
+		m, err := NewRunsMap(src.GlobalLen(), src.Runs())
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		if m.GlobalLen() != src.GlobalLen() || m.Ranks() != src.Ranks() {
+			t.Fatalf("%s: reconstructed %s", src, m)
+		}
+		for r := 0; r < src.Ranks(); r++ {
+			if m.LocalLen(r) != src.LocalLen(r) {
+				t.Errorf("%s: rank %d local %d != %d", src, r, m.LocalLen(r), src.LocalLen(r))
+			}
+		}
+		// The reconstruction must be canonical: identical run lists mean the
+		// collective planner computes the identical schedule on both sides.
+		a, b := src.Runs(), m.Runs()
+		if len(a) != len(b) {
+			t.Fatalf("%s: %d runs != %d", src, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Errorf("%s: run %d %+v != %+v", src, i, b[i], a[i])
+			}
+		}
+	}
+}
+
+func TestNewRunsMapUnsortedInput(t *testing.T) {
+	// Wire order is not trusted; runs arriving shuffled must still build.
+	m, err := NewRunsMap(10, []Run{
+		{Global: IndexRange{5, 10}, Rank: 1, Local: 0},
+		{Global: IndexRange{0, 5}, Rank: 0, Local: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Ranks() != 2 || m.LocalLen(0) != 5 || m.LocalLen(1) != 5 {
+		t.Errorf("reconstructed %s", m)
+	}
+}
+
+func TestNewRunsMapRejectsInvalid(t *testing.T) {
+	cases := []struct {
+		name string
+		n    int
+		runs []Run
+	}{
+		{"gap", 10, []Run{
+			{Global: IndexRange{0, 4}, Rank: 0, Local: 0},
+			{Global: IndexRange{5, 10}, Rank: 1, Local: 0},
+		}},
+		{"overlap", 10, []Run{
+			{Global: IndexRange{0, 6}, Rank: 0, Local: 0},
+			{Global: IndexRange{5, 10}, Rank: 1, Local: 0},
+		}},
+		{"short-cover", 10, []Run{
+			{Global: IndexRange{0, 8}, Rank: 0, Local: 0},
+		}},
+		{"negative-rank", 10, []Run{
+			{Global: IndexRange{0, 10}, Rank: -1, Local: 0},
+		}},
+		{"negative-local", 10, []Run{
+			{Global: IndexRange{0, 10}, Rank: 0, Local: -3},
+		}},
+		{"local-gap", 10, []Run{
+			{Global: IndexRange{0, 5}, Rank: 0, Local: 0},
+			{Global: IndexRange{5, 10}, Rank: 0, Local: 7},
+		}},
+		{"inverted", 4, []Run{
+			{Global: IndexRange{0, 4}, Rank: 0, Local: 0},
+			{Global: IndexRange{4, 2}, Rank: 0, Local: 4},
+		}},
+		{"empty-nonzero-n", 5, nil},
+	}
+	for _, tc := range cases {
+		if _, err := NewRunsMap(tc.n, tc.runs); !errors.Is(err, ErrMap) {
+			t.Errorf("%s: err = %v, want ErrMap", tc.name, err)
+		}
+	}
+}
+
+func TestNewRunsMapEmpty(t *testing.T) {
+	m, err := NewRunsMap(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.GlobalLen() != 0 || m.Ranks() != 1 || m.LocalLen(0) != 0 {
+		t.Errorf("empty map = %s", m)
+	}
+}

@@ -1,26 +1,3 @@
-// Package collective implements CCA Collective Ports (§6.3 of the paper):
-// "a small but powerful extension of the basic CCA Ports model to handle
-// interactions among parallel components and thereby to free programmers
-// from focusing on the often intricate implementation-level details of
-// parallel computations."
-//
-// A collective connection joins two parallel components — M source ranks
-// and N destination ranks, each side describing its data layout with an
-// array.DataMap ("the creation of a collective port requires that the
-// programmer specify the mapping of data"). The connection planner
-// intersects the two distributions into a message schedule:
-//
-//   - N→N with matching maps: no redistribution — each rank's transfer is
-//     a local copy ("in the most common case the mappings of the input and
-//     output ports match each other ... data would not need redistribution
-//     between the parallel components");
-//   - 1→N and N→1 (a serial component against a parallel one): the
-//     schedule degenerates to scatter/gather — "the semantics of this
-//     interaction are very similar to broadcast, gather, and scatter";
-//   - arbitrary M→N: full redistribution — "collective ports are defined
-//     generally enough to allow data to be distributed arbitrarily in the
-//     connected components", the case Figure 1 needs to attach a
-//     differently distributed visualization tool.
 package collective
 
 import (

@@ -28,8 +28,40 @@ type DistArrayPort interface {
 	LocalData() []float64
 }
 
+// SnapshotPort is an optional extension of DistArrayPort for providers
+// that can hand out a chunk the caller may retain as an immutable epoch
+// snapshot: storage the port guarantees it will never mutate in place
+// (static data, or a copy it made under its own lock). The distributed
+// publisher (repro/internal/dist/collective) asks for this before falling
+// back to copying LocalData, saving one full pass over the data per epoch
+// on ports that already snapshot internally.
+type SnapshotPort interface {
+	DistArrayPort
+	// Snapshot returns the calling rank's chunk as retain-forever storage.
+	Snapshot() []float64
+}
+
 // PortType is the SIDL type name of DistArrayPort registrations.
 const PortType = "cca.ports.DistArray"
+
+// PullPort is the consumer-facing face of a distributed collective
+// connection: the provides port a proxy component exposes after attaching
+// to a remote cohort's published DistArray (Figure 1's visualization tool
+// in a separate OS process). Rank arguments are consumer cohort ranks.
+type PullPort interface {
+	// GlobalLen returns the connection's global element count.
+	GlobalLen() int
+	// Ranks returns the consumer cohort size N.
+	Ranks() int
+	// LocalLen returns consumer rank's destination chunk length.
+	LocalLen(rank int) int
+	// Pull redistributes the provider's current data into out, which must
+	// have length LocalLen(rank).
+	Pull(rank int, out []float64) error
+}
+
+// PullPortType is the SIDL type name of PullPort registrations.
+const PullPortType = "cca.ports.DistArrayPull"
 
 // Info builds the PortInfo for a collective port registration, recording
 // the data map in the port properties as the paper's port-information

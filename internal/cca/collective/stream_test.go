@@ -1,0 +1,206 @@
+package collective
+
+// Tests for the cross-process stream face: Rebased sides, pair-stream
+// chunked pack/unpack against the whole-message pack path, and window
+// validation.
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/array"
+)
+
+func TestRebased(t *testing.T) {
+	s := Side{Map: array.NewBlockMap(10, 3)}.Rebased(4)
+	if got := s.WorldRanks; len(got) != 3 || got[0] != 4 || got[1] != 5 || got[2] != 6 {
+		t.Errorf("WorldRanks = %v", got)
+	}
+	if got := (Side{}).Rebased(2).WorldRanks; len(got) != 0 {
+		t.Errorf("unbound side rebased to %v", got)
+	}
+}
+
+// crossPlan builds an M→N plan in the synthetic cross-process world:
+// provider block map on ranks 0..m−1, consumer cyclic map on m..m+n−1.
+func crossPlan(t *testing.T, gl, m, n int) *Plan {
+	t.Helper()
+	src := Side{Map: array.NewBlockMap(gl, m)}.Rebased(0)
+	dst := Side{Map: array.NewCyclicMap(gl, n, 3)}.Rebased(m)
+	plan, err := NewPlan(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+// packWhole packs a pair's entire message through the PackRangeBytes path
+// in one call.
+func packWhole(t *testing.T, s PairStream, local []float64) []byte {
+	t.Helper()
+	buf := make([]byte, 8*s.Total())
+	if err := s.PackRangeBytes(local, 0, s.Total(), buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf
+}
+
+func TestPairStreamChunkedEqualsWhole(t *testing.T) {
+	const gl, m, n = 101, 3, 2
+	plan := crossPlan(t, gl, m, n)
+	global := make([]float64, gl)
+	for i := range global {
+		global[i] = float64(i) * 1.25
+	}
+	srcMap := array.NewBlockMap(gl, m)
+	dstMap := array.NewCyclicMap(gl, n, 3)
+
+	// Provider rank r's local chunk.
+	locals := make([][]float64, m)
+	for _, r := range srcMap.Runs() {
+		if locals[r.Rank] == nil {
+			locals[r.Rank] = make([]float64, srcMap.LocalLen(r.Rank))
+		}
+		for k := 0; k < r.Global.Len(); k++ {
+			locals[r.Rank][r.Local+k] = global[r.Global.Lo+k]
+		}
+	}
+
+	out := make([][]float64, n)
+	for d := 0; d < n; d++ {
+		out[d] = make([]float64, dstMap.LocalLen(d))
+		for _, src := range plan.RecvFrom(m + d) {
+			s, ok := plan.Pair(src, m+d)
+			if !ok {
+				t.Fatalf("RecvFrom lists %d→%d but Pair says no data", src, d)
+			}
+			whole := packWhole(t, s, locals[src])
+			// Re-unpack the same message in awkward chunk sizes and compare
+			// against unpacking it whole.
+			for _, chunk := range []int{1, 3, 7, s.Total()} {
+				got := make([]float64, dstMap.LocalLen(d))
+				for lo := 0; lo < s.Total(); lo += chunk {
+					hi := lo + chunk
+					if hi > s.Total() {
+						hi = s.Total()
+					}
+					if err := s.UnpackBytes(whole[8*lo:8*hi], lo, got); err != nil {
+						t.Fatal(err)
+					}
+				}
+				want := make([]float64, dstMap.LocalLen(d))
+				if err := s.UnpackBytes(whole, 0, want); err != nil {
+					t.Fatal(err)
+				}
+				for i := range want {
+					// Elements this pair does not deliver stay zero in both.
+					if got[i] != want[i] {
+						t.Fatalf("pair %d→%d chunk=%d elem %d: %v != %v", src, d, chunk, i, got[i], want[i])
+					}
+				}
+			}
+			if err := s.UnpackBytes(whole, 0, out[d]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// All pairs together must reassemble the consumer's view exactly.
+	for _, r := range dstMap.Runs() {
+		for k := 0; k < r.Global.Len(); k++ {
+			if got, want := out[r.Rank][r.Local+k], global[r.Global.Lo+k]; got != want {
+				t.Fatalf("dst rank %d local %d = %v, want %v", r.Rank, r.Local+k, got, want)
+			}
+		}
+	}
+}
+
+func TestPairStreamChunkedPackEqualsWhole(t *testing.T) {
+	const gl, m, n = 64, 2, 3
+	plan := crossPlan(t, gl, m, n)
+	srcMap := array.NewBlockMap(gl, m)
+	local := make([]float64, srcMap.LocalLen(0))
+	for i := range local {
+		local[i] = float64(i) + 0.5
+	}
+	s, ok := plan.Pair(0, m+1)
+	if !ok {
+		t.Skip("no 0→1 pair in this geometry")
+	}
+	whole := packWhole(t, s, local)
+	for _, chunk := range []int{1, 5, 13} {
+		got := make([]byte, len(whole))
+		for lo := 0; lo < s.Total(); lo += chunk {
+			hi := lo + chunk
+			if hi > s.Total() {
+				hi = s.Total()
+			}
+			if err := s.PackRangeBytes(local, lo, hi, got[8*lo:8*hi]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < len(whole); i += 8 {
+			if binary.LittleEndian.Uint64(got[i:]) != binary.LittleEndian.Uint64(whole[i:]) {
+				t.Fatalf("chunk=%d: packed bytes diverge at offset %d", chunk, i)
+			}
+		}
+	}
+}
+
+func TestPairStreamValidation(t *testing.T) {
+	plan := crossPlan(t, 50, 2, 2)
+	s, ok := plan.Pair(0, 2)
+	if !ok {
+		t.Fatal("expected 0→2 pair")
+	}
+	local := make([]float64, array.NewBlockMap(50, 2).LocalLen(0))
+	out := make([]float64, array.NewCyclicMap(50, 2, 3).LocalLen(0))
+
+	if err := s.PackRangeBytes(local, -1, 1, make([]byte, 16)); !errors.Is(err, ErrBuffer) {
+		t.Errorf("negative lo: %v", err)
+	}
+	if err := s.PackRangeBytes(local, 0, s.Total()+1, make([]byte, 8*(s.Total()+1))); !errors.Is(err, ErrBuffer) {
+		t.Errorf("hi past total: %v", err)
+	}
+	if err := s.PackRangeBytes(local, 0, 2, make([]byte, 8)); !errors.Is(err, ErrBuffer) {
+		t.Errorf("short dst: %v", err)
+	}
+	if err := s.UnpackBytes(make([]byte, 7), 0, out); !errors.Is(err, ErrBuffer) {
+		t.Errorf("ragged payload: %v", err)
+	}
+	if err := s.UnpackBytes(make([]byte, 8*s.Total()), 1, out); !errors.Is(err, ErrBuffer) {
+		t.Errorf("window past total: %v", err)
+	}
+	// Pairs that move no data are absent.
+	if _, ok := plan.Pair(0, 0); ok {
+		t.Error("provider→provider pair exists")
+	}
+}
+
+func TestPairStreamLargeParallelWindow(t *testing.T) {
+	// Exceed packGrain so forRunsWindow takes the parallel path.
+	const gl = 3 * packGrain
+	plan := crossPlan(t, gl, 1, 2)
+	src := array.NewSerialMap(gl)
+	local := make([]float64, src.LocalLen(0))
+	for i := range local {
+		local[i] = math.Sqrt(float64(i))
+	}
+	for d := 0; d < 2; d++ {
+		s, ok := plan.Pair(0, 1+d)
+		if !ok {
+			t.Fatalf("missing pair 0→%d", d)
+		}
+		buf := packWhole(t, s, local)
+		out := make([]float64, array.NewCyclicMap(gl, 2, 3).LocalLen(d))
+		if err := s.UnpackBytes(buf, 0, out); err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v == 0 && i > 0 {
+				t.Fatalf("dst %d elem %d never written", d, i)
+			}
+		}
+	}
+}

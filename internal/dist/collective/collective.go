@@ -1,0 +1,180 @@
+// Package collective implements distributed collective ports: the
+// cross-process form of the paper's §6.3 M→N redistribution, and the one
+// scenario Figure 1 actually draws — a visualization tool in a *different
+// OS process* attaching to the simulation cohort's distributed array.
+// It composes the two halves the repo already has: the collective
+// scheduler (repro/internal/cca/collective) plans which index runs move
+// between which cohort ranks, and the supervised multiplexed ORB
+// (repro/internal/orb over repro/internal/transport) moves bytes between
+// processes.
+//
+// # Protocol
+//
+// A provider process Publishes a cohort's DistArrayPorts on the reserved
+// ORB key "collective/<name>" as a dynamic servant. A consumer Attaches by
+// dialing a supervised client and performing a plan exchange: it sends its
+// own distribution as a canonical run list, the provider answers with its
+// run list and a plan ID, and *both* sides construct the identical
+// collective.Plan from the two descriptors (cohorts rebased into one
+// synthetic world: provider ranks 0..M−1, consumer ranks M..M+N−1). From
+// then on the consumer addresses any [lo,hi) element window of any
+// (src,dst) pair's packed message — the schedule's offsets are plan
+// arithmetic both sides agree on, so no index metadata ever crosses the
+// wire with the data.
+//
+// Each Pull opens an epoch ("begin" snapshots the provider cohort's
+// chunks, so a mid-step simulation can't tear a frame), streams the
+// intersecting runs as chunked bulk frames — packed straight into the
+// reply encoder's payload span on the provider, scattered straight out of
+// the raw reply frame on the consumer, one user-space copy per side — and
+// closes the epoch with a oneway "end". Chunks default to
+// 16·transport.CoalesceCutoff bytes so every chunk frame rides the
+// zero-copy writev path, and a credit window (default
+// transport.MaxFlushWindow·transport.CoalesceCutoff bytes) bounds the
+// bytes in flight per connection while keeping the multiplexed pipeline
+// full.
+//
+// # Failure semantics
+//
+// The consumer's connection is an orb.Supervised client with every
+// protocol method marked idempotent: a severed connection mid-pull
+// surfaces as ConnectionDegraded (via Options.Supervisor.OnState, which
+// InstallRemoteDistArray bridges to framework health events exactly like
+// scalar remote ports), redials with backoff, and the interrupted chunk
+// call retries on the healed connection. Provider-side state is
+// soft: plans and epochs are bounded LRU caches, and a consumer that
+// finds its plan or epoch evicted (or the provider restarted) gets a
+// typed "unknown plan"/"unknown epoch" error and transparently
+// re-exchanges — at most wasted work, never wrong data.
+//
+// Experiment E11 (cmd/bench, EXPERIMENTS.md) measures the chunked path
+// against a single-memcpy lower bound; the examples/distviz demo runs the
+// full two-process scenario including an injected sever.
+package collective
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/array"
+	ccoll "repro/internal/cca/collective"
+	"repro/internal/obs"
+	"repro/internal/orb"
+	"repro/internal/transport"
+)
+
+// KeyPrefix is the reserved ORB key namespace for published collective
+// ports: a distributed array named "wave" is served at "collective/wave".
+const KeyPrefix = "collective/"
+
+// Key returns the ORB object key a published name is served under.
+func Key(name string) string { return KeyPrefix + name }
+
+// Wire-visible error prefixes. They cross the ORB as exception strings, so
+// the consumer recognizes them by prefix (IsStale) — the CDR has no typed
+// exceptions, exactly like CORBA minor codes.
+const (
+	stalePlanMsg  = "collective: unknown plan"
+	staleEpochMsg = "collective: unknown epoch"
+)
+
+// IsStale reports whether a pull failed because the provider no longer
+// holds the consumer's plan or epoch (eviction or provider restart). Pull
+// handles this itself by re-exchanging; it is exported for callers driving
+// the protocol manually.
+func IsStale(err error) bool {
+	if err == nil {
+		return false
+	}
+	s := err.Error()
+	return strings.Contains(s, stalePlanMsg) || strings.Contains(s, staleEpochMsg)
+}
+
+// collective.* observability: bytes and chunks moved, plan-exchange
+// latency, and per-pull duration (consumer side); chunks and bytes served
+// (provider side).
+var (
+	cPlanExchanges = obs.NewCounter("collective.plan_exchanges")
+	cPulls         = obs.NewCounter("collective.pulls")
+	cChunks        = obs.NewCounter("collective.chunks_pulled")
+	cBytes         = obs.NewCounter("collective.bytes_pulled")
+	cChunksServed  = obs.NewCounter("collective.chunks_served")
+	cBytesServed   = obs.NewCounter("collective.bytes_served")
+	hExchangeNs    = obs.NewHistogram("collective.plan_exchange_ns")
+	hPullNs        = obs.NewHistogram("collective.pull_ns")
+)
+
+// Options tunes a consumer attachment. The zero value is usable.
+type Options struct {
+	// ChunkBytes is the bulk-frame payload size. Default
+	// 16·transport.CoalesceCutoff (64 KiB): comfortably above the
+	// coalescer's copy/zero-copy boundary, so every chunk frame is
+	// written zero-copy, and small enough that several chunks pipeline
+	// inside the credit window.
+	ChunkBytes int
+	// WindowBytes bounds the chunk bytes in flight per connection — the
+	// credit window. Default transport.MaxFlushWindow ·
+	// transport.CoalesceCutoff (256 KiB), the volume the coalescer's
+	// adaptive flush window is itself sized to batch.
+	WindowBytes int
+	// Supervisor tunes the underlying self-healing client. Idempotent
+	// defaults to orb.AllIdempotent — every protocol method is a read or
+	// an idempotent re-registration, so chunk pulls retry transparently
+	// across redials. OnState observes connection health transitions.
+	Supervisor orb.SupervisorOptions
+}
+
+func (o Options) withDefaults() Options {
+	if o.ChunkBytes <= 0 {
+		o.ChunkBytes = 16 * transport.CoalesceCutoff
+	}
+	o.ChunkBytes = o.ChunkBytes &^ 7 // whole float64s
+	if o.ChunkBytes < 8 {
+		o.ChunkBytes = 8
+	}
+	if o.WindowBytes <= 0 {
+		o.WindowBytes = transport.MaxFlushWindow * transport.CoalesceCutoff
+	}
+	if o.Supervisor.Idempotent == nil {
+		o.Supervisor.Idempotent = orb.AllIdempotent
+	}
+	return o
+}
+
+// encodeRuns flattens a map's canonical runs for the wire: stride-4 int32
+// tuples (globalLo, globalHi, rank, localOffset). Distributions beyond
+// 2³¹ elements would need a wider encoding; the CDR's int32 slice keeps
+// the descriptor compact for every realistic map.
+func encodeRuns(m array.DataMap) []int32 {
+	runs := m.Runs()
+	flat := make([]int32, 0, 4*len(runs))
+	for _, r := range runs {
+		flat = append(flat, int32(r.Global.Lo), int32(r.Global.Hi), int32(r.Rank), int32(r.Local))
+	}
+	return flat
+}
+
+// decodeRuns reconstructs and validates a map from its wire form.
+func decodeRuns(n int, flat []int32) (*array.IrregularMap, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("collective: negative global length %d", n)
+	}
+	if len(flat)%4 != 0 {
+		return nil, fmt.Errorf("collective: run list length %d is not a multiple of 4", len(flat))
+	}
+	runs := make([]array.Run, len(flat)/4)
+	for i := range runs {
+		runs[i] = array.Run{
+			Global: array.IndexRange{Lo: int(flat[4*i]), Hi: int(flat[4*i+1])},
+			Rank:   int(flat[4*i+2]),
+			Local:  int(flat[4*i+3]),
+		}
+	}
+	return array.NewRunsMap(n, runs)
+}
+
+// sideOf rebases a validated map into the synthetic cross-process world at
+// base (see ccoll.Side.Rebased).
+func sideOf(m array.DataMap, base int) ccoll.Side {
+	return ccoll.Side{Map: m}.Rebased(base)
+}

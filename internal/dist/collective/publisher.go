@@ -1,0 +1,345 @@
+package collective
+
+import (
+	"fmt"
+	"sync"
+
+	ccoll "repro/internal/cca/collective"
+	"repro/internal/orb"
+)
+
+// Provider-side cache bounds. Plans and epochs are soft state: a consumer
+// whose entry was evicted re-exchanges (IsStale), so these caps only bound
+// memory against vanished consumers, never correctness.
+const (
+	maxPlans         = 8
+	maxEpochsPerPlan = 4
+)
+
+// provPlan is one consumer's exchanged redistribution plan plus its live
+// epoch snapshots.
+type provPlan struct {
+	plan *ccoll.Plan
+
+	nextEpoch int64
+	// epochs holds per-provider-rank data snapshots (nil for ranks the
+	// plan never reads), keyed by epoch ID; epochOrder is LRU, oldest
+	// first.
+	epochs     map[int64][][]float64
+	epochOrder []int64
+}
+
+// Publisher serves a cohort of DistArrayPorts as a dynamic servant on the
+// reserved key Key(name): the provider half of a cross-process collective
+// connection. One Publisher represents the whole M-rank cohort — ports[i]
+// is cohort rank i — mirroring how an SPMD component's port is logically
+// one port exposed by every rank (§6.3).
+//
+// All servant methods are driven by remote consumers; Publisher itself is
+// safe for concurrent dispatch.
+type Publisher struct {
+	name  string
+	oa    *orb.ObjectAdapter
+	ports []ccoll.DistArrayPort
+	side  ccoll.Side // provider side rebased to world ranks 0..M−1
+	wire  []int32    // side's canonical runs, wire form
+
+	mu        sync.Mutex
+	closed    bool
+	nextPlan  int64
+	plans     map[int64]*provPlan
+	planOrder []int64 // LRU, oldest first
+}
+
+// Publish validates the cohort and registers it on oa under Key(name).
+// Every port must describe the same distribution (same map, ports[i]
+// serving cohort rank i); inconsistent sides — the paper's port-information
+// consistency hazard for parallel components — are rejected here rather
+// than surfacing as silent data corruption at the first pull.
+func Publish(oa *orb.ObjectAdapter, name string, ports []ccoll.DistArrayPort) (*Publisher, error) {
+	if len(ports) == 0 {
+		return nil, fmt.Errorf("collective: publish %q with empty cohort", name)
+	}
+	m := ports[0].Side().Map
+	if m == nil {
+		return nil, fmt.Errorf("collective: publish %q with unbound map", name)
+	}
+	if m.Ranks() != len(ports) {
+		return nil, fmt.Errorf("collective: publish %q: map has %d ranks, cohort has %d ports",
+			name, m.Ranks(), len(ports))
+	}
+	wire := encodeRuns(m)
+	for i := 1; i < len(ports); i++ {
+		mi := ports[i].Side().Map
+		if mi == nil || mi.GlobalLen() != m.GlobalLen() || !int32sEqual(encodeRuns(mi), wire) {
+			return nil, fmt.Errorf("collective: publish %q: rank %d describes a different distribution", name, i)
+		}
+	}
+	p := &Publisher{
+		name:  name,
+		oa:    oa,
+		ports: ports,
+		side:  sideOf(m, 0),
+		wire:  wire,
+		plans: make(map[int64]*provPlan),
+	}
+	oa.RegisterDynamic(Key(name), p.handle)
+	return p, nil
+}
+
+func int32sEqual(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Ranks returns the provider cohort size M.
+func (p *Publisher) Ranks() int { return len(p.ports) }
+
+// Close unregisters the servant and drops all plan/epoch state. In-flight
+// consumers observe stale-plan errors on their next call and re-exchange
+// against whatever replaces this publisher (or fail if nothing does).
+func (p *Publisher) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	p.closed = true
+	p.plans = nil
+	p.planOrder = nil
+	p.oa.Unregister(Key(p.name))
+}
+
+// handle is the dynamic servant: the DSI-style dispatch target for every
+// protocol method on Key(name). reply is nil only for the oneway "end".
+func (p *Publisher) handle(method string, args []any, reply *orb.Encoder) error {
+	switch method {
+	case "describe":
+		return p.describe(args, reply)
+	case "exchange":
+		return p.exchange(args, reply)
+	case "begin":
+		return p.begin(args, reply)
+	case "chunk":
+		return p.chunk(args, reply)
+	case "end":
+		return p.end(args)
+	default:
+		return fmt.Errorf("collective: %q has no method %q", p.name, method)
+	}
+}
+
+// describe() → (int32 globalLen, []int32 providerRuns). Read-only probe for
+// tools that want the provider's distribution without committing to a plan.
+func (p *Publisher) describe(args []any, reply *orb.Encoder) error {
+	if len(args) != 0 {
+		return fmt.Errorf("collective: describe takes no arguments, got %d", len(args))
+	}
+	reply.Encode(int32(p.side.Map.GlobalLen())) //nolint:errcheck
+	reply.Encode(p.wire)                        //nolint:errcheck
+	return nil
+}
+
+// exchange(int32 globalLen, []int32 consumerRuns) →
+// (int64 planID, int32 globalLen, []int32 providerRuns).
+//
+// The consumer sends its distribution; the provider validates it, builds
+// the M→N plan (provider world ranks 0..M−1, consumer M..M+N−1), caches it
+// under a fresh ID, and answers with its own distribution so the consumer
+// can build the byte-identical plan locally.
+func (p *Publisher) exchange(args []any, reply *orb.Encoder) error {
+	if len(args) != 2 {
+		return fmt.Errorf("collective: exchange wants (globalLen, runs), got %d args", len(args))
+	}
+	n, ok := args[0].(int32)
+	if !ok {
+		return fmt.Errorf("collective: exchange globalLen is %T, want int32", args[0])
+	}
+	flat, ok := args[1].([]int32)
+	if !ok {
+		return fmt.Errorf("collective: exchange runs are %T, want []int32", args[1])
+	}
+	cm, err := decodeRuns(int(n), flat)
+	if err != nil {
+		return err
+	}
+	plan, err := ccoll.NewPlan(p.side, sideOf(cm, len(p.ports)))
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return fmt.Errorf("%s: publisher %q closed", stalePlanMsg, p.name)
+	}
+	p.nextPlan++
+	id := p.nextPlan
+	p.plans[id] = &provPlan{plan: plan, epochs: make(map[int64][][]float64)}
+	p.planOrder = append(p.planOrder, id)
+	for len(p.planOrder) > maxPlans {
+		evict := p.planOrder[0]
+		p.planOrder = p.planOrder[1:]
+		delete(p.plans, evict)
+	}
+	reply.Encode(id)                            //nolint:errcheck
+	reply.Encode(int32(p.side.Map.GlobalLen())) //nolint:errcheck
+	reply.Encode(p.wire)                        //nolint:errcheck
+	return nil
+}
+
+// lookupPlan fetches a live plan and marks it most-recently-used.
+func (p *Publisher) lookupPlan(id int64) (*provPlan, error) {
+	pp := p.plans[id]
+	if pp == nil {
+		return nil, fmt.Errorf("%s %d", stalePlanMsg, id)
+	}
+	for i, v := range p.planOrder {
+		if v == id {
+			p.planOrder = append(append(p.planOrder[:i:i], p.planOrder[i+1:]...), id)
+			break
+		}
+	}
+	return pp, nil
+}
+
+// begin(int64 planID) → (int64 epoch). Snapshots every provider rank's
+// chunk the plan reads, so one pull observes a single consistent timestep
+// even while the simulation keeps mutating its arrays.
+func (p *Publisher) begin(args []any, reply *orb.Encoder) error {
+	if len(args) != 1 {
+		return fmt.Errorf("collective: begin wants (planID), got %d args", len(args))
+	}
+	id, ok := args[0].(int64)
+	if !ok {
+		return fmt.Errorf("collective: begin planID is %T, want int64", args[0])
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	pp, err := p.lookupPlan(id)
+	if err != nil {
+		return err
+	}
+	snap := make([][]float64, len(p.ports))
+	for r := range p.ports {
+		want := pp.plan.SrcLocalLen(r)
+		if want == 0 {
+			continue
+		}
+		// A SnapshotPort hands over retain-forever storage; a plain
+		// DistArrayPort's chunk may be mutated in place by the next
+		// timestep, so it is copied before entering the epoch map.
+		var data []float64
+		if sp, ok := p.ports[r].(ccoll.SnapshotPort); ok {
+			data = sp.Snapshot()
+		} else {
+			data = append([]float64(nil), p.ports[r].LocalData()...)
+		}
+		if len(data) < want {
+			return fmt.Errorf("collective: %q rank %d holds %d elements, map says %d",
+				p.name, r, len(data), want)
+		}
+		snap[r] = data[:want]
+	}
+	pp.nextEpoch++
+	ep := pp.nextEpoch
+	pp.epochs[ep] = snap
+	pp.epochOrder = append(pp.epochOrder, ep)
+	for len(pp.epochOrder) > maxEpochsPerPlan {
+		evict := pp.epochOrder[0]
+		pp.epochOrder = pp.epochOrder[1:]
+		delete(pp.epochs, evict)
+	}
+	reply.Encode(ep) //nolint:errcheck
+	return nil
+}
+
+// chunk(int64 planID, int64 epoch, int32 src, int32 dst, int32 lo,
+// int32 count) → []float64.
+//
+// Serves elements [lo, lo+count) of the (src → dst) pair's packed stream
+// from the epoch snapshot. The payload is packed directly into the reply
+// encoder's grown span (Float64SliceSpan + PackRangeBytes), so serving a
+// chunk is exactly one pass over the data; large chunks then ride the
+// transport's zero-copy writev path unmodified.
+func (p *Publisher) chunk(args []any, reply *orb.Encoder) error {
+	if len(args) != 6 {
+		return fmt.Errorf("collective: chunk wants (planID, epoch, src, dst, lo, count), got %d args", len(args))
+	}
+	id, ok0 := args[0].(int64)
+	ep, ok1 := args[1].(int64)
+	src, ok2 := args[2].(int32)
+	dst, ok3 := args[3].(int32)
+	lo, ok4 := args[4].(int32)
+	count, ok5 := args[5].(int32)
+	if !ok0 || !ok1 || !ok2 || !ok3 || !ok4 || !ok5 {
+		return fmt.Errorf("collective: chunk argument types %T,%T,%T,%T,%T,%T", args[0], args[1], args[2], args[3], args[4], args[5])
+	}
+	p.mu.Lock()
+	pp, err := p.lookupPlan(id)
+	if err != nil {
+		p.mu.Unlock()
+		return err
+	}
+	snap := pp.epochs[ep]
+	if snap == nil {
+		p.mu.Unlock()
+		err := fmt.Errorf("%s %d of plan %d", staleEpochMsg, ep, id)
+		return err
+	}
+	plan := pp.plan
+	p.mu.Unlock()
+	// Snapshot slices are immutable once published into the epoch map, so
+	// packing proceeds outside the lock and chunk calls from a pipelined
+	// consumer serve concurrently.
+	if src < 0 || int(src) >= len(p.ports) {
+		return fmt.Errorf("collective: chunk names provider rank %d of %d", src, len(p.ports))
+	}
+	pair, ok := plan.Pair(int(src), len(p.ports)+int(dst))
+	if !ok {
+		return fmt.Errorf("collective: plan %d moves no data %d→%d", id, src, dst)
+	}
+	if lo < 0 || count < 0 || int(lo)+int(count) > pair.Total() {
+		return fmt.Errorf("collective: chunk [%d,%d) of %d-element stream", lo, int(lo)+int(count), pair.Total())
+	}
+	span := reply.Float64SliceSpan(int(count))
+	if err := pair.PackRangeBytes(snap[src], int(lo), int(lo)+int(count), span); err != nil {
+		return err
+	}
+	cChunksServed.Inc()
+	cBytesServed.Add(uint64(8 * int(count)))
+	return nil
+}
+
+// end(int64 planID, int64 epoch) — oneway. Releases the epoch snapshot
+// promptly; a lost "end" is harmless because epochs are LRU-evicted.
+func (p *Publisher) end(args []any) error {
+	if len(args) != 2 {
+		return fmt.Errorf("collective: end wants (planID, epoch), got %d args", len(args))
+	}
+	id, ok0 := args[0].(int64)
+	ep, ok1 := args[1].(int64)
+	if !ok0 || !ok1 {
+		return fmt.Errorf("collective: end argument types %T,%T", args[0], args[1])
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if pp := p.plans[id]; pp != nil {
+		if _, live := pp.epochs[ep]; live {
+			delete(pp.epochs, ep)
+			for i, v := range pp.epochOrder {
+				if v == ep {
+					pp.epochOrder = append(pp.epochOrder[:i], pp.epochOrder[i+1:]...)
+					break
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,18 +1,3 @@
-// Package dist implements distributed CCA port connections: the paper's
-// §6.1 requirement that "loosely coupled distributed connections should be
-// available through the very same interface as the tightly coupled direct
-// connections, without the components being aware of the connection type."
-//
-// A provides port is exported from its home framework through an ORB object
-// adapter; a remote framework installs a proxy component whose provides
-// port implements the same Go interface but forwards each call through
-// the ORB client. Because the proxy satisfies the identical port interface,
-// the using component cannot tell a remote connection from a direct one —
-// only the latency differs (measured in experiment E2).
-//
-// Generic forwarding uses SIDL reflection metadata (method names and
-// CDR-encodable arguments); for the ESI interfaces, typed adapters are
-// provided so solver components work unmodified against remote operators.
 package dist
 
 import (
@@ -306,9 +291,12 @@ func InstallRemoteOperator(fw *framework.Framework, instance string, tr transpor
 	return rp, nil
 }
 
-// healthFor maps supervised connection states onto the configuration API's
-// connection health values.
-func healthFor(s orb.ConnState) cca.Health {
+// HealthFor maps supervised connection states onto the configuration API's
+// connection health values. Remote-port installers — both the scalar ones
+// here and the collective one in repro/internal/dist/collective — use it to
+// bridge orb.SupervisorOptions.OnState transitions to framework health
+// events, so every remote flavor reports link health identically.
+func HealthFor(s orb.ConnState) cca.Health {
 	switch s {
 	case orb.StateDegraded:
 		return cca.HealthDegraded
@@ -332,7 +320,7 @@ func InstallSupervisedRemoteOperator(fw *framework.Framework, instance string, t
 	// SetPortHealth on a not-yet-installed component is a harmless error.
 	if opts.OnState == nil {
 		opts.OnState = func(s orb.ConnState, cause error) {
-			_ = fw.SetPortHealth(instance, "A", healthFor(s), cause)
+			_ = fw.SetPortHealth(instance, "A", HealthFor(s), cause)
 		}
 	}
 	rp, err := DialSupervised(tr, addr, key, portType, opts)

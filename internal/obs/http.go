@@ -11,11 +11,11 @@ import (
 // flat JSON object, GET-only, no auth — bind it to loopback) over the
 // Default registry and Tracer.
 type httpView struct {
-	Counters   map[string]uint64        `json:"counters"`
-	Gauges     map[string]int64         `json:"gauges"`
-	Histograms map[string]histView      `json:"histograms"`
-	Tracing    traceView                `json:"tracing"`
-	Spans      []Span                   `json:"spans,omitempty"`
+	Counters   map[string]uint64   `json:"counters"`
+	Gauges     map[string]int64    `json:"gauges"`
+	Histograms map[string]histView `json:"histograms"`
+	Tracing    traceView           `json:"tracing"`
+	Spans      []Span              `json:"spans,omitempty"`
 }
 
 // histView flattens a HistSnapshot into the numbers a human wants first.

@@ -1,18 +1,3 @@
-// Package obs is the reproduction's zero-dependency observability
-// substrate: lock-free counters, gauges, and fixed-bucket latency
-// histograms, plus a ring-buffer trace recorder (trace.go) and an
-// expvar-style HTTP endpoint (http.go).
-//
-// The design constraint is the paper's claim C1: instrumentation rides on
-// hot paths that are themselves benchmarked against "no more than a direct
-// function call", so every record operation must stay in the
-// few-nanosecond range and must never take a lock. Counters are sharded
-// across padded cells so parallel hot paths (GetPort under
-// BenchmarkE6_GetPortParallel, concurrent ORB callers) do not bounce one
-// cache line; histograms index by the value's bit length, turning bucket
-// selection into a single instruction; and the whole metrics layer sits
-// behind one atomic gate so a run can measure its own overhead
-// (cmd/bench experiment E10 does exactly that).
 package obs
 
 import (

@@ -167,6 +167,17 @@ func (e *Encoder) Encode(v any) error {
 	return nil
 }
 
+// Float64SliceSpan appends an n-element float64-slice value and returns the
+// 8n-byte span backing its elements, for the caller to fill with
+// little-endian float64 bits. Bulk producers (the collective chunk servant)
+// use it to pack array data straight into the wire buffer instead of
+// building a []float64 only for Encode to copy it.
+func (e *Encoder) Float64SliceSpan(n int) []byte {
+	e.buf = append(e.buf, tagFloat64Slice)
+	e.u32(uint32(n))
+	return e.grow(8 * n)
+}
+
 // Decoder reads values back from a CDR stream.
 type Decoder struct {
 	buf []byte
@@ -285,6 +296,30 @@ func (d *Decoder) DecodeString() (string, error) {
 		return "", fmt.Errorf("%w: expected string, got %T", ErrDecode, v)
 	}
 	return s, nil
+}
+
+// RawFloat64s reads a float64-slice value and returns its undecoded
+// payload: 8 little-endian bytes per element, aliasing the decoder's
+// buffer (valid only while the backing frame is held). Bulk consumers
+// scatter straight from this view into their destination storage, merging
+// the decode copy and the unpack copy into one pass.
+func (d *Decoder) RawFloat64s() ([]byte, error) {
+	tb, err := d.take(1)
+	if err != nil {
+		return nil, err
+	}
+	if tb[0] != tagFloat64Slice {
+		return nil, fmt.Errorf("%w: expected float64 slice, got tag %d", ErrDecode, tb[0])
+	}
+	n, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	m, err := d.elems(n, 8)
+	if err != nil {
+		return nil, err
+	}
+	return d.take(8 * m)
 }
 
 // Decode reads the next tagged value.

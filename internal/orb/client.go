@@ -197,6 +197,18 @@ func (c *Client) invokeTraced(ctx context.Context, trace uint64, metered bool, k
 // invoke is the uninstrumented call path; trace is stamped into the frame
 // header (0 = untraced).
 func (c *Client) invoke(ctx context.Context, trace uint64, key, method string, args []any) ([]any, error) {
+	frame, err := c.callFrame(ctx, trace, key, method, args)
+	if err != nil {
+		return nil, err
+	}
+	out, derr := decodeReply(frame[frameHeader:])
+	transport.ReleaseFrame(frame) // decodeReply copied every value
+	return out, derr
+}
+
+// callFrame performs one round trip and returns the raw reply frame, header
+// still attached; the caller must release it with transport.ReleaseFrame.
+func (c *Client) callFrame(ctx context.Context, trace uint64, key, method string, args []any) ([]byte, error) {
 	id := c.nextID.Add(1)
 	req, err := encodeRequest(id, trace, key, method, args)
 	if err != nil {
@@ -230,22 +242,12 @@ func (c *Client) invoke(ctx context.Context, trace uint64, key, method string, a
 		// the two-case select machinery.
 		r := <-ch
 		replyChanPool.Put(ch)
-		if r.err != nil {
-			return nil, r.err
-		}
-		out, derr := decodeReply(r.frame[frameHeader:])
-		transport.ReleaseFrame(r.frame) // decodeReply copied every value
-		return out, derr
+		return r.frame, r.err
 	}
 	select {
 	case r := <-ch:
 		replyChanPool.Put(ch)
-		if r.err != nil {
-			return nil, r.err
-		}
-		out, derr := decodeReply(r.frame[frameHeader:])
-		transport.ReleaseFrame(r.frame) // decodeReply copied every value
-		return out, derr
+		return r.frame, r.err
 	case <-ctx.Done():
 		if !c.forget(id) {
 			// The completion raced the cancellation and is guaranteed to
@@ -294,6 +296,73 @@ func (c *Client) InvokeOneway(key, method string, args ...any) error {
 		obs.Tracer.Record(span)
 	}
 	return err
+}
+
+// RawReply is a successful reply left undecoded: Results is the
+// CDR-encoded results portion of the reply body, aliasing a pooled
+// transport frame. The caller parses it with NewDecoder (RawFloat64s for
+// bulk array payloads reads without copying) and must call Release when
+// done; Results is invalid afterwards.
+type RawReply struct {
+	frame   []byte
+	Results []byte
+}
+
+// Release returns the backing frame to the transport pool.
+func (r RawReply) Release() {
+	if r.frame != nil {
+		transport.ReleaseFrame(r.frame)
+	}
+}
+
+// InvokeRaw is InvokeRawContext with a background context.
+func (c *Client) InvokeRaw(key, method string, args ...any) (RawReply, error) {
+	return c.InvokeRawContext(context.Background(), key, method, args...)
+}
+
+// InvokeRawContext performs a remote call but hands back the reply's
+// results undecoded — the bulk-transfer path: a chunk of a distributed
+// array crosses from the reply frame to its destination storage in one
+// copy (Decoder.RawFloat64s + caller's scatter) instead of two. Remote
+// exceptions still surface as ErrRemote.
+//
+// RED metrics are maintained as for InvokeContext; an active trace ID is
+// stamped into the request (so the server's dispatch span joins the trace)
+// but no client-call span is recorded — bulk streams would flood the span
+// ring.
+func (c *Client) InvokeRawContext(ctx context.Context, key, method string, args ...any) (RawReply, error) {
+	var red *methodRED
+	var t0 int64
+	sampled := false
+	if obs.MetricsEnabled() {
+		red = clientRED(method)
+		red.calls.Inc()
+		gClientInflight.Add(1)
+		if sampled = red.sampleDur(); sampled {
+			t0 = obs.Mono()
+		}
+	}
+	var rr RawReply
+	frame, err := c.callFrame(ctx, obs.ActiveTraceID(), key, method, args)
+	if err == nil {
+		results, rerr := replyResults(frame[frameHeader:])
+		if rerr != nil {
+			transport.ReleaseFrame(frame)
+			err = rerr
+		} else {
+			rr = RawReply{frame: frame, Results: results}
+		}
+	}
+	if red != nil {
+		if sampled {
+			red.dur.Observe(durNS(obs.Mono() - t0))
+		}
+		gClientInflight.Add(-1)
+		if err != nil {
+			red.errs[Classify(err)].Inc()
+		}
+	}
+	return rr, err
 }
 
 // Proxy returns a remote object reference.

@@ -20,11 +20,26 @@ var (
 
 // Servant is an exported object: an implementation bound to its SIDL
 // reflection record so the object adapter can dispatch requests by method
-// name.
+// name, or a dynamic handler that interprets requests itself.
 type Servant struct {
 	Key string
 	Obj *sreflect.Object
+	Dyn DynamicHandler
 }
+
+// DynamicHandler is a CORBA DSI-style servant: it receives the decoded
+// method name and arguments and writes its results directly into the reply
+// encoder, bypassing SIDL reflection metadata and the boxed-results copy.
+// Bulk-transfer protocols (repro/internal/dist/collective) use it to pack
+// array payloads straight into the wire buffer.
+//
+// The handler must not retain args past its return (the slice is pooled).
+// reply is nil for oneway requests — there is nothing to answer. On a
+// non-nil reply the handler appends results with reply.Encode (or
+// Float64SliceSpan for bulk payloads); if it returns a non-nil error the
+// partially written results are discarded and an error reply is sent
+// instead. Handlers must be safe for concurrent calls.
+type DynamicHandler func(method string, args []any, reply *Encoder) error
 
 // ObjectAdapter is the CORBA-style basic object adapter: it owns the
 // servant registry and dispatches decoded requests by dynamic invocation.
@@ -48,6 +63,17 @@ func (oa *ObjectAdapter) Register(key string, info *sreflect.TypeInfo, impl any)
 	oa.servants[key] = &Servant{Key: key, Obj: obj}
 	oa.mu.Unlock()
 	return nil
+}
+
+// RegisterDynamic exports a dynamic servant under key: requests are handed
+// to h undecoded-by-type (method name plus boxed CDR arguments) and h
+// writes the reply body itself. This is the adapter's hook for reserved
+// protocol keys — the distributed collective port registers its
+// plan-exchange and chunk servant this way.
+func (oa *ObjectAdapter) RegisterDynamic(key string, h DynamicHandler) {
+	oa.mu.Lock()
+	oa.servants[key] = &Servant{Key: key, Dyn: h}
+	oa.mu.Unlock()
 }
 
 // Unregister removes an exported object.
@@ -200,6 +226,22 @@ func (oa *ObjectAdapter) dispatch(body []byte, oneway bool) (_ *Encoder, key, me
 	if err != nil {
 		putArgs(argsp, args)
 		return reply(errReply(err)), key, method, err
+	}
+	if sv.Dyn != nil {
+		if oneway {
+			err := sv.Dyn(method, args, nil)
+			putArgs(argsp, args)
+			return nil, key, method, err
+		}
+		e := newReply()
+		e.Encode(true) //nolint:errcheck // bool always encodes
+		err := sv.Dyn(method, args, e)
+		putArgs(argsp, args)
+		if err != nil {
+			PutEncoder(e)
+			return errReply(err), key, method, err
+		}
+		return e, key, method, nil
 	}
 	results, err := sv.Obj.Call(method, args...)
 	putArgs(argsp, args) // callees do not retain the argument slice

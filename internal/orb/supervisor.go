@@ -153,9 +153,9 @@ type Supervised struct {
 	gen         uint64        // bumped on every adopted connection
 	ready       chan struct{} // closed while cur != nil; replaced on loss
 	state       ConnState
-	consecDials int   // consecutive failed dials (breaker input)
-	redialing   bool  // a redial loop is running
-	closed      bool  // Close called
+	consecDials int  // consecutive failed dials (breaker input)
+	redialing   bool // a redial loop is running
+	closed      bool // Close called
 	rng         *rand.Rand
 
 	stop     chan struct{} // closed by Close
@@ -422,6 +422,40 @@ func (s *Supervised) Invoke(key, method string, args ...any) ([]any, error) {
 // methods fail on the first connection-level error (the server may or may
 // not have executed them — only the caller can decide to resubmit).
 func (s *Supervised) InvokeContext(ctx context.Context, key, method string, args ...any) ([]any, error) {
+	var res []any
+	err := s.supervisedDo(ctx, method, func(ctx context.Context, c *Client) error {
+		var err error
+		res, err = c.InvokeContext(ctx, key, method, args...)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// InvokeRawContext is the supervised bulk-transfer path: it performs
+// Client.InvokeRawContext under exactly the retry, redial, and breaker
+// policy of InvokeContext. The distributed collective port pulls its
+// chunks through this, so a severed cohort connection heals mid-pull.
+func (s *Supervised) InvokeRawContext(ctx context.Context, key, method string, args ...any) (RawReply, error) {
+	var rr RawReply
+	err := s.supervisedDo(ctx, method, func(ctx context.Context, c *Client) error {
+		var err error
+		rr, err = c.InvokeRawContext(ctx, key, method, args...)
+		return err
+	})
+	if err != nil {
+		return RawReply{}, err
+	}
+	return rr, nil
+}
+
+// supervisedDo runs one logical call through the shared retry loop: call
+// performs a single attempt on a live client (results are captured by the
+// caller's closure), and the loop classifies its failures, redials, and
+// retries idempotent-marked methods per SupervisorOptions.
+func (s *Supervised) supervisedDo(ctx context.Context, method string, call func(ctx context.Context, c *Client) error) error {
 	idem := s.opts.Idempotent != nil && s.opts.Idempotent(method)
 	attempts := 1
 	if idem {
@@ -432,14 +466,14 @@ func (s *Supervised) InvokeContext(ctx context.Context, key, method string, args
 		if attempt > 0 {
 			cSupRetries.Inc()
 			if !s.sleepCtx(ctx, s.backoff(attempt-1)) {
-				return nil, classed(ClassTimeout, ctx.Err())
+				return classed(ClassTimeout, ctx.Err())
 			}
 		}
 		c, g, err := s.acquire(ctx, idem)
 		if err != nil {
 			lastErr = err
 			if !idem || Classify(err) != ClassRetryable {
-				return nil, err
+				return err
 			}
 			continue
 		}
@@ -447,20 +481,20 @@ func (s *Supervised) InvokeContext(ctx context.Context, key, method string, args
 		if idem && s.opts.CallTimeout > 0 {
 			callCtx, cancel = context.WithTimeout(ctx, s.opts.CallTimeout)
 		}
-		res, err := c.InvokeContext(callCtx, key, method, args...)
+		err = call(callCtx, c)
 		cancel()
 		if err == nil {
 			s.lastSend.Store(time.Now().UnixNano())
-			return res, nil
+			return nil
 		}
 		switch Classify(err) {
 		case ClassFatal:
 			// Application-level failure: the connection is fine and a
 			// retry would re-raise the same exception.
-			return nil, classed(ClassFatal, err)
+			return classed(ClassFatal, err)
 		case ClassTimeout:
 			if ctx.Err() != nil || !idem {
-				return nil, classed(ClassTimeout, err)
+				return classed(ClassTimeout, err)
 			}
 			// Only the per-attempt CallTimeout expired (likely a dropped
 			// frame); the caller's deadline is intact, so retry. The
@@ -470,11 +504,11 @@ func (s *Supervised) InvokeContext(ctx context.Context, key, method string, args
 			s.dropClient(c, g, err)
 			lastErr = classed(ClassRetryable, err)
 			if !idem {
-				return nil, lastErr
+				return lastErr
 			}
 		}
 	}
-	return nil, lastErr
+	return lastErr
 }
 
 // sleepCtx waits d unless ctx or Close interrupts; reports true when the

@@ -100,6 +100,29 @@ func errReply(err error) *Encoder {
 	return e
 }
 
+// replyResults validates a reply body's leading ok bool and returns the
+// undecoded results portion, aliasing rep. A !ok reply decodes its message
+// string and surfaces it as ErrRemote, exactly like decodeReply.
+func replyResults(rep []byte) ([]byte, error) {
+	d := NewDecoder(rep)
+	okv, err := d.Decode()
+	if err != nil {
+		return nil, err
+	}
+	ok, isBool := okv.(bool)
+	if !isBool {
+		return nil, fmt.Errorf("%w: leading %T", ErrBadReply, okv)
+	}
+	if !ok {
+		msg, err := d.DecodeString()
+		if err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("%w: %s", ErrRemote, msg)
+	}
+	return rep[d.off:], nil
+}
+
 // decodeReply unmarshals a reply body (the frame after its header). Every
 // returned value is copied out of rep: the caller may release the backing
 // frame immediately after.

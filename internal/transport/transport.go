@@ -410,6 +410,18 @@ func (l tcpListener) Addr() string { return l.nl.Addr().String() }
 // copy would cost more than the extra iovec saves.
 const coalesceCutoff = 4 << 10
 
+// CoalesceCutoff exports the coalescer's copy/zero-copy boundary: frames
+// strictly larger than this ride the zero-copy writev path. Bulk-transfer
+// layers (repro/internal/dist/collective) size their chunks above it so
+// every chunk frame is written without a coalescing copy.
+const CoalesceCutoff = coalesceCutoff
+
+// MaxFlushWindow exports the adaptive flush window's frame cap. Bulk
+// layers derive their credit-based in-flight window from it
+// (MaxFlushWindow × CoalesceCutoff bytes by default), keeping the amount
+// of data in flight consistent with what the coalescer is sized to batch.
+const MaxFlushWindow = maxFlushWindow
+
 // recvBufSize sizes the buffered reader: big enough that a whole flush
 // window of small frames (header + payload) arrives in one read syscall.
 const recvBufSize = 64 << 10
