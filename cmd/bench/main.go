@@ -19,11 +19,13 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"testing"
 	"time"
 
 	"repro/internal/array"
@@ -95,8 +97,12 @@ func writeJSON(path string) error {
 }
 
 func main() {
-	runList := flag.String("run", "", "comma-separated experiment ids (e1..e11, e7b); empty = all")
+	runList := flag.String("run", "", "comma-separated experiment ids (e1..e12, e7b); empty = all")
+	testing.Init() // registers test.* flags; measureAllocs runs testing.Benchmark
 	flag.Parse()
+	// Point the stdlib benchmark harness at the same time budget the
+	// hand-rolled measurement loops use.
+	check(flag.Set("test.benchtime", budget().String()))
 
 	wanted := map[string]bool{}
 	if *runList != "" {
@@ -120,6 +126,7 @@ func main() {
 		{"e9", "E9 — MPI collective scaling", e9},
 		{"e10", "E10 — observability overhead (metrics + tracing vs dark)", e10},
 		{"e11", "E11 — §6.3 cross-process collective pull over the ORB", e11},
+		{"e12", "E12 — same-host transport matrix (inproc/shm/tcp) + SIMD kernels", e12},
 	}
 	for _, exp := range all {
 		if len(wanted) > 0 && !wanted[exp.id] {
@@ -153,35 +160,24 @@ func measure(f func()) float64 {
 	return ns
 }
 
-// measureAllocs is measure plus a heap-allocation count per op, taken from
-// the runtime Mallocs counter across the final timing round.
+// measureAllocs is measure plus a heap-allocation count per op. It runs f
+// under the stdlib benchmark harness (testing.Benchmark honors the
+// test.benchtime value main derives from the budget), so allocs/op comes
+// from BenchmarkResult.AllocsPerOp — an integer, computed the same way
+// `go test -benchmem` computes it. Earlier versions divided raw MemStats
+// deltas by the iteration count, which leaked fractional artifacts like
+// 2.0003 into the -json output whenever a background goroutine allocated
+// during the timing window.
 func measureAllocs(f func()) (nsPerOp, allocsPerOp float64) {
-	// Warm up.
-	f()
-	n := 1
-	var m0, m1 runtime.MemStats
-	for {
-		runtime.ReadMemStats(&m0)
-		start := time.Now()
-		for i := 0; i < n; i++ {
+	f() // warm up outside the timed region
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
 			f()
 		}
-		el := time.Since(start)
-		if el >= budget() {
-			runtime.ReadMemStats(&m1)
-			return float64(el.Nanoseconds()) / float64(n),
-				float64(m1.Mallocs-m0.Mallocs) / float64(n)
-		}
-		if el <= 0 {
-			n *= 1000
-			continue
-		}
-		scale := float64(budget()) / float64(el) * 1.3
-		if scale < 2 {
-			scale = 2
-		}
-		n = int(float64(n) * scale)
-	}
+	})
+	ns := float64(r.T.Nanoseconds()) / float64(r.N)
+	return ns, float64(r.AllocsPerOp())
 }
 
 // measureConcurrent times callers goroutines running f concurrently until
@@ -211,8 +207,11 @@ func measureConcurrent(callers int, f func()) (nsPerOp, allocsPerOp float64) {
 		total := callers * per
 		if el >= budget() {
 			runtime.ReadMemStats(&m1)
+			// Report whole allocations per op, matching measureAllocs:
+			// the Mallocs delta includes stray background allocations, and
+			// a fractional count is measurement noise, not a result.
 			return float64(el.Nanoseconds()) / float64(total),
-				float64(m1.Mallocs-m0.Mallocs) / float64(total)
+				math.Floor(float64(m1.Mallocs-m0.Mallocs)/float64(total) + 0.5)
 		}
 		if el <= 0 {
 			per *= 1000
@@ -358,6 +357,11 @@ func (e2Sum) Sum(xs []float64) float64 {
 	}
 	return s
 }
+
+// BindSkeleton gives the ORB a direct func binding (Babel-skeleton
+// style), keeping reflect method values — and their per-call receiver
+// allocation — out of the measured dispatch path.
+func (s e2Sum) BindSkeleton(bind func(string, any)) { bind("sum", s.Sum) }
 
 func e2() {
 	f, err := sidl.Parse(`package bench { interface Sum { double sum(in array<double,1> xs); } }`)

@@ -5,8 +5,9 @@
 //
 // The parent process is the "simulation": an M-rank cohort holding a
 // block-distributed wave field that it keeps evolving. It publishes the
-// cohort's DistArray ports over TCP and re-executes itself as the "viz"
-// child process. The child attaches with a different distribution (a
+// cohort's DistArray ports over TCP loopback (or, with -transport shm,
+// over the same-host shared-memory rings) and re-executes itself as the
+// "viz" child process. The child attaches with a different distribution (a
 // cyclic map over N ranks), installs the attachment into a local framework
 // as an ordinary provides port, and pulls frames through it — each frame
 // an epoch-consistent snapshot redistributed as chunked bulk frames.
@@ -19,7 +20,7 @@
 //
 // Run:
 //
-//	go run ./examples/distviz [-m 2] [-n 3] [-len 40000] [-frames 4]
+//	go run ./examples/distviz [-m 2] [-n 3] [-len 40000] [-frames 4] [-transport tcp|shm]
 package main
 
 import (
@@ -29,6 +30,7 @@ import (
 	"math"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"strconv"
 	"sync"
 	"time"
@@ -51,13 +53,33 @@ func main() {
 		sever  = flag.Int("sever", 25, "sever viz connection after this many frames sent (0 = never)")
 		viz    = flag.Bool("viz", false, "run as the viz child process")
 		addr   = flag.String("addr", "", "simulation address (viz mode)")
+		trName = flag.String("transport", "tcp", "cross-process transport: tcp or shm")
 	)
 	flag.Parse()
+	if *trName != "tcp" && *trName != "shm" {
+		log.Fatalf("unknown -transport %q (want tcp or shm)", *trName)
+	}
 	if *viz {
-		runViz(*addr, *n, *gl, *frames, *sever)
+		runViz(*trName, *addr, *n, *gl, *frames, *sever)
 		return
 	}
-	runSim(*m, *n, *gl, *frames, *sever)
+	runSim(*trName, *m, *n, *gl, *frames, *sever)
+}
+
+// pickTransport maps the -transport flag to a backend and a listen
+// address: a kernel-assigned loopback port for tcp, a fresh directory
+// for the shared-memory rings. Since sim and viz really are separate OS
+// processes here, -transport shm exercises the cross-process mmap path,
+// not an in-process shortcut.
+func pickTransport(name string) (transport.Transport, string) {
+	if name == "shm" {
+		dir, err := os.MkdirTemp("", "distviz-shm-")
+		if err != nil {
+			log.Fatal(err)
+		}
+		return transport.SHM{}, filepath.Join(dir, "sim")
+	}
+	return transport.TCP{}, "127.0.0.1:0"
 }
 
 // simField is one simulation rank's chunk of the wave field. LocalData
@@ -95,7 +117,7 @@ func step(fields []*simField, m array.DataMap, s int) {
 	}
 }
 
-func runSim(m, n, gl, frames, sever int) {
+func runSim(trName string, m, n, gl, frames, sever int) {
 	dm := array.NewBlockMap(gl, m)
 	mu := &sync.Mutex{}
 	fields := make([]*simField, m)
@@ -107,7 +129,8 @@ func runSim(m, n, gl, frames, sever int) {
 	step(fields, dm, 0)
 
 	oa := orb.NewObjectAdapter()
-	l, err := transport.TCP{}.Listen("127.0.0.1:0")
+	tr, listenAddr := pickTransport(trName)
+	l, err := tr.Listen(listenAddr)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -143,6 +166,7 @@ func runSim(m, n, gl, frames, sever int) {
 	}
 	child := exec.Command(exe, "-viz",
 		"-addr", srv.Addr(),
+		"-transport", trName,
 		"-n", strconv.Itoa(n),
 		"-len", strconv.Itoa(gl),
 		"-frames", strconv.Itoa(frames),
@@ -157,7 +181,7 @@ func runSim(m, n, gl, frames, sever int) {
 	fmt.Println("sim: viz exited cleanly")
 }
 
-func runViz(addr string, n, gl, frames, sever int) {
+func runViz(trName, addr string, n, gl, frames, sever int) {
 	if addr == "" {
 		log.Fatal("viz: -addr required")
 	}
@@ -166,8 +190,14 @@ func runViz(addr string, n, gl, frames, sever int) {
 	// The injected fault: the viz's dialed connections sever after a fixed
 	// number of frames. On the first degraded event the fault plan is
 	// cleared, so the supervised redial heals for good — one clean
-	// degraded→restored cycle mid-run.
-	faulty := transport.NewFaulty(transport.TCP{}, transport.Faults{SeverAfterSends: sever})
+	// degraded→restored cycle mid-run. Faulty wraps whichever backend was
+	// picked, so the heal cycle runs over shm rings just as it does over
+	// sockets.
+	var inner transport.Transport = transport.TCP{}
+	if trName == "shm" {
+		inner = transport.SHM{}
+	}
+	faulty := transport.NewFaulty(inner, transport.Faults{SeverAfterSends: sever})
 	var clearOnce sync.Once
 
 	fw := framework.New(framework.Options{Flavor: cca.FlavorInProcess | cca.FlavorDistributed})

@@ -1,24 +1,12 @@
 package collective
 
 import (
-	"encoding/binary"
 	"fmt"
-	"math"
 	"sort"
-	"unsafe"
 
 	"repro/internal/par"
+	"repro/internal/simd"
 )
-
-// hostLittleEndian reports whether the host's float64 memory layout already
-// matches the wire's little-endian byte order. When it does, pack and
-// unpack degrade from per-element bit conversion to straight copies — on
-// the dominant platforms the byte loops below are the slow path kept for
-// big-endian correctness.
-var hostLittleEndian = func() bool {
-	var x uint16 = 1
-	return *(*byte)(unsafe.Pointer(&x)) == 1
-}()
 
 // This file is the scheduler's cross-process face: the accessors and
 // byte-oriented pack/unpack the distributed collective port
@@ -131,13 +119,7 @@ func (s PairStream) PackRangeBytes(local []float64, lo, hi int, dst []byte) erro
 		}
 		src := local[r.srcLocal+(pLo-ps.offs[i]):]
 		out := dst[8*(pLo-lo):]
-		if hostLittleEndian {
-			copy(out[:8*n], unsafe.Slice((*byte)(unsafe.Pointer(&src[0])), 8*n))
-			return
-		}
-		for k := 0; k < n; k++ {
-			binary.LittleEndian.PutUint64(out[8*k:], math.Float64bits(src[k]))
-		}
+		simd.PackF64LE(out[:8*n], src[:n])
 	})
 	return nil
 }
@@ -171,13 +153,7 @@ func (s PairStream) UnpackBytes(raw []byte, lo int, out []float64) error {
 		}
 		dst := out[r.dstLocal+(pLo-ps.offs[i]):]
 		src := raw[8*(pLo-lo):]
-		if hostLittleEndian {
-			copy(unsafe.Slice((*byte)(unsafe.Pointer(&dst[0])), 8*n), src[:8*n])
-			return
-		}
-		for k := 0; k < n; k++ {
-			dst[k] = math.Float64frombits(binary.LittleEndian.Uint64(src[8*k:]))
-		}
+		simd.UnpackF64LE(dst[:n], src[:8*n])
 	})
 	return nil
 }

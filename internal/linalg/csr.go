@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/par"
+	"repro/internal/simd"
 )
 
 // CSR is a sparse matrix in compressed-sparse-row form — the storage format
@@ -72,19 +73,18 @@ const SpMVGrain = 1024
 // Apply implements Operator: y = A x. Rows are partitioned into contiguous
 // chunks executed on the shared worker pool — the row decomposition of
 // Figure 1's parallel discretization component, applied inside one address
-// space. Each output row is written by exactly one chunk, so the result is
-// bitwise identical to the serial sweep.
+// space. Each output row is written by exactly one chunk through the same
+// simd.SpMVRow kernel, so the result is bitwise identical regardless of
+// chunking, worker count, or kernel backend (the AVX2 gather kernel and
+// its scalar fallback agree to the bit).
 func (m *CSR) Apply(x, y []float64) error {
 	if len(x) != m.NCols || len(y) != m.NRows {
 		return fmt.Errorf("%w: apply %dx%d to x[%d], y[%d]", ErrDim, m.NRows, m.NCols, len(x), len(y))
 	}
 	par.For(m.NRows, SpMVGrain, func(lo, hi int) {
 		for r := lo; r < hi; r++ {
-			var s float64
-			for k := m.RowPtr[r]; k < m.RowPtr[r+1]; k++ {
-				s += m.Vals[k] * x[m.Cols[k]]
-			}
-			y[r] = s
+			klo, khi := m.RowPtr[r], m.RowPtr[r+1]
+			y[r] = simd.SpMVRow(m.Vals[klo:khi], m.Cols[klo:khi], x)
 		}
 	})
 	return nil

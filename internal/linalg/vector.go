@@ -18,6 +18,7 @@ import (
 	"math"
 
 	"repro/internal/par"
+	"repro/internal/simd"
 )
 
 // Errors reported by solvers and matrix constructors.
@@ -51,15 +52,14 @@ func DotSerial(a, b []float64) float64 {
 // DotPar is the parallel inner product: chunked partial sums over the
 // shared worker pool, combined in fixed chunk order, so the result is
 // deterministic run-to-run (it differs from DotSerial only by summation
-// reassociation, O(n·eps)). Below VecGrain it is exactly DotSerial. This is
-// the default inner product installed by Options.fill.
+// reassociation, O(n·eps)). Each chunk runs the simd.Dot kernel — SIMD
+// within a chunk, scalar combine across chunks — so determinism holds on
+// every backend: chunk boundaries depend only on (n, grain), and the
+// kernel is bit-identical with and without AVX2. This is the default
+// inner product installed by Options.fill.
 func DotPar(a, b []float64) float64 {
 	return par.ReduceFloat64(len(a), VecGrain, func(lo, hi int) float64 {
-		var s float64
-		for i := lo; i < hi; i++ {
-			s += a[i] * b[i]
-		}
-		return s
+		return simd.Dot(a[lo:hi], b[lo:hi])
 	})
 }
 

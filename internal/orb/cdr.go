@@ -18,6 +18,9 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/sidl/arena"
+	"repro/internal/simd"
 )
 
 // Codec errors.
@@ -144,10 +147,7 @@ func (e *Encoder) Encode(v any) error {
 	case []float64:
 		e.buf = append(e.buf, tagFloat64Slice)
 		e.u32(uint32(len(x)))
-		b := e.grow(8 * len(x)) // single grow, then straight stores
-		for i, f := range x {
-			binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(f))
-		}
+		simd.PackF64LE(e.grow(8*len(x)), x) // single grow, vectorized stores
 	case []int32:
 		e.buf = append(e.buf, tagInt32Slice)
 		e.u32(uint32(len(x)))
@@ -167,6 +167,22 @@ func (e *Encoder) Encode(v any) error {
 	return nil
 }
 
+// ResultFloat64 implements sreflect.ResultSink: dynamic-invocation
+// results marshal straight into the reply stream, no boxing, no []any.
+func (e *Encoder) ResultFloat64(v float64) {
+	e.buf = append(e.buf, tagFloat64)
+	e.u64(math.Float64bits(v))
+}
+
+// ResultInt32 implements sreflect.ResultSink.
+func (e *Encoder) ResultInt32(v int32) {
+	e.buf = append(e.buf, tagInt32)
+	e.u32(uint32(v))
+}
+
+// ResultString implements sreflect.ResultSink.
+func (e *Encoder) ResultString(s string) { e.EncodeString(s) }
+
 // Float64SliceSpan appends an n-element float64-slice value and returns the
 // 8n-byte span backing its elements, for the caller to fill with
 // little-endian float64 bits. Bulk producers (the collective chunk servant)
@@ -180,12 +196,74 @@ func (e *Encoder) Float64SliceSpan(n int) []byte {
 
 // Decoder reads values back from a CDR stream.
 type Decoder struct {
-	buf []byte
-	off int
+	buf   []byte
+	off   int
+	arena *arena.Arena
 }
 
 // NewDecoder wraps an encoded stream.
 func NewDecoder(b []byte) *Decoder { return &Decoder{buf: b} }
+
+// SetArena attaches (or, with nil, detaches) an arena. While attached,
+// every value Decode returns — slices, strings, and the interface boxes
+// holding scalars — lives in arena storage and is valid only until the
+// arena's next Reset; in exchange, steady-state decoding allocates
+// nothing. Callers that retain decoded values must use a plain decoder.
+func (d *Decoder) SetArena(a *arena.Arena) { d.arena = a }
+
+// f64s returns an m-element result slice: arena-backed when an arena is
+// attached, freshly allocated otherwise.
+func (d *Decoder) f64s(m int) []float64 {
+	if d.arena != nil {
+		return d.arena.Float64s(m)
+	}
+	return make([]float64, m)
+}
+
+// Boxing helpers: with an arena attached the interface conversion itself
+// is allocation-free; without one these are ordinary conversions.
+
+func (d *Decoder) anyOf(s []float64) any {
+	if d.arena != nil {
+		return d.arena.AnyFloat64Slice(s)
+	}
+	return s
+}
+
+func (d *Decoder) anyFloat64(v float64) any {
+	if d.arena != nil {
+		return d.arena.AnyFloat64(v)
+	}
+	return v
+}
+
+func (d *Decoder) anyInt32(v int32) any {
+	if d.arena != nil {
+		return d.arena.AnyInt32(v)
+	}
+	return v
+}
+
+func (d *Decoder) anyInt64(v int64) any {
+	if d.arena != nil {
+		return d.arena.AnyInt64(v)
+	}
+	return v
+}
+
+func (d *Decoder) anyInt(v int) any {
+	if d.arena != nil {
+		return d.arena.AnyInt(v)
+	}
+	return v
+}
+
+func (d *Decoder) anyStringBytes(b []byte) any {
+	if d.arena != nil {
+		return d.arena.AnyString(b)
+	}
+	return string(b)
+}
 
 // More reports whether undecoded bytes remain.
 func (d *Decoder) More() bool { return d.off < len(d.buf) }
@@ -339,16 +417,28 @@ func (d *Decoder) Decode() (any, error) {
 		return b[0] != 0, nil
 	case tagInt32:
 		v, err := d.u32()
-		return int32(v), err
+		if err != nil {
+			return nil, err
+		}
+		return d.anyInt32(int32(v)), nil
 	case tagInt64:
 		v, err := d.u64()
-		return int64(v), err
+		if err != nil {
+			return nil, err
+		}
+		return d.anyInt64(int64(v)), nil
 	case tagInt:
 		v, err := d.u64()
-		return int(int64(v)), err
+		if err != nil {
+			return nil, err
+		}
+		return d.anyInt(int(int64(v))), nil
 	case tagFloat64:
 		v, err := d.u64()
-		return math.Float64frombits(v), err
+		if err != nil {
+			return nil, err
+		}
+		return d.anyFloat64(math.Float64frombits(v)), nil
 	case tagComplex128:
 		re, err := d.u64()
 		if err != nil {
@@ -368,7 +458,7 @@ func (d *Decoder) Decode() (any, error) {
 		if err != nil {
 			return nil, err
 		}
-		return string(b), nil
+		return d.anyStringBytes(b), nil
 	case tagBytes:
 		n, err := d.u32()
 		if err != nil {
@@ -377,6 +467,9 @@ func (d *Decoder) Decode() (any, error) {
 		b, err := d.take(int(n))
 		if err != nil {
 			return nil, err
+		}
+		if d.arena != nil {
+			return d.arena.AnyBytes(b), nil
 		}
 		return append([]byte(nil), b...), nil
 	case tagFloat64Slice:
@@ -392,11 +485,9 @@ func (d *Decoder) Decode() (any, error) {
 		if err != nil {
 			return nil, err
 		}
-		out := make([]float64, m)
-		for i := range out {
-			out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
-		}
-		return out, nil
+		out := d.f64s(m)
+		simd.UnpackF64LE(out, b)
+		return d.anyOf(out), nil
 	case tagInt32Slice:
 		n, err := d.u32()
 		if err != nil {
@@ -410,9 +501,17 @@ func (d *Decoder) Decode() (any, error) {
 		if err != nil {
 			return nil, err
 		}
-		out := make([]int32, m)
+		var out []int32
+		if d.arena != nil {
+			out = d.arena.Int32s(m)
+		} else {
+			out = make([]int32, m)
+		}
 		for i := range out {
 			out[i] = int32(binary.LittleEndian.Uint32(b[4*i:]))
+		}
+		if d.arena != nil {
+			return d.arena.AnyInt32Slice(out), nil
 		}
 		return out, nil
 	case tagStringSlice:

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/sidl/arena"
 	"repro/internal/transport"
 )
 
@@ -296,6 +297,45 @@ func (c *Client) InvokeOneway(key, method string, args ...any) error {
 		obs.Tracer.Record(span)
 	}
 	return err
+}
+
+// InvokeArena is the zero-allocation call path: results decode into the
+// caller-supplied arena and append to out (pass a reused buffer,
+// truncated to [:0]). Everything returned — the slice headers, strings,
+// and interface boxes in out — lives in arena storage and is valid only
+// until ar.Reset(); the caller owns the reset cadence, typically once per
+// iteration of its own loop. args is taken as a plain slice, not
+// variadic, so a caller can preassemble and reuse it: at steady state the
+// whole round trip (encode, send, receive, decode) allocates nothing.
+//
+// The path is deliberately uninstrumented (no RED sample, no span): it
+// exists for measured hot loops, and E12 measures it.
+func (c *Client) InvokeArena(ar *arena.Arena, out []any, key, method string, args []any) ([]any, error) {
+	frame, err := c.callFrame(context.Background(), 0, key, method, args)
+	if err != nil {
+		return out, err
+	}
+	d := NewDecoder(frame[frameHeader:])
+	d.SetArena(ar)
+	okv, err := d.Decode()
+	if err == nil {
+		if ok, isBool := okv.(bool); !isBool {
+			err = fmt.Errorf("%w: leading %T", ErrBadReply, okv)
+		} else if !ok {
+			var msg string
+			if msg, err = d.DecodeString(); err == nil {
+				err = fmt.Errorf("%w: %s", ErrRemote, msg)
+			}
+		}
+	}
+	for err == nil && d.More() {
+		var v any
+		if v, err = d.Decode(); err == nil {
+			out = append(out, v)
+		}
+	}
+	transport.ReleaseFrame(frame) // arena decode copied every value
+	return out, err
 }
 
 // RawReply is a successful reply left undecoded: Results is the

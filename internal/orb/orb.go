@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/sidl/arena"
 	"repro/internal/sidl/sreflect"
 )
 
@@ -192,11 +193,31 @@ func (oa *ObjectAdapter) dispatchTraced(body []byte, oneway bool, trace uint64, 
 	return e
 }
 
+// arenaPool recycles per-dispatch decode arenas. One arena serves one
+// dispatch: acquired before argument decode, reset and returned only
+// after the reply body is fully encoded, because decoded arguments (and
+// any results aliasing them, e.g. an echo) live in its slabs.
+var arenaPool = sync.Pool{New: func() any { return new(arena.Arena) }}
+
 // dispatch is the uninstrumented decode → invoke → encode path. It also
 // reports the decoded key/method and the failure (if any) that went into
 // the reply, for dispatchBody's RED metrics and dispatch span.
+//
+// Arguments decode through a pooled arena, and monomorphic servant
+// signatures deliver results straight into the reply encoder via
+// sreflect.CallSink — together with the pooled encoders, frames, and
+// argument slices this makes the steady-state dispatch allocation-free.
+// The arena is what makes the long-documented servant contract
+// load-bearing: args (and their backing arrays and string bytes) are
+// recycled after the call, so servants must not retain them.
 func (oa *ObjectAdapter) dispatch(body []byte, oneway bool) (_ *Encoder, key, method string, _ error) {
 	d := NewDecoder(body)
+	ar := arenaPool.Get().(*arena.Arena)
+	d.SetArena(ar)
+	defer func() {
+		ar.Reset()
+		arenaPool.Put(ar)
+	}()
 	reply := func(e *Encoder) *Encoder {
 		if oneway {
 			PutEncoder(e)
@@ -242,6 +263,20 @@ func (oa *ObjectAdapter) dispatch(body []byte, oneway bool) (_ *Encoder, key, me
 			return errReply(err), key, method, err
 		}
 		return e, key, method, nil
+	}
+	if !oneway {
+		// Fast path: marshal results as the servant produces them.
+		e := newReply()
+		e.Encode(true) //nolint:errcheck // bool always encodes
+		if handled, err := sv.Obj.CallSink(method, args, e); handled {
+			putArgs(argsp, args)
+			if err != nil {
+				PutEncoder(e)
+				return errReply(err), key, method, err
+			}
+			return e, key, method, nil
+		}
+		PutEncoder(e)
 	}
 	results, err := sv.Obj.Call(method, args...)
 	putArgs(argsp, args) // callees do not retain the argument slice

@@ -135,6 +135,14 @@ func (calcImpl) Sum(xs []float64) float64 {
 }
 func (calcImpl) Greet(who string) string { return "hello " + who }
 
+// BindSkeleton provides Babel-style direct bindings so dispatch (and the
+// zero-alloc tests that measure it) skips reflect method values.
+func (c calcImpl) BindSkeleton(bind func(string, any)) {
+	bind("add", c.Add)
+	bind("sum", c.Sum)
+	bind("greet", c.Greet)
+}
+
 func calcInfo(t testing.TB) *sreflect.TypeInfo {
 	t.Helper()
 	f, err := sidl.Parse(calcSIDL)

@@ -1,0 +1,8 @@
+//go:build race
+
+package orb
+
+// raceEnabled gates allocation-count assertions: the race runtime
+// instruments sync primitives with allocating shadow state, so alloc
+// figures under -race measure the detector, not the code.
+const raceEnabled = true

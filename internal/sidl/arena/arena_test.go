@@ -1,0 +1,85 @@
+package arena
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestSlabReuseAcrossReset(t *testing.T) {
+	a := new(Arena)
+	first := a.Float64s(8)
+	for i := range first {
+		first[i] = float64(i)
+	}
+	a.Reset()
+	second := a.Float64s(8)
+	if &first[0] != &second[0] {
+		t.Fatal("reset did not recycle slab storage")
+	}
+	// Distinct requests between resets must not alias.
+	third := a.Float64s(4)
+	second[0] = 1
+	if third[0] == 1 {
+		t.Fatal("sibling slices alias")
+	}
+}
+
+func TestGrowthPreservesEarlierSlices(t *testing.T) {
+	a := new(Arena)
+	early := a.Float64s(4)
+	early[0] = 42
+	// Force repeated slab growth; early must stay intact (growth abandons
+	// the old slab rather than moving it — live efaces keep it alive).
+	for i := 0; i < 64; i++ {
+		s := a.Float64s(1024)
+		s[0] = float64(i)
+	}
+	if early[0] != 42 {
+		t.Fatalf("early slice corrupted: %v", early[0])
+	}
+}
+
+func TestBoxedValuesSurviveGC(t *testing.T) {
+	a := new(Arena)
+	vals := make([]any, 0, 32)
+	for i := 0; i < 32; i++ {
+		vals = append(vals, a.AnyFloat64(float64(i)*1.5))
+	}
+	runtime.GC()
+	for i, v := range vals {
+		if v.(float64) != float64(i)*1.5 {
+			t.Fatalf("boxed value %d corrupted: %v", i, v)
+		}
+	}
+}
+
+func TestAnyZeroAlloc(t *testing.T) {
+	a := new(Arena)
+	// Warm the slabs, then boxing through the arena must not allocate.
+	for i := 0; i < 8; i++ {
+		a.AnyFloat64(1)
+		a.AnyInt32(2)
+		a.AnyInt64(3)
+		a.Reset()
+	}
+	var sink any
+	if n := testing.AllocsPerRun(100, func() {
+		a.Reset()
+		sink = a.AnyFloat64(3.14)
+		sink = a.AnyInt32(7)
+		sink = a.AnyInt64(9)
+	}); n != 0 {
+		t.Fatalf("allocs per run = %v, want 0", n)
+	}
+	_ = sink
+}
+
+func TestStrings(t *testing.T) {
+	a := new(Arena)
+	src := []byte("hello arena")
+	s := a.AnyString(src)
+	src[0] = 'X' // arena string must be a copy, not an alias
+	if s.(string) != "hello arena" {
+		t.Fatalf("string aliases caller bytes: %q", s)
+	}
+}

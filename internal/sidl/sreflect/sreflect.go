@@ -311,6 +311,20 @@ type Object struct {
 	funcs map[string]any
 }
 
+// Skeleton is an optional interface a servant implements to hand the
+// runtime direct func values for its hottest methods — the moral
+// equivalent of Babel's generated IOR skeletons in the CCA toolchain,
+// with reflection as the fallback for everything unbound. BindSkeleton
+// is called once, at NewObject time; each fn must have one of the
+// fastCall signatures and replaces the reflect method value for that
+// SIDL method in both Call and CallSink dispatch. The difference is not
+// just speed: a reflect-made method value allocates a receiver frame on
+// every invocation, so a servant that wants to sit under the ORB's
+// zero-allocation path (Client.InvokeArena) must bind skeletons.
+type Skeleton interface {
+	BindSkeleton(bind func(sidlName string, fn any))
+}
+
 // NewObject validates that impl is invocable for every method of the type
 // (arity-level check) and returns the dynamic handle with every method
 // value pre-resolved.
@@ -327,7 +341,107 @@ func NewObject(info *TypeInfo, impl any) (*Object, error) {
 		meths[m.Name] = mv
 		funcs[m.Name] = mv.Interface()
 	}
+	if sk, ok := impl.(Skeleton); ok {
+		sk.BindSkeleton(func(name string, fn any) {
+			// Only methods that passed validation above may be rebound;
+			// a typo in a skeleton name silently keeping reflect dispatch
+			// would be miserable to debug, so unknown names panic.
+			if _, known := funcs[name]; !known {
+				panic(fmt.Sprintf("sreflect: skeleton binds unknown method %q on %s", name, info.QName))
+			}
+			funcs[name] = fn
+		})
+	}
 	return &Object{Info: info, Impl: impl, meths: meths, funcs: funcs}, nil
+}
+
+// ResultSink receives the results of a dynamic invocation one typed value
+// at a time, so a caller that marshals results (the ORB's reply encoder)
+// can take them without an []any allocation or interface boxing. Methods
+// are named for the result type they accept.
+type ResultSink interface {
+	ResultFloat64(float64)
+	ResultInt32(int32)
+	ResultString(string)
+}
+
+// CallSink invokes a method by SIDL name, delivering results directly to
+// sink. It handles exactly the monomorphic signatures fastCall does —
+// handled reports whether the call ran; when it is false nothing was
+// invoked and the caller should fall back to Call. A handled call with
+// these signatures cannot fail, so err is reserved for future error-
+// returning fast paths.
+func (o *Object) CallSink(method string, args []any, sink ResultSink) (handled bool, err error) {
+	f, ok := o.funcs[method]
+	if !ok {
+		return false, nil
+	}
+	switch fn := f.(type) {
+	case func():
+		if len(args) == 0 {
+			fn()
+			return true, nil
+		}
+	case func() float64:
+		if len(args) == 0 {
+			sink.ResultFloat64(fn())
+			return true, nil
+		}
+	case func(float64) float64:
+		if len(args) == 1 {
+			if a, ok := args[0].(float64); ok {
+				sink.ResultFloat64(fn(a))
+				return true, nil
+			}
+		}
+	case func(float64, float64) float64:
+		if len(args) == 2 {
+			a, ok1 := args[0].(float64)
+			b, ok2 := args[1].(float64)
+			if ok1 && ok2 {
+				sink.ResultFloat64(fn(a, b))
+				return true, nil
+			}
+		}
+	case func([]float64) float64:
+		if len(args) == 1 {
+			if xs, ok := args[0].([]float64); ok {
+				sink.ResultFloat64(fn(xs))
+				return true, nil
+			}
+		}
+	case func([]float64):
+		if len(args) == 1 {
+			if xs, ok := args[0].([]float64); ok {
+				fn(xs)
+				return true, nil
+			}
+		}
+	case func(int32, []float64):
+		if len(args) == 2 {
+			a, ok1 := args[0].(int32)
+			xs, ok2 := args[1].([]float64)
+			if ok1 && ok2 {
+				fn(a, xs)
+				return true, nil
+			}
+		}
+	case func(string) string:
+		if len(args) == 1 {
+			if s, ok := args[0].(string); ok {
+				sink.ResultString(fn(s))
+				return true, nil
+			}
+		}
+	case func(int32) int32:
+		if len(args) == 1 {
+			if a, ok := args[0].(int32); ok {
+				sink.ResultInt32(fn(a))
+				return true, nil
+			}
+		}
+	}
+	return false, nil
 }
 
 // Call invokes a method by SIDL name.

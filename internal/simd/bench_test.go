@@ -1,0 +1,92 @@
+package simd
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Benchmarks at the acceptance size (65536 elements) plus a small and a
+// cache-spilling size. The *Go rows are the honest fallback baseline the
+// ≥1.5× claim in EXPERIMENTS.md E12 is measured against.
+
+func benchVecs(n int) ([]float64, []float64) {
+	r := rand.New(rand.NewSource(7))
+	return randSlice(r, n), randSlice(r, n)
+}
+
+func benchDot(b *testing.B, n int, f func(x, y []float64) float64) {
+	x, y := benchVecs(n)
+	b.SetBytes(int64(16 * n))
+	b.ResetTimer()
+	var s float64
+	for i := 0; i < b.N; i++ {
+		s = f(x, y)
+	}
+	sinkF64 = s
+}
+
+var sinkF64 float64
+
+func BenchmarkDot1k(b *testing.B)    { benchDot(b, 1024, Dot) }
+func BenchmarkDotGo1k(b *testing.B)  { benchDot(b, 1024, DotGo) }
+func BenchmarkDot64k(b *testing.B)   { benchDot(b, 65536, Dot) }
+func BenchmarkDotGo64k(b *testing.B) { benchDot(b, 65536, DotGo) }
+func BenchmarkDot1M(b *testing.B)    { benchDot(b, 1<<20, Dot) }
+func BenchmarkDotGo1M(b *testing.B)  { benchDot(b, 1<<20, DotGo) }
+
+func benchSpMV(b *testing.B, n int, f func(vals []float64, cols []int, x []float64) float64) {
+	r := rand.New(rand.NewSource(8))
+	vals := randSlice(r, n)
+	x := randSlice(r, n)
+	cols := make([]int, n)
+	for i := range cols {
+		// Banded access pattern: near-diagonal like a stencil matrix row.
+		c := i + r.Intn(9) - 4
+		if c < 0 {
+			c = 0
+		}
+		if c >= n {
+			c = n - 1
+		}
+		cols[i] = c
+	}
+	b.SetBytes(int64(24 * n))
+	b.ResetTimer()
+	var s float64
+	for i := 0; i < b.N; i++ {
+		s = f(vals, cols, x)
+	}
+	sinkF64 = s
+}
+
+func BenchmarkSpMVRow64k(b *testing.B)   { benchSpMV(b, 65536, SpMVRow) }
+func BenchmarkSpMVRowGo64k(b *testing.B) { benchSpMV(b, 65536, SpMVRowGo) }
+
+func benchPack(b *testing.B, n int, f func(dst []byte, src []float64)) {
+	r := rand.New(rand.NewSource(9))
+	src := randSlice(r, n)
+	dst := make([]byte, 8*n)
+	b.SetBytes(int64(8 * n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f(dst, src)
+	}
+}
+
+func BenchmarkPack64k(b *testing.B)   { benchPack(b, 65536, PackF64LE) }
+func BenchmarkPackGo64k(b *testing.B) { benchPack(b, 65536, PackF64LEGo) }
+
+func benchUnpack(b *testing.B, n int, f func(dst []float64, src []byte)) {
+	r := rand.New(rand.NewSource(10))
+	src := make([]byte, 8*n)
+	PackF64LEGo(src, randSlice(r, n))
+	dst := make([]float64, n)
+	b.SetBytes(int64(8 * n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f(dst, src)
+	}
+}
+
+func BenchmarkUnpack64k(b *testing.B)   { benchUnpack(b, 65536, UnpackF64LE) }
+func BenchmarkUnpackGo64k(b *testing.B) { benchUnpack(b, 65536, UnpackF64LEGo) }

@@ -1,0 +1,32 @@
+//go:build amd64 && !noasm
+
+package simd
+
+// cpuid executes CPUID with the given leaf/subleaf.
+func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads XCR0 (extended control register 0).
+func xgetbv() (eax, edx uint32)
+
+// hasAVX2 checks, in order: the CPU reports OSXSAVE and AVX (CPUID.1
+// ECX bits 27/28), the OS saves XMM and YMM state across context
+// switches (XCR0 bits 1-2), and the CPU reports AVX2 (CPUID.7.0 EBX
+// bit 5). All three are required before a single VEX.256 instruction may
+// execute.
+func hasAVX2() bool {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, c, _ := cpuid(1, 0)
+	const osxsaveAVX = 1<<27 | 1<<28
+	if c&osxsaveAVX != osxsaveAVX {
+		return false
+	}
+	xcr0, _ := xgetbv()
+	if xcr0&0x6 != 0x6 { // SSE and AVX state enabled
+		return false
+	}
+	_, b, _, _ := cpuid(7, 0)
+	return b&(1<<5) != 0 // AVX2
+}

@@ -1,0 +1,30 @@
+// Package simd holds the hand-vectorized compute kernels behind the
+// numerical hot paths: Dot (vector inner product), SpMVRow (one CSR row of
+// a sparse matrix-vector product), and PackF64LE/UnpackF64LE (the
+// little-endian byte transcoding under PairStream and the CDR float64
+// array codec).
+//
+// Every kernel exists twice:
+//
+//   - a portable pure-Go form (DotGo, SpMVRowGo, ...), always compiled on
+//     every platform, which defines the reference semantics; and
+//   - an AVX2 assembler form (amd64 only), selected at runtime when the
+//     CPU and OS support it.
+//
+// The exported entry points (Dot, SpMVRow, PackF64LE, UnpackF64LE)
+// dispatch between the two. Building with the `noasm` tag — or for any
+// non-amd64 GOARCH — compiles only the Go forms, so the fallback path is
+// a first-class, CI-exercised configuration rather than dead code.
+//
+// Bit-identical results are a hard contract, not an aspiration: callers
+// such as internal/par's deterministic chunk reduction and the
+// linalg equivalence tests assert that a computation yields the same bits
+// regardless of backend. The assembler therefore mirrors the Go kernels'
+// floating-point evaluation order exactly: Dot accumulates into four
+// independent lanes and combines them as (s0+s2)+(s1+s3) — precisely the
+// horizontal reduction VEXTRACTF128/VADDPD/VHADDPD performs — and no FMA
+// contraction is used anywhere (separate multiply and add round twice,
+// like the Go code). The Go forms are written in the same lane order so
+// the two backends agree to the last ulp, which the parity property tests
+// in this package verify on every CI run, with and without `noasm`.
+package simd

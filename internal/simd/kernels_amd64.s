@@ -1,0 +1,161 @@
+//go:build !noasm
+
+#include "textflag.h"
+
+// The three AVX2 kernels. Shared rules, enforced so results match the Go
+// reference kernels in simd_go.go bit-for-bit:
+//
+//   - two ymm accumulators (eight float64 lanes), elements strided by 8;
+//   - reduction order VADDPD(Y0,Y1) -> VEXTRACTF128/VADDPD -> VHADDPD,
+//     i.e. ((a0+a4)+(a2+a6)) + ((a1+a5)+(a3+a7));
+//   - no FMA: separate VMULPD and VADDPD, two roundings per term, exactly
+//     like the Go code;
+//   - scalar tails run sequentially in input order, matching the Go tail
+//     loop.
+//
+// VZEROUPPER before every RET: the surrounding Go code is compiled with
+// SSE encodings, and leaving the upper ymm halves dirty would stall it.
+
+// func dotAVX2(x, y *float64, n int) float64
+TEXT ·dotAVX2(SB), NOSPLIT, $0-32
+	MOVQ x+0(FP), SI
+	MOVQ y+8(FP), DX
+	MOVQ n+16(FP), CX
+	VXORPD Y0, Y0, Y0 // lanes 0-3
+	VXORPD Y1, Y1, Y1 // lanes 4-7
+	XORQ AX, AX
+	MOVQ CX, BX
+	ANDQ $-8, BX      // vector end: n &^ 7
+
+dotloop:
+	CMPQ AX, BX
+	JGE  dotreduce
+	VMOVUPD (SI)(AX*8), Y2
+	VMOVUPD 32(SI)(AX*8), Y3
+	VMOVUPD (DX)(AX*8), Y4
+	VMOVUPD 32(DX)(AX*8), Y5
+	VMULPD  Y4, Y2, Y2
+	VMULPD  Y5, Y3, Y3
+	VADDPD  Y2, Y0, Y0
+	VADDPD  Y3, Y1, Y1
+	ADDQ $8, AX
+	JMP  dotloop
+
+dotreduce:
+	VADDPD Y1, Y0, Y0        // {a0+a4, a1+a5, a2+a6, a3+a7}
+	VEXTRACTF128 $1, Y0, X1  // {a2+a6, a3+a7}
+	VADDPD X1, X0, X0        // {(a0+a4)+(a2+a6), (a1+a5)+(a3+a7)}
+	VHADDPD X0, X0, X0       // lane0 = full vector sum
+
+dottail:
+	CMPQ AX, CX
+	JGE  dotdone
+	VMOVSD (SI)(AX*8), X2
+	VMULSD (DX)(AX*8), X2, X2
+	VADDSD X2, X0, X0
+	INCQ AX
+	JMP  dottail
+
+dotdone:
+	VMOVSD X0, ret+24(FP)
+	VZEROUPPER
+	RET
+
+// func spmvRowAVX2(vals *float64, cols *int, x *float64, n int) float64
+//
+// cols values must all be valid indices into x; the gathers read
+// x[cols[i]] unchecked.
+TEXT ·spmvRowAVX2(SB), NOSPLIT, $0-40
+	MOVQ vals+0(FP), SI
+	MOVQ cols+8(FP), DI
+	MOVQ x+16(FP), DX
+	MOVQ n+24(FP), CX
+	VXORPD Y0, Y0, Y0 // lanes 0-3
+	VXORPD Y1, Y1, Y1 // lanes 4-7
+	XORQ AX, AX
+	MOVQ CX, BX
+	ANDQ $-8, BX
+
+spmvloop:
+	CMPQ AX, BX
+	JGE  spmvreduce
+	VMOVDQU (DI)(AX*8), Y2      // cols[i..i+3] as int64
+	VMOVDQU 32(DI)(AX*8), Y3    // cols[i+4..i+7]
+	VPCMPEQQ Y4, Y4, Y4         // gather masks: all lanes on
+	VPCMPEQQ Y5, Y5, Y5         // (gathers consume their mask)
+	VXORPD Y6, Y6, Y6
+	VXORPD Y7, Y7, Y7
+	VGATHERQPD Y4, (DX)(Y2*8), Y6 // x[cols[i..i+3]]
+	VGATHERQPD Y5, (DX)(Y3*8), Y7 // x[cols[i+4..i+7]]
+	VMULPD (SI)(AX*8), Y6, Y6
+	VMULPD 32(SI)(AX*8), Y7, Y7
+	VADDPD Y6, Y0, Y0
+	VADDPD Y7, Y1, Y1
+	ADDQ $8, AX
+	JMP  spmvloop
+
+spmvreduce:
+	VADDPD Y1, Y0, Y0
+	VEXTRACTF128 $1, Y0, X1
+	VADDPD X1, X0, X0
+	VHADDPD X0, X0, X0
+
+spmvtail:
+	CMPQ AX, CX
+	JGE  spmvdone
+	MOVQ (DI)(AX*8), R8
+	VMOVSD (SI)(AX*8), X2
+	VMULSD (DX)(R8*8), X2, X2
+	VADDSD X2, X0, X0
+	INCQ AX
+	JMP  spmvtail
+
+spmvdone:
+	VMOVSD X0, ret+32(FP)
+	VZEROUPPER
+	RET
+
+// func memcpy8(dst, src unsafe.Pointer, n int)
+//
+// Copies n 8-byte quantities between non-overlapping buffers: the
+// PackF64LE/UnpackF64LE transcoding on a little-endian host, where the
+// wire format and the in-memory layout coincide.
+TEXT ·memcpy8(SB), NOSPLIT, $0-24
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ n+16(FP), CX
+	SHLQ $3, CX       // total bytes
+	XORQ AX, AX
+	MOVQ CX, BX
+	ANDQ $-64, BX     // 64B (two ymm) main loop
+
+cpy64:
+	CMPQ AX, BX
+	JGE  cpy32
+	VMOVDQU (SI)(AX*1), Y0
+	VMOVDQU 32(SI)(AX*1), Y1
+	VMOVDQU Y0, (DI)(AX*1)
+	VMOVDQU Y1, 32(DI)(AX*1)
+	ADDQ $64, AX
+	JMP  cpy64
+
+cpy32:
+	MOVQ CX, BX
+	ANDQ $-32, BX
+	CMPQ AX, BX
+	JGE  cpy8
+	VMOVDQU (SI)(AX*1), Y0
+	VMOVDQU Y0, (DI)(AX*1)
+	ADDQ $32, AX
+
+cpy8:
+	CMPQ AX, CX
+	JGE  cpydone
+	MOVQ (SI)(AX*1), R8
+	MOVQ R8, (DI)(AX*1)
+	ADDQ $8, AX
+	JMP  cpy8
+
+cpydone:
+	VZEROUPPER
+	RET

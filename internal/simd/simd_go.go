@@ -1,0 +1,94 @@
+package simd
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// The Go kernels below are always compiled, on every GOARCH, with or
+// without the noasm tag. They define the reference semantics the AVX2
+// kernels must reproduce bit-for-bit, and they are exported so the parity
+// tests (and honest fallback benchmarks) can reach them even on a build
+// where the dispatchers resolve to the assembler.
+//
+// Lane discipline: each reduction kernel accumulates into eight
+// independent lanes, elements strided by eight, and combines them as
+//
+//	((a0+a4) + (a2+a6)) + ((a1+a5) + (a3+a7))
+//
+// which is exactly the order a two-register AVX2 accumulator reduces in:
+// VADDPD folds lanes 4..7 onto 0..3, VEXTRACTF128+VADDPD folds 2,3 onto
+// 0,1, and VHADDPD adds the final pair. Remaining elements are added
+// sequentially. No fused multiply-add anywhere: the assembler uses
+// separate VMULPD/VADDPD so both backends round twice per term.
+
+// DotGo is the portable dot-product kernel over min(len(x), len(y))
+// elements.
+func DotGo(x, y []float64) float64 {
+	n := len(x)
+	if len(y) < n {
+		n = len(y)
+	}
+	var a0, a1, a2, a3, a4, a5, a6, a7 float64
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		a0 += x[i] * y[i]
+		a1 += x[i+1] * y[i+1]
+		a2 += x[i+2] * y[i+2]
+		a3 += x[i+3] * y[i+3]
+		a4 += x[i+4] * y[i+4]
+		a5 += x[i+5] * y[i+5]
+		a6 += x[i+6] * y[i+6]
+		a7 += x[i+7] * y[i+7]
+	}
+	s := ((a0 + a4) + (a2 + a6)) + ((a1 + a5) + (a3 + a7))
+	for ; i < n; i++ {
+		s += x[i] * y[i]
+	}
+	return s
+}
+
+// SpMVRowGo is the portable CSR row kernel: the dot product of a row's
+// stored values with the gathered entries of x, over
+// min(len(vals), len(cols)) elements. Every cols value must be a valid
+// index into x (CSR validates this at construction); out-of-range
+// indices panic here and are undefined behaviour in the assembler.
+func SpMVRowGo(vals []float64, cols []int, x []float64) float64 {
+	n := len(vals)
+	if len(cols) < n {
+		n = len(cols)
+	}
+	var a0, a1, a2, a3, a4, a5, a6, a7 float64
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		a0 += vals[i] * x[cols[i]]
+		a1 += vals[i+1] * x[cols[i+1]]
+		a2 += vals[i+2] * x[cols[i+2]]
+		a3 += vals[i+3] * x[cols[i+3]]
+		a4 += vals[i+4] * x[cols[i+4]]
+		a5 += vals[i+5] * x[cols[i+5]]
+		a6 += vals[i+6] * x[cols[i+6]]
+		a7 += vals[i+7] * x[cols[i+7]]
+	}
+	s := ((a0 + a4) + (a2 + a6)) + ((a1 + a5) + (a3 + a7))
+	for ; i < n; i++ {
+		s += vals[i] * x[cols[i]]
+	}
+	return s
+}
+
+// PackF64LEGo writes src as little-endian IEEE-754 bytes into dst,
+// 8*len(src) bytes total, independent of host endianness.
+func PackF64LEGo(dst []byte, src []float64) {
+	for i, v := range src {
+		binary.LittleEndian.PutUint64(dst[8*i:], math.Float64bits(v))
+	}
+}
+
+// UnpackF64LEGo fills dst from 8*len(dst) little-endian IEEE-754 bytes
+// in src, independent of host endianness.
+func UnpackF64LEGo(dst []float64, src []byte) {
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(src[8*i:]))
+	}
+}

@@ -1,0 +1,215 @@
+package simd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randSlice fills odd lengths and magnitudes spanning many exponents, so
+// parity failures from reassociation or FMA contraction cannot hide
+// behind benign rounding.
+func randSlice(r *rand.Rand, n int) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = (r.Float64() - 0.5) * math.Pow(10, float64(r.Intn(13)-6))
+		if r.Intn(32) == 0 {
+			s[i] = 0 // exact zeros exercise the ±0 paths
+		}
+	}
+	return s
+}
+
+// TestDotParity asserts the dispatched Dot is bit-identical to the
+// portable reference at every length through several vector widths and
+// at misaligned offsets (subslices never 32-byte aligned).
+func TestDotParity(t *testing.T) {
+	t.Logf("backend: %s", Backend())
+	r := rand.New(rand.NewSource(1))
+	for n := 0; n <= 67; n++ {
+		x, y := randSlice(r, n+3), randSlice(r, n+3)
+		for off := 0; off < 3; off++ {
+			got := Dot(x[off:off+n], y[off:off+n])
+			want := DotGo(x[off:off+n], y[off:off+n])
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("n=%d off=%d: Dot=%x DotGo=%x", n, off,
+					math.Float64bits(got), math.Float64bits(want))
+			}
+		}
+	}
+	// Unequal lengths truncate to the shorter.
+	x, y := randSlice(r, 40), randSlice(r, 23)
+	if got, want := Dot(x, y), DotGo(x[:23], y); math.Float64bits(got) != math.Float64bits(want) {
+		t.Fatalf("unequal lengths: got %x want %x", math.Float64bits(got), math.Float64bits(want))
+	}
+}
+
+// TestDotParityLarge crosses the cache-resident sizes the benchmarks
+// use, where the assembler runs thousands of vector iterations.
+func TestDotParityLarge(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for _, n := range []int{1021, 4096, 65536, 65537} {
+		x, y := randSlice(r, n), randSlice(r, n)
+		got, want := Dot(x, y), DotGo(x, y)
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("n=%d: Dot=%x DotGo=%x", n, math.Float64bits(got), math.Float64bits(want))
+		}
+	}
+}
+
+func TestSpMVRowParity(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	x := randSlice(r, 257)
+	for n := 0; n <= 67; n++ {
+		vals := randSlice(r, n)
+		cols := make([]int, n)
+		for i := range cols {
+			cols[i] = r.Intn(len(x))
+		}
+		got := SpMVRow(vals, cols, x)
+		want := SpMVRowGo(vals, cols, x)
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("n=%d: SpMVRow=%x SpMVRowGo=%x", n,
+				math.Float64bits(got), math.Float64bits(want))
+		}
+	}
+	// Duplicate and out-of-order column indices are legal CSR-adjacent
+	// shapes (e.g. unsorted rows); the gather must not care.
+	vals := randSlice(r, 24)
+	cols := make([]int, 24)
+	for i := range cols {
+		cols[i] = (i * 7) % 5
+	}
+	if got, want := SpMVRow(vals, cols, x), SpMVRowGo(vals, cols, x); math.Float64bits(got) != math.Float64bits(want) {
+		t.Fatalf("dup cols: got %x want %x", math.Float64bits(got), math.Float64bits(want))
+	}
+}
+
+func TestSpMVRowParityLarge(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	x := randSlice(r, 1<<16)
+	for _, n := range []int{1021, 65536, 65543} {
+		vals := randSlice(r, n)
+		cols := make([]int, n)
+		for i := range cols {
+			cols[i] = r.Intn(len(x))
+		}
+		got, want := SpMVRow(vals, cols, x), SpMVRowGo(vals, cols, x)
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("n=%d: got %x want %x", n, math.Float64bits(got), math.Float64bits(want))
+		}
+	}
+}
+
+func TestPackUnpackParity(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for _, n := range []int{0, 1, 3, 7, 8, 9, 15, 16, 17, 63, 64, 65, 1000, 65536} {
+		src := randSlice(r, n)
+		src = append(src, math.Inf(1), math.Inf(-1), math.Copysign(0, -1), 5e-324)
+		n = len(src)
+		got := make([]byte, 8*n+5)
+		want := make([]byte, 8*n+5)
+		PackF64LE(got[:8*n], src)
+		PackF64LEGo(want[:8*n], src)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: pack byte %d: got %#x want %#x", n, i, got[i], want[i])
+			}
+		}
+		back := make([]float64, n)
+		UnpackF64LE(back, got[:8*n])
+		for i := range back {
+			if math.Float64bits(back[i]) != math.Float64bits(src[i]) {
+				t.Fatalf("n=%d: round-trip elem %d: got %x want %x", n, i,
+					math.Float64bits(back[i]), math.Float64bits(src[i]))
+			}
+		}
+		backGo := make([]float64, n)
+		UnpackF64LEGo(backGo, got[:8*n])
+		for i := range backGo {
+			if math.Float64bits(backGo[i]) != math.Float64bits(back[i]) {
+				t.Fatalf("n=%d: unpack parity elem %d", n, i)
+			}
+		}
+	}
+}
+
+func TestPackBoundsPanic(t *testing.T) {
+	for name, f := range map[string]func(){
+		"pack":   func() { PackF64LE(make([]byte, 15), make([]float64, 2)) },
+		"unpack": func() { UnpackF64LE(make([]float64, 2), make([]byte, 15)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: short buffer did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestDeterministicRepeat: the dispatched kernels are pure functions of
+// their inputs — repeated evaluation yields identical bits. Combined
+// with par's fixed chunk boundaries this is the deterministic-reduction
+// guarantee linalg's equivalence tests lean on.
+func TestDeterministicRepeat(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	x, y := randSlice(r, 10007), randSlice(r, 10007)
+	first := math.Float64bits(Dot(x, y))
+	for i := 0; i < 10; i++ {
+		if got := math.Float64bits(Dot(x, y)); got != first {
+			t.Fatalf("run %d: %x != %x", i, got, first)
+		}
+	}
+}
+
+// FuzzDotParity drives unaligned, odd-length, arbitrary-bit-pattern
+// inputs through both backends. NaN payload propagation is the one
+// place scalar and vector x86 semantics can legitimately differ, so
+// NaNs compare as NaN-equal rather than bit-equal.
+func FuzzDotParity(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17}, uint8(1))
+	f.Add(make([]byte, 8*9), uint8(0))
+	f.Add([]byte{0xff, 0xf8, 0, 0, 0, 0, 0, 1, 0x40, 0x09, 0x21, 0xfb, 0x54, 0x44, 0x2d, 0x18}, uint8(0))
+	f.Fuzz(func(t *testing.T, raw []byte, off uint8) {
+		n := len(raw) / 16
+		x := make([]float64, n)
+		y := make([]float64, n)
+		UnpackF64LEGo(x, raw)
+		UnpackF64LEGo(y, raw[8*n:])
+		o := int(off) % (n + 1)
+		got := Dot(x[o:], y[o:])
+		want := DotGo(x[o:], y[o:])
+		if math.IsNaN(got) && math.IsNaN(want) {
+			return
+		}
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("n=%d off=%d: Dot=%x DotGo=%x", n, o,
+				math.Float64bits(got), math.Float64bits(want))
+		}
+	})
+}
+
+// FuzzPackParity round-trips arbitrary byte patterns (every one a valid
+// float64, including NaN payloads — byte-level comparison keeps even
+// those exact).
+func FuzzPackParity(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add(make([]byte, 257))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		n := len(raw) / 8
+		vals := make([]float64, n)
+		UnpackF64LE(vals, raw)
+		out := make([]byte, 8*n)
+		PackF64LE(out, vals)
+		ref := make([]byte, 8*n)
+		PackF64LEGo(ref, vals)
+		for i := range out {
+			if out[i] != ref[i] {
+				t.Fatalf("byte %d: got %#x want %#x", i, out[i], ref[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,260 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// Cross-backend conformance suite: every Transport implementation must
+// satisfy the Conn/Listener contracts identically, so the ORB can treat
+// the backend as a pure deployment decision. Each check below runs over
+// all four backends — InProc, TCP loopback, Faulty (zero fault plan,
+// which must be a transparent pass-through), and the shared-memory
+// rings — including under -race.
+
+type backend struct {
+	name string
+	tr   func() Transport
+	addr func(t *testing.T) string
+}
+
+func conformanceBackends() []backend {
+	return []backend{
+		{"inproc", func() Transport { return &InProc{} }, func(t *testing.T) string { return "conf" }},
+		{"tcp", func() Transport { return TCP{} }, func(t *testing.T) string { return "127.0.0.1:0" }},
+		{"faulty", func() Transport { return NewFaulty(TCP{}, Faults{}) }, func(t *testing.T) string { return "127.0.0.1:0" }},
+		{"shm", func() Transport { return SHM{} }, func(t *testing.T) string { return filepath.Join(t.TempDir(), "ep") }},
+	}
+}
+
+func eachBackend(t *testing.T, f func(t *testing.T, tr Transport, addr string)) {
+	t.Helper()
+	for _, b := range conformanceBackends() {
+		b := b
+		t.Run(b.name, func(t *testing.T) { f(t, b.tr(), b.addr(t)) })
+	}
+}
+
+// dialPair returns a connected (client, server) pair plus cleanup.
+func dialPair(t *testing.T, tr Transport, addr string) (Conn, Conn) {
+	t.Helper()
+	l, err := tr.Listen(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	accepted := make(chan Conn, 1)
+	errc := make(chan error, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			errc <- err
+			return
+		}
+		accepted <- c
+	}()
+	client, err := tr.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+	select {
+	case server := <-accepted:
+		t.Cleanup(func() { server.Close() })
+		return client, server
+	case err := <-errc:
+		t.Fatal(err)
+		return nil, nil
+	}
+}
+
+// TestConformanceFrameSizes exercises framing from empty frames through
+// payloads larger than the shm ring (forcing the streaming path), with
+// contents checked byte for byte.
+func TestConformanceFrameSizes(t *testing.T) {
+	sizes := []int{0, 1, 7, 8, 9, 100, 4096, 64 << 10, shmRingSize - 16, shmRingSize, shmRingSize + 1, 3 * shmRingSize}
+	eachBackend(t, func(t *testing.T, tr Transport, addr string) {
+		client, server := dialPair(t, tr, addr)
+		done := make(chan error, 1)
+		go func() {
+			for range sizes {
+				f, err := server.Recv()
+				if err != nil {
+					done <- err
+					return
+				}
+				if err := server.Send(f); err != nil {
+					done <- err
+					return
+				}
+				ReleaseFrame(f)
+			}
+			done <- nil
+		}()
+		rng := rand.New(rand.NewSource(12))
+		for _, n := range sizes {
+			msg := make([]byte, n)
+			rng.Read(msg)
+			if err := client.Send(msg); err != nil {
+				t.Fatalf("send %d: %v", n, err)
+			}
+			got, err := client.Recv()
+			if err != nil {
+				t.Fatalf("recv %d: %v", n, err)
+			}
+			if !bytes.Equal(got, msg) {
+				t.Fatalf("size %d: echo mismatch", n)
+			}
+			ReleaseFrame(got)
+		}
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestConformanceOversizedFrame: a frame beyond MaxFrame must be refused
+// by Send without disturbing the connection.
+func TestConformanceOversizedFrame(t *testing.T) {
+	eachBackend(t, func(t *testing.T, tr Transport, addr string) {
+		client, server := dialPair(t, tr, addr)
+		if err := client.Send(make([]byte, MaxFrame+1)); !errors.Is(err, ErrFrameTooBig) {
+			t.Fatalf("send err = %v, want ErrFrameTooBig", err)
+		}
+		// The connection must still work afterwards.
+		go func() {
+			f, err := server.Recv()
+			if err == nil {
+				server.Send(f)
+			}
+		}()
+		if err := client.Send([]byte("still-alive")); err != nil {
+			t.Fatal(err)
+		}
+		got, err := client.Recv()
+		if err != nil || string(got) != "still-alive" {
+			t.Fatalf("after oversize: %q, %v", got, err)
+		}
+	})
+}
+
+// TestConformanceCloseWhileRecv: closing either end must unblock a
+// pending Recv with ErrClosed, promptly and without panics.
+func TestConformanceCloseWhileRecv(t *testing.T) {
+	for _, who := range []string{"local", "peer"} {
+		who := who
+		t.Run(who, func(t *testing.T) {
+			eachBackend(t, func(t *testing.T, tr Transport, addr string) {
+				client, server := dialPair(t, tr, addr)
+				var wg sync.WaitGroup
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					if _, err := client.Recv(); !errors.Is(err, ErrClosed) {
+						t.Errorf("recv err = %v, want ErrClosed", err)
+					}
+				}()
+				if who == "local" {
+					client.Close()
+				} else {
+					server.Close()
+				}
+				wg.Wait()
+			})
+		})
+	}
+}
+
+// TestConformanceDialErrors: dialing where nothing listens is
+// ErrNoListener; listening twice on one address is ErrAddrInUse.
+func TestConformanceDialErrors(t *testing.T) {
+	eachBackend(t, func(t *testing.T, tr Transport, addr string) {
+		l, err := tr.Listen(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tr.Listen(l.Addr()); !errors.Is(err, ErrAddrInUse) {
+			t.Fatalf("second listen err = %v, want ErrAddrInUse", err)
+		}
+		live := l.Addr()
+		l.Close()
+		if _, err := tr.Dial(live); !errors.Is(err, ErrNoListener) && !errors.Is(err, ErrClosed) {
+			t.Fatalf("dial closed listener err = %v, want ErrNoListener/ErrClosed", err)
+		}
+	})
+}
+
+// TestConformanceConcurrentSenders: frames from concurrent senders on
+// one Conn are delivered whole, each exactly once.
+func TestConformanceConcurrentSenders(t *testing.T) {
+	const senders, frames = 4, 32
+	eachBackend(t, func(t *testing.T, tr Transport, addr string) {
+		client, server := dialPair(t, tr, addr)
+		got := make(chan string, senders*frames)
+		go func() {
+			for i := 0; i < senders*frames; i++ {
+				f, err := server.Recv()
+				if err != nil {
+					close(got)
+					return
+				}
+				got <- string(f)
+				ReleaseFrame(f)
+			}
+			close(got)
+		}()
+		var wg sync.WaitGroup
+		for s := 0; s < senders; s++ {
+			s := s
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < frames; i++ {
+					if err := client.Send([]byte(fmt.Sprintf("s%02d-f%03d", s, i))); err != nil {
+						t.Errorf("send: %v", err)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		seen := make(map[string]bool)
+		for f := range got {
+			if len(f) != 8 || seen[f] {
+				t.Fatalf("frame %q duplicated or torn", f)
+			}
+			seen[f] = true
+		}
+		if len(seen) != senders*frames {
+			t.Fatalf("received %d distinct frames, want %d", len(seen), senders*frames)
+		}
+	})
+}
+
+// TestConformanceAcceptAfterClose: Accept on a closed listener is
+// ErrClosed, including an Accept already blocked when Close lands.
+func TestConformanceAcceptAfterClose(t *testing.T) {
+	eachBackend(t, func(t *testing.T, tr Transport, addr string) {
+		l, err := tr.Listen(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan error, 1)
+		go func() {
+			_, err := l.Accept()
+			done <- err
+		}()
+		l.Close()
+		if err := <-done; !errors.Is(err, ErrClosed) {
+			t.Fatalf("blocked accept err = %v, want ErrClosed", err)
+		}
+		if _, err := l.Accept(); !errors.Is(err, ErrClosed) {
+			t.Fatalf("accept after close err = %v, want ErrClosed", err)
+		}
+	})
+}

@@ -1,0 +1,52 @@
+// Package transport provides byte-level message transports for the CCA
+// reproduction's distributed connections: the paper's §6.1 "connections
+// through proxy intermediaries enabling distributed object interactions"
+// and §2.2's dynamically attached remote visualization.
+//
+// Three backends implement the same Transport/Listener/Conn contract;
+// ForScheme picks one from an address like "tcp://host:port",
+// "shm:///path/dir", or "inproc://name":
+//
+//   - InProc is an in-process loopback: paired channel endpoints with no
+//     serialization boundary crossed. It is the deterministic-test
+//     backend and the latency upper bound every other backend is judged
+//     against.
+//   - TCP rides net with a userspace group-commit coalescer (below) and
+//     works across hosts. It is the general case.
+//   - SHM (unix-only; the stub on other platforms returns an error from
+//     Listen/Dial) carries frames between processes on the same host
+//     through a pair of mmap'd single-producer/single-consumer rings,
+//     with no kernel involvement in the data path. Liveness and stale
+//     cleanup ride flock; see DESIGN.md §10 for the ring layout and the
+//     crash-recovery protocol.
+//
+// All three carry length-prefixed frames with the same semantics: Send
+// is atomic per frame (concurrent senders never interleave), Recv
+// returns pooled buffers the caller should hand back via ReleaseFrame,
+// and errors collapse to the portable ErrClosed / ErrAddrInUse /
+// ErrNoListener / ErrFrameTooBig so callers never match on
+// backend-specific error strings.
+//
+// The hot-path cost model is built for a multiplexed RPC layer above:
+//
+//   - On TCP, senders that overlap a flush in progress are coalesced:
+//     their frames gather in a pending queue and the next flush writes
+//     them all with one writev (group commit — Nagle in userspace
+//     without the timer). A lone sender flushes immediately, so
+//     uncontended latency is one writev, exactly as before. Recv reads
+//     through a buffered reader, so the common case is one read syscall
+//     per flush window rather than two per frame.
+//   - On SHM, a frame is an 8-byte length word plus payload copied
+//     directly into the shared ring; the consumer publishes its read
+//     cursor as it drains, so frames larger than the ring stream
+//     through it in lockstep without staging buffers. Waiters spin
+//     briefly (only when GOMAXPROCS>1), then yield, then sleep with
+//     doubling backoff — no futex handshake, which keeps the
+//     steady-state path allocation- and syscall-free at the price of
+//     bounded wakeup latency on idle connections.
+//
+// Faulty wraps any backend for chaos testing: injected dial failures,
+// send/recv severs, and latency. The conformance suite in
+// conformance_test.go runs every backend through one table of
+// frame-size, close-ordering, and dial-error contracts.
+package transport

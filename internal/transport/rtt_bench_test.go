@@ -1,0 +1,49 @@
+package transport
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func BenchmarkShmRoundTrip8B(b *testing.B) {
+	tr := SHM{}
+	l, err := tr.Listen(filepath.Join(b.TempDir(), "ep"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		for {
+			f, err := c.Recv()
+			if err != nil {
+				return
+			}
+			if c.Send(f) != nil {
+				return
+			}
+			ReleaseFrame(f)
+		}
+	}()
+	c, err := tr.Dial(l.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	msg := make([]byte, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Send(msg); err != nil {
+			b.Fatal(err)
+		}
+		f, err := c.Recv()
+		if err != nil {
+			b.Fatal(err)
+		}
+		ReleaseFrame(f)
+	}
+}

@@ -1,0 +1,18 @@
+package transport
+
+import "repro/internal/obs"
+
+// Shared-memory transport counters. Declared outside the unix-only files
+// so the waiter (portable) and the !unix stub build against them too.
+// frames/bytes flow through the common transport.frames_* counters, same
+// as InProc and TCP; these cover shm-specific lifecycle events.
+var (
+	cShmDials   = obs.NewCounter("transport.shm.dials")
+	cShmAccepts = obs.NewCounter("transport.shm.accepts")
+	cShmStale   = obs.NewCounter("transport.shm.stale_cleaned")
+	// cShmStalls counts ring waits that exhausted the spin and yield
+	// phases and had to take a timed sleep — the shm analogue of a
+	// would-block. A rising rate means the rings are too small for the
+	// offered load, or the peer is descheduled (oversubscribed host).
+	cShmStalls = obs.NewCounter("transport.shm.ring_stalls")
+)

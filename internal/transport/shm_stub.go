@@ -1,0 +1,18 @@
+//go:build !unix
+
+package transport
+
+import "errors"
+
+var errShmUnsupported = errors.New("transport: shm requires a unix platform (flock + mmap)")
+
+// SHM is the same-host shared-memory transport. On non-unix platforms it
+// is a stub whose Listen and Dial fail: the implementation depends on
+// flock-based liveness and file-backed mmap (see shm.go).
+type SHM struct{}
+
+func (SHM) Name() string { return "shm" }
+
+func (SHM) Listen(addr string) (Listener, error) { return nil, errShmUnsupported }
+
+func (SHM) Dial(addr string) (Conn, error) { return nil, errShmUnsupported }

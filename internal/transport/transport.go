@@ -1,23 +1,6 @@
-// Package transport provides byte-level message transports for the CCA
-// reproduction's distributed connections: the paper's §6.1 "connections
-// through proxy intermediaries enabling distributed object interactions"
-// and §2.2's dynamically attached remote visualization.
-//
-// Two transports are provided: an in-process loopback (for deterministic
-// tests and the in-address-space ORB baseline) and TCP over net (for
-// genuinely remote components). Both carry length-prefixed frames.
-//
-// The hot-path cost model is built for a multiplexed RPC layer above:
-//
-//   - Send is safe for concurrent use and frames from concurrent senders
-//     never interleave. On TCP, senders that overlap a flush in progress
-//     are coalesced: their frames gather in a pending queue and the next
-//     flush writes them all with one writev (group commit — Nagle in
-//     userspace without the timer). A lone sender flushes immediately, so
-//     uncontended latency is one writev, exactly as before.
-//   - Recv on TCP reads through a buffered reader, so the common case is
-//     one read syscall per flush window rather than two per frame, and
-//     payload buffers come from a package pool (see ReleaseFrame).
+// This file holds the shared frame contract (errors, pooling, limits)
+// plus the InProc and TCP backends; shm.go holds the shared-memory
+// backend. Package-level documentation lives in doc.go.
 package transport
 
 import (
@@ -30,6 +13,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"syscall"
 
 	"repro/internal/obs"
 )
@@ -374,19 +358,27 @@ type TCP struct{}
 // Name implements Transport.
 func (TCP) Name() string { return "tcp" }
 
-// Listen implements Transport.
+// Listen implements Transport. A port already bound surfaces as
+// ErrAddrInUse, matching the other backends.
 func (TCP) Listen(addr string) (Listener, error) {
 	nl, err := net.Listen("tcp", addr)
 	if err != nil {
+		if errors.Is(err, syscall.EADDRINUSE) {
+			return nil, fmt.Errorf("%w: %q", ErrAddrInUse, addr)
+		}
 		return nil, err
 	}
 	return tcpListener{nl}, nil
 }
 
-// Dial implements Transport.
+// Dial implements Transport. A refused connection surfaces as
+// ErrNoListener, matching the other backends.
 func (TCP) Dial(addr string) (Conn, error) {
 	nc, err := net.Dial("tcp", addr)
 	if err != nil {
+		if errors.Is(err, syscall.ECONNREFUSED) {
+			return nil, fmt.Errorf("%w: %q", ErrNoListener, addr)
+		}
 		return nil, err
 	}
 	return newTCPConn(nc), nil
@@ -397,7 +389,9 @@ type tcpListener struct{ nl net.Listener }
 func (l tcpListener) Accept() (Conn, error) {
 	nc, err := l.nl.Accept()
 	if err != nil {
-		return nil, err
+		// A listener closed mid-Accept reports ErrClosed like the other
+		// backends, not net's "use of closed network connection".
+		return nil, mapErr(err)
 	}
 	return newTCPConn(nc), nil
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"testing"
@@ -16,6 +17,7 @@ func eachTransport(t *testing.T, f func(t *testing.T, tr Transport, addr string)
 	t.Helper()
 	t.Run("inproc", func(t *testing.T) { f(t, &InProc{}, "svc") })
 	t.Run("tcp", func(t *testing.T) { f(t, TCP{}, "127.0.0.1:0") })
+	t.Run("shm", func(t *testing.T) { f(t, SHM{}, filepath.Join(t.TempDir(), "ep")) })
 }
 
 func TestEchoRoundTrip(t *testing.T) {

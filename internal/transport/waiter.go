@@ -1,0 +1,70 @@
+package transport
+
+import (
+	"runtime"
+	"time"
+)
+
+// waiter is the shared-memory transport's futex-free progressive waiter.
+// Ring cursors live in a file-backed mmap shared with another process, so
+// there is no channel, futex, or condvar to block on; a waiter instead
+// escalates through three phases, re-checking its condition between
+// pauses:
+//
+//  1. spin: return immediately and let the caller re-poll the cursor (an
+//     atomic load). Burns CPU but catches a peer that is mid-write,
+//     keeping same-host latency in the nanoseconds. Skipped entirely when
+//     GOMAXPROCS is 1 — with a single P, spinning only steals the
+//     timeslice an in-process peer goroutine needs to make the progress
+//     being waited for.
+//  2. yield: runtime.Gosched, donating the P to runnable goroutines (the
+//     in-process peer, or anyone else while a cross-process peer runs on
+//     another CPU).
+//  3. sleep: timed sleeps doubling from spinSleepMin up to spinSleepMax,
+//     bounding idle-connection CPU at the cost of wake latency — the
+//     honest price of a futex-free design, paid only by calls that
+//     arrive after a connection has gone quiet (see DESIGN.md §10).
+type waiter struct {
+	spins int
+	sleep time.Duration
+}
+
+const (
+	spinCount    = 128
+	yieldCount   = 64
+	spinSleepMin = 4 * time.Microsecond
+	spinSleepMax = time.Millisecond
+)
+
+// spinWaitOK is resolved once: whether phase-1 spinning can ever help.
+// GOMAXPROCS changes after init are rare enough (tests, mostly) that a
+// stale true only costs some spin cycles.
+var spinWaitOK = runtime.GOMAXPROCS(0) > 1
+
+// pause blocks "a little more than last time". Callers loop:
+// check-condition, pause, re-check.
+func (w *waiter) pause() {
+	w.spins++
+	if spinWaitOK && w.spins <= spinCount {
+		return
+	}
+	if w.spins <= spinCount+yieldCount {
+		runtime.Gosched()
+		return
+	}
+	if w.sleep == 0 {
+		w.sleep = spinSleepMin
+		cShmStalls.Inc()
+	}
+	time.Sleep(w.sleep)
+	if w.sleep < spinSleepMax {
+		w.sleep *= 2
+	}
+}
+
+// reset re-arms the waiter after progress, so the next stall starts back
+// at the spin phase.
+func (w *waiter) reset() {
+	w.spins = 0
+	w.sleep = 0
+}
