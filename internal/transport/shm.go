@@ -3,6 +3,7 @@
 package transport
 
 import (
+	crand "crypto/rand"
 	"encoding/binary"
 	"fmt"
 	"os"
@@ -84,6 +85,17 @@ func (SHM) Name() string { return "shm" }
 // shmSeq disambiguates ring files created by the same process.
 var shmSeq atomic.Uint64
 
+// shmProcToken makes ring names unique across pid reuse: a listener's
+// seen map keys on the file name, so a recycled pid regenerating an old
+// c<pid>-<seq> name would otherwise be silently ignored by scan.
+var shmProcToken = func() uint32 {
+	var b [4]byte
+	if _, err := crand.Read(b[:]); err == nil {
+		return binary.LittleEndian.Uint32(b[:])
+	}
+	return uint32(time.Now().UnixNano())
+}()
+
 // Listen claims addr (a directory) by taking an exclusive flock on its
 // lock file, then sweeps ring files left behind by crashed peers.
 func (SHM) Listen(addr string) (Listener, error) {
@@ -134,7 +146,7 @@ func (SHM) Dial(addr string) (Conn, error) {
 	if err := shmProbeListener(addr); err != nil {
 		return nil, err
 	}
-	path := filepath.Join(addr, fmt.Sprintf("c%d-%d%s", os.Getpid(), shmSeq.Add(1), shmRingSuffix))
+	path := filepath.Join(addr, fmt.Sprintf("c%d-%08x-%d%s", os.Getpid(), shmProcToken, shmSeq.Add(1), shmRingSuffix))
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_EXCL, 0o600)
 	if err != nil {
 		return nil, fmt.Errorf("shm dial %q: %w", addr, err)
@@ -163,6 +175,10 @@ func (SHM) Dial(addr string) (Conn, error) {
 	shmU32(mem, shmOffState).Store(shmStateReady)
 
 	abandon := func() {
+		// Mark our end closed before unmapping: if a listener wins the
+		// claim CAS in the same instant we give up, its conn observes
+		// peerEnd and fails promptly instead of blocking in Recv forever.
+		shmU32(mem, shmOffDialerEnd).Store(1)
 		syscall.Munmap(mem)
 		f.Close()
 		os.Remove(path)
@@ -258,6 +274,19 @@ func (l *shmListener) scan() Conn {
 	if err != nil {
 		return nil
 	}
+	// Prune seen entries whose files are gone so a long-lived listener's
+	// map tracks the directory instead of growing without bound.
+	if len(l.seen) > 0 {
+		present := make(map[string]bool, len(entries))
+		for _, e := range entries {
+			present[e.Name()] = true
+		}
+		for name := range l.seen {
+			if !present[name] {
+				delete(l.seen, name)
+			}
+		}
+	}
 	for _, e := range entries {
 		name := e.Name()
 		if !strings.HasSuffix(name, shmRingSuffix) || l.seen[name] {
@@ -270,6 +299,21 @@ func (l *shmListener) scan() Conn {
 			continue
 		}
 		if syscall.Flock(int(f.Fd()), syscall.LOCK_SH|syscall.LOCK_NB) != nil {
+			f.Close()
+			continue
+		}
+		// The dialer creates the file at size 0 and truncates afterwards;
+		// mmapping it before the truncate would SIGBUS on the first load
+		// past EOF. Skip short files without marking them seen (the dialer
+		// is mid-init and will be picked up next scan). If nobody holds a
+		// lock on a short file, the dialer died before the truncate —
+		// remove the remnant so it is not rescanned forever.
+		if st, err := f.Stat(); err != nil || st.Size() < shmFileSize {
+			if err == nil && syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB) == nil {
+				if os.Remove(path) == nil {
+					cShmStale.Inc()
+				}
+			}
 			f.Close()
 			continue
 		}

@@ -1,0 +1,223 @@
+//go:build unix
+
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// acceptAsync runs ln.Accept in a goroutine and returns the result chans.
+func acceptAsync(ln Listener) (<-chan Conn, <-chan error) {
+	cc, ec := make(chan Conn, 1), make(chan error, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			ec <- err
+			return
+		}
+		cc <- c
+	}()
+	return cc, ec
+}
+
+// A ring file created at size 0 by a dialer that died before its
+// Truncate must not be mmapped by the listener's scan (the first load
+// past EOF would SIGBUS and kill the process); once provably dead it
+// should be swept so it is not rescanned forever.
+func TestSHMShortRingFileSkippedAndSwept(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ep")
+	ln, err := (SHM{}).Listen(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	// Dead-dialer remnant: exists in the directory, size 0, nobody holds
+	// a lock on it.
+	short := filepath.Join(dir, "c99999-deadbeef-1.ring")
+	if err := os.WriteFile(short, nil, 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	cc, ec := acceptAsync(ln)
+	c, err := (SHM{}).Dial(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	select {
+	case sc := <-cc:
+		sc.Close()
+	case err := <-ec:
+		t.Fatal(err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("Accept did not claim a healthy dial with a short file present")
+	}
+	// scan returns as soon as it claims a conn, so the short file may not
+	// have been visited yet; one more pass must sweep it.
+	l := ln.(*shmListener)
+	l.mu.Lock()
+	l.scan()
+	l.mu.Unlock()
+	if _, err := os.Stat(short); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("dead short ring file not swept by scan: stat err = %v", err)
+	}
+}
+
+// A short file whose dialer is still alive (holds the shared flock,
+// mid-init before Truncate) must be skipped without being marked seen,
+// so the listener claims it once initialization completes.
+func TestSHMMidInitRingRetried(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ep")
+	ln, err := (SHM{}).Listen(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	// Fake dialer paused between create+flock and truncate.
+	path := filepath.Join(dir, "c1-00000001-1.ring")
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_EXCL, 0o600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_SH); err != nil {
+		t.Fatal(err)
+	}
+
+	cc, ec := acceptAsync(ln)
+	// Give scan a few passes at the short file before finishing init.
+	time.Sleep(50 * time.Millisecond)
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("live mid-init ring file was removed: %v", err)
+	}
+	if err := f.Truncate(shmFileSize); err != nil {
+		t.Fatal(err)
+	}
+	mem, err := syscall.Mmap(int(f.Fd()), 0, shmFileSize, syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binary.LittleEndian.PutUint64(mem[shmOffRingSize:], shmRingSize)
+	shmU64(mem, shmOffMagic).Store(shmMagic)
+	shmU32(mem, shmOffState).Store(shmStateReady)
+
+	select {
+	case sc := <-cc:
+		sc.Close()
+	case err := <-ec:
+		t.Fatal(err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("listener never claimed the ring after init completed (marked seen too early?)")
+	}
+	shmU32(mem, shmOffDialerEnd).Store(1)
+	syscall.Munmap(mem)
+	f.Close()
+	os.Remove(path)
+}
+
+// The seen map must track the directory contents, not grow forever: once
+// a connection's ring file is unlinked, the next scan forgets its name.
+func TestSHMSeenPruned(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ep")
+	ln, err := (SHM{}).Listen(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	l := ln.(*shmListener)
+
+	cc, ec := acceptAsync(ln)
+	c, err := (SHM{}).Dial(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sc Conn
+	select {
+	case sc = <-cc:
+	case err := <-ec:
+		t.Fatal(err)
+	}
+	c.Close()
+	sc.Close() // second closer unlinks the ring file
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if n := len(l.seen); n != 1 {
+		t.Fatalf("seen has %d entries before prune, want 1", n)
+	}
+	l.scan()
+	if n := len(l.seen); n != 0 {
+		t.Fatalf("seen has %d entries after scan of empty dir, want 0", n)
+	}
+}
+
+// If a dialer abandons (timeout) at the same moment the listener's scan
+// wins the claim CAS, the dialer-end flag it sets before unmapping must
+// make the accepted connection fail promptly instead of blocking in
+// Recv forever.
+func TestSHMAbandonedDialerFailsAcceptedConn(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ep")
+	ln, err := (SHM{}).Listen(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	// Fake dialer: full init, ready for claiming.
+	path := filepath.Join(dir, "c2-00000002-1.ring")
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_EXCL, 0o600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_SH); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Truncate(shmFileSize); err != nil {
+		t.Fatal(err)
+	}
+	mem, err := syscall.Mmap(int(f.Fd()), 0, shmFileSize, syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binary.LittleEndian.PutUint64(mem[shmOffRingSize:], shmRingSize)
+	shmU64(mem, shmOffMagic).Store(shmMagic)
+	shmU32(mem, shmOffState).Store(shmStateReady)
+
+	cc, ec := acceptAsync(ln)
+	var sc Conn
+	select {
+	case sc = <-cc:
+	case err := <-ec:
+		t.Fatal(err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("listener never claimed the ready ring")
+	}
+	defer sc.Close()
+
+	// Abandon exactly as Dial's timeout path does, after the claim landed.
+	shmU32(mem, shmOffDialerEnd).Store(1)
+	syscall.Munmap(mem)
+	f.Close()
+	os.Remove(path)
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := sc.Recv()
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("Recv on abandoned conn: got %v, want ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Recv blocked on a connection whose dialer abandoned")
+	}
+}
