@@ -97,7 +97,7 @@ func writeJSON(path string) error {
 }
 
 func main() {
-	runList := flag.String("run", "", "comma-separated experiment ids (e1..e12, e7b); empty = all")
+	runList := flag.String("run", "", "comma-separated experiment ids (e1..e13, e7b); empty = all")
 	testing.Init() // registers test.* flags; measureAllocs runs testing.Benchmark
 	flag.Parse()
 	// Point the stdlib benchmark harness at the same time budget the
@@ -127,6 +127,7 @@ func main() {
 		{"e10", "E10 — observability overhead (metrics + tracing vs dark)", e10},
 		{"e11", "E11 — §6.3 cross-process collective pull over the ORB", e11},
 		{"e12", "E12 — same-host transport matrix (inproc/shm/tcp) + SIMD kernels", e12},
+		{"e13", "E13 — high-fan-out serving tier (epoch cache + admission control)", e13},
 	}
 	for _, exp := range all {
 		if len(wanted) > 0 && !wanted[exp.id] {

@@ -86,10 +86,12 @@ func main() {
 		"consecutive failed redials before the circuit breaker opens")
 	metricsAddr := flag.String("metrics-addr", "",
 		"serve the observability snapshot over HTTP at this address")
+	pprofOn := flag.Bool("pprof", false,
+		"also mount /debug/pprof profile handlers on the metrics address")
 	flag.Parse()
 
 	if *metricsAddr != "" {
-		bound, closeMetrics, err := obs.Serve(*metricsAddr)
+		bound, closeMetrics, err := obs.ServeWith(*metricsAddr, obs.ServeOptions{Pprof: *pprofOn})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ccafe:", err)
 			os.Exit(1)

@@ -24,6 +24,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -40,8 +41,10 @@ import (
 	ccoll "repro/internal/cca/collective"
 	"repro/internal/cca/framework"
 	dcoll "repro/internal/dist/collective"
+	"repro/internal/obs"
 	"repro/internal/orb"
 	"repro/internal/transport"
+	"repro/internal/viz"
 )
 
 func main() {
@@ -51,6 +54,7 @@ func main() {
 		gl     = flag.Int("len", 40000, "global array length")
 		frames = flag.Int("frames", 4, "frames the viz pulls")
 		sever  = flag.Int("sever", 25, "sever viz connection after this many frames sent (0 = never)")
+		subs   = flag.Int("subs", 0, "after the viz run, fan one frozen frame out to this many concurrent supervised subscribers")
 		viz    = flag.Bool("viz", false, "run as the viz child process")
 		addr   = flag.String("addr", "", "simulation address (viz mode)")
 		trName = flag.String("transport", "tcp", "cross-process transport: tcp or shm")
@@ -63,7 +67,7 @@ func main() {
 		runViz(*trName, *addr, *n, *gl, *frames, *sever)
 		return
 	}
-	runSim(*trName, *m, *n, *gl, *frames, *sever)
+	runSim(*trName, *m, *n, *gl, *frames, *sever, *subs)
 }
 
 // pickTransport maps the -transport flag to a backend and a listen
@@ -117,7 +121,7 @@ func step(fields []*simField, m array.DataMap, s int) {
 	}
 }
 
-func runSim(trName string, m, n, gl, frames, sever int) {
+func runSim(trName string, m, n, gl, frames, sever, subs int) {
 	dm := array.NewBlockMap(gl, m)
 	mu := &sync.Mutex{}
 	fields := make([]*simField, m)
@@ -135,8 +139,12 @@ func runSim(trName string, m, n, gl, frames, sever int) {
 		log.Fatal(err)
 	}
 	srv := orb.Serve(oa, l)
-	defer srv.Stop()
-	if _, err := dcoll.Publish(oa, "wave", ports); err != nil {
+	defer srv.Close()
+	// The epoch cache makes every subscriber of a timestep share one
+	// snapshot and one packed chunk stream; Advance (below, per step) is
+	// its invalidation point.
+	pub, err := dcoll.Publish(oa, "wave", ports, dcoll.WithEpochCache())
+	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("sim: publishing wave (%s) at %s\n", dm, srv.Addr())
@@ -154,6 +162,7 @@ func runSim(trName string, m, n, gl, frames, sever int) {
 				return
 			default:
 				step(fields, dm, s)
+				pub.Advance()
 				time.Sleep(200 * time.Microsecond)
 			}
 		}
@@ -179,6 +188,63 @@ func runSim(trName string, m, n, gl, frames, sever int) {
 	close(stop)
 	wg.Wait()
 	fmt.Println("sim: viz exited cleanly")
+	if subs > 0 {
+		runFanout(srv.Addr(), gl, subs, pub)
+	}
+}
+
+// runFanout is the serving-tier smoke: freeze the field at one final
+// generation and let `subs` concurrent supervised subscribers — each a
+// serial viz.RemoteAttachment over its own TCP connection — pull the same
+// frame. The publisher packs each chunk window once; every other
+// subscriber is served the cached frame zero-copy, which is what the
+// printed hit rate shows.
+func runFanout(addr string, gl, subs int, pub *dcoll.Publisher) {
+	pub.Advance() // one fresh generation for the whole fan-out
+	before := obs.Default.Snapshot().Counters
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make(chan error, subs)
+	for i := 0; i < subs; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			att, err := viz.AttachRemote(transport.TCP{}, addr, "wave", gl, dcoll.Options{})
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer att.Close()
+			frame, err := att.Snapshot(context.Background())
+			if err != nil {
+				errs <- err
+				return
+			}
+			// Every element encodes (step, global index); the frame must
+			// be one un-torn timestep.
+			s := math.Round(frame[0])
+			for g, v := range frame {
+				if math.Abs(v-s-float64(g)/1e6) > 1e-9 {
+					errs <- fmt.Errorf("subscriber: global %d holds %v at step %.0f", g, v, s)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		log.Fatalf("sim: fan-out: %v", err)
+	}
+	after := obs.Default.Snapshot().Counters
+	hits := after["collective.frame_cache_hits"] - before["collective.frame_cache_hits"]
+	misses := after["collective.frame_cache_misses"] - before["collective.frame_cache_misses"]
+	rate := 0.0
+	if hits+misses > 0 {
+		rate = 100 * float64(hits) / float64(hits+misses)
+	}
+	fmt.Printf("sim: fan-out %d subscribers in %v, frame cache %d hits / %d misses (%.1f%% hit rate)\n",
+		subs, time.Since(start).Round(time.Millisecond), hits, misses, rate)
 }
 
 func runViz(trName, addr string, n, gl, frames, sever int) {
@@ -232,10 +298,15 @@ func runViz(trName, addr string, n, gl, frames, sever int) {
 	}
 	pull := port.(ccoll.PullPort)
 
+	// Frame buffers are allocated once and reused across epochs: the pull
+	// path scatters into them in place, so the steady-state frame loop
+	// allocates nothing.
+	outs := make([][]float64, n)
+	for r := 0; r < n; r++ {
+		outs[r] = make([]float64, pull.LocalLen(r))
+	}
 	for f := 0; f < frames; f++ {
-		outs := make([][]float64, n)
 		for r := 0; r < n; r++ {
-			outs[r] = make([]float64, pull.LocalLen(r))
 			if err := pull.Pull(r, outs[r]); err != nil {
 				log.Fatalf("viz: frame %d rank %d: %v", f, r, err)
 			}

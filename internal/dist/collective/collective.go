@@ -47,6 +47,22 @@
 // typed "unknown plan"/"unknown epoch" error and transparently
 // re-exchanges — at most wasted work, never wrong data.
 //
+// # Serving many subscribers
+//
+// By default every begin snapshots afresh, so each consumer observes the
+// provider's latest data — right for a handful of attached tools.
+// Publishing WithEpochCache turns the provider into a high-fan-out
+// serving tier: the publisher owns an explicit generation (Advance opens
+// the next one), all subscribers of a generation share one snapshot, the
+// same consumer distribution deduplicates onto one plan, and each chunk
+// window is packed once into a ref-counted transport.SharedBuf that is
+// spliced zero-copy into every subscriber's reply. N subscribers then
+// cost one pack plus N writev references instead of N packs and copies.
+// Epoch lifetime is governed by generation turnover and the LRU ("end"
+// is a no-op in cache mode); eviction still surfaces as the stale
+// sentinels above. DESIGN.md §11 documents the tier; experiment E13
+// prices it at 1000 standing supervised subscribers.
+//
 // Experiment E11 (cmd/bench, EXPERIMENTS.md) measures the chunked path
 // against a single-memcpy lower bound; the examples/distviz demo runs the
 // full two-process scenario including an injected sever.
@@ -102,6 +118,16 @@ var (
 	cBytesServed   = obs.NewCounter("collective.bytes_served")
 	hExchangeNs    = obs.NewHistogram("collective.plan_exchange_ns")
 	hPullNs        = obs.NewHistogram("collective.pull_ns")
+
+	// Serving-tier cache instruments (WithEpochCache publishers): plan
+	// dedup hits on exchange, epoch reuse on begin, and packed-frame
+	// reuse on chunk. The frame hit rate is the fan-out amortization
+	// number — E13 asserts it exceeds 90% at steady state.
+	cPlanCacheHits    = obs.NewCounter("collective.plan_cache_hits")
+	cEpochCacheHits   = obs.NewCounter("collective.epoch_cache_hits")
+	cEpochCacheMisses = obs.NewCounter("collective.epoch_cache_misses")
+	cFrameCacheHits   = obs.NewCounter("collective.frame_cache_hits")
+	cFrameCacheMisses = obs.NewCounter("collective.frame_cache_misses")
 )
 
 // Options tunes a consumer attachment. The zero value is usable.

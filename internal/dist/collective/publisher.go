@@ -1,11 +1,13 @@
 package collective
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sync"
 
 	ccoll "repro/internal/cca/collective"
 	"repro/internal/orb"
+	"repro/internal/transport"
 )
 
 // Provider-side cache bounds. Plans and epochs are soft state: a consumer
@@ -16,16 +18,48 @@ const (
 	maxEpochsPerPlan = 4
 )
 
-// provPlan is one consumer's exchanged redistribution plan plus its live
-// epoch snapshots.
+// frameKey identifies one packed chunk frame within an epoch: the
+// (src,dst) pair plus the [lo, lo+count) element window. Subscribers with
+// the same plan and ChunkBytes ask for byte-identical windows, so the key
+// is exact — no partial-overlap handling.
+type frameKey struct {
+	src, dst, lo, count int32
+}
+
+// provEpoch is one epoch's snapshot plus (in epoch-cache mode) its packed
+// frame cache. snap is immutable once published; frames is guarded by mu
+// because concurrent subscribers populate it while others read.
+type provEpoch struct {
+	snap [][]float64
+	gen  int64 // publisher generation at snapshot time (0 in legacy mode)
+
+	mu     sync.Mutex
+	frames map[frameKey]*transport.SharedBuf
+}
+
+// releaseFrames drops the epoch's cached frame references. In-flight
+// sends hold their own references, so eviction never tears a write.
+func (e *provEpoch) releaseFrames() {
+	e.mu.Lock()
+	for _, b := range e.frames {
+		b.Release()
+	}
+	e.frames = nil
+	e.mu.Unlock()
+}
+
+// provPlan is one exchanged redistribution plan plus its live epoch
+// snapshots. In epoch-cache mode the plan is shared by every consumer
+// whose distribution digests identically (key), so one epoch serves the
+// whole subscriber fleet.
 type provPlan struct {
 	plan *ccoll.Plan
+	key  string // dedup digest; "" in legacy mode
 
 	nextEpoch int64
-	// epochs holds per-provider-rank data snapshots (nil for ranks the
-	// plan never reads), keyed by epoch ID; epochOrder is LRU, oldest
+	// epochs holds snapshots keyed by epoch ID; epochOrder is LRU, oldest
 	// first.
-	epochs     map[int64][][]float64
+	epochs     map[int64]*provEpoch
 	epochOrder []int64
 }
 
@@ -43,12 +77,41 @@ type Publisher struct {
 	ports []ccoll.DistArrayPort
 	side  ccoll.Side // provider side rebased to world ranks 0..M−1
 	wire  []int32    // side's canonical runs, wire form
+	cache bool       // WithEpochCache: dedup plans, share epochs, cache frames
 
 	mu        sync.Mutex
 	closed    bool
+	gen       int64 // epoch-cache generation; Advance bumps it
 	nextPlan  int64
 	plans     map[int64]*provPlan
-	planOrder []int64 // LRU, oldest first
+	planKeys  map[string]int64 // digest → plan ID (epoch-cache mode)
+	planOrder []int64          // LRU, oldest first
+}
+
+// PublishOption configures a Publisher.
+type PublishOption func(*Publisher)
+
+// WithEpochCache turns on the high-fan-out serving tier:
+//
+//   - plan dedup: consumers presenting the same distribution share one
+//     plan ID, so a thousand identical subscribers cost one plan;
+//   - epoch sharing: "begin" returns the live epoch of the current
+//     generation instead of snapshotting per consumer — every subscriber
+//     of a generation sees the same frame;
+//   - frame caching: each chunk window is packed once into a
+//     reference-counted buffer and spliced zero-copy into every
+//     subscriber's reply.
+//
+// The publisher must call Advance after mutating the underlying arrays;
+// between Advances, pulls observe the cached snapshot. Without this
+// option every begin snapshots fresh state (one-consumer-one-epoch
+// legacy semantics) and Advance is a no-op.
+func WithEpochCache() PublishOption {
+	return func(p *Publisher) {
+		p.cache = true
+		p.gen = 1
+		p.planKeys = make(map[string]int64)
+	}
 }
 
 // Publish validates the cohort and registers it on oa under Key(name).
@@ -56,7 +119,7 @@ type Publisher struct {
 // serving cohort rank i); inconsistent sides — the paper's port-information
 // consistency hazard for parallel components — are rejected here rather
 // than surfacing as silent data corruption at the first pull.
-func Publish(oa *orb.ObjectAdapter, name string, ports []ccoll.DistArrayPort) (*Publisher, error) {
+func Publish(oa *orb.ObjectAdapter, name string, ports []ccoll.DistArrayPort, opts ...PublishOption) (*Publisher, error) {
 	if len(ports) == 0 {
 		return nil, fmt.Errorf("collective: publish %q with empty cohort", name)
 	}
@@ -83,6 +146,9 @@ func Publish(oa *orb.ObjectAdapter, name string, ports []ccoll.DistArrayPort) (*
 		wire:  wire,
 		plans: make(map[int64]*provPlan),
 	}
+	for _, o := range opts {
+		o(p)
+	}
 	oa.RegisterDynamic(Key(name), p.handle)
 	return p, nil
 }
@@ -102,6 +168,19 @@ func int32sEqual(a, b []int32) bool {
 // Ranks returns the provider cohort size M.
 func (p *Publisher) Ranks() int { return len(p.ports) }
 
+// Advance declares the published arrays mutated: the next begin on any
+// plan snapshots fresh data instead of serving the live cached epoch.
+// Call it once per timestep (after the mutation), not per subscriber —
+// it is the epoch cache's only invalidation point. No-op without
+// WithEpochCache.
+func (p *Publisher) Advance() {
+	p.mu.Lock()
+	if p.cache {
+		p.gen++
+	}
+	p.mu.Unlock()
+}
+
 // Close unregisters the servant and drops all plan/epoch state. In-flight
 // consumers observe stale-plan errors on their next call and re-exchange
 // against whatever replaces this publisher (or fail if nothing does).
@@ -112,7 +191,13 @@ func (p *Publisher) Close() {
 		return
 	}
 	p.closed = true
+	for _, pp := range p.plans {
+		for _, ep := range pp.epochs {
+			ep.releaseFrames()
+		}
+	}
 	p.plans = nil
+	p.planKeys = nil
 	p.planOrder = nil
 	p.oa.Unregister(Key(p.name))
 }
@@ -147,13 +232,27 @@ func (p *Publisher) describe(args []any, reply *orb.Encoder) error {
 	return nil
 }
 
+// planDigest is the dedup key for an exchanged consumer distribution:
+// global length plus the canonical run list, byte-packed. Two consumers
+// with equal digests build byte-identical plans, so they can share one.
+func planDigest(n int32, flat []int32) string {
+	b := make([]byte, 4+4*len(flat))
+	binary.LittleEndian.PutUint32(b, uint32(n))
+	for i, v := range flat {
+		binary.LittleEndian.PutUint32(b[4+4*i:], uint32(v))
+	}
+	return string(b)
+}
+
 // exchange(int32 globalLen, []int32 consumerRuns) →
 // (int64 planID, int32 globalLen, []int32 providerRuns).
 //
 // The consumer sends its distribution; the provider validates it, builds
 // the M→N plan (provider world ranks 0..M−1, consumer M..M+N−1), caches it
 // under a fresh ID, and answers with its own distribution so the consumer
-// can build the byte-identical plan locally.
+// can build the byte-identical plan locally. In epoch-cache mode an
+// identical distribution resolves to the already-cached plan, so a fleet
+// of uniform subscribers shares one plan and one epoch stream.
 func (p *Publisher) exchange(args []any, reply *orb.Encoder) error {
 	if len(args) != 2 {
 		return fmt.Errorf("collective: exchange wants (globalLen, runs), got %d args", len(args))
@@ -165,6 +264,27 @@ func (p *Publisher) exchange(args []any, reply *orb.Encoder) error {
 	flat, ok := args[1].([]int32)
 	if !ok {
 		return fmt.Errorf("collective: exchange runs are %T, want []int32", args[1])
+	}
+	answer := func(id int64) {
+		reply.Encode(id)                            //nolint:errcheck
+		reply.Encode(int32(p.side.Map.GlobalLen())) //nolint:errcheck
+		reply.Encode(p.wire)                        //nolint:errcheck
+	}
+	var digest string
+	if p.cache {
+		digest = planDigest(n, flat)
+		p.mu.Lock()
+		if !p.closed {
+			if id, ok := p.planKeys[digest]; ok {
+				if _, err := p.lookupPlan(id); err == nil {
+					cPlanCacheHits.Inc()
+					answer(id)
+					p.mu.Unlock()
+					return nil
+				}
+			}
+		}
+		p.mu.Unlock()
 	}
 	cm, err := decodeRuns(int(n), flat)
 	if err != nil {
@@ -179,18 +299,38 @@ func (p *Publisher) exchange(args []any, reply *orb.Encoder) error {
 	if p.closed {
 		return fmt.Errorf("%s: publisher %q closed", stalePlanMsg, p.name)
 	}
+	if p.cache {
+		// Re-check under the lock: a concurrent exchange of the same
+		// distribution may have won the build race.
+		if id, ok := p.planKeys[digest]; ok {
+			if _, err := p.lookupPlan(id); err == nil {
+				cPlanCacheHits.Inc()
+				answer(id)
+				return nil
+			}
+		}
+	}
 	p.nextPlan++
 	id := p.nextPlan
-	p.plans[id] = &provPlan{plan: plan, epochs: make(map[int64][][]float64)}
+	p.plans[id] = &provPlan{plan: plan, key: digest, epochs: make(map[int64]*provEpoch)}
+	if p.cache {
+		p.planKeys[digest] = id
+	}
 	p.planOrder = append(p.planOrder, id)
 	for len(p.planOrder) > maxPlans {
 		evict := p.planOrder[0]
 		p.planOrder = p.planOrder[1:]
+		if pp := p.plans[evict]; pp != nil {
+			for _, ep := range pp.epochs {
+				ep.releaseFrames()
+			}
+			if pp.key != "" && p.planKeys[pp.key] == evict {
+				delete(p.planKeys, pp.key)
+			}
+		}
 		delete(p.plans, evict)
 	}
-	reply.Encode(id)                            //nolint:errcheck
-	reply.Encode(int32(p.side.Map.GlobalLen())) //nolint:errcheck
-	reply.Encode(p.wire)                        //nolint:errcheck
+	answer(id)
 	return nil
 }
 
@@ -211,7 +351,10 @@ func (p *Publisher) lookupPlan(id int64) (*provPlan, error) {
 
 // begin(int64 planID) → (int64 epoch). Snapshots every provider rank's
 // chunk the plan reads, so one pull observes a single consistent timestep
-// even while the simulation keeps mutating its arrays.
+// even while the simulation keeps mutating its arrays. In epoch-cache
+// mode, a live epoch of the current generation is returned as-is: the
+// snapshot (and its packed frames) amortizes over every subscriber until
+// the publisher Advances.
 func (p *Publisher) begin(args []any, reply *orb.Encoder) error {
 	if len(args) != 1 {
 		return fmt.Errorf("collective: begin wants (planID), got %d args", len(args))
@@ -225,6 +368,17 @@ func (p *Publisher) begin(args []any, reply *orb.Encoder) error {
 	pp, err := p.lookupPlan(id)
 	if err != nil {
 		return err
+	}
+	if p.cache {
+		for i := len(pp.epochOrder) - 1; i >= 0; i-- {
+			ep := pp.epochOrder[i]
+			if e := pp.epochs[ep]; e != nil && e.gen == p.gen {
+				cEpochCacheHits.Inc()
+				reply.Encode(ep) //nolint:errcheck
+				return nil
+			}
+		}
+		cEpochCacheMisses.Inc()
 	}
 	snap := make([][]float64, len(p.ports))
 	for r := range p.ports {
@@ -249,11 +403,19 @@ func (p *Publisher) begin(args []any, reply *orb.Encoder) error {
 	}
 	pp.nextEpoch++
 	ep := pp.nextEpoch
-	pp.epochs[ep] = snap
+	e := &provEpoch{snap: snap}
+	if p.cache {
+		e.gen = p.gen
+		e.frames = make(map[frameKey]*transport.SharedBuf)
+	}
+	pp.epochs[ep] = e
 	pp.epochOrder = append(pp.epochOrder, ep)
 	for len(pp.epochOrder) > maxEpochsPerPlan {
 		evict := pp.epochOrder[0]
 		pp.epochOrder = pp.epochOrder[1:]
+		if old := pp.epochs[evict]; old != nil {
+			old.releaseFrames()
+		}
 		delete(pp.epochs, evict)
 	}
 	reply.Encode(ep) //nolint:errcheck
@@ -264,10 +426,13 @@ func (p *Publisher) begin(args []any, reply *orb.Encoder) error {
 // int32 count) → []float64.
 //
 // Serves elements [lo, lo+count) of the (src → dst) pair's packed stream
-// from the epoch snapshot. The payload is packed directly into the reply
-// encoder's grown span (Float64SliceSpan + PackRangeBytes), so serving a
-// chunk is exactly one pass over the data; large chunks then ride the
-// transport's zero-copy writev path unmodified.
+// from the epoch snapshot. In legacy mode the payload is packed directly
+// into the reply encoder's grown span (Float64SliceSpan + PackRangeBytes),
+// so serving a chunk is exactly one pass over the data. In epoch-cache
+// mode the window is packed once into a reference-counted shared buffer
+// and spliced into every subscriber's reply zero-copy: N subscribers cost
+// one pack and N writev references, which is what makes publisher CPU
+// sublinear in subscriber count.
 func (p *Publisher) chunk(args []any, reply *orb.Encoder) error {
 	if len(args) != 6 {
 		return fmt.Errorf("collective: chunk wants (planID, epoch, src, dst, lo, count), got %d args", len(args))
@@ -287,8 +452,8 @@ func (p *Publisher) chunk(args []any, reply *orb.Encoder) error {
 		p.mu.Unlock()
 		return err
 	}
-	snap := pp.epochs[ep]
-	if snap == nil {
+	epoch := pp.epochs[ep]
+	if epoch == nil {
 		p.mu.Unlock()
 		err := fmt.Errorf("%s %d of plan %d", staleEpochMsg, ep, id)
 		return err
@@ -308,17 +473,68 @@ func (p *Publisher) chunk(args []any, reply *orb.Encoder) error {
 	if lo < 0 || count < 0 || int(lo)+int(count) > pair.Total() {
 		return fmt.Errorf("collective: chunk [%d,%d) of %d-element stream", lo, int(lo)+int(count), pair.Total())
 	}
-	span := reply.Float64SliceSpan(int(count))
-	if err := pair.PackRangeBytes(snap[src], int(lo), int(lo)+int(count), span); err != nil {
-		return err
+	if p.cache {
+		if err := p.chunkShared(epoch, pair, frameKey{src: src, dst: dst, lo: lo, count: count}, reply); err != nil {
+			return err
+		}
+	} else {
+		span := reply.Float64SliceSpan(int(count))
+		if err := pair.PackRangeBytes(epoch.snap[src], int(lo), int(lo)+int(count), span); err != nil {
+			return err
+		}
 	}
 	cChunksServed.Inc()
 	cBytesServed.Add(uint64(8 * int(count)))
 	return nil
 }
 
-// end(int64 planID, int64 epoch) — oneway. Releases the epoch snapshot
-// promptly; a lost "end" is harmless because epochs are LRU-evicted.
+// chunkShared serves one chunk window through the epoch's frame cache:
+// hit → splice the cached buffer; miss → pack once (outside the cache
+// lock), publish, splice. A pack race between concurrent subscribers is
+// resolved in favor of the first insert so every reply shares one buffer.
+func (p *Publisher) chunkShared(epoch *provEpoch, pair ccoll.PairStream, k frameKey, reply *orb.Encoder) error {
+	epoch.mu.Lock()
+	if b := epoch.frames[k]; b != nil {
+		err := reply.AppendSharedFloat64s(b)
+		epoch.mu.Unlock()
+		cFrameCacheHits.Inc()
+		return err
+	}
+	epoch.mu.Unlock()
+	cFrameCacheMisses.Inc()
+	buf := transport.NewSharedBuf(8 * int(k.count))
+	if err := pair.PackRangeBytes(epoch.snap[k.src], int(k.lo), int(k.lo)+int(k.count), buf.Bytes()); err != nil {
+		buf.Release()
+		return err
+	}
+	epoch.mu.Lock()
+	if b := epoch.frames[k]; b != nil {
+		// Lost the pack race: serve the winner so subscribers share bytes.
+		err := reply.AppendSharedFloat64s(b)
+		epoch.mu.Unlock()
+		buf.Release()
+		return err
+	}
+	err := reply.AppendSharedFloat64s(buf)
+	cached := false
+	if err == nil && epoch.frames != nil {
+		epoch.frames[k] = buf // the cache keeps our reference
+		cached = true
+	}
+	epoch.mu.Unlock()
+	if !cached {
+		// Epoch evicted mid-pack (or append failed): the reply still
+		// holds its own reference; drop ours.
+		buf.Release()
+	}
+	return err
+}
+
+// end(int64 planID, int64 epoch) — oneway. In legacy mode it releases the
+// per-consumer epoch snapshot promptly; a lost "end" is harmless because
+// epochs are LRU-evicted. In epoch-cache mode the epoch is shared by
+// every subscriber, so end is a no-op and generation turnover (Advance)
+// plus the LRU governs epoch lifetime.
 func (p *Publisher) end(args []any) error {
 	if len(args) != 2 {
 		return fmt.Errorf("collective: end wants (planID, epoch), got %d args", len(args))
@@ -328,10 +544,14 @@ func (p *Publisher) end(args []any) error {
 	if !ok0 || !ok1 {
 		return fmt.Errorf("collective: end argument types %T,%T", args[0], args[1])
 	}
+	if p.cache {
+		return nil
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if pp := p.plans[id]; pp != nil {
-		if _, live := pp.epochs[ep]; live {
+		if e, live := pp.epochs[ep]; live && e != nil {
+			e.releaseFrames()
 			delete(pp.epochs, ep)
 			for i, v := range pp.epochOrder {
 				if v == ep {

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 )
 
@@ -80,15 +81,43 @@ func HandlerFor(r *Registry, t *Recorder) http.Handler {
 // Handler serves the process-wide Default registry and Tracer.
 func Handler() http.Handler { return HandlerFor(Default, Tracer) }
 
+// ServeOptions configures the metrics endpoint.
+type ServeOptions struct {
+	// Pprof additionally mounts net/http/pprof's profile handlers under
+	// /debug/pprof/, so fan-out hot spots can be profiled in-situ
+	// (`go tool pprof http://<addr>/debug/pprof/profile`). Off by
+	// default: the profile endpoints can pause the process, so they must
+	// be an explicit opt-in even on loopback.
+	Pprof bool
+}
+
 // Serve exposes Handler on addr (e.g. "127.0.0.1:0") in a background
 // goroutine. It returns the bound address — useful with port 0 — and a
 // closer that shuts the listener down.
 func Serve(addr string) (bound string, closer func() error, err error) {
+	return ServeWith(addr, ServeOptions{})
+}
+
+// ServeWith is Serve with explicit options; the metrics document stays at
+// "/" either way.
+func ServeWith(addr string, opts ServeOptions) (bound string, closer func() error, err error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, err
 	}
-	srv := &http.Server{Handler: Handler()}
+	mux := http.NewServeMux()
+	mux.Handle("/", Handler())
+	if opts.Pprof {
+		// Mount explicitly on our own mux instead of relying on the
+		// DefaultServeMux side-effect registration, so the flag really
+		// gates exposure.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	srv := &http.Server{Handler: mux}
 	go srv.Serve(ln) //nolint:errcheck // exits on Close
 	return ln.Addr().String(), srv.Close, nil
 }

@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/sidl/arena"
 	"repro/internal/simd"
+	"repro/internal/transport"
 )
 
 // Codec errors.
@@ -49,13 +50,70 @@ const (
 // The zero value is ready to use.
 type Encoder struct {
 	buf []byte
+	// shared is a reference-counted payload logically appended after buf
+	// (see AppendSharedFloat64s). The encoder owns one reference until
+	// Bytes flattens it, takeShared transfers it, or Reset/PutEncoder
+	// drop it.
+	shared *transport.SharedBuf
 }
 
-// Bytes returns the encoded stream.
-func (e *Encoder) Bytes() []byte { return e.buf }
+// Bytes returns the encoded stream. A pending shared payload is
+// flattened (copied to the tail of the buffer) so the result is always
+// the complete frame; senders that can splice the payload zero-copy use
+// takeShared instead, before calling Bytes.
+func (e *Encoder) Bytes() []byte {
+	if e.shared != nil {
+		e.buf = append(e.buf, e.shared.Bytes()...)
+		e.shared.Release()
+		e.shared = nil
+	}
+	return e.buf
+}
 
 // Reset clears the encoder for reuse.
-func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+func (e *Encoder) Reset() {
+	e.buf = e.buf[:0]
+	e.dropShared()
+}
+
+// AppendSharedFloat64s encodes a float64-slice value whose element bytes
+// live in p (little-endian float64 bits; p.Len() must be a multiple of
+// 8). The encoder takes its own reference on p — the caller keeps and
+// releases its own — and the payload is logically the final bytes of the
+// stream: this must be the last value encoded. Fan-out servers splice
+// the same p into many replies without copying; every other consumer of
+// the encoder sees identical bytes via the Bytes flatten path.
+func (e *Encoder) AppendSharedFloat64s(p *transport.SharedBuf) error {
+	if e.shared != nil {
+		return fmt.Errorf("%w: shared payload already attached", ErrEncode)
+	}
+	if p.Len()%8 != 0 {
+		return fmt.Errorf("%w: shared float64 payload of %d bytes", ErrEncode, p.Len())
+	}
+	e.buf = append(e.buf, tagFloat64Slice)
+	e.u32(uint32(p.Len() / 8))
+	p.Retain()
+	e.shared = p
+	return nil
+}
+
+// takeShared transfers the pending shared payload (and its reference) to
+// the caller; after it returns non-nil, e.Bytes() is the frame prefix to
+// send ahead of the payload.
+func (e *Encoder) takeShared() *transport.SharedBuf {
+	s := e.shared
+	e.shared = nil
+	return s
+}
+
+// dropShared releases a pending shared payload, for discard paths (error
+// replies, pooling) that never send the frame.
+func (e *Encoder) dropShared() {
+	if e.shared != nil {
+		e.shared.Release()
+		e.shared = nil
+	}
+}
 
 // maxPooledBuf caps the capacity of buffers kept in the encoder pool so one
 // giant array transfer cannot pin memory for the rest of the run.
@@ -74,9 +132,14 @@ func GetEncoder() *Encoder {
 }
 
 // PutEncoder returns e to the pool. The caller must not touch e or any
-// slice obtained from e.Bytes() afterwards.
+// slice obtained from e.Bytes() afterwards. A shared payload still
+// attached (a reply discarded before sending) is released here.
 func PutEncoder(e *Encoder) {
-	if e == nil || cap(e.buf) > maxPooledBuf {
+	if e == nil {
+		return
+	}
+	e.dropShared()
+	if cap(e.buf) > maxPooledBuf {
 		return
 	}
 	encoderPool.Put(e)

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strings"
 
 	"repro/internal/transport"
 )
@@ -46,6 +47,28 @@ func (c Class) String() string {
 // calls are shed immediately instead of waiting out another dial.
 var ErrCircuitOpen = errors.New("orb: circuit breaker open")
 
+// ErrOverloaded is the typed load-shed reply: an admission-controlled
+// server (ServeWith with a MaxInflight or MaxPerKey bound, or one
+// draining toward Close) refused the request before dispatching it. The
+// request was never executed, so retrying is safe for any method —
+// idempotent or not — and the supervised client backs off and retries on
+// the same healthy connection instead of tearing it down.
+var ErrOverloaded = errors.New("orb: server overloaded")
+
+// overloadedMsg is the wire prefix of every shed reply. Shed errors cross
+// the wire as remote-exception strings, so the client re-types them by
+// prefix — same mechanism as the collective layer's stale-plan sentinels.
+const overloadedMsg = "orb: server overloaded"
+
+// IsOverloaded reports whether err is a server load-shed reply, either
+// the typed local error or its remote-exception form.
+func IsOverloaded(err error) bool {
+	if err == nil {
+		return false
+	}
+	return errors.Is(err, ErrOverloaded) || strings.Contains(err.Error(), overloadedMsg)
+}
+
 // CallError is the typed error a supervised call fails with: the
 // underlying cause plus its classification. It unwraps to the cause, so
 // errors.Is against transport.ErrClosed, ErrRemote, context.DeadlineExceeded
@@ -76,6 +99,11 @@ func Classify(err error) Class {
 		errors.Is(err, io.EOF),
 		errors.Is(err, io.ErrUnexpectedEOF),
 		errors.Is(err, net.ErrClosed):
+		return ClassRetryable
+	}
+	if IsOverloaded(err) {
+		// Shed before execution: retryable even though it arrives dressed
+		// as a remote exception (normally fatal).
 		return ClassRetryable
 	}
 	var ne net.Error // dial refused/reset/timeout arrive as *net.OpError

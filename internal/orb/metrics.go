@@ -100,4 +100,15 @@ var (
 	cSupRetries      = obs.NewCounter("orb.supervised.retries")
 	cSupRedials      = obs.NewCounter("orb.supervised.redials")
 	cSupBreakerOpens = obs.NewCounter("orb.supervised.breaker_opens")
+
+	// Serving-tier instruments: load-shed counters on the server's
+	// admission control (total sheds plus the reason split), the server's
+	// in-flight dispatch gauge, and the supervised client's
+	// overload-backoff counter (retries that kept the connection).
+	gServerInflight   = obs.NewGauge("orb.server.inflight")
+	cServerShed       = obs.NewCounter("orb.server.shed")
+	cServerShedQueue  = obs.NewCounter("orb.server.shed.queue_full")
+	cServerShedPerKey = obs.NewCounter("orb.server.shed.per_key")
+	cServerShedDrain  = obs.NewCounter("orb.server.shed.draining")
+	cSupOverloads     = obs.NewCounter("orb.supervised.overload_backoffs")
 )

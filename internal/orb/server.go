@@ -1,7 +1,10 @@
 package orb
 
 import (
+	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/obs"
 	"repro/internal/par"
@@ -23,6 +26,37 @@ func dispatchCap() int {
 	return c
 }
 
+// ServeOptions configures a server's admission control and shutdown
+// behavior. The zero value reproduces the classic Serve: unbounded
+// admission (the blocking dispatch queue is the only backpressure) and a
+// 5-second drain bound on Close.
+type ServeOptions struct {
+	// MaxInflight bounds two-way requests admitted but not yet replied
+	// to (queued + executing), across all connections. Beyond it the
+	// server sheds: the request is answered immediately with a typed
+	// retryable ErrOverloaded reply instead of executing, keeping reply
+	// tail latency flat while supervised clients back off. 0 means no
+	// bound — the read loops block when the dispatch queue fills, which
+	// back-pressures each connection instead of answering it.
+	MaxInflight int
+	// MaxPerKey bounds concurrently executing requests per servant key,
+	// so one hot object cannot starve every other servant's dispatch
+	// slots. 0 means no per-key bound.
+	MaxPerKey int
+	// DrainTimeout bounds how long Close waits for in-flight requests
+	// before tearing connections down. 0 means 5s.
+	DrainTimeout time.Duration
+}
+
+const defaultDrainTimeout = 5 * time.Second
+
+// Shed causes, pre-built so the shed path does not allocate errors.
+var (
+	errShedQueue  = fmt.Errorf("%w: dispatch queue full", ErrOverloaded)
+	errShedPerKey = fmt.Errorf("%w: per-key concurrency limit", ErrOverloaded)
+	errShedDrain  = fmt.Errorf("%w: server draining", ErrOverloaded)
+)
+
 // Server serves object-adapter requests over a transport listener — the
 // remote half of the distributed baseline and of distributed CCA port
 // connections that choose ORB transport.
@@ -33,11 +67,16 @@ func dispatchCap() int {
 // worker set (dispatchCap, shared across connections) so many in-flight
 // calls from a multiplexing client execute concurrently and one slow call
 // cannot stall the pipeline; when the cap is reached the read loop blocks,
-// which is the server's backpressure. Replies are written as handlers
+// which is the server's backpressure — unless ServeOptions enables
+// admission control, in which case excess requests are shed with a typed
+// retryable reply before they queue. Replies are written as handlers
 // complete, in any order — the transport's write coalescer batches replies
-// that complete within the same flush window into one writev.
+// that complete within the same flush window into one writev. Replies
+// carrying a shared payload (see Encoder.AppendSharedFloat64s) are spliced
+// zero-copy, so N subscribers of the same cached epoch share one buffer.
 type Server struct {
 	OA       *ObjectAdapter
+	opts     ServeOptions
 	listener transport.Listener
 	work     chan dispatchItem
 	wg       sync.WaitGroup // accept loop + per-connection read loops
@@ -45,28 +84,47 @@ type Server struct {
 	mu       sync.Mutex
 	stopped  bool
 	conns    map[transport.Conn]struct{}
+
+	inflight atomic.Int64 // admitted two-way requests not yet replied to
+	draining atomic.Bool  // Close in progress: shed instead of admit
+	perKey   sync.Map     // servant key → *atomic.Int64 executing count
 }
 
 // dispatchItem is one two-way request handed from a read loop to the
 // dispatch workers. req is the pooled frame; the body follows its
 // correlation+trace header. recvMono is the read loop's arrival clock for
 // traced frames (0 otherwise) — the dispatch span turns it into queueing
-// delay.
+// delay. keyCtr, when non-nil, is the per-key concurrency cell the worker
+// must decrement after replying.
 type dispatchItem struct {
 	conn     transport.Conn
 	id       uint64
 	trace    uint64
 	recvMono int64
 	req      []byte
+	keyCtr   *atomic.Int64
 }
 
 // Serve starts accepting connections on l, dispatching each request frame
-// through the adapter. It returns immediately; Stop shuts the server down.
+// through the adapter. It returns immediately; Stop (or the graceful
+// Close) shuts the server down. Admission control is off — see ServeWith.
 func Serve(oa *ObjectAdapter, l transport.Listener) *Server {
+	return ServeWith(oa, l, ServeOptions{})
+}
+
+// ServeWith is Serve with explicit admission-control and drain options.
+func ServeWith(oa *ObjectAdapter, l transport.Listener, opts ServeOptions) *Server {
+	qcap := dispatchCap()
+	if opts.MaxInflight > qcap {
+		// The queue must hold every admitted request, or enqueue would
+		// block before the shed check ever fires.
+		qcap = opts.MaxInflight
+	}
 	s := &Server{
 		OA:       oa,
+		opts:     opts,
 		listener: l,
-		work:     make(chan dispatchItem, dispatchCap()),
+		work:     make(chan dispatchItem, qcap),
 		conns:    map[transport.Conn]struct{}{},
 	}
 	// Persistent dispatch workers rather than a goroutine per request: a
@@ -83,9 +141,24 @@ func Serve(oa *ObjectAdapter, l transport.Listener) *Server {
 				// A write failure is connection-level; the read loop
 				// observes it on its next Recv and tears the connection
 				// down.
-				it.conn.Send(rep.Bytes()) //nolint:errcheck
+				if sp := rep.takeShared(); sp != nil {
+					// Fan-out reply: splice the shared payload after the
+					// per-request prefix without flattening it into the
+					// encoder. The worker's reference (taken from the
+					// encoder) outlives the send.
+					transport.SendShared(it.conn, rep.Bytes(), sp) //nolint:errcheck
+					sp.Release()
+				} else {
+					it.conn.Send(rep.Bytes()) //nolint:errcheck
+				}
 				PutEncoder(rep)
 				transport.ReleaseFrame(it.req)
+				if it.keyCtr != nil {
+					it.keyCtr.Add(-1)
+				}
+				if n := s.inflight.Add(-1); obs.MetricsEnabled() {
+					gServerInflight.Set(n)
+				}
 			}
 		}()
 	}
@@ -140,16 +213,91 @@ func (s *Server) serveConn(conn transport.Conn) {
 			recvMono = obs.Mono()
 		}
 		if id == onewayID {
+			if s.draining.Load() {
+				// Oneways have no reply to shed onto; drop them.
+				transport.ReleaseFrame(req)
+				continue
+			}
 			if e := s.OA.dispatchBody(body, true, trace, recvMono); e != nil {
 				PutEncoder(e) // defensive: oneway dispatch returns nil
 			}
 			transport.ReleaseFrame(req)
 			continue
 		}
+		keyCtr, ok := s.admit(conn, id, trace, body)
+		if !ok {
+			transport.ReleaseFrame(req)
+			continue
+		}
 		// Blocks when every worker is busy and the queue is full — the
-		// server's backpressure.
-		s.work <- dispatchItem{conn: conn, id: id, trace: trace, recvMono: recvMono, req: req}
+		// server's backpressure (with MaxInflight set, the shed check in
+		// admit fires first and this never blocks).
+		s.work <- dispatchItem{conn: conn, id: id, trace: trace, recvMono: recvMono,
+			req: req, keyCtr: keyCtr}
 	}
+}
+
+// admit runs the admission checks for one two-way request, answering a
+// typed retryable ErrOverloaded reply on the request's own correlation ID
+// when it is shed. It reports whether the request may be dispatched; on
+// true the inflight count (and the returned per-key cell, when non-nil)
+// is already charged, and the dispatch worker un-charges both after
+// replying.
+func (s *Server) admit(conn transport.Conn, id, trace uint64, body []byte) (*atomic.Int64, bool) {
+	if s.draining.Load() {
+		s.shed(conn, id, trace, errShedDrain, cServerShedDrain)
+		return nil, false
+	}
+	n := s.inflight.Add(1)
+	if max := int64(s.opts.MaxInflight); max > 0 && n > max {
+		s.inflight.Add(-1)
+		s.shed(conn, id, trace, errShedQueue, cServerShedQueue)
+		return nil, false
+	}
+	if obs.MetricsEnabled() {
+		gServerInflight.Set(n)
+	}
+	ctr := s.keyCtrFor(body)
+	if ctr != nil && ctr.Add(1) > int64(s.opts.MaxPerKey) {
+		ctr.Add(-1)
+		s.inflight.Add(-1)
+		s.shed(conn, id, trace, errShedPerKey, cServerShedPerKey)
+		return nil, false
+	}
+	return ctr, true
+}
+
+// keyCtrFor returns the per-key concurrency cell for the request body's
+// servant key, or nil when per-key limiting is off or the key cannot be
+// decoded (dispatch will answer the decode error). The key peek reuses
+// the interned-string decode, so at steady state it costs one hash probe
+// and no allocation.
+func (s *Server) keyCtrFor(body []byte) *atomic.Int64 {
+	if s.opts.MaxPerKey <= 0 {
+		return nil
+	}
+	d := Decoder{buf: body}
+	key, err := d.decodeStringInterned()
+	if err != nil {
+		return nil
+	}
+	if v, ok := s.perKey.Load(key); ok {
+		return v.(*atomic.Int64)
+	}
+	v, _ := s.perKey.LoadOrStore(key, new(atomic.Int64))
+	return v.(*atomic.Int64)
+}
+
+// shed answers a refused request immediately with the typed overload
+// reply. The Send is best-effort — a dead connection surfaces on the read
+// loop's next Recv.
+func (s *Server) shed(conn transport.Conn, id, trace uint64, cause error, reason *obs.Counter) {
+	cServerShed.Inc()
+	reason.Inc()
+	e := errReply(cause)
+	stampReply(e, id, trace)
+	conn.Send(e.Bytes()) //nolint:errcheck
+	PutEncoder(e)
 }
 
 // Addr reports the served address.
@@ -157,8 +305,18 @@ func (s *Server) Addr() string { return s.listener.Addr() }
 
 // Stop closes the listener and every live connection, waits for the read
 // loops to exit, then drains and retires the dispatch workers. Clients with
-// outstanding requests observe transport.ErrClosed.
-func (s *Server) Stop() {
+// outstanding requests observe transport.ErrClosed; Close is the graceful
+// variant.
+func (s *Server) Stop() { s.shutdown(false) }
+
+// Close gracefully drains the server: stop accepting connections, answer
+// newly arriving requests with the typed retryable ErrOverloaded reply,
+// wait (bounded by DrainTimeout) for every in-flight dispatch to finish
+// and its reply to reach the socket, then tear down as Stop does. Clients
+// see their outstanding calls complete instead of transport.ErrClosed.
+func (s *Server) Close() { s.shutdown(true) }
+
+func (s *Server) shutdown(graceful bool) {
 	s.mu.Lock()
 	if s.stopped {
 		s.mu.Unlock()
@@ -170,7 +328,29 @@ func (s *Server) Stop() {
 		conns = append(conns, c)
 	}
 	s.mu.Unlock()
+	if graceful {
+		s.draining.Store(true)
+	}
 	s.listener.Close()
+	if graceful {
+		// Read loops stay up through the drain so replies still flow and
+		// late requests are shed rather than torn off.
+		d := s.opts.DrainTimeout
+		if d <= 0 {
+			d = defaultDrainTimeout
+		}
+		deadline := time.Now().Add(d)
+		for s.inflight.Load() > 0 && time.Now().Before(deadline) {
+			time.Sleep(100 * time.Microsecond)
+		}
+		// Workers have handed their replies to the transport; wait for
+		// buffered write sides to reach the socket before closing them.
+		for _, c := range conns {
+			if wd, ok := c.(transport.WriteDrainer); ok {
+				wd.DrainWrites()
+			}
+		}
+	}
 	for _, c := range conns {
 		c.Close()
 	}

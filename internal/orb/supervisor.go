@@ -457,9 +457,13 @@ func (s *Supervised) InvokeRawContext(ctx context.Context, key, method string, a
 // retries idempotent-marked methods per SupervisorOptions.
 func (s *Supervised) supervisedDo(ctx context.Context, method string, call func(ctx context.Context, c *Client) error) error {
 	idem := s.opts.Idempotent != nil && s.opts.Idempotent(method)
-	attempts := 1
-	if idem {
-		attempts = s.opts.MaxAttempts
+	// Every method gets the full attempt budget: non-idempotent calls
+	// still return on the first connection-level failure (below), but
+	// load-shed replies arrive before the server executes anything, so
+	// they are safe to retry regardless of idempotence.
+	attempts := s.opts.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
 	}
 	var lastErr error
 	for attempt := 0; attempt < attempts; attempt++ {
@@ -501,6 +505,15 @@ func (s *Supervised) supervisedDo(ctx context.Context, method string, call func(
 			// connection itself may be healthy — do not tear it down.
 			lastErr = classed(ClassTimeout, err)
 		case ClassRetryable:
+			if IsOverloaded(err) {
+				// The server shed the request before executing it: the
+				// connection is healthy, so back off and retry on it
+				// instead of tearing it down — redialing a loaded server
+				// would only add dial storms to the overload.
+				cSupOverloads.Inc()
+				lastErr = classed(ClassRetryable, err)
+				continue
+			}
 			s.dropClient(c, g, err)
 			lastErr = classed(ClassRetryable, err)
 			if !idem {

@@ -45,6 +45,15 @@
 //     steady-state path allocation- and syscall-free at the price of
 //     bounded wakeup latency on idle connections.
 //
+// For broadcast fan-out, SendShared sends one header plus a
+// reference-counted SharedBuf payload: serving tiers pack a payload once
+// and write the same bytes to many connections. The TCP coalescer
+// splices the payload into its writev queue zero-copy (the segment holds
+// its own reference until the flush retires); other backends fall back
+// to a single pooled copy. WriteDrainer exposes the coalescer's
+// write-side barrier, which graceful server shutdown uses to push the
+// last replies to the socket before closing.
+//
 // Faulty wraps any backend for chaos testing: injected dial failures,
 // send/recv severs, and latency. The conformance suite in
 // conformance_test.go runs every backend through one table of

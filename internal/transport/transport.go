@@ -523,6 +523,14 @@ func (c *tcpConn) Send(frame []byte) error {
 	} else {
 		c.wsegs = append(c.wsegs, wseg{ref: frame})
 	}
+	return c.commitLocked(small)
+}
+
+// commitLocked finishes a queued send: accounts the frame, elects or
+// defers to the flush leader, and returns the write-side verdict. Called
+// with wmu held and the frame's segments already appended; returns with
+// wmu released.
+func (c *tcpConn) commitLocked(small bool) error {
 	c.nq++
 	mySeq := c.nq
 	switch {
@@ -553,6 +561,18 @@ func (c *tcpConn) Send(frame []byte) error {
 	return err
 }
 
+// DrainWrites implements WriteDrainer: block until every frame queued
+// before the call has been written to the socket or the write side
+// failed. Safe to call concurrently with senders; frames queued after
+// the call may or may not be covered.
+func (c *tcpConn) DrainWrites() {
+	c.wmu.Lock()
+	for (c.flushing || c.ndone < c.nq) && c.werr == nil {
+		c.wcond.Wait()
+	}
+	c.wmu.Unlock()
+}
+
 // flushLoop runs the group-commit leader: flush windows until the queue is
 // empty or the write side fails. Called with wmu held and the flushing flag
 // claimed; returns with wmu held and the flag released.
@@ -578,6 +598,9 @@ func (c *tcpConn) flushLoop() {
 		c.flush()
 	}
 	c.flushing = false
+	// flush broadcasts while the flag is still claimed; wake DrainWrites
+	// waiters that need to observe the leader retiring.
+	c.wcond.Broadcast()
 }
 
 // appendSmall copies b into the coalesce buffer, merging into the previous

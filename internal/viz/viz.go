@@ -13,16 +13,20 @@
 package viz
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
 	"strings"
 	"sync"
 
+	"repro/internal/array"
 	"repro/internal/cca"
 	"repro/internal/cca/collective"
+	dcoll "repro/internal/dist/collective"
 	"repro/internal/hydro"
 	"repro/internal/mpi"
+	"repro/internal/transport"
 )
 
 // StatsMonitor is a monitor component recording (and optionally printing)
@@ -205,3 +209,46 @@ func (a *Attachment) Snapshot(comm *mpi.Comm) ([]float64, error) {
 	}
 	return out, nil
 }
+
+// RemoteAttachment is the cross-process form of Attachment: a serial viz
+// tool pulling a published distributed array over the ORB serving tier
+// (repro/internal/dist/collective) instead of an in-process collective
+// connection. The pull buffer is allocated once and reused across epochs,
+// so a steady-state frame loop allocates nothing — the renderer reads
+// each frame before pulling the next.
+type RemoteAttachment struct {
+	imp *dcoll.Import
+	buf []float64
+}
+
+// AttachRemote dials a published collective port (see dcoll.Publish) and
+// plans the whole globalLen-element array onto this process as one serial
+// rank. The connection is supervised: severed links heal with backoff,
+// and opts.Supervisor observes health transitions.
+func AttachRemote(tr transport.Transport, addr, name string, globalLen int, opts dcoll.Options) (*RemoteAttachment, error) {
+	imp, err := dcoll.Attach(tr, addr, name, array.NewSerialMap(globalLen), opts)
+	if err != nil {
+		return nil, err
+	}
+	return &RemoteAttachment{imp: imp}, nil
+}
+
+// Snapshot pulls one epoch-consistent frame into the reused buffer. The
+// returned slice aliases the attachment's buffer: it is valid until the
+// next Snapshot call.
+func (a *RemoteAttachment) Snapshot(ctx context.Context) ([]float64, error) {
+	if a.buf == nil {
+		a.buf = make([]float64, a.imp.GlobalLen())
+	}
+	if err := a.imp.PullContext(ctx, 0, a.buf); err != nil {
+		return nil, err
+	}
+	return a.buf, nil
+}
+
+// Import exposes the underlying consumer attachment (supervision state,
+// provider cohort size).
+func (a *RemoteAttachment) Import() *dcoll.Import { return a.imp }
+
+// Close releases the supervised connection.
+func (a *RemoteAttachment) Close() error { return a.imp.Close() }
