@@ -1,0 +1,181 @@
+package main
+
+// E14 — live recovery: checkpoint/restore latency across payload sizes,
+// and the hot-swap window under standing load. The first half prices the
+// ckpt wire format (what a RestartPolicy replay or a swap's state transfer
+// costs at 8 KiB, 1 MiB, and 64 MiB of solver state); the second half
+// measures what callers actually experience during Framework.Swap — the
+// quiesce-drain-rewire window, during which new GetPort acquisitions shed
+// with the typed retryable cca.ErrPortQuiescing and nothing else.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cca"
+	"repro/internal/cca/framework"
+	"repro/internal/ckpt"
+)
+
+// e14Vec is a minimal Checkpointable: one named float64 vector, the shape
+// of real solver state.
+type e14Vec struct{ data []float64 }
+
+func (v *e14Vec) Checkpoint(w io.Writer) error {
+	cw := ckpt.NewWriter(w)
+	cw.Float64s("x", v.data)
+	return cw.Close()
+}
+
+func (v *e14Vec) Restore(r io.Reader) error {
+	cr, err := ckpt.NewReader(r)
+	if err != nil {
+		return err
+	}
+	v.data, err = cr.Float64s("x")
+	return err
+}
+
+// e14Adder is the swappable component under load: provides "add", carries
+// one float64 of state across swaps.
+type e14Adder struct {
+	svc  cca.Services
+	bias float64
+}
+
+func (a *e14Adder) SetServices(svc cca.Services) error {
+	a.svc = svc
+	return svc.AddProvidesPort(a, cca.PortInfo{Name: "add", Type: "bench.Add"})
+}
+
+func (a *e14Adder) Compute(x float64) float64 { return x + a.bias }
+
+func (a *e14Adder) Checkpoint(w io.Writer) error {
+	cw := ckpt.NewWriter(w)
+	cw.Float64("bias", a.bias)
+	return cw.Close()
+}
+
+func (a *e14Adder) Restore(r io.Reader) error {
+	cr, err := ckpt.NewReader(r)
+	if err != nil {
+		return err
+	}
+	a.bias, err = cr.Float64("bias")
+	return err
+}
+
+type e14User struct{ svc cca.Services }
+
+func (u *e14User) SetServices(svc cca.Services) error {
+	u.svc = svc
+	return svc.RegisterUsesPort(cca.PortInfo{Name: "add", Type: "bench.Add"})
+}
+
+func e14() {
+	// Checkpoint/restore latency vs payload size.
+	fmt.Printf("%-10s %14s %14s %12s\n", "payload", "ckpt µs", "restore µs", "MB/s (ckpt)")
+	for _, sz := range []struct {
+		name  string
+		bytes int
+	}{{"8KiB", 8 << 10}, {"1MiB", 1 << 20}, {"64MiB", 64 << 20}} {
+		v := &e14Vec{data: make([]float64, sz.bytes/8)}
+		var buf bytes.Buffer
+		buf.Grow(sz.bytes + 1024)
+		ckNs, ckAllocs := measureAllocs(func() {
+			buf.Reset()
+			if err := v.Checkpoint(&buf); err != nil {
+				panic(err)
+			}
+		})
+		state := append([]byte(nil), buf.Bytes()...)
+		into := &e14Vec{}
+		reNs, reAllocs := measureAllocs(func() {
+			if err := ckpt.Unmarshal(state, into); err != nil {
+				panic(err)
+			}
+		})
+		record("e14", "checkpoint/"+sz.name, ckNs, ckAllocs)
+		record("e14", "restore/"+sz.name, reNs, reAllocs)
+		fmt.Printf("%-10s %14.1f %14.1f %12.0f\n",
+			sz.name, ckNs/1e3, reNs/1e3, float64(sz.bytes)/ckNs*1e3)
+	}
+
+	// Swap window under standing load: W workers hammer the port while the
+	// instance is hot-swapped repeatedly; the only error a worker may ever
+	// see is the typed retryable shed.
+	const workers = 4
+	swaps := 50
+	if *quick {
+		swaps = 15
+	}
+	fw := framework.New(framework.Options{})
+	check(fw.Install("adder", &e14Adder{bias: 1}))
+	u := &e14User{}
+	check(fw.Install("load", u))
+	_, err := fw.Connect("load", "add", "adder", "add")
+	check(err)
+
+	var stop atomic.Bool
+	var calls, sheds atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				port, err := u.svc.GetPort("add")
+				if err != nil {
+					if !errors.Is(err, cca.ErrPortQuiescing) {
+						panic(fmt.Sprintf("e14: worker saw non-retryable error: %v", err))
+					}
+					sheds.Add(1)
+					continue
+				}
+				if got := port.(*e14Adder).Compute(1); got < 2 {
+					panic(fmt.Sprintf("e14: stale state after swap: %v", got))
+				}
+				u.svc.ReleasePort("add")
+				calls.Add(1)
+			}
+		}()
+	}
+
+	// Interleave for real: each swap waits until the load has made calls
+	// since the previous one, so every window is measured against live
+	// traffic rather than a not-yet-scheduled worker pool.
+	windows := make([]time.Duration, 0, swaps)
+	var last int64
+	for i := 0; i < swaps; i++ {
+		for calls.Load() <= last {
+			time.Sleep(50 * time.Microsecond)
+		}
+		last = calls.Load()
+		repl := &e14Adder{}
+		start := time.Now()
+		if err := fw.Swap("adder", repl, framework.SwapOptions{}); err != nil {
+			panic(err)
+		}
+		windows = append(windows, time.Since(start))
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	p50, p99 := e13Quantiles(windows)
+	record("e14", fmt.Sprintf("swap-window/workers=%d/p50", workers), float64(p50.Nanoseconds()), -1)
+	record("e14", fmt.Sprintf("swap-window/workers=%d/p99", workers), float64(p99.Nanoseconds()), -1)
+	record("e14", "swap-window/sheds", float64(sheds.Load()), -1)
+	record("e14", "swap-window/calls", float64(calls.Load()), -1)
+	fmt.Printf("\nswap window under load (%d workers, %d swaps, state carried each time):\n",
+		workers, swaps)
+	fmt.Printf("  p50 %v  p99 %v  calls %d  sheds %d (all typed retryable)\n",
+		p50, p99, calls.Load(), sheds.Load())
+	if calls.Load() == 0 {
+		check(fmt.Errorf("e14: load never completed a call"))
+	}
+}

@@ -46,6 +46,13 @@
 //	                              with backoff, retries idempotent calls,
 //	                              and circuit-breaks per the flags above
 //	health <instance> <port>      show a provides port's connection health
+//	checkpoint <instance> <file>  save a Checkpointable instance's state to
+//	                              a checkpoint file (atomic temp+rename)
+//	restore <instance> <file>     restore an instance from a checkpoint file
+//	swap <instance> <type>        hot-swap a running instance for a fresh
+//	                              one of a repository type: connections are
+//	                              re-wired live, state carries over when
+//	                              both sides are Checkpointable
 //	stats [prefix]                dump framework/ORB/transport metrics,
 //	                              optionally filtered by name prefix
 //	trace on|off                  toggle port-call tracing
@@ -67,6 +74,8 @@ import (
 	"time"
 
 	"repro/internal/cca"
+	"repro/internal/cca/framework"
+	"repro/internal/ckpt"
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/esi"
@@ -273,6 +282,12 @@ func (sh *shell) exec(line string) bool {
 		if h, err = sh.app.Fw.PortHealth(args[0], args[1]); err == nil {
 			fmt.Printf("  %s.%s: %s\n", args[0], args[1], h)
 		}
+	case "checkpoint":
+		err = sh.checkpoint(args)
+	case "restore":
+		err = sh.restore(args)
+	case "swap":
+		err = sh.swap(args)
 	case "stats":
 		sh.stats(args)
 	case "trace":
@@ -404,6 +419,72 @@ func (sh *shell) solve(args []string) error {
 	}
 	fmt.Printf("  converged=%v iters=%d relres=%.3e max|x-1|=%.3e\n",
 		solver.Converged(), iters, solver.FinalResidual(), maxErr)
+	return nil
+}
+
+// checkpointable fetches an instance that implements the optional
+// cca.Checkpointable port interface.
+func (sh *shell) checkpointable(instance string) (cca.Checkpointable, error) {
+	comp, ok := sh.app.Component(instance)
+	if !ok {
+		return nil, fmt.Errorf("no instance %q", instance)
+	}
+	c, ok := comp.(cca.Checkpointable)
+	if !ok {
+		return nil, fmt.Errorf("%q (%T) is not Checkpointable", instance, comp)
+	}
+	return c, nil
+}
+
+// checkpoint saves an instance's state to a checkpoint file.
+func (sh *shell) checkpoint(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: checkpoint <instance> <file>")
+	}
+	c, err := sh.checkpointable(args[0])
+	if err != nil {
+		return err
+	}
+	if err := ckpt.SaveTo(args[1], c); err != nil {
+		return err
+	}
+	fi, err := os.Stat(args[1])
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  checkpointed %s to %s (%d bytes)\n", args[0], args[1], fi.Size())
+	return nil
+}
+
+// restore replays a checkpoint file into an instance.
+func (sh *shell) restore(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: restore <instance> <file>")
+	}
+	c, err := sh.checkpointable(args[0])
+	if err != nil {
+		return err
+	}
+	if err := ckpt.LoadInto(args[1], c); err != nil {
+		return err
+	}
+	fmt.Printf("  restored %s from %s\n", args[0], args[1])
+	return nil
+}
+
+// swap hot-swaps a running instance for a fresh one of a repository type.
+func (sh *shell) swap(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: swap <instance> <type>")
+	}
+	repl, err := sh.app.Repo.Instantiate(args[1])
+	if err != nil {
+		return err
+	}
+	if err := sh.app.Fw.Swap(args[0], repl, framework.SwapOptions{}); err != nil {
+		return err
+	}
+	fmt.Printf("  swapped %s to a fresh %s\n", args[0], args[1])
 	return nil
 }
 

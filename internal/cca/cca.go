@@ -35,6 +35,7 @@ package cca
 import (
 	"errors"
 	"fmt"
+	"io"
 	"sort"
 )
 
@@ -93,6 +94,39 @@ type ComponentRelease interface {
 	ReleaseServices() error
 }
 
+// Checkpointable is the optional port interface behind live hot-swap and
+// crash restart: a component that implements it can externalize its state
+// as an opaque byte stream and later reconstruct itself from one — in the
+// same process (framework Swap), a different process, or after a
+// kill-and-restart (orb RestartPolicy). Implementations conventionally
+// write the repro/internal/ckpt wire format (versioned, length-prefixed,
+// CRC-guarded named sections), which is what the corruption guarantees in
+// that package's docs assume; the framework itself treats the stream as
+// opaque bytes.
+//
+// Checkpoint must capture a consistent snapshot — callers quiesce the
+// component's ports first, so no port call is in flight during either
+// method. Restore must leave the component equivalent to the one that
+// checkpointed: resuming a restored iterative solver converges to the same
+// answer the uninterrupted run produces.
+type Checkpointable interface {
+	Checkpoint(w io.Writer) error
+	Restore(r io.Reader) error
+}
+
+// Quiescer is the quiesce surface a Services handle exposes when its
+// framework supports live component replacement (the reference framework
+// does). Quiesce flips the named provides port's shared health cell to
+// Degraded — so supervised callers observe the window through the ordinary
+// event stream — then drains: it blocks until every outstanding GetPort
+// acquisition of the port has been released. While quiesced, new GetPort
+// calls shed with ErrPortQuiescing, a typed retryable error. Resume
+// returns the port to Healthy and re-admits acquisitions.
+type Quiescer interface {
+	Quiesce(port string) error
+	Resume(port string) error
+}
+
 // Errors reported by Services implementations and frameworks.
 var (
 	ErrPortExists       = errors.New("cca: port already registered")
@@ -103,6 +137,11 @@ var (
 	ErrTypeMismatch     = errors.New("cca: port types are incompatible")
 	ErrNilPort          = errors.New("cca: nil port")
 	ErrConnectionBroken = errors.New("cca: connection broken")
+	// ErrPortQuiescing is the typed retryable error GetPort sheds while a
+	// provides port is quiesced for checkpoint or swap: the provider is
+	// healthy and will re-admit acquisitions when the window closes, so
+	// callers should back off briefly and retry rather than fail.
+	ErrPortQuiescing = errors.New("cca: port quiescing (retry shortly)")
 )
 
 // Health is the framework-tracked state of a connection to a (possibly
@@ -203,6 +242,10 @@ const (
 	EventConnectionDegraded
 	EventConnectionRestored
 	EventConnectionBroken
+	// EventComponentSwapped reports a live hot-swap: the named instance was
+	// replaced by a new component (possibly carrying checkpointed state)
+	// with its connections re-wired in place.
+	EventComponentSwapped
 )
 
 func (k EventKind) String() string {
@@ -223,6 +266,8 @@ func (k EventKind) String() string {
 		return "connection-restored"
 	case EventConnectionBroken:
 		return "connection-broken"
+	case EventComponentSwapped:
+		return "component-swapped"
 	default:
 		return fmt.Sprintf("event(%d)", int(k))
 	}

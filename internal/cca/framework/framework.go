@@ -309,7 +309,7 @@ func (f *Framework) Connect(user, usesPort, provider, providesPort string) (cca.
 	// captured the old slice under the read lock keep a consistent view.
 	next := make([]connection, len(ue.conns)+1)
 	copy(next, ue.conns)
-	next[len(ue.conns)] = connection{id: id, port: port, health: pe.health}
+	next[len(ue.conns)] = connection{id: id, port: port, health: pe.health, gate: pe.gate}
 	ue.conns = next
 	f.mu.Unlock()
 
@@ -465,12 +465,18 @@ type providesEntry struct {
 	// health transition reported once (SetPortHealth) is visible to every
 	// GetPort through any connection snapshot without republishing slices.
 	health *atomic.Int32
+	// gate is the shared quiesce gate: while set, GetPort acquisitions of
+	// any connection to this port shed with cca.ErrPortQuiescing (typed
+	// retryable) so the provider can drain to zero outstanding calls for a
+	// checkpoint or swap. Shared by pointer exactly like health.
+	gate *atomic.Bool
 }
 
 type connection struct {
 	id     cca.ConnectionID
 	port   cca.Port
 	health *atomic.Int32 // shared with the provides entry; nil ⇒ always healthy
+	gate   *atomic.Bool  // shared quiesce gate; nil ⇒ never quiesced
 }
 
 // inUse packing: the low 32 bits of usesEntry.inUse hold the
@@ -529,7 +535,8 @@ func (s *services) AddProvidesPort(port cca.Port, info cca.PortInfo) error {
 	if _, dup := s.uses[info.Name]; dup {
 		return fmt.Errorf("%w: %s.%s registered as uses", cca.ErrPortExists, s.name, info.Name)
 	}
-	s.provides[info.Name] = providesEntry{port: port, info: info, health: new(atomic.Int32)}
+	s.provides[info.Name] = providesEntry{port: port, info: info,
+		health: new(atomic.Int32), gate: new(atomic.Bool)}
 	return nil
 }
 
@@ -602,6 +609,11 @@ func (s *services) GetPort(name string) (cca.Port, error) {
 		if h := conns[0].health; h != nil && cca.Health(h.Load()) == cca.HealthBroken {
 			return nil, fmt.Errorf("%w: %v", cca.ErrConnectionBroken, conns[0].id)
 		}
+		// A quiesced provider sheds acquisitions with a typed retryable
+		// error instead of admitting a call the drain would then wait on.
+		if g := conns[0].gate; g != nil && g.Load() {
+			return nil, fmt.Errorf("%w: %v", cca.ErrPortQuiescing, conns[0].id)
+		}
 		ue.inUse.Add(acqOne | 1) // one acquisition, one outstanding
 		return conns[0].port, nil
 	default:
@@ -623,6 +635,9 @@ func (s *services) GetPorts(name string) ([]cca.Port, error) {
 	}
 	out := make([]cca.Port, len(conns))
 	for i, c := range conns {
+		if g := c.gate; g != nil && g.Load() {
+			return nil, fmt.Errorf("%w: %v", cca.ErrPortQuiescing, c.id)
+		}
 		out[i] = c.port
 	}
 	n := int64(len(out))

@@ -1,0 +1,473 @@
+package framework
+
+// Quiesce and Swap: the live-replacement path. The standing-load test is
+// the package-level statement of the PR's acceptance criterion — a caller
+// hammering a port through a swap window sees only the typed retryable
+// cca.ErrPortQuiescing, never a torn topology or a wrong answer.
+
+import (
+	"errors"
+	"io"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cca"
+	"repro/internal/ckpt"
+)
+
+// statefulAdder is a checkpointable provider: bias is the state a swap
+// must carry.
+type statefulAdder struct {
+	svc      cca.Services
+	bias     float64
+	released atomic.Bool
+}
+
+func (a *statefulAdder) SetServices(svc cca.Services) error {
+	a.svc = svc
+	return svc.AddProvidesPort(a, cca.PortInfo{Name: "add", Type: "test.AddPort"})
+}
+
+func (a *statefulAdder) ReleaseServices() error {
+	a.released.Store(true)
+	return nil
+}
+
+func (a *statefulAdder) Add(x, y float64) float64 { return x + y + a.bias }
+
+func (a *statefulAdder) Checkpoint(wr io.Writer) error {
+	w := ckpt.NewWriter(wr)
+	w.Float64("bias", a.bias)
+	return w.Close()
+}
+
+func (a *statefulAdder) Restore(rd io.Reader) error {
+	r, err := ckpt.NewReader(rd)
+	if err != nil {
+		return err
+	}
+	a.bias, err = r.Float64("bias")
+	return err
+}
+
+var _ cca.Checkpointable = (*statefulAdder)(nil)
+
+func newStatefulConnected(t *testing.T, bias float64) (*Framework, *callerComponent, *statefulAdder) {
+	t.Helper()
+	f := New(Options{})
+	adder := &statefulAdder{bias: bias}
+	caller := &callerComponent{}
+	if err := f.Install("adder", adder); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Install("caller", caller); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Connect("caller", "sum", "adder", "add"); err != nil {
+		t.Fatal(err)
+	}
+	return f, caller, adder
+}
+
+func TestQuiesceShedsAndDrains(t *testing.T) {
+	f, caller, _ := newStatefulConnected(t, 0)
+	var events []cca.EventKind
+	var emu sync.Mutex
+	f.AddEventListener(cca.EventListenerFunc(func(e cca.Event) {
+		emu.Lock()
+		events = append(events, e.Kind)
+		emu.Unlock()
+	}))
+
+	// Hold an acquisition so the drain has something to wait for.
+	if _, err := caller.svc.GetPort("sum"); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- f.Quiesce("adder", "add", 5*time.Second) }()
+
+	// The gate closes promptly even while the drain is blocked: new
+	// acquisitions shed with the typed retryable error.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, err := caller.svc.GetPort("sum"); errors.Is(err, cca.ErrPortQuiescing) {
+			break // shed before any acquisition: nothing to release
+		} else if err == nil {
+			caller.svc.ReleasePort("sum")
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("GetPort never started shedding")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case err := <-done:
+		t.Fatalf("quiesce returned with an acquisition outstanding: %v", err)
+	default:
+	}
+
+	// Releasing the held acquisition completes the drain.
+	if err := caller.svc.ReleasePort("sum"); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("quiesce: %v", err)
+	}
+
+	// The port stays gated after Quiesce returns — the quiesced window —
+	// until Resume lifts it.
+	if _, err := caller.svc.GetPort("sum"); !errors.Is(err, cca.ErrPortQuiescing) {
+		t.Errorf("gated GetPort = %v, want ErrPortQuiescing", err)
+	}
+	if h, _ := f.PortHealth("adder", "add"); h != cca.HealthDegraded {
+		t.Errorf("health during window = %v, want Degraded", h)
+	}
+	if err := f.Resume("adder", "add"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := caller.svc.GetPort("sum"); err != nil {
+		t.Errorf("GetPort after resume: %v", err)
+	}
+	caller.svc.ReleasePort("sum")
+	if h, _ := f.PortHealth("adder", "add"); h != cca.HealthHealthy {
+		t.Errorf("health after resume = %v", h)
+	}
+
+	emu.Lock()
+	defer emu.Unlock()
+	var sawDegraded, sawRestored bool
+	for _, k := range events {
+		switch k {
+		case cca.EventConnectionDegraded:
+			sawDegraded = true
+		case cca.EventConnectionRestored:
+			if !sawDegraded {
+				t.Error("Restored before Degraded")
+			}
+			sawRestored = true
+		}
+	}
+	if !sawDegraded || !sawRestored {
+		t.Errorf("events = %v, want Degraded then Restored", events)
+	}
+}
+
+func TestQuiesceDrainTimeout(t *testing.T) {
+	f, caller, _ := newStatefulConnected(t, 0)
+	if _, err := caller.svc.GetPort("sum"); err != nil {
+		t.Fatal(err)
+	}
+	err := f.Quiesce("adder", "add", 20*time.Millisecond)
+	if !errors.Is(err, ErrDrainTimeout) {
+		t.Fatalf("quiesce with wedged caller = %v, want ErrDrainTimeout", err)
+	}
+	// The failed quiesce resumed the port: callers are not stranded.
+	caller.svc.ReleasePort("sum")
+	if _, err := caller.svc.GetPort("sum"); err != nil {
+		t.Errorf("GetPort after drain timeout: %v", err)
+	}
+	caller.svc.ReleasePort("sum")
+	if h, _ := f.PortHealth("adder", "add"); h != cca.HealthHealthy {
+		t.Errorf("health after drain timeout = %v", h)
+	}
+}
+
+func TestQuiesceUnknownTargets(t *testing.T) {
+	f, _, _ := newStatefulConnected(t, 0)
+	if err := f.Quiesce("ghost", "add", 0); !errors.Is(err, ErrComponentUnknown) {
+		t.Errorf("unknown component = %v", err)
+	}
+	if err := f.Quiesce("adder", "ghost", 0); !errors.Is(err, cca.ErrPortUnknown) {
+		t.Errorf("unknown port = %v", err)
+	}
+	if err := f.Resume("ghost", "add"); !errors.Is(err, ErrComponentUnknown) {
+		t.Errorf("resume unknown component = %v", err)
+	}
+	if err := f.Resume("adder", "ghost"); !errors.Is(err, cca.ErrPortUnknown) {
+		t.Errorf("resume unknown port = %v", err)
+	}
+}
+
+func TestServicesQuiescer(t *testing.T) {
+	// Components reach quiesce through the standard services handle: the
+	// cca.Quiescer optional interface.
+	f, _, adder := newStatefulConnected(t, 0)
+	q, ok := adder.svc.(cca.Quiescer)
+	if !ok {
+		t.Fatal("services does not implement cca.Quiescer")
+	}
+	if err := q.Quiesce("add"); err != nil {
+		t.Fatal(err)
+	}
+	if h, _ := f.PortHealth("adder", "add"); h != cca.HealthDegraded {
+		t.Errorf("health = %v", h)
+	}
+	if err := q.Resume("add"); err != nil {
+		t.Fatal(err)
+	}
+	if h, _ := f.PortHealth("adder", "add"); h != cca.HealthHealthy {
+		t.Errorf("health = %v", h)
+	}
+}
+
+func TestSwapCarriesStateAndRewires(t *testing.T) {
+	f, caller, old := newStatefulConnected(t, 2)
+	var swapped, restored atomic.Int32
+	f.AddEventListener(cca.EventListenerFunc(func(e cca.Event) {
+		switch e.Kind {
+		case cca.EventComponentSwapped:
+			swapped.Add(1)
+		case cca.EventConnectionRestored:
+			restored.Add(1)
+		}
+	}))
+	if got, _ := caller.Compute(1, 2); got != 5 {
+		t.Fatalf("pre-swap Compute = %v", got)
+	}
+
+	repl := &statefulAdder{}
+	if err := f.Swap("adder", repl, SwapOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The caller's connection now lands on the replacement instance —
+	// the §6.2 direct-connect guarantee holds across the swap.
+	p, err := caller.svc.GetPort("sum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.(*statefulAdder) != repl {
+		t.Error("connection still points at the old instance")
+	}
+	caller.svc.ReleasePort("sum")
+
+	// State carried: the replacement computes with the old bias.
+	if got, _ := caller.Compute(1, 2); got != 5 {
+		t.Errorf("post-swap Compute = %v, want 5 (bias carried)", got)
+	}
+	if comp, _ := f.Component("adder"); comp != cca.Component(repl) {
+		t.Error("instance table not updated")
+	}
+	if h, _ := f.PortHealth("adder", "add"); h != cca.HealthHealthy {
+		t.Errorf("post-swap health = %v", h)
+	}
+	if !old.released.Load() {
+		t.Error("old component's ReleaseServices never ran")
+	}
+	if swapped.Load() != 1 || restored.Load() == 0 {
+		t.Errorf("events: swapped=%d restored=%d", swapped.Load(), restored.Load())
+	}
+}
+
+func TestSwapExplicitState(t *testing.T) {
+	f, caller, _ := newStatefulConnected(t, 2)
+	state, err := ckpt.Marshal(&statefulAdder{bias: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Swap("adder", &statefulAdder{}, SwapOptions{State: state}); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := caller.Compute(1, 2); got != 10 {
+		t.Errorf("Compute = %v, want 10 (explicit state wins over captured)", got)
+	}
+}
+
+func TestSwapStateRequiresCheckpointable(t *testing.T) {
+	f, caller, _ := newStatefulConnected(t, 2)
+	// adderComponent (no Checkpoint/Restore) cannot accept carried state:
+	// the swap must fail typed and roll back.
+	err := f.Swap("adder", &adderComponent{}, SwapOptions{State: []byte("state")})
+	if !errors.Is(err, ErrSwap) {
+		t.Fatalf("swap = %v, want ErrSwap", err)
+	}
+	if got, _ := caller.Compute(1, 2); got != 5 {
+		t.Errorf("Compute after failed swap = %v, want old answer", got)
+	}
+	if h, _ := f.PortHealth("adder", "add"); h != cca.HealthHealthy {
+		t.Errorf("health after rollback = %v", h)
+	}
+}
+
+// otherPortComponent provides a port the caller is not connected to.
+type otherPortComponent struct{}
+
+func (o *otherPortComponent) SetServices(svc cca.Services) error {
+	return svc.AddProvidesPort(o, cca.PortInfo{Name: "other", Type: "test.Other"})
+}
+
+func TestSwapRollbackOnMissingPort(t *testing.T) {
+	f, caller, _ := newStatefulConnected(t, 2)
+	var swapped atomic.Int32
+	f.AddEventListener(cca.EventListenerFunc(func(e cca.Event) {
+		if e.Kind == cca.EventComponentSwapped {
+			swapped.Add(1)
+		}
+	}))
+	err := f.Swap("adder", &otherPortComponent{}, SwapOptions{})
+	if !errors.Is(err, ErrSwap) {
+		t.Fatalf("swap = %v, want ErrSwap", err)
+	}
+	if got, _ := caller.Compute(1, 2); got != 5 {
+		t.Errorf("Compute after failed swap = %v", got)
+	}
+	if h, _ := f.PortHealth("adder", "add"); h != cca.HealthHealthy {
+		t.Errorf("health after rollback = %v", h)
+	}
+	if swapped.Load() != 0 {
+		t.Error("failed swap emitted ComponentSwapped")
+	}
+}
+
+func TestSwapDrainTimeoutRollsBack(t *testing.T) {
+	f, caller, _ := newStatefulConnected(t, 2)
+	if _, err := caller.svc.GetPort("sum"); err != nil {
+		t.Fatal(err)
+	}
+	err := f.Swap("adder", &statefulAdder{}, SwapOptions{DrainTimeout: 20 * time.Millisecond})
+	if !errors.Is(err, ErrSwap) || !errors.Is(err, ErrDrainTimeout) {
+		t.Fatalf("swap with wedged caller = %v, want ErrSwap+ErrDrainTimeout", err)
+	}
+	caller.svc.ReleasePort("sum")
+	if got, _ := caller.Compute(1, 2); got != 5 {
+		t.Errorf("Compute after timed-out swap = %v", got)
+	}
+}
+
+func TestSwapUnknownComponent(t *testing.T) {
+	f := New(Options{})
+	if err := f.Swap("ghost", &statefulAdder{}, SwapOptions{}); !errors.Is(err, ErrSwap) {
+		t.Errorf("swap unknown = %v", err)
+	}
+}
+
+// relayComponent both provides an AddPort and uses one: swap must carry its
+// downstream uses connections to the replacement.
+type relayComponent struct {
+	svc cca.Services
+}
+
+func (r *relayComponent) SetServices(svc cca.Services) error {
+	r.svc = svc
+	if err := svc.RegisterUsesPort(cca.PortInfo{Name: "inner", Type: "test.AddPort"}); err != nil {
+		return err
+	}
+	return svc.AddProvidesPort(r, cca.PortInfo{Name: "add", Type: "test.AddPort"})
+}
+
+func (r *relayComponent) Add(x, y float64) float64 {
+	p, err := r.svc.GetPort("inner")
+	if err != nil {
+		return -1
+	}
+	defer r.svc.ReleasePort("inner")
+	return p.(AddPort).Add(x, y) + 100
+}
+
+func TestSwapInheritsUsesConnections(t *testing.T) {
+	f := New(Options{})
+	caller := &callerComponent{}
+	for name, comp := range map[string]cca.Component{
+		"adder": &statefulAdder{bias: 1}, "relay": &relayComponent{}, "caller": caller,
+	} {
+		if err := f.Install(name, comp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := f.Connect("relay", "inner", "adder", "add"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Connect("caller", "sum", "relay", "add"); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := caller.Compute(1, 2); got != 104 {
+		t.Fatalf("pre-swap Compute = %v", got)
+	}
+
+	repl := &relayComponent{}
+	if err := f.Swap("relay", repl, SwapOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	// The replacement relay reaches the adder through the inherited
+	// connection, and the caller reaches the replacement relay.
+	if got, _ := caller.Compute(1, 2); got != 104 {
+		t.Errorf("post-swap Compute = %v, want 104", got)
+	}
+}
+
+func TestSwapUnderStandingLoad(t *testing.T) {
+	// The acceptance criterion, in miniature: callers hammer the port
+	// through the swap window and may observe ONLY (a) correct old answers,
+	// (b) correct new answers, or (c) the typed retryable shed error.
+	f, _, _ := newStatefulConnected(t, 2)
+	svc, ok := f.Services("caller")
+	if !ok {
+		t.Fatal("no caller services")
+	}
+
+	const workers = 4
+	stop := make(chan struct{})
+	bad := make(chan string, workers)
+	var sheds, calls atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				p, err := svc.GetPort("sum")
+				if err != nil {
+					if errors.Is(err, cca.ErrPortQuiescing) {
+						sheds.Add(1)
+						continue
+					}
+					select {
+					case bad <- err.Error():
+					default:
+					}
+					return
+				}
+				got := p.(AddPort).Add(1, 2)
+				svc.ReleasePort("sum")
+				calls.Add(1)
+				if got != 5 {
+					select {
+					case bad <- "wrong answer under swap":
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+
+	// Let the load establish, then swap — several times, to stress the
+	// window repeatedly. Bias 2 is carried every time, so the answer never
+	// changes; only the instance identity does.
+	time.Sleep(5 * time.Millisecond)
+	for i := 0; i < 5; i++ {
+		if err := f.Swap("adder", &statefulAdder{}, SwapOptions{}); err != nil {
+			t.Fatalf("swap %d under load: %v", i, err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	select {
+	case msg := <-bad:
+		t.Fatalf("standing caller saw a non-retryable failure: %s", msg)
+	default:
+	}
+	if calls.Load() == 0 {
+		t.Error("standing load made no successful calls")
+	}
+	t.Logf("standing load: %d calls, %d retryable sheds over 5 swaps", calls.Load(), sheds.Load())
+}

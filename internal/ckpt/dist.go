@@ -1,0 +1,71 @@
+package ckpt
+
+import (
+	"fmt"
+
+	"repro/internal/cca/collective"
+	"repro/internal/mpi"
+)
+
+// Gather checkpoints a distributed array: every cohort rank of side calls
+// it collectively with its local chunk, and the global array is routed
+// through a collective redistribution plan — the same pack/send/unpack
+// schedule a cross-distribution Transfer uses — to the side's first world
+// rank, which writes it as a Float64s section on w. Only that root rank
+// needs (or uses) a non-nil Writer; the call returns the gathered global
+// array on the root and nil elsewhere.
+func Gather(w *Writer, name string, comm *mpi.Comm, side collective.Side, local []float64) ([]float64, error) {
+	if len(side.WorldRanks) == 0 {
+		return nil, fmt.Errorf("%w: empty side", ErrFormat)
+	}
+	root := side.WorldRanks[0]
+	plan, err := collective.NewPlan(side, collective.Serial(side.Map.GlobalLen(), root))
+	if err != nil {
+		return nil, err
+	}
+	var out []float64
+	if n := plan.DstLocalLen(comm.Rank()); n > 0 {
+		out = make([]float64, n)
+	}
+	if err := plan.Transfer(comm, local, out); err != nil {
+		return nil, err
+	}
+	if comm.Rank() != root {
+		return nil, nil
+	}
+	if w == nil {
+		return out, nil
+	}
+	return out, w.Float64s(name, out)
+}
+
+// Scatter restores a distributed array: the side's first world rank reads
+// the named Float64s section from r and the global array flows back
+// through the redistribution plan to every cohort rank's out chunk. Ranks
+// other than the root pass a nil Reader. out must be sized to the rank's
+// local chunk of side.
+func Scatter(r *Reader, name string, comm *mpi.Comm, side collective.Side, out []float64) error {
+	if len(side.WorldRanks) == 0 {
+		return fmt.Errorf("%w: empty side", ErrFormat)
+	}
+	root := side.WorldRanks[0]
+	plan, err := collective.NewPlan(collective.Serial(side.Map.GlobalLen(), root), side)
+	if err != nil {
+		return err
+	}
+	var global []float64
+	if comm.Rank() == root {
+		if r == nil {
+			return fmt.Errorf("%w: root rank %d needs a reader", ErrFormat, root)
+		}
+		global, err = r.Float64s(name)
+		if err != nil {
+			return err
+		}
+		if len(global) != side.Map.GlobalLen() {
+			return fmt.Errorf("%w: section %q has %d elements, side wants %d",
+				ErrFormat, name, len(global), side.Map.GlobalLen())
+		}
+	}
+	return plan.Transfer(comm, global, out)
+}

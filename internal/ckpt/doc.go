@@ -1,0 +1,50 @@
+// Package ckpt implements the checkpoint wire format behind the
+// cca.Checkpointable port interface: a versioned, length-prefixed,
+// CRC-guarded binary stream of named sections, plus the atomic file
+// contract (temp file + rename) and the collective helpers that move
+// distributed-array state through the redistribution pack/unpack path.
+//
+// # Wire format
+//
+// A checkpoint stream is
+//
+//	magic   "RCK1"                      4 bytes
+//	version uint16 LE                   (current: Version)
+//	flags   uint16 LE                   (reserved, zero)
+//	section*                            zero or more
+//	end     uint16 LE = 0xFFFF          mandatory trailer
+//
+// and each section is
+//
+//	nameLen uint16 LE                   (0xFFFF reserved for the trailer)
+//	name    nameLen bytes               UTF-8, unique per stream
+//	payLen  uint64 LE
+//	payload payLen bytes
+//	crc     uint32 LE                   IEEE CRC-32 over name+payload
+//
+// The reader refuses streams whose version is newer than it understands
+// (ErrVersion), whose sections fail their CRC (ErrCRC), or that end before
+// the trailer (ErrTruncated) — a stream cut at any byte, including exactly
+// on a section boundary, is detected. Sections a reader does not recognize
+// are skipped, which is what makes the format versionable: a newer writer
+// may add sections without breaking an older reader of the same version.
+//
+// # Atomic files
+//
+// SaveTo writes through a temporary file in the destination directory and
+// renames it over the target only after the stream (including the trailer)
+// has been flushed and synced. A crash mid-Checkpoint therefore leaves
+// either the previous complete checkpoint or a stray temp file — never a
+// partial file under the checkpoint's name. LoadFrom verifies the trailer,
+// so even a partial file planted under the real name is rejected with a
+// typed error instead of restoring half a state.
+//
+// # Distributed arrays
+//
+// Gather and Scatter are the collective bridge: every cohort rank calls
+// them with its local chunk and the side's distribution, and the global
+// array flows through a collective.Plan — the same pack/send/recv/unpack
+// schedule the PR 5 redistribution path uses — to or from the checkpoint
+// root. Float64s payloads store raw IEEE-754 bits, so a gather/scatter
+// round trip is bit-identical.
+package ckpt

@@ -98,6 +98,14 @@ func (a *App) DepositESI() error {
 			Factory:     func() cca.Component { return esi.NewPreconditionerComponent(kind) },
 		})
 	}
+	deposits = append(deposits, repo.Entry{
+		Name:        "esi.IterativeSolverComponent.cg",
+		Version:     "1.0",
+		Description: "step-wise cg solver component (checkpointable, hot-swappable)",
+		Provides:    []repo.PortSpec{{Name: "solver", Type: esi.TypeIterativeSolver}},
+		Uses:        []repo.PortSpec{{Name: "A", Type: esi.TypeOperator}},
+		Factory:     func() cca.Component { return esi.NewIterativeSolverComponent() },
+	})
 	for _, e := range deposits {
 		if err := a.Repo.Deposit(e); err != nil {
 			return fmt.Errorf("core: deposit %s: %w", e.Name, err)

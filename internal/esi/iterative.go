@@ -1,0 +1,303 @@
+package esi
+
+// IterativeSolverComponent is the step-wise, checkpointable counterpart of
+// SolverComponent: instead of running a whole Krylov solve inside one port
+// call, it exposes the iteration loop — Begin, Step(k), Solution — so a
+// supervisor can checkpoint the solver between iterations and a crash
+// mid-solve costs only the iterations since the last checkpoint, not the
+// run. It implements cca.Checkpointable over the internal/ckpt wire
+// format; distributed deployments replay the same bytes through the orb
+// RestartPolicy's reserved restore key.
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync"
+
+	"repro/internal/cca"
+	"repro/internal/ckpt"
+	"repro/internal/linalg"
+)
+
+// TypeIterativeSolver is the provides-port type of the step-wise solver.
+const TypeIterativeSolver = "esi.IterativeSolver"
+
+// ckptSections: the checkpoint stream layout written by Checkpoint.
+// "meta" packs the counters; the five vectors carry the full mid-Krylov
+// CG state — everything Step needs to continue exactly where the
+// checkpointed instance stopped.
+const (
+	ckSecIt    = "it"
+	ckSecRZ    = "rz"
+	ckSecTol   = "tol"
+	ckSecBNorm = "bnorm"
+	ckSecB     = "b"
+	ckSecX     = "x"
+	ckSecR     = "r"
+	ckSecZ     = "z"
+	ckSecP     = "p"
+	ckSecDone  = "done"
+)
+
+// IterativeSolverComponent provides an "esi.IterativeSolver" port named
+// "solver" and uses an "A" operator port. Plain (unpreconditioned) CG:
+// the per-iteration recurrence matches linalg.CG with the identity
+// preconditioner, so an uninterrupted Step loop and a single
+// linalg.CG.Solve produce the same iterates.
+type IterativeSolverComponent struct {
+	svc cca.Services
+
+	mu      sync.Mutex
+	tol     float64
+	maxIter int
+
+	started bool
+	done    bool
+	n       int
+	it      int
+	resid   float64
+	rz      float64
+	bnorm   float64
+	b, x    []float64
+	r, z, p []float64
+	ap      []float64
+}
+
+var (
+	_ cca.Component      = (*IterativeSolverComponent)(nil)
+	_ cca.Checkpointable = (*IterativeSolverComponent)(nil)
+)
+
+// NewIterativeSolverComponent creates a step-wise CG solver.
+func NewIterativeSolverComponent() *IterativeSolverComponent {
+	return &IterativeSolverComponent{tol: 1e-8, maxIter: 10000}
+}
+
+// SetServices implements cca.Component.
+func (s *IterativeSolverComponent) SetServices(svc cca.Services) error {
+	s.svc = svc
+	if err := svc.RegisterUsesPort(cca.PortInfo{Name: "A", Type: TypeOperator}); err != nil {
+		return err
+	}
+	return svc.AddProvidesPort(s, cca.PortInfo{Name: "solver", Type: TypeIterativeSolver})
+}
+
+// TypeName implements EsiObject.
+func (s *IterativeSolverComponent) TypeName() string { return "esi.IterativeSolverComponent/cg" }
+
+// SetTolerance sets the relative-residual convergence threshold.
+func (s *IterativeSolverComponent) SetTolerance(tol float64) {
+	s.mu.Lock()
+	s.tol = tol
+	s.mu.Unlock()
+}
+
+// operator fetches the connected A port through the framework.
+func (s *IterativeSolverComponent) operator() (EsiOperator, func(), error) {
+	aport, err := s.svc.GetPort("A")
+	if err != nil {
+		return nil, nil, solveErrf("iterative solver has no operator: %v", err)
+	}
+	op, ok := aport.(EsiOperator)
+	if !ok {
+		s.svc.ReleasePort("A")
+		return nil, nil, solveErrf("A port is %T, not esi.Operator", aport)
+	}
+	return op, func() { s.svc.ReleasePort("A") }, nil
+}
+
+// Begin initializes the CG recurrence for A x = b from x₀ = 0.
+func (s *IterativeSolverComponent) Begin(b []float64) error {
+	op, release, err := s.operator()
+	if err != nil {
+		return err
+	}
+	defer release()
+	n := int(op.Rows())
+	if len(b) != n {
+		return solveErrf("begin: rhs has %d entries, operator has %d rows", len(b), n)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.started, s.done = true, false
+	s.n, s.it = n, 0
+	s.b = append([]float64(nil), b...)
+	s.x = make([]float64, n)
+	s.r = append([]float64(nil), b...) // r₀ = b - A·0 = b
+	s.z = append([]float64(nil), b...) // identity preconditioner: z = r
+	s.p = append([]float64(nil), b...)
+	s.ap = make([]float64, n)
+	s.rz = linalg.DotSerial(s.r, s.z)
+	s.bnorm = linalg.Norm2(linalg.DotSerial, b)
+	if s.bnorm == 0 {
+		s.bnorm = 1
+	}
+	s.resid = linalg.Norm2(linalg.DotSerial, s.r) / s.bnorm
+	return nil
+}
+
+// Step advances the recurrence by at most k iterations, stopping early on
+// convergence. It returns the total iteration count so far, the current
+// relative residual, and whether the solve has converged.
+func (s *IterativeSolverComponent) Step(k int) (it int, resid float64, done bool, err error) {
+	op, release, err := s.operator()
+	if err != nil {
+		return 0, 0, false, err
+	}
+	defer release()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.started {
+		return 0, 0, false, solveErrf("step before begin")
+	}
+	for stepped := 0; stepped < k; stepped++ {
+		if s.done || s.it >= s.maxIter {
+			break
+		}
+		if s.resid <= s.tol {
+			s.done = true
+			break
+		}
+		out := s.ap
+		if err := op.Apply(s.p, &out); err != nil {
+			return s.it, s.resid, s.done, err
+		}
+		if len(out) == len(s.ap) && (len(out) == 0 || &out[0] == &s.ap[0]) {
+			// in place, nothing to do
+		} else if len(out) == len(s.ap) {
+			copy(s.ap, out)
+		} else {
+			return s.it, s.resid, s.done, solveErrf("apply changed vector length %d -> %d", len(s.ap), len(out))
+		}
+		pap := linalg.DotSerial(s.p, s.ap)
+		if pap == 0 || math.IsNaN(pap) {
+			return s.it, s.resid, s.done, solveErrf("cg breakdown: pᵀAp=%v at iter %d", pap, s.it)
+		}
+		alpha := s.rz / pap
+		linalg.Axpy(alpha, s.p, s.x)
+		linalg.Axpy(-alpha, s.ap, s.r)
+		copy(s.z, s.r) // identity preconditioner
+		rzNew := linalg.DotSerial(s.r, s.z)
+		beta := rzNew / s.rz
+		s.rz = rzNew
+		for i := range s.p {
+			s.p[i] = s.z[i] + beta*s.p[i]
+		}
+		s.it++
+		s.resid = linalg.Norm2(linalg.DotSerial, s.r) / s.bnorm
+		if s.resid <= s.tol {
+			s.done = true
+		}
+	}
+	return s.it, s.resid, s.done, nil
+}
+
+// Solution returns a copy of the current iterate.
+func (s *IterativeSolverComponent) Solution() []float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]float64(nil), s.x...)
+}
+
+// Iterations reports the iterations completed so far.
+func (s *IterativeSolverComponent) Iterations() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.it
+}
+
+// Residual reports the current relative residual.
+func (s *IterativeSolverComponent) Residual() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.resid
+}
+
+// Converged reports whether the solve has reached tolerance.
+func (s *IterativeSolverComponent) Converged() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.done
+}
+
+// Checkpoint implements cca.Checkpointable: the complete mid-Krylov state
+// as a ckpt stream. Call it between Steps (the framework's quiesce
+// guarantees that during a swap; remote servants checkpoint between step
+// invocations by construction).
+func (s *IterativeSolverComponent) Checkpoint(wr io.Writer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w := ckpt.NewWriter(wr)
+	if !s.started {
+		return w.Close() // an unstarted solver checkpoints to an empty stream
+	}
+	w.Uint64(ckSecIt, uint64(s.it))
+	w.Float64(ckSecRZ, s.rz)
+	w.Float64(ckSecTol, s.tol)
+	w.Float64(ckSecBNorm, s.bnorm)
+	var doneBit uint64
+	if s.done {
+		doneBit = 1
+	}
+	w.Uint64(ckSecDone, doneBit)
+	w.Float64s(ckSecB, s.b)
+	w.Float64s(ckSecX, s.x)
+	w.Float64s(ckSecR, s.r)
+	w.Float64s(ckSecZ, s.z)
+	w.Float64s(ckSecP, s.p)
+	return w.Close()
+}
+
+// Restore implements cca.Checkpointable.
+func (s *IterativeSolverComponent) Restore(rd io.Reader) error {
+	r, err := ckpt.NewReader(rd)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(r.Names()) == 0 {
+		s.started, s.done = false, false
+		return nil
+	}
+	read := func(name string) []float64 {
+		if err != nil {
+			return nil
+		}
+		var v []float64
+		v, err = r.Float64s(name)
+		return v
+	}
+	var it, doneBit uint64
+	if it, err = r.Uint64(ckSecIt); err != nil {
+		return err
+	}
+	if s.rz, err = r.Float64(ckSecRZ); err != nil {
+		return err
+	}
+	if s.tol, err = r.Float64(ckSecTol); err != nil {
+		return err
+	}
+	if s.bnorm, err = r.Float64(ckSecBNorm); err != nil {
+		return err
+	}
+	if doneBit, err = r.Uint64(ckSecDone); err != nil {
+		return err
+	}
+	s.b, s.x = read(ckSecB), read(ckSecX)
+	s.r, s.z, s.p = read(ckSecR), read(ckSecZ), read(ckSecP)
+	if err != nil {
+		return err
+	}
+	if len(s.x) != len(s.b) || len(s.r) != len(s.b) || len(s.z) != len(s.b) || len(s.p) != len(s.b) {
+		return fmt.Errorf("%w: inconsistent vector lengths", ckpt.ErrFormat)
+	}
+	s.n = len(s.b)
+	s.it = int(it)
+	s.done = doneBit != 0
+	s.started = true
+	s.ap = make([]float64, s.n)
+	s.resid = linalg.Norm2(linalg.DotSerial, s.r) / s.bnorm
+	return nil
+}

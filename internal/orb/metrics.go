@@ -100,6 +100,12 @@ var (
 	cSupRetries      = obs.NewCounter("orb.supervised.retries")
 	cSupRedials      = obs.NewCounter("orb.supervised.redials")
 	cSupBreakerOpens = obs.NewCounter("orb.supervised.breaker_opens")
+	// Crash-recovery instruments: RestartPolicy relaunch attempts,
+	// checkpoint replays that reached a fresh servant, and heartbeats the
+	// supervisor withheld because the circuit was open.
+	cSupRestarts             = obs.NewCounter("orb.supervised.restarts")
+	cSupRestores             = obs.NewCounter("orb.supervised.restore_replays")
+	cSupHeartbeatsSuppressed = obs.NewCounter("orb.supervised.heartbeats_suppressed")
 
 	// Serving-tier instruments: load-shed counters on the server's
 	// admission control (total sheds plus the reason split), the server's

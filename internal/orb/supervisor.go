@@ -92,6 +92,12 @@ type SupervisorOptions struct {
 	// configuration-API events). Called outside the supervisor lock, but
 	// sequentially; it must not call back into the Supervised client.
 	OnState func(s ConnState, cause error)
+	// Restart, when non-nil, turns Broken from a terminal shed state into
+	// crash recovery: once the circuit opens, each half-open probe first
+	// relaunches a servant (Restart.Relaunch), redials it, and replays the
+	// latest checkpoint through the reserved RestoreKey before adopting
+	// the connection. See RestartPolicy.
+	Restart *RestartPolicy
 	// Seed fixes the jitter RNG for reproducible schedules. Default 1.
 	Seed int64
 }
@@ -154,6 +160,7 @@ type Supervised struct {
 	ready       chan struct{} // closed while cur != nil; replaced on loss
 	state       ConnState
 	consecDials int  // consecutive failed dials (breaker input)
+	restarts    int  // RestartPolicy relaunches this outage
 	redialing   bool // a redial loop is running
 	closed      bool // Close called
 	rng         *rand.Rand
@@ -198,8 +205,13 @@ func DialSupervised(tr transport.Transport, addr string, opts SupervisorOptions)
 	return s, nil
 }
 
-// Addr reports the supervised endpoint.
-func (s *Supervised) Addr() string { return s.addr }
+// Addr reports the supervised endpoint (a RestartPolicy relaunch may move
+// it).
+func (s *Supervised) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.addr
+}
 
 // State reports the current connection health.
 func (s *Supervised) State() ConnState {
@@ -240,6 +252,7 @@ func (s *Supervised) adopt(c *Client) {
 	s.gen++
 	g := s.gen
 	s.consecDials = 0
+	s.restarts = 0 // outage over: the restart budget re-arms
 	s.redialing = false
 	close(s.ready)
 	notify := s.setStateLocked(StateHealthy, nil)
@@ -318,13 +331,30 @@ func (s *Supervised) redialLoop(cause error) {
 			return
 		}
 		cSupRedials.Inc()
-		c, err := DialClient(s.tr, s.addr)
-		if err != nil {
-			cause = err
-			s.mu.Lock()
-			s.consecDials++
-			s.mu.Unlock()
-			continue
+		s.mu.Lock()
+		restart := s.state == StateBroken && s.restartBudgetLeft()
+		addr := s.addr
+		s.mu.Unlock()
+		var c *Client
+		if restart {
+			// Crash recovery: relaunch a servant, dial it, replay the
+			// checkpoint. Any failed step counts against the dial streak
+			// like an ordinary probe miss.
+			if c = s.tryRestart(); c == nil {
+				s.mu.Lock()
+				s.consecDials++
+				s.mu.Unlock()
+				continue
+			}
+		} else {
+			var err error
+			if c, err = DialClient(s.tr, addr); err != nil {
+				cause = err
+				s.mu.Lock()
+				s.consecDials++
+				s.mu.Unlock()
+				continue
+			}
 		}
 		s.adopt(c) // clears redialing under the lock
 		return
@@ -380,14 +410,15 @@ func (s *Supervised) acquire(ctx context.Context, wait bool) (*Client, uint64, e
 			s.mu.Unlock()
 			return c, g, nil
 		case s.state == StateBroken:
+			addr := s.addr
 			s.mu.Unlock()
-			return nil, 0, classed(ClassRetryable, fmt.Errorf("%w: %s", ErrCircuitOpen, s.addr))
+			return nil, 0, classed(ClassRetryable, fmt.Errorf("%w: %s", ErrCircuitOpen, addr))
 		}
-		ready := s.ready
+		ready, addr := s.ready, s.addr
 		s.mu.Unlock()
 		if !wait {
 			return nil, 0, classed(ClassRetryable,
-				fmt.Errorf("%w: reconnecting to %s", transport.ErrClosed, s.addr))
+				fmt.Errorf("%w: reconnecting to %s", transport.ErrClosed, addr))
 		}
 		t := time.NewTimer(s.opts.RetryCap)
 		select {
@@ -404,7 +435,7 @@ func (s *Supervised) acquire(ctx context.Context, wait bool) (*Client, uint64, e
 			// Bounded wait: report Retryable and let the caller's attempt
 			// budget decide, rather than hanging without a deadline.
 			return nil, 0, classed(ClassRetryable,
-				fmt.Errorf("%w: still reconnecting to %s", transport.ErrClosed, s.addr))
+				fmt.Errorf("%w: still reconnecting to %s", transport.ErrClosed, addr))
 		}
 	}
 }
@@ -582,8 +613,15 @@ func (s *Supervised) heartbeatLoop() {
 			continue // real traffic is probing the connection already
 		}
 		s.mu.Lock()
-		c, g := s.cur, s.gen
+		c, g, st := s.cur, s.gen, s.state
 		s.mu.Unlock()
+		if st == StateBroken {
+			// An open circuit means the peer resisted BreakerThreshold
+			// consecutive dials; pinging it would only prolong the storm.
+			// The half-open probe (redialLoop) owns recovery detection.
+			cSupHeartbeatsSuppressed.Inc()
+			continue
+		}
 		if c == nil {
 			continue // redial in progress
 		}

@@ -33,7 +33,12 @@ const (
 	spinCount    = 128
 	yieldCount   = 64
 	spinSleepMin = 4 * time.Microsecond
-	spinSleepMax = time.Millisecond
+	// spinSleepMax bounds the worst-case wake latency for a call that
+	// arrives after a connection has gone idle: the deepest sleeper wakes
+	// within one spinSleepMax. 200µs keeps an idle connection under ~0.1%
+	// of one core (a 5kHz poll of an atomic load) while cutting the idle
+	// first-call penalty five-fold from the previous 1ms cap.
+	spinSleepMax = 200 * time.Microsecond
 )
 
 // spinWaitOK is resolved once: whether phase-1 spinning can ever help.
@@ -59,6 +64,9 @@ func (w *waiter) pause() {
 	time.Sleep(w.sleep)
 	if w.sleep < spinSleepMax {
 		w.sleep *= 2
+		if w.sleep > spinSleepMax {
+			w.sleep = spinSleepMax
+		}
 	}
 }
 

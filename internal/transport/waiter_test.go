@@ -1,0 +1,74 @@
+package transport
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestWaiterSleepCapsAtMax pins the idle-wakeup contract: the doubling
+// sleep must saturate at spinSleepMax, and spinSleepMax must stay at or
+// below 200µs so a call landing on a long-idle connection pays at most one
+// short sleep of latency (DESIGN.md §10).
+func TestWaiterSleepCapsAtMax(t *testing.T) {
+	if spinSleepMax > 200*time.Microsecond {
+		t.Fatalf("spinSleepMax = %v, must not exceed 200µs", spinSleepMax)
+	}
+	var w waiter
+	// Drive the waiter far past the spin, yield, and doubling phases; every
+	// intermediate sleep must stay at or below the cap.
+	for i := 0; i < spinCount+yieldCount+64; i++ {
+		w.pause()
+		if w.sleep > spinSleepMax {
+			t.Fatalf("pause %d: sleep grew past cap: %v", i, w.sleep)
+		}
+	}
+	if w.sleep != spinSleepMax {
+		t.Errorf("saturated sleep = %v, want %v", w.sleep, spinSleepMax)
+	}
+	w.reset()
+	if w.spins != 0 || w.sleep != 0 {
+		t.Error("reset did not re-arm the waiter")
+	}
+}
+
+// TestWaiterIdleWakeLatency measures the end-to-end regression the cap
+// exists to bound: a waiter that has been idle for a full second must
+// notice new work within a few sleep periods, not the old 1ms-deep sleeps.
+func TestWaiterIdleWakeLatency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test skipped in -short")
+	}
+	const trials = 5
+	var worst time.Duration
+	for trial := 0; trial < trials; trial++ {
+		var ready atomic.Bool
+		var latency atomic.Int64
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			var w waiter
+			for !ready.Load() {
+				w.pause()
+			}
+			latency.Store(int64(time.Now().UnixNano()))
+		}()
+		// Let the waiter sink to its deepest sleep.
+		time.Sleep(time.Second)
+		setAt := time.Now()
+		ready.Store(true)
+		<-done
+		wake := time.Duration(latency.Load() - setAt.UnixNano())
+		if wake > worst {
+			worst = wake
+		}
+	}
+	// The deepest sleep is spinSleepMax; allow generous scheduler slop but
+	// fail on anything resembling the old millisecond-class wakeups
+	// compounded by scheduling (the bug this guards against is the cap
+	// silently growing again).
+	if worst > 100*spinSleepMax {
+		t.Errorf("worst idle wake latency %v with spinSleepMax %v", worst, spinSleepMax)
+	}
+	t.Logf("worst idle wake latency over %d trials: %v (cap %v)", trials, worst, spinSleepMax)
+}

@@ -138,6 +138,47 @@ func TestCcafeStatsAndTrace(t *testing.T) {
 	}
 }
 
+func TestCcafeCheckpointRestoreSwap(t *testing.T) {
+	// The recovery commands: hot-swap a running solver for another method
+	// (connections re-wired live), and checkpoint/restore a Checkpointable
+	// instance through the atomic file path.
+	dir := t.TempDir()
+	ck := filepath.Join(dir, "isolver.ckpt")
+	script := strings.Join([]string{
+		"matrix A poisson 12",
+		"create solver esi.SolverComponent.cg",
+		"connect solver A A A",
+		"solve solver 1e-9",
+		"swap solver esi.SolverComponent.gmres",
+		"solve solver 1e-9",
+		"create isolver esi.IterativeSolverComponent.cg",
+		"connect isolver A A A",
+		"checkpoint isolver " + ck,
+		"restore isolver " + ck,
+		"quit",
+	}, "\n")
+	path := filepath.Join(dir, "session")
+	if err := os.WriteFile(path, []byte(script), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := runTool(t, "cmd/ccafe", "", "-f", path)
+	for _, want := range []string{
+		"swapped solver to a fresh esi.SolverComponent.gmres",
+		"checkpointed isolver",
+		"restored isolver",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ccafe output missing %q:\n%s", want, out)
+		}
+	}
+	if got := strings.Count(out, "converged=true"); got != 2 {
+		t.Errorf("want 2 converged solves (before and after swap), got %d:\n%s", got, out)
+	}
+	if _, err := os.Stat(ck); err != nil {
+		t.Errorf("checkpoint file missing: %v", err)
+	}
+}
+
 func TestQuickstartExample(t *testing.T) {
 	out := runTool(t, "examples/quickstart", "")
 	if !strings.Contains(out, "3.1415926536") {
@@ -174,7 +215,15 @@ func TestBenchHarnessQuick(t *testing.T) {
 
 func TestSolverswapExample(t *testing.T) {
 	out := runTool(t, "examples/solverswap", "", "-n", "16")
-	for _, want := range []string{"gmres", "bicgstab", "ilu0"} {
+	for _, want := range []string{
+		// part one: the classic solver × preconditioner sweep
+		"gmres", "bicgstab", "ilu0",
+		// part two: two live hot-swaps mid-solve with carried state
+		"swap 1 at iteration",
+		"swap 2 at iteration",
+		"state carried into fresh instance",
+		"converged=true",
+	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("solverswap output missing %q:\n%s", want, out)
 		}
