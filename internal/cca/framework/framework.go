@@ -609,12 +609,28 @@ func (s *services) GetPort(name string) (cca.Port, error) {
 		if h := conns[0].health; h != nil && cca.Health(h.Load()) == cca.HealthBroken {
 			return nil, fmt.Errorf("%w: %v", cca.ErrConnectionBroken, conns[0].id)
 		}
-		// A quiesced provider sheds acquisitions with a typed retryable
-		// error instead of admitting a call the drain would then wait on.
+		// Quiesce interplay, in two checks. The first is a pure fast-path
+		// shed: a caller arriving while the gate is already up sheds with
+		// the typed retryable error without touching the counter, so
+		// hot-loop retries cannot flicker the balance and starve the
+		// drain's zero sample. It is NOT sufficient alone — a caller could
+		// load gate==false, be preempted while the drain scans a (still)
+		// zero balance and declares the port drained, then resume and walk
+		// off with a port whose component is mid-checkpoint/swap.
 		if g := conns[0].gate; g != nil && g.Load() {
 			return nil, fmt.Errorf("%w: %v", cca.ErrPortQuiescing, conns[0].id)
 		}
+		// So: publish the outstanding acquisition FIRST, then re-check.
+		// With the increment ahead of the gate load (both sequentially
+		// consistent), either the drain sees our balance and waits, or we
+		// see the gate and roll back — no false-zero window either way.
 		ue.inUse.Add(acqOne | 1) // one acquisition, one outstanding
+		if g := conns[0].gate; g != nil && g.Load() {
+			// Lost the race with Quiesce: roll back the outstanding half
+			// (the monotonic acquisition count keeps the shed attempt).
+			ue.releaseOutstanding(1)
+			return nil, fmt.Errorf("%w: %v", cca.ErrPortQuiescing, conns[0].id)
+		}
 		return conns[0].port, nil
 	default:
 		return nil, fmt.Errorf("%w: %s.%s has %d", cca.ErrMultiConnected, s.name, name, len(conns))
@@ -633,6 +649,10 @@ func (s *services) GetPorts(name string) ([]cca.Port, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: uses %s.%s", cca.ErrPortNotUses, s.name, name)
 	}
+	// Two-phase gate handling, exactly as in GetPort: a counter-free
+	// fast-path shed for gates already up, then acquire-before-re-check so
+	// a concurrent drain either waits on our published balance or we
+	// observe its gate and roll back — never a false zero.
 	out := make([]cca.Port, len(conns))
 	for i, c := range conns {
 		if g := c.gate; g != nil && g.Load() {
@@ -640,8 +660,14 @@ func (s *services) GetPorts(name string) ([]cca.Port, error) {
 		}
 		out[i] = c.port
 	}
-	n := int64(len(out))
+	n := int64(len(conns))
 	ue.inUse.Add(n<<acqShift | n)
+	for _, c := range conns {
+		if g := c.gate; g != nil && g.Load() {
+			ue.releaseOutstanding(n)
+			return nil, fmt.Errorf("%w: %v", cca.ErrPortQuiescing, c.id)
+		}
+	}
 	cGetPorts.Inc()
 	return out, nil
 }
@@ -654,16 +680,27 @@ func (s *services) ReleasePort(name string) error {
 	if !ok {
 		return fmt.Errorf("%w: uses %s.%s", cca.ErrPortNotUses, s.name, name)
 	}
-	// Clamped decrement of the outstanding (low) half: never drop below
-	// zero even under unbalanced concurrent releases. The acquisition
-	// (high) half is monotonic and untouched here.
-	for {
+	ue.releaseOutstanding(1)
+	return nil
+}
+
+// releaseOutstanding is a clamped decrement of n from the outstanding
+// (low) half of inUse: never drop below zero even under unbalanced
+// concurrent releases. The acquisition (high) half is monotonic and
+// untouched here.
+func (ue *usesEntry) releaseOutstanding(n int64) {
+	for n > 0 {
 		v := ue.inUse.Load()
-		if v&outMask == 0 {
-			return nil
+		out := v & outMask
+		if out == 0 {
+			return
 		}
-		if ue.inUse.CompareAndSwap(v, v-1) {
-			return nil
+		d := n
+		if d > out {
+			d = out
+		}
+		if ue.inUse.CompareAndSwap(v, v-d) {
+			n -= d
 		}
 	}
 }

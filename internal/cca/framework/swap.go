@@ -47,6 +47,15 @@ const drainPoll = 100 * time.Microsecond
 // its state may be captured or the component replaced. On drain timeout
 // (0 ⇒ 5s) the port is resumed and ErrDrainTimeout returned, so a wedged
 // caller cannot leave the assembly gated forever.
+//
+// The drain is conservative for multi-connected uses ports: the
+// outstanding balance lives on the uses entry (GetPorts fan-out shares
+// one counter across its connections), so a uses port connected both to
+// the quiescing provider and to others drains only when ALL its
+// acquisitions release. Heavy unrelated traffic through such an entry can
+// therefore hold the drain — and in the limit produce ErrDrainTimeout —
+// even with zero callers on the target port. The trade is deliberate:
+// conservatism errs toward "still in use", never toward a false drain.
 func (f *Framework) Quiesce(component, port string, timeout time.Duration) error {
 	if timeout <= 0 {
 		timeout = defaultDrainTimeout
@@ -89,6 +98,51 @@ func (f *Framework) Quiesce(component, port string, timeout time.Duration) error
 		}
 		time.Sleep(drainPoll)
 	}
+}
+
+// revalidateSwapLocked repeats the step-1 compatibility check under the
+// step-4 write lock, where the topology can no longer move: every
+// connection about to be rewired must resolve to a provides (or uses)
+// entry the replacement actually registered, and late-arriving
+// connections — connected after the read-locked check — must still
+// type-check. Caller holds f.mu for writing.
+func (f *Framework) revalidateSwapLocked(name string, old *instance, newSvc *services) error {
+	for _, other := range f.components {
+		if other == old {
+			continue
+		}
+		for _, ue := range other.svc.uses {
+			for _, c := range ue.conns {
+				if c.id.Provider != name {
+					continue
+				}
+				npe, ok := newSvc.provides[c.id.ProvidesPort]
+				if !ok {
+					return fmt.Errorf("connection %v arrived during swap: replacement lacks provides port %q", c.id, c.id.ProvidesPort)
+				}
+				if err := f.opts.TypeCheck(ue.info.Type, npe.info.Type); err != nil {
+					return fmt.Errorf("connection %v arrived during swap: %w", c.id, err)
+				}
+			}
+		}
+	}
+	for uname, oldUE := range old.svc.uses {
+		if len(oldUE.conns) == 0 {
+			continue
+		}
+		if _, ok := newSvc.uses[uname]; !ok {
+			return fmt.Errorf("uses port %s.%s connected during swap: replacement lacks it", name, uname)
+		}
+		for _, c := range oldUE.conns {
+			if c.id.Provider != name {
+				continue
+			}
+			if _, ok := newSvc.provides[c.id.ProvidesPort]; !ok {
+				return fmt.Errorf("self-connection %v arrived during swap: replacement lacks provides port %q", c.id, c.id.ProvidesPort)
+			}
+		}
+	}
+	return nil
 }
 
 // drainEntriesLocked collects the uses entries holding a connection to the
@@ -289,6 +343,18 @@ func (f *Framework) Swap(name string, repl cca.Component, opts SwapOptions) erro
 		resumeAll()
 		return fmt.Errorf("%w: instance %q changed during swap", ErrSwap, name)
 	}
+	// Re-validate before mutating anything: the step-1 compatibility check
+	// ran under an earlier read lock that was released, so a Connect() may
+	// have landed since — possibly on a port the replacement lacks or one
+	// that was never type-checked (and, being unconnected at quiesce time,
+	// never gated). Rewiring such a connection would install a zero-value
+	// providesEntry whose nil port a later GetPort hands to a caller.
+	// Aborting here leaves the old assembly intact.
+	if err := f.revalidateSwapLocked(name, old, newSvc); err != nil {
+		f.mu.Unlock()
+		resumeAll()
+		return fmt.Errorf("%w: %w", ErrSwap, err)
+	}
 	var restored []cca.ConnectionID
 	for _, other := range f.components {
 		if other == old {
@@ -330,7 +396,7 @@ func (f *Framework) Swap(name string, repl cca.Component, opts SwapOptions) erro
 			continue
 		}
 		nue, ok := newSvc.uses[uname]
-		if !ok { // unreachable: step 1 checked connected entries
+		if !ok { // unreachable: revalidateSwapLocked checked connected entries
 			continue
 		}
 		next := append([]connection(nil), oldUE.conns...)

@@ -8,6 +8,7 @@ package framework
 import (
 	"errors"
 	"io"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -318,6 +319,138 @@ func TestSwapRollbackOnMissingPort(t *testing.T) {
 	}
 	if swapped.Load() != 0 {
 		t.Error("failed swap emitted ComponentSwapped")
+	}
+}
+
+func TestQuiesceDrainNoFalseZero(t *testing.T) {
+	// Regression for an acquire/drain TOCTOU: GetPort publishes its
+	// outstanding count BEFORE reading the quiesce gate, so Quiesce can
+	// never observe a false zero and return "drained" while a caller is
+	// about to walk off with the old port. Workers flag a violation when
+	// an acquisition succeeds inside the post-drain, pre-resume window.
+	f, caller, _ := newStatefulConnected(t, 0)
+	var (
+		window     atomic.Bool // true between Quiesce return and Resume
+		violations atomic.Int64
+		stop       = make(chan struct{})
+		wg         sync.WaitGroup
+	)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := caller.svc.GetPort("sum"); err != nil {
+					// Shed: nothing acquired. Back off like a real retry
+					// loop would, so single-core runs don't starve the
+					// quiescer goroutine under pure shed churn.
+					time.Sleep(50 * time.Microsecond)
+					continue
+				}
+				// If we hold the port, the drain must still be waiting on
+				// us — it cannot have returned before our ReleasePort.
+				if window.Load() {
+					violations.Add(1)
+				}
+				caller.svc.ReleasePort("sum")
+			}
+		}()
+	}
+	for i := 0; i < 100; i++ {
+		if err := f.Quiesce("adder", "add", 5*time.Second); err != nil {
+			t.Fatal(err)
+		}
+		window.Store(true)
+		runtime.Gosched()
+		window.Store(false)
+		if err := f.Resume("adder", "add"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if v := violations.Load(); v != 0 {
+		t.Fatalf("%d acquisitions succeeded inside the drained window", v)
+	}
+}
+
+// twoPortAdder additionally provides an "extra" AddPort that nothing is
+// connected to at swap-check time — the hole the step-4 revalidation pass
+// must cover.
+type twoPortAdder struct{ statefulAdder }
+
+func (a *twoPortAdder) SetServices(svc cca.Services) error {
+	a.svc = svc
+	if err := svc.AddProvidesPort(a, cca.PortInfo{Name: "add", Type: "test.AddPort"}); err != nil {
+		return err
+	}
+	return svc.AddProvidesPort(a, cca.PortInfo{Name: "extra", Type: "test.AddPort"})
+}
+
+// hookedAdder runs a hook during Restore — that is, inside the swap's step
+// 3, after the read-locked compatibility check released its lock and
+// before the rewire takes the write lock.
+type hookedAdder struct {
+	statefulAdder
+	onRestore func() error
+}
+
+func (h *hookedAdder) Restore(rd io.Reader) error {
+	if h.onRestore != nil {
+		if err := h.onRestore(); err != nil {
+			return err
+		}
+	}
+	return h.statefulAdder.Restore(rd)
+}
+
+func TestSwapAbortsOnLateConnection(t *testing.T) {
+	// A Connect that lands between the compatibility check and the rewire,
+	// on a provides port the replacement lacks, must abort the swap with
+	// ErrSwap — not rewire the connection through a zero-value entry whose
+	// nil port a later GetPort would hand to a caller.
+	f := New(Options{})
+	old := &twoPortAdder{statefulAdder{bias: 2}}
+	caller := &callerComponent{}
+	late := &callerComponent{}
+	for name, comp := range map[string]cca.Component{
+		"adder": old, "caller": caller, "late": late,
+	} {
+		if err := f.Install(name, comp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := f.Connect("caller", "sum", "adder", "add"); err != nil {
+		t.Fatal(err)
+	}
+
+	repl := &hookedAdder{} // provides only "add"
+	repl.onRestore = func() error {
+		_, err := f.Connect("late", "sum", "adder", "extra")
+		return err
+	}
+	if err := f.Swap("adder", repl, SwapOptions{}); !errors.Is(err, ErrSwap) {
+		t.Fatalf("swap with late connection = %v, want ErrSwap", err)
+	}
+
+	// The old assembly is intact and resumed: both the checked and the
+	// late connection still reach the old instance.
+	if got, _ := caller.Compute(1, 2); got != 5 {
+		t.Errorf("caller Compute after aborted swap = %v, want 5", got)
+	}
+	if got, _ := late.Compute(1, 2); got != 5 {
+		t.Errorf("late Compute after aborted swap = %v, want 5", got)
+	}
+	if comp, _ := f.Component("adder"); comp != cca.Component(old) {
+		t.Error("aborted swap replaced the instance")
+	}
+	if h, _ := f.PortHealth("adder", "add"); h != cca.HealthHealthy {
+		t.Errorf("health after aborted swap = %v", h)
 	}
 }
 

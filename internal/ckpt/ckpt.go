@@ -266,7 +266,10 @@ func (r *Reader) Float64s(name string) ([]float64, error) {
 		return nil, fmt.Errorf("%w: section %q is %d bytes", ErrFormat, name, len(p))
 	}
 	n := binary.LittleEndian.Uint64(p)
-	if uint64(len(p)-8) != 8*n {
+	// Divide rather than multiply: 8*n wraps for a crafted n ≥ 2⁶¹, which
+	// would pass the check and panic in make() instead of returning the
+	// package's typed ErrFormat.
+	if (len(p)-8)%8 != 0 || n != uint64(len(p)-8)/8 {
 		return nil, fmt.Errorf("%w: section %q counts %d elements in %d bytes", ErrFormat, name, n, len(p)-8)
 	}
 	out := make([]float64, n)

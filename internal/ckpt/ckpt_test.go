@@ -223,6 +223,26 @@ func TestReaderSectionShapeErrors(t *testing.T) {
 	}
 }
 
+func TestFloat64sCountOverflow(t *testing.T) {
+	// A crafted (CRC-valid) section whose count makes 8*n wrap past 2⁶⁴
+	// must fail with the typed ErrFormat, not slip through a multiplied
+	// length check and panic in make().
+	raw := writeStream(t, func(w *Writer) {
+		w.Section("wrap", binary.LittleEndian.AppendUint64(nil, 1<<61))
+		w.Section("ragged", append(binary.LittleEndian.AppendUint64(nil, 1), 1, 2, 3, 4, 5, 6, 7, 8, 9))
+	})
+	r, err := NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Float64s("wrap"); !errors.Is(err, ErrFormat) {
+		t.Errorf("Float64s with wrapping count = %v, want ErrFormat", err)
+	}
+	if _, err := r.Float64s("ragged"); !errors.Is(err, ErrFormat) {
+		t.Errorf("Float64s with ragged payload = %v, want ErrFormat", err)
+	}
+}
+
 // memComponent is a minimal Checkpointable for the file and byte contracts.
 type memComponent struct {
 	v    []float64

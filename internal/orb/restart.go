@@ -82,9 +82,10 @@ func (s *Supervised) restartBudgetLeft() bool {
 }
 
 // tryRestart runs one relaunch → redial → replay sequence. It returns the
-// adopted-ready client, or nil when any step failed (the failure counts
-// against the dial streak like any probe miss).
-func (s *Supervised) tryRestart() *Client {
+// adopted-ready client, or nil and the step error when any step failed
+// (the failure counts against the dial streak like any probe miss, and
+// the error becomes the outage's reported cause).
+func (s *Supervised) tryRestart() (*Client, error) {
 	s.mu.Lock()
 	s.restarts++
 	attempt := s.restarts
@@ -92,18 +93,18 @@ func (s *Supervised) tryRestart() *Client {
 	cSupRestarts.Inc()
 	addr, err := s.opts.Restart.Relaunch(attempt)
 	if err != nil {
-		return nil
+		return nil, fmt.Errorf("orb: relaunch attempt %d: %w", attempt, err)
 	}
 	addr = PickShard(addr)
 	c, err := DialClient(s.tr, addr)
 	if err != nil {
-		return nil
+		return nil, fmt.Errorf("orb: redial after relaunch: %w", err)
 	}
 	if ck := s.opts.Restart.Checkpoint; ck != nil {
 		if state := ck(); len(state) > 0 {
 			if _, err := c.Invoke(RestoreKey, restoreMethod, state); err != nil {
 				c.Close()
-				return nil
+				return nil, fmt.Errorf("orb: checkpoint replay: %w", err)
 			}
 			cSupRestores.Inc()
 		}
@@ -113,5 +114,5 @@ func (s *Supervised) tryRestart() *Client {
 	s.mu.Lock()
 	s.addr = addr
 	s.mu.Unlock()
-	return c
+	return c, nil
 }

@@ -339,8 +339,11 @@ func (s *Supervised) redialLoop(cause error) {
 		if restart {
 			// Crash recovery: relaunch a servant, dial it, replay the
 			// checkpoint. Any failed step counts against the dial streak
-			// like an ordinary probe miss.
-			if c = s.tryRestart(); c == nil {
+			// like an ordinary probe miss, and its error replaces the
+			// stale pre-restart cause in Broken notifications and sheds.
+			var err error
+			if c, err = s.tryRestart(); err != nil {
+				cause = err
 				s.mu.Lock()
 				s.consecDials++
 				s.mu.Unlock()
