@@ -1,0 +1,107 @@
+package main
+
+// E15 — multi-process SPMD fabric cost: the same binomial-tree collectives
+// measured over the three comm fabrics a cohort can run on — the goroutine
+// backend (channels, one address space), and the process backend over tcp
+// loopback and over shm rings. The process backends pay the full wire
+// path: codec, transport framing, and (for tcp) the kernel socket stack,
+// so the spread between columns is the price of leaving the address space
+// — and the shm column shows how much of that price is sockets rather
+// than process isolation. Allreduce is latency-bound at 8 B (tree depth ×
+// per-hop cost) and bandwidth-bound at 1 MiB; Alltoall stresses the mesh
+// with p−1 simultaneous pairwise streams per rank.
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/mpi"
+)
+
+// e15Backends enumerates the comm fabrics. Each run function forms an
+// n-rank world, calls body on every rank, and tears the world down.
+func e15Backends() []struct {
+	name string
+	run  func(n int, body func(c *mpi.Comm))
+} {
+	return []struct {
+		name string
+		run  func(n int, body func(c *mpi.Comm))
+	}{
+		{"goroutine", func(n int, body func(c *mpi.Comm)) {
+			mpi.Run(n, body)
+		}},
+		{"proc-tcp", func(n int, body func(c *mpi.Comm)) {
+			check(mpi.RunOver(n, "tcp://127.0.0.1:0", func(c *mpi.Comm, _ *mpi.Proc) { body(c) }))
+		}},
+		{"proc-shm", func(n int, body func(c *mpi.Comm)) {
+			dir, err := os.MkdirTemp("", "bench-e15-*")
+			check(err)
+			defer os.RemoveAll(dir)
+			check(mpi.RunOver(n, "shm://"+dir+"/rv", func(c *mpi.Comm, _ *mpi.Proc) { body(c) }))
+		}},
+	}
+}
+
+func e15() {
+	fmt.Printf("%-10s %10s %6s %10s %14s\n", "collective", "backend", "ranks", "bytes", "µs/op")
+	sizes := []struct {
+		label string
+		bytes int
+	}{{"8B", 8}, {"32KiB", 32 << 10}, {"1MiB", 1 << 20}}
+	var shm8B, tcp8B float64
+	for _, p := range []int{2, 4, 8} {
+		for _, sz := range sizes {
+			floats := sz.bytes / 8
+			for _, b := range e15Backends() {
+				// Allreduce: every rank contributes a bytes-long vector.
+				var allred float64
+				b.run(p, func(c *mpi.Comm) {
+					data := make([]float64, floats)
+					v := measureParallel(c, func() {
+						if _, err := c.AllreduceFloat64(data, mpi.Sum); err != nil {
+							panic(err)
+						}
+					})
+					if c.Rank() == 0 {
+						allred = v
+					}
+				})
+				// Alltoall: every rank sends a bytes-long chunk to each peer
+				// — p·bytes on the wire per rank, p·(p−1) pairwise streams.
+				var a2a float64
+				b.run(p, func(c *mpi.Comm) {
+					parts := make([]any, p)
+					for i := range parts {
+						parts[i] = make([]float64, floats)
+					}
+					v := measureParallel(c, func() {
+						if _, err := c.Alltoall(parts); err != nil {
+							panic(err)
+						}
+					})
+					if c.Rank() == 0 {
+						a2a = v
+					}
+				})
+				record("e15", fmt.Sprintf("allreduce/%s/p=%d/%s", b.name, p, sz.label), allred, -1)
+				record("e15", fmt.Sprintf("alltoall/%s/p=%d/%s", b.name, p, sz.label), a2a, -1)
+				fmt.Printf("%-10s %10s %6d %10d %14.1f\n", "allreduce", b.name, p, sz.bytes, allred/1e3)
+				fmt.Printf("%-10s %10s %6d %10d %14.1f\n", "alltoall", b.name, p, sz.bytes, a2a/1e3)
+				if p == 4 && sz.bytes == 8 {
+					switch b.name {
+					case "proc-shm":
+						shm8B = allred
+					case "proc-tcp":
+						tcp8B = allred
+					}
+				}
+			}
+		}
+	}
+	fmt.Printf("\nsmall-message latency (8 B allreduce, 4 ranks): shm %.1f µs vs tcp %.1f µs (%.2fx)\n",
+		shm8B/1e3, tcp8B/1e3, tcp8B/shm8B)
+	if shm8B >= tcp8B {
+		fmt.Println("WARNING: shm did not beat tcp on small-message latency")
+	}
+}

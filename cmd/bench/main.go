@@ -97,7 +97,7 @@ func writeJSON(path string) error {
 }
 
 func main() {
-	runList := flag.String("run", "", "comma-separated experiment ids (e1..e14, e7b); empty = all")
+	runList := flag.String("run", "", "comma-separated experiment ids (e1..e15, e7b); empty = all")
 	testing.Init() // registers test.* flags; measureAllocs runs testing.Benchmark
 	flag.Parse()
 	// Point the stdlib benchmark harness at the same time budget the
@@ -129,6 +129,7 @@ func main() {
 		{"e12", "E12 — same-host transport matrix (inproc/shm/tcp) + SIMD kernels", e12},
 		{"e13", "E13 — high-fan-out serving tier (epoch cache + admission control)", e13},
 		{"e14", "E14 — recovery: checkpoint/restore latency + hot-swap window under load", e14},
+		{"e15", "E15 — SPMD fabric: collectives over goroutine vs process (tcp/shm) backends", e15},
 	}
 	for _, exp := range all {
 		if len(wanted) > 0 && !wanted[exp.id] {

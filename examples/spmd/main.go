@@ -1,0 +1,226 @@
+// Spmd runs the paper's Figure 1 pipeline — mesh, solver, hydro flow —
+// as N real OS processes instead of N goroutines: the same components,
+// the same cohort wiring, the same collective algorithms, but every rank
+// is a separate process whose MPI traffic moves over the multiplexed
+// transport (tcp:// sockets or shm:// shared-memory rings), with cohort
+// formation through the rendezvous service.
+//
+// Without -worker it is its own launcher: it self-execs N workers under
+// internal/mpi/mpirun supervision. With -chaos it SIGKILLs the highest
+// rank shortly after the world forms; the survivors observe the death as
+// a typed RankDeadError, finalize, re-join, and the relaunched rank
+// completes the pipeline with them as generation 2 — the §2.2 "long
+// running simulation on a remote parallel machine" surviving a rank loss.
+//
+//	go run ./examples/spmd -n 4 -transport tcp
+//	go run ./examples/spmd -n 4 -transport shm -chaos
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/cca"
+	"repro/internal/cca/framework"
+	"repro/internal/hydro"
+	"repro/internal/mesh"
+	"repro/internal/mpi"
+	"repro/internal/mpi/mpirun"
+	"repro/internal/viz"
+)
+
+// maxReforms bounds how many cohort re-formations a worker tolerates
+// before giving up.
+const maxReforms = 3
+
+func main() {
+	worker := flag.Bool("worker", false, "run as a rank process (internal; set by the launcher)")
+	n := flag.Int("n", 4, "number of rank processes")
+	transportFlag := flag.String("transport", "tcp", "rank mesh transport: tcp or shm")
+	grid := flag.Int("grid", 16, "mesh cells per side")
+	steps := flag.Int("steps", 8, "timesteps")
+	dt := flag.Float64("dt", 0.004, "timestep")
+	nu := flag.Float64("nu", 0.4, "diffusion coefficient")
+	stepDelay := flag.Duration("stepdelay", 0, "pause between timesteps (stretches the run for chaos testing)")
+	chaos := flag.Bool("chaos", false, "kill the highest rank mid-run and require recovery")
+	killAfter := flag.Duration("killafter", 300*time.Millisecond, "chaos: delay after world formation before the kill")
+	flag.Parse()
+
+	if *worker {
+		runWorker(*grid, *steps, *dt, *nu, *stepDelay)
+		return
+	}
+	launch(*n, *transportFlag, *grid, *steps, *dt, *nu, *stepDelay, *chaos, *killAfter)
+}
+
+// launch self-execs n workers under mpirun supervision.
+func launch(n int, scheme string, grid, steps int, dt, nu float64, stepDelay time.Duration, chaos bool, killAfter time.Duration) {
+	exe, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	var rendezvous string
+	switch scheme {
+	case "tcp":
+		rendezvous = "tcp://127.0.0.1:0"
+	case "shm":
+		dir, err := os.MkdirTemp("", "spmd-*")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		rendezvous = "shm://" + dir + "/rv"
+	default:
+		log.Fatalf("spmd: unknown transport %q (want tcp or shm)", scheme)
+	}
+
+	restarts := 0
+	if chaos {
+		restarts = 1
+		if stepDelay == 0 {
+			// Stretch the run so the kill lands mid-pipeline, not after it.
+			stepDelay = 100 * time.Millisecond
+		}
+	}
+	cmd := []string{exe, "-worker",
+		fmt.Sprintf("-grid=%d", grid), fmt.Sprintf("-steps=%d", steps),
+		fmt.Sprintf("-dt=%g", dt), fmt.Sprintf("-nu=%g", nu),
+		fmt.Sprintf("-stepdelay=%s", stepDelay),
+	}
+	l, err := mpirun.New(mpirun.Config{
+		Size:        n,
+		Rendezvous:  rendezvous,
+		Command:     cmd,
+		MaxRestarts: restarts,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("spmd: launching %d rank processes over %s (rendezvous %s)\n", n, scheme, l.RendezvousAddr())
+	if err := l.Start(); err != nil {
+		l.Close()
+		log.Fatal(err)
+	}
+	if chaos {
+		go func() {
+			<-l.Rendezvous().Formed()
+			time.Sleep(killAfter)
+			victim := n - 1
+			if err := l.Kill(victim); err != nil {
+				fmt.Fprintln(os.Stderr, "spmd: chaos kill:", err)
+				return
+			}
+			fmt.Printf("spmd: chaos killed rank %d\n", victim)
+		}()
+	}
+	err = l.Wait()
+	gens := l.Rendezvous().Generations()
+	l.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if chaos && gens < 2 {
+		log.Fatalf("spmd: chaos run finished in %d generation(s); expected a re-formation", gens)
+	}
+	fmt.Printf("spmd: all %d ranks exited cleanly after %d generation(s)\n", n, gens)
+}
+
+// runWorker is one rank process: join the cohort, run the pipeline, and
+// on a peer death finalize and re-join the next generation.
+func runWorker(grid, steps int, dt, nu float64, stepDelay time.Duration) {
+	m := mesh.StructuredQuad(grid, grid)
+	for attempt := 0; attempt <= maxReforms; attempt++ {
+		comm, proc, err := mpi.Join()
+		if err != nil {
+			log.Fatalf("spmd worker: join: %v", err)
+		}
+		stats, err := runPipeline(comm, m, steps, dt, nu, stepDelay)
+		if err != nil {
+			var dead *mpi.RankDeadError
+			if errors.As(err, &dead) {
+				fmt.Printf("spmd rank %d: peer rank %d died mid-run (gen %d); re-forming\n",
+					comm.Rank(), dead.Rank, proc.Generation())
+				proc.Close()
+				continue
+			}
+			log.Fatalf("spmd rank %d: %v", comm.Rank(), err)
+		}
+		if comm.Rank() == 0 {
+			fmt.Printf("spmd: generation %d complete on %d processes: %s\n",
+				proc.Generation(), comm.Size(), stats)
+		}
+		proc.Close()
+		return
+	}
+	log.Fatal("spmd worker: gave up after repeated cohort re-formations")
+}
+
+// runPipeline assembles the Figure 1 component graph over the world
+// communicator — every process is one flow rank — and integrates. It is
+// the same wiring as examples/chad's buildFlow, running across processes.
+func runPipeline(comm *mpi.Comm, m *mesh.Mesh, steps int, dt, nu float64, stepDelay time.Duration) (hydro.Stats, error) {
+	p, rank := comm.Size(), comm.Rank()
+	c := framework.NewCohort(comm, framework.Options{})
+	if err := c.InstallParallel("mesh", func(rank int) cca.Component {
+		mc, err := hydro.NewMeshComponent(m, "rcb", p, rank)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return mc
+	}); err != nil {
+		return hydro.Stats{}, err
+	}
+	if err := c.InstallParallel("flow", func(rank int) cca.Component {
+		fc, err := hydro.NewFlowComponent(comm, hydro.Config{
+			Nu: nu, Vel: [2]float64{3, 1.5}, Tol: 1e-9, Prec: "jacobi",
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return fc
+	}); err != nil {
+		return hydro.Stats{}, err
+	}
+	if err := c.InstallParallel("stats", func(rank int) cca.Component {
+		return &viz.StatsMonitor{} // silent: no Out writer across processes
+	}); err != nil {
+		return hydro.Stats{}, err
+	}
+	if err := c.VerifyPorts("flow"); err != nil {
+		return hydro.Stats{}, err
+	}
+	if _, err := c.ConnectParallel("flow", "mesh", "mesh", "mesh"); err != nil {
+		return hydro.Stats{}, err
+	}
+	if _, err := c.ConnectParallel("flow", "monitor", "stats", "monitor"); err != nil {
+		return hydro.Stats{}, err
+	}
+	var driver *hydro.IntegratorComponent
+	if err := c.InstallParallel("driver", func(rank int) cca.Component {
+		driver = hydro.NewIntegratorComponent(1, dt)
+		return driver
+	}); err != nil {
+		return hydro.Stats{}, err
+	}
+	if _, err := c.ConnectParallel("driver", "flow", "flow", "flow"); err != nil {
+		return hydro.Stats{}, err
+	}
+
+	var last hydro.Stats
+	for step := 1; step <= steps; step++ {
+		st, err := driver.Run(1, dt)
+		if err != nil {
+			return hydro.Stats{}, err
+		}
+		last = st
+		if stepDelay > 0 {
+			time.Sleep(stepDelay)
+		}
+	}
+	_ = rank
+	return last, nil
+}

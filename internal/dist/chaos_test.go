@@ -20,6 +20,7 @@ import (
 	"repro/internal/cca/framework"
 	"repro/internal/esi"
 	"repro/internal/linalg"
+	"repro/internal/mpi"
 	"repro/internal/orb"
 	"repro/internal/transport"
 )
@@ -254,6 +255,145 @@ func TestChaosKillAndRestartServer(t *testing.T) {
 		t.Errorf("GetPort after restore: %v", err)
 	}
 	c.solveAndCheck()
+}
+
+// startCohortChaos forms an n-rank process-backend cohort over an inproc
+// rendezvous and returns its comms and procs (test-owned; close what the
+// scenario does not kill).
+func startCohortChaos(t *testing.T, n int, addr string) ([]*mpi.Comm, []*mpi.Proc) {
+	t.Helper()
+	tr, rest, err := transport.ForScheme(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := tr.Listen(rest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rv := mpi.NewRendezvous(l, n)
+	t.Cleanup(func() { rv.Close() })
+	comms := make([]*mpi.Comm, n)
+	procs := make([]*mpi.Proc, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			comms[r], procs[r], errs[r] = mpi.JoinConfig(mpi.ProcConfig{
+				Rendezvous: addr, Rank: r, Size: n, Timeout: 10 * time.Second,
+			})
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d join: %v", r, err)
+		}
+	}
+	return comms, procs
+}
+
+func TestChaosRankDeathMidAllreduce(t *testing.T) {
+	// A 4-rank SPMD cohort where each rank runs a framework guarding a
+	// provides port on cohort liveness. Rank 3 is killed while the
+	// survivors are blocked inside an Allreduce: the collective must fail
+	// typed (RankDeadError, retryable under orb.Classify, unwrapping to
+	// transport.ErrClosed) instead of hanging, and the failure must surface
+	// through the configuration API as ConnectionBroken + PortHealth just
+	// like a severed remote link. Using a revoked communicator afterwards
+	// is the fatal half of the taxonomy.
+	const n = 4
+	comms, procs := startCohortChaos(t, n, "inproc://chaos-cohort")
+
+	fws := make([]*framework.Framework, n)
+	traps := make([]*eventTrap, n)
+	for r := 0; r < n; r++ {
+		fws[r] = framework.New(framework.Options{})
+		traps[r] = newEventTrap()
+		fws[r].AddEventListener(traps[r])
+		if err := fws[r].Install("op", esi.NewOperatorComponent(linalg.Poisson2D(4, 4))); err != nil {
+			t.Fatal(err)
+		}
+		if err := GuardCohort(fws[r], procs[r], "op", "A"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := GuardCohort(fws[0], procs[0], "op", "nope"); err == nil {
+		t.Error("GuardCohort accepted an unknown port")
+	}
+
+	// Lockstep rounds: rank 3 leaves after round 3, so every survivor is
+	// blocked inside round 4's Allreduce when the kill lands.
+	const lastFullRound = 3
+	survivorErr := make([]error, n)
+	rank3Done := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for round := 1; ; round++ {
+				got, err := comms[r].AllreduceScalar(1, mpi.Sum)
+				if err != nil {
+					survivorErr[r] = err
+					return
+				}
+				if got != n {
+					t.Errorf("rank %d round %d allreduce = %v, want %d", r, round, got, n)
+				}
+				if r == 3 && round == lastFullRound {
+					close(rank3Done)
+					return
+				}
+			}
+		}(r)
+	}
+	<-rank3Done
+	time.Sleep(20 * time.Millisecond) // survivors enter round 4 and block
+	procs[3].Kill()
+	wg.Wait()
+
+	for _, r := range []int{0, 1, 2} {
+		err := survivorErr[r]
+		var dead *mpi.RankDeadError
+		if !errors.As(err, &dead) {
+			t.Fatalf("rank %d mid-allreduce death = %v, want RankDeadError", r, err)
+		}
+		if dead.Rank != 3 {
+			t.Errorf("rank %d saw dead rank %d, want 3", r, dead.Rank)
+		}
+		if !errors.Is(err, transport.ErrClosed) {
+			t.Errorf("rank %d death error does not unwrap to transport.ErrClosed: %v", r, err)
+		}
+		if c := orb.Classify(err); c != orb.ClassRetryable {
+			t.Errorf("rank %d death classified %v, want retryable", r, c)
+		}
+		// The guarded port broke, observable exactly like a severed remote
+		// connection: the event fires and PortHealth reports Broken with a
+		// classified cause.
+		traps[r].wait(t, cca.EventConnectionBroken)
+		if h, err := fws[r].PortHealth("op", "A"); err != nil || h != cca.HealthBroken {
+			t.Errorf("rank %d PortHealth = %v, %v, want broken", r, h, err)
+		}
+	}
+
+	// Fatal half: a finalized communicator is revoked, which is a caller
+	// bug, not a recoverable fault.
+	procs[0].Close()
+	if err := comms[0].Send(1, 1, nil); !errors.Is(err, mpi.ErrCommRevoked) {
+		t.Fatalf("send on revoked comm = %v, want ErrCommRevoked", err)
+	} else if c := orb.Classify(err); c != orb.ClassFatal {
+		t.Errorf("revoked comm classified %v, want fatal", c)
+	}
+	if ce := CohortCallError(survivorErr[1]); ce == nil || ce.Class != orb.ClassRetryable {
+		t.Errorf("CohortCallError(death) = %+v, want retryable CallError", ce)
+	}
+	if CohortCallError(nil) != nil {
+		t.Error("CohortCallError(nil) != nil")
+	}
+	procs[1].Close()
+	procs[2].Close()
 }
 
 func TestChaosSeveredMidSolveRecovers(t *testing.T) {

@@ -1,0 +1,45 @@
+package dist
+
+// Cohort death bridge: a rank dying inside an SPMD cohort is the same
+// failure, from a component's point of view, as a severed distributed
+// connection — a peer the port depends on is gone. GuardCohort routes
+// mpi rank-death notifications into the framework's port-health surface
+// so builders and monitors observe cohort failures through the identical
+// configuration API (ConnectionBroken events, PortHealth, typed GetPort
+// errors) that dist supervision already uses for remote links.
+
+import (
+	"repro/internal/cca"
+	"repro/internal/cca/framework"
+	"repro/internal/mpi"
+	"repro/internal/orb"
+)
+
+// CohortCallError wraps a cohort communication failure in the orb error
+// taxonomy. Rank death unwraps to transport.ErrClosed and classifies
+// retryable — the launcher can respawn the rank and the cohort re-forms —
+// while a revoked communicator (used after finalize) is a programming
+// error and classifies fatal. Nil maps to nil.
+func CohortCallError(err error) *orb.CallError {
+	if err == nil {
+		return nil
+	}
+	return &orb.CallError{Class: orb.Classify(err), Err: err}
+}
+
+// GuardCohort arranges for the death of any peer rank in proc's cohort to
+// mark the component's provides port Broken, with the classified death
+// error as cause. The registration is immediate-past-inclusive: if a rank
+// already died, the port breaks now. Returns an error if the component or
+// port does not exist.
+func GuardCohort(fw *framework.Framework, proc *mpi.Proc, component, port string) error {
+	if _, err := fw.PortHealth(component, port); err != nil {
+		return err
+	}
+	proc.OnRankDeath(func(rank int, err error) {
+		// CohortCallError returns a typed *orb.CallError; callers probing
+		// the event cause can recover both the class and the dead rank.
+		_ = fw.SetPortHealth(component, port, cca.HealthBroken, CohortCallError(err))
+	})
+	return nil
+}

@@ -1,0 +1,723 @@
+package mpi
+
+// Cross-backend MPI conformance suite: one table of semantic checks —
+// point-to-point matching, nonblocking requests, every collective,
+// communicator management, payload edge cases — executed identically over
+// the goroutine backend (Run) and the process backend (RunOver) on each
+// transport scheme. The process backend must be indistinguishable from
+// the goroutine backend at this interface; a check that needs a backend
+// special case is a bug in the backend, not in the check. Mirrors the
+// transport conformance pattern from the zero-alloc shm PR.
+//
+// Rank bodies run on non-test goroutines, so they report with t.Errorf
+// (never t.Fatal) and use panics only for unreachable states.
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// confBackend runs an SPMD body over one Comm implementation.
+type confBackend struct {
+	name string
+	run  func(t *testing.T, n int, body func(c *Comm))
+}
+
+var confAddrSeq int64
+
+// confBackends is the conformance matrix: the goroutine backend plus the
+// process backend over every transport scheme (inproc exercises the wire
+// codec and mesh without sockets; tcp and shm are the deployment paths).
+func confBackends() []confBackend {
+	over := func(addr func(t *testing.T) string) func(*testing.T, int, func(*Comm)) {
+		return func(t *testing.T, n int, body func(c *Comm)) {
+			t.Helper()
+			if err := RunOver(n, addr(t), func(c *Comm, _ *Proc) { body(c) }); err != nil {
+				t.Fatalf("RunOver: %v", err)
+			}
+		}
+	}
+	return []confBackend{
+		{"goroutine", func(t *testing.T, n int, body func(c *Comm)) {
+			t.Helper()
+			Run(n, body)
+		}},
+		{"proc-inproc", over(func(t *testing.T) string {
+			return fmt.Sprintf("inproc://conformance-%d", atomic.AddInt64(&confAddrSeq, 1))
+		})},
+		{"proc-tcp", over(func(t *testing.T) string { return "tcp://127.0.0.1:0" })},
+		{"proc-shm", over(func(t *testing.T) string { return "shm://" + t.TempDir() + "/rv" })},
+	}
+}
+
+// eachBackend runs body as an n-rank SPMD job over every backend.
+func eachBackend(t *testing.T, n int, body func(t *testing.T, c *Comm)) {
+	t.Helper()
+	for _, b := range confBackends() {
+		t.Run(b.name, func(t *testing.T) {
+			b.run(t, n, func(c *Comm) { body(t, c) })
+		})
+	}
+}
+
+func TestConformanceSendRecvTagMatching(t *testing.T) {
+	// Every nonzero rank sends one message per tag; rank 0 drains them in
+	// an order unrelated to arrival (by source descending, tag ascending),
+	// so matching must hold messages for later selective receives.
+	tags := []int{7, 9, 11}
+	eachBackend(t, 4, func(t *testing.T, c *Comm) {
+		if c.Rank() != 0 {
+			for _, tag := range tags {
+				if err := c.Send(0, tag, []float64{float64(c.Rank()), float64(tag)}); err != nil {
+					t.Errorf("rank %d send tag %d: %v", c.Rank(), tag, err)
+				}
+			}
+			return
+		}
+		for src := c.Size() - 1; src >= 1; src-- {
+			for _, tag := range tags {
+				got, st, err := c.RecvFloat64(src, tag)
+				if err != nil {
+					t.Errorf("recv (%d,%d): %v", src, tag, err)
+					continue
+				}
+				if st.Source != src || st.Tag != tag || st.Count() != 2 {
+					t.Errorf("status = %+v, want source %d tag %d count 2", st, src, tag)
+				}
+				if got[0] != float64(src) || got[1] != float64(tag) {
+					t.Errorf("payload (%d,%d) = %v", src, tag, got)
+				}
+			}
+		}
+	})
+}
+
+func TestConformanceWildcards(t *testing.T) {
+	eachBackend(t, 4, func(t *testing.T, c *Comm) {
+		const tag = 3
+		if c.Rank() != 0 {
+			if err := c.Send(0, tag, c.Rank()); err != nil {
+				t.Errorf("send: %v", err)
+			}
+			if err := c.Send(0, 100+c.Rank(), "x"); err != nil {
+				t.Errorf("send: %v", err)
+			}
+			return
+		}
+		// AnySource with a fixed tag: one message per peer, any order.
+		seen := make(map[int]bool)
+		for i := 1; i < c.Size(); i++ {
+			p, st, err := c.Recv(AnySource, tag)
+			if err != nil {
+				t.Errorf("recv anysource: %v", err)
+				return
+			}
+			if p.(int) != st.Source || seen[st.Source] {
+				t.Errorf("anysource payload %v from %d (seen %v)", p, st.Source, seen)
+			}
+			seen[st.Source] = true
+		}
+		// Fixed source with AnyTag: the per-peer tag comes back in Status.
+		for src := 1; src < c.Size(); src++ {
+			p, st, err := c.Recv(src, AnyTag)
+			if err != nil {
+				t.Errorf("recv anytag: %v", err)
+				return
+			}
+			if st.Tag != 100+src || p.(string) != "x" {
+				t.Errorf("anytag from %d: payload %v tag %d, want tag %d", src, p, st.Tag, 100+src)
+			}
+		}
+	})
+}
+
+func TestConformanceOutOfOrderTags(t *testing.T) {
+	// The sender queues tag 5 before tag 3; the receiver asks for tag 3
+	// first. Matching must skip over the queued tag-5 message and then
+	// still deliver it — and FIFO order must hold within one tag.
+	eachBackend(t, 2, func(t *testing.T, c *Comm) {
+		switch c.Rank() {
+		case 1:
+			for _, v := range []struct {
+				tag int
+				val float64
+			}{{5, 50}, {3, 30}, {5, 51}} {
+				if err := c.Send(0, v.tag, []float64{v.val}); err != nil {
+					t.Errorf("send: %v", err)
+				}
+			}
+		case 0:
+			want := []struct {
+				tag int
+				val float64
+			}{{3, 30}, {5, 50}, {5, 51}}
+			for _, w := range want {
+				got, _, err := c.RecvFloat64(1, w.tag)
+				if err != nil {
+					t.Errorf("recv tag %d: %v", w.tag, err)
+					return
+				}
+				if got[0] != w.val {
+					t.Errorf("recv tag %d = %v, want %v", w.tag, got[0], w.val)
+				}
+			}
+		}
+	})
+}
+
+func TestConformanceIsendIrecvWait(t *testing.T) {
+	// Nonblocking ring shift: everyone posts the receive first, then the
+	// send, then waits — the ordering that deadlocks with blocking calls.
+	eachBackend(t, 4, func(t *testing.T, c *Comm) {
+		n, r := c.Size(), c.Rank()
+		rreq, err := c.Irecv((r+n-1)%n, 4)
+		if err != nil {
+			t.Errorf("irecv: %v", err)
+			return
+		}
+		sreq, err := c.Isend((r+1)%n, 4, []float64{float64(r)})
+		if err != nil {
+			t.Errorf("isend: %v", err)
+			return
+		}
+		if err := WaitAll(sreq); err != nil {
+			t.Errorf("wait send: %v", err)
+		}
+		p, st, err := rreq.WaitRecv()
+		if err != nil {
+			t.Errorf("wait recv: %v", err)
+			return
+		}
+		if want := (r + n - 1) % n; st.Source != want || p.([]float64)[0] != float64(want) {
+			t.Errorf("ring recv = %v from %d, want from %d", p, st.Source, want)
+		}
+		if !rreq.Test() {
+			t.Error("Test() false after WaitRecv")
+		}
+	})
+}
+
+func TestConformanceSendrecvExchange(t *testing.T) {
+	// Pairwise simultaneous exchange — the pattern that deadlocks as
+	// Send-then-Recv on an unbuffered fabric.
+	eachBackend(t, 4, func(t *testing.T, c *Comm) {
+		peer := c.Rank() ^ 1
+		p, st, err := c.Sendrecv(peer, 8, []float64{float64(c.Rank())}, peer, 8)
+		if err != nil {
+			t.Errorf("sendrecv: %v", err)
+			return
+		}
+		if st.Source != peer || p.([]float64)[0] != float64(peer) {
+			t.Errorf("exchange got %v from %d, want from %d", p, st.Source, peer)
+		}
+	})
+}
+
+func TestConformanceProbeIprobe(t *testing.T) {
+	eachBackend(t, 2, func(t *testing.T, c *Comm) {
+		const tag = 12
+		switch c.Rank() {
+		case 1:
+			// Wait for the go-signal so rank 0's negative Iprobe below is
+			// deterministic, then send.
+			if _, _, err := c.Recv(0, 1); err != nil {
+				t.Errorf("go-signal: %v", err)
+				return
+			}
+			if err := c.Send(0, tag, []float64{1, 2, 3}); err != nil {
+				t.Errorf("send: %v", err)
+			}
+		case 0:
+			if _, ok := c.Iprobe(1, tag); ok {
+				t.Error("Iprobe true before the message was sent")
+			}
+			if err := c.Send(1, 1, nil); err != nil {
+				t.Errorf("go-signal: %v", err)
+				return
+			}
+			st, err := c.Probe(1, tag)
+			if err != nil {
+				t.Errorf("probe: %v", err)
+				return
+			}
+			if st.Source != 1 || st.Tag != tag || st.Count() != 3 {
+				t.Errorf("probe status %+v, want source 1 tag %d count 3", st, tag)
+			}
+			// Probe must not consume: the receive still matches.
+			if _, ok := c.Iprobe(1, tag); !ok {
+				t.Error("Iprobe false after Probe returned")
+			}
+			if got, _, err := c.RecvFloat64(1, tag); err != nil || len(got) != 3 {
+				t.Errorf("recv after probe = %v, %v", got, err)
+			}
+		}
+	})
+}
+
+func TestConformanceBarrierStaggered(t *testing.T) {
+	// Ranks enter each barrier at staggered times; the job must neither
+	// deadlock nor let a rank escape early enough to corrupt the paired
+	// Allreduce that follows every round.
+	eachBackend(t, 4, func(t *testing.T, c *Comm) {
+		for round := 0; round < 10; round++ {
+			if c.Rank() == round%c.Size() {
+				time.Sleep(time.Millisecond)
+			}
+			if err := c.Barrier(); err != nil {
+				t.Errorf("barrier round %d: %v", round, err)
+				return
+			}
+			sum, err := c.AllreduceScalar(1, Sum)
+			if err != nil || sum != float64(c.Size()) {
+				t.Errorf("allreduce after barrier %d = %v, %v", round, sum, err)
+				return
+			}
+		}
+	})
+}
+
+func TestConformanceBcastAllRoots(t *testing.T) {
+	eachBackend(t, 4, func(t *testing.T, c *Comm) {
+		for root := 0; root < c.Size(); root++ {
+			var in any
+			if c.Rank() == root {
+				in = []float64{float64(root), 1.5}
+			}
+			out, err := c.Bcast(root, in)
+			if err != nil {
+				t.Errorf("bcast root %d: %v", root, err)
+				return
+			}
+			if v := out.([]float64); v[0] != float64(root) || v[1] != 1.5 {
+				t.Errorf("bcast root %d on rank %d = %v", root, c.Rank(), v)
+			}
+			// Non-slice payloads cross backends too.
+			s, err := c.Bcast(root, map[bool]string{true: fmt.Sprintf("r%d", root)}[c.Rank() == root])
+			if err != nil {
+				t.Errorf("bcast string root %d: %v", root, err)
+				return
+			}
+			if s.(string) != fmt.Sprintf("r%d", root) {
+				t.Errorf("bcast string = %q", s)
+			}
+		}
+	})
+}
+
+func TestConformanceReduceAllreduceOps(t *testing.T) {
+	eachBackend(t, 4, func(t *testing.T, c *Comm) {
+		n, r := c.Size(), c.Rank()
+		// Reduce to every root: sum of rank-valued vectors.
+		for root := 0; root < n; root++ {
+			out, err := c.Reduce(root, []float64{float64(r), float64(2 * r)}, Sum)
+			if err != nil {
+				t.Errorf("reduce root %d: %v", root, err)
+				return
+			}
+			if r == root {
+				want := float64(n * (n - 1) / 2)
+				if v := out.([]float64); v[0] != want || v[1] != 2*want {
+					t.Errorf("reduce root %d = %v, want [%v %v]", root, v, want, 2*want)
+				}
+			} else if out != nil {
+				t.Errorf("non-root reduce result = %v, want nil", out)
+			}
+		}
+		// Allreduce over []int with Max/Min and the logical ops.
+		mx, err := c.Allreduce([]int{r, -r}, Max)
+		if err != nil || mx.([]int)[0] != n-1 || mx.([]int)[1] != 0 {
+			t.Errorf("allreduce max = %v, %v", mx, err)
+		}
+		mn, err := c.Allreduce([]int{r}, Min)
+		if err != nil || mn.([]int)[0] != 0 {
+			t.Errorf("allreduce min = %v, %v", mn, err)
+		}
+		land, err := c.Allreduce([]int{1, boolToInt(r != 0)}, LAnd)
+		if err != nil || land.([]int)[0] != 1 || land.([]int)[1] != 0 {
+			t.Errorf("allreduce land = %v, %v", land, err)
+		}
+		lor, err := c.Allreduce([]int{0, boolToInt(r == 1)}, LOr)
+		if err != nil || lor.([]int)[0] != 0 || lor.([]int)[1] != 1 {
+			t.Errorf("allreduce lor = %v, %v", lor, err)
+		}
+	})
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func TestConformanceGathervScatterv(t *testing.T) {
+	// Ragged variable-count gather/scatter: 11 elements over 4 ranks gives
+	// per-rank chunks of unequal length (the v-variant semantics).
+	const total = 11
+	eachBackend(t, 4, func(t *testing.T, c *Comm) {
+		n, r := c.Size(), c.Rank()
+		var data []float64
+		if r == 0 {
+			data = make([]float64, total)
+			for i := range data {
+				data[i] = float64(i) * 1.25
+			}
+		}
+		chunk, offset, err := c.ScatterFloat64(0, data)
+		if err != nil {
+			t.Errorf("scatterv: %v", err)
+			return
+		}
+		lo, hi := BlockRange(total, n, r)
+		if offset != lo || len(chunk) != hi-lo {
+			t.Errorf("rank %d chunk [%d,+%d), want [%d,%d)", r, offset, len(chunk), lo, hi)
+			return
+		}
+		for i, v := range chunk {
+			if v != float64(lo+i)*1.25 {
+				t.Errorf("chunk[%d] = %v", i, v)
+			}
+		}
+		// Transform locally, gather back, verify the reassembled whole.
+		out := make([]float64, len(chunk))
+		for i, v := range chunk {
+			out[i] = v + 1000
+		}
+		all, err := c.GatherFloat64(0, out)
+		if err != nil {
+			t.Errorf("gatherv: %v", err)
+			return
+		}
+		if r == 0 {
+			if len(all) != total {
+				t.Errorf("gathered %d elements, want %d", len(all), total)
+				return
+			}
+			for i, v := range all {
+				if v != float64(i)*1.25+1000 {
+					t.Errorf("all[%d] = %v", i, v)
+				}
+			}
+		}
+	})
+}
+
+func TestConformanceGatherScatterAny(t *testing.T) {
+	eachBackend(t, 3, func(t *testing.T, c *Comm) {
+		n, r := c.Size(), c.Rank()
+		var parts []any
+		if r == 1 {
+			parts = make([]any, n)
+			for i := range parts {
+				parts[i] = fmt.Sprintf("part-%d", i)
+			}
+		}
+		got, err := c.Scatter(1, parts)
+		if err != nil || got.(string) != fmt.Sprintf("part-%d", r) {
+			t.Errorf("scatter = %v, %v", got, err)
+			return
+		}
+		all, err := c.Gather(1, got.(string)+"!")
+		if err != nil {
+			t.Errorf("gather: %v", err)
+			return
+		}
+		if r == 1 {
+			for i, p := range all {
+				if p.(string) != fmt.Sprintf("part-%d!", i) {
+					t.Errorf("gathered[%d] = %v", i, p)
+				}
+			}
+		} else if all != nil {
+			t.Errorf("non-root gather = %v, want nil", all)
+		}
+	})
+}
+
+func TestConformanceAllgatherAlltoall(t *testing.T) {
+	eachBackend(t, 4, func(t *testing.T, c *Comm) {
+		n, r := c.Size(), c.Rank()
+		all, err := c.Allgather([]int{r, r * r})
+		if err != nil {
+			t.Errorf("allgather: %v", err)
+			return
+		}
+		for i := 0; i < n; i++ {
+			if v := all[i].([]int); v[0] != i || v[1] != i*i {
+				t.Errorf("allgather[%d] = %v", i, v)
+			}
+		}
+		// Alltoall: parts[j] = 100*me + j; received[i] must be 100*i + me.
+		parts := make([]any, n)
+		for j := range parts {
+			parts[j] = 100*r + j
+		}
+		recv, err := c.Alltoall(parts)
+		if err != nil {
+			t.Errorf("alltoall: %v", err)
+			return
+		}
+		for i := 0; i < n; i++ {
+			if recv[i].(int) != 100*i+r {
+				t.Errorf("alltoall[%d] = %v, want %d", i, recv[i], 100*i+r)
+			}
+		}
+	})
+}
+
+func TestConformanceScan(t *testing.T) {
+	eachBackend(t, 4, func(t *testing.T, c *Comm) {
+		r := c.Rank()
+		out, err := c.Scan([]float64{float64(r + 1)}, Sum)
+		if err != nil {
+			t.Errorf("scan: %v", err)
+			return
+		}
+		want := float64((r + 1) * (r + 2) / 2) // inclusive prefix of 1..r+1
+		if v := out.([]float64); v[0] != want {
+			t.Errorf("scan rank %d = %v, want %v", r, v[0], want)
+		}
+	})
+}
+
+func TestConformanceSplitDup(t *testing.T) {
+	eachBackend(t, 4, func(t *testing.T, c *Comm) {
+		r := c.Rank()
+		// Evens and odds; rank 3 opts out with Undefined.
+		color := r % 2
+		if r == 3 {
+			color = Undefined
+		}
+		sub, err := c.Split(color, -r) // negative key reverses rank order
+		if err != nil {
+			t.Errorf("split: %v", err)
+			return
+		}
+		if r == 3 {
+			if sub != nil {
+				t.Error("Undefined color returned a communicator")
+			}
+		} else {
+			wantSize := 2 // evens {0,2}, odds {1} — but 3 left, so odds {1} size 1
+			if color == 1 {
+				wantSize = 1
+			}
+			if sub.Size() != wantSize {
+				t.Errorf("sub size = %d, want %d", sub.Size(), wantSize)
+			}
+			// Key -r orders descending by old rank.
+			if color == 0 {
+				wantRank := map[int]int{2: 0, 0: 1}[r]
+				if sub.Rank() != wantRank {
+					t.Errorf("rank %d got sub rank %d, want %d", r, sub.Rank(), wantRank)
+				}
+			}
+			sum, err := sub.AllreduceScalar(float64(r), Sum)
+			if err != nil {
+				t.Errorf("sub allreduce: %v", err)
+				return
+			}
+			want := map[int]float64{0: 2, 1: 1}[color]
+			if sum != want {
+				t.Errorf("sub allreduce = %v, want %v", sum, want)
+			}
+		}
+		// Everyone (including rank 3) must still agree on the parent comm.
+		if got, err := c.AllreduceScalar(1, Sum); err != nil || got != 4 {
+			t.Errorf("parent allreduce after split = %v, %v", got, err)
+		}
+
+		// Dup isolates traffic: the same tag on parent and dup carries
+		// different payloads and each receive matches its own context.
+		dup, err := c.Dup()
+		if err != nil {
+			t.Errorf("dup: %v", err)
+			return
+		}
+		if dup.Rank() != r || dup.Size() != c.Size() {
+			t.Errorf("dup identity = (%d,%d)", dup.Rank(), dup.Size())
+		}
+		const tag = 21
+		peer := r ^ 1
+		if err := c.Send(peer, tag, "parent"); err != nil {
+			t.Errorf("send parent: %v", err)
+		}
+		if err := dup.Send(peer, tag, "dup"); err != nil {
+			t.Errorf("send dup: %v", err)
+		}
+		if p, _, err := dup.Recv(peer, tag); err != nil || p.(string) != "dup" {
+			t.Errorf("dup recv = %v, %v", p, err)
+		}
+		if p, _, err := c.Recv(peer, tag); err != nil || p.(string) != "parent" {
+			t.Errorf("parent recv = %v, %v", p, err)
+		}
+	})
+}
+
+func TestConformanceZeroLength(t *testing.T) {
+	eachBackend(t, 2, func(t *testing.T, c *Comm) {
+		peer := c.Rank() ^ 1
+		// Zero-length and nil payloads are distinct, both legal.
+		if err := c.Send(peer, 1, []float64{}); err != nil {
+			t.Errorf("send empty: %v", err)
+		}
+		if err := c.Send(peer, 2, nil); err != nil {
+			t.Errorf("send nil: %v", err)
+		}
+		got, st, err := c.RecvFloat64(peer, 1)
+		if err != nil || len(got) != 0 || st.Count() != 0 {
+			t.Errorf("recv empty = %v (count %d), %v", got, st.Count(), err)
+		}
+		p, st, err := c.Recv(peer, 2)
+		if err != nil || p != nil || st.Count() != 0 {
+			t.Errorf("recv nil = %v (count %d), %v", p, st.Count(), err)
+		}
+		// Zero-length collectives.
+		out, err := c.Bcast(0, map[bool]any{true: []float64{}, false: nil}[c.Rank() == 0])
+		if err != nil || len(out.([]float64)) != 0 {
+			t.Errorf("bcast empty = %v, %v", out, err)
+		}
+		red, err := c.Allreduce([]float64{}, Sum)
+		if err != nil || len(red.([]float64)) != 0 {
+			t.Errorf("allreduce empty = %v, %v", red, err)
+		}
+	})
+}
+
+func TestConformanceLargePayload(t *testing.T) {
+	// 48k float64s = 384 KiB — larger than the 256 KiB shm ring, so the
+	// shm path must stream the frame through the ring in pieces; larger
+	// than any coalescing buffer on tcp. Checksummed ring pass plus a
+	// broadcast.
+	if testing.Short() {
+		t.Skip("large payloads in -short mode")
+	}
+	const elems = 48 << 10
+	eachBackend(t, 4, func(t *testing.T, c *Comm) {
+		n, r := c.Size(), c.Rank()
+		payload := make([]float64, elems)
+		for i := range payload {
+			payload[i] = float64(r*elems + i)
+		}
+		req, err := c.Isend((r+1)%n, 6, payload)
+		if err != nil {
+			t.Errorf("isend large: %v", err)
+			return
+		}
+		got, _, err := c.RecvFloat64((r+n-1)%n, 6)
+		if err != nil {
+			t.Errorf("recv large: %v", err)
+			return
+		}
+		if err := req.Wait(); err != nil {
+			t.Errorf("wait large: %v", err)
+			return
+		}
+		prev := (r + n - 1) % n
+		if len(got) != elems || got[0] != float64(prev*elems) || got[elems-1] != float64(prev*elems+elems-1) {
+			t.Errorf("large ring recv corrupted: len %d ends %v,%v", len(got), got[0], got[elems-1])
+		}
+		bc, err := c.BcastFloat64(0, map[bool][]float64{true: payload, false: nil}[r == 0])
+		if err != nil || len(bc) != elems || bc[elems-1] != float64(elems-1) {
+			t.Errorf("large bcast: len %d, %v", len(bc), err)
+		}
+	})
+}
+
+func TestConformanceTypeFidelity(t *testing.T) {
+	// Every payload kind in the wire set round-trips with its Go type and
+	// value intact — by reference in-process, through the codec across
+	// processes. NaN is checked by bit pattern, not equality.
+	payloads := []any{
+		nil,
+		[]byte{0, 1, 255, 128},
+		[]float64{0, -0.0, 1.5, math.Inf(1), math.Inf(-1)},
+		[]int{0, -1, 1 << 40, -(1 << 40)},
+		[]complex128{complex(1, -2), complex(math.Inf(-1), 0.5)},
+		int(-42),
+		float64(6.25e-3),
+		"héllo wörld",
+		true,
+		false,
+		[]any{int(7), "nested", []float64{1, 2}, []any{false}},
+	}
+	eachBackend(t, 2, func(t *testing.T, c *Comm) {
+		peer := c.Rank() ^ 1
+		for i, p := range payloads {
+			if err := c.Send(peer, i, p); err != nil {
+				t.Errorf("send %T: %v", p, err)
+			}
+		}
+		if err := c.Send(peer, len(payloads), math.NaN()); err != nil {
+			t.Errorf("send NaN: %v", err)
+		}
+		for i, want := range payloads {
+			got, st, err := c.Recv(peer, i)
+			if err != nil {
+				t.Errorf("recv %T: %v", want, err)
+				continue
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("payload %d: got %#v (%T), want %#v (%T)", i, got, got, want, want)
+			}
+			if st.Tag != i {
+				t.Errorf("payload %d: tag %d", i, st.Tag)
+			}
+		}
+		if got, _, err := c.Recv(peer, len(payloads)); err != nil || !math.IsNaN(got.(float64)) {
+			t.Errorf("NaN round-trip = %v, %v", got, err)
+		}
+	})
+}
+
+// TestCollTagWindowWraparound drives more collectives through a 3-rank
+// communicator than the collective tag window holds, on both backends.
+// After wraparound, collective k and collective k+collTagWindow share a
+// tag; per-pair FIFO ordering is what keeps them from aliasing, and any
+// ordering bug shows up as a value from the wrong round.
+func TestCollTagWindowWraparound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wraparound sweep in -short mode")
+	}
+	rounds := collTagWindow + 130 // past the wraparound point with margin
+	body := func(t *testing.T, c *Comm) {
+		for i := 0; i < rounds; i++ {
+			switch i % 3 {
+			case 0:
+				got, err := c.AllreduceScalar(float64(c.Rank()+i), Sum)
+				want := float64(3*i + 3) // 0+1+2 ranks + 3i
+				if err != nil || got != want {
+					t.Errorf("round %d allreduce = %v, %v (want %v)", i, got, err, want)
+					return
+				}
+			case 1:
+				root := i % c.Size()
+				var in any
+				if c.Rank() == root {
+					in = i
+				}
+				got, err := c.Bcast(root, in)
+				if err != nil || got.(int) != i {
+					t.Errorf("round %d bcast = %v, %v", i, got, err)
+					return
+				}
+			case 2:
+				if err := c.Barrier(); err != nil {
+					t.Errorf("round %d barrier: %v", i, err)
+					return
+				}
+			}
+		}
+	}
+	t.Run("goroutine", func(t *testing.T) { Run(3, func(c *Comm) { body(t, c) }) })
+	t.Run("proc", func(t *testing.T) {
+		addr := fmt.Sprintf("inproc://wraparound-%d", atomic.AddInt64(&confAddrSeq, 1))
+		if err := RunOver(3, addr, func(c *Comm, _ *Proc) { body(t, c) }); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -1,0 +1,45 @@
+// Package mpi provides an MPI-like message-passing substrate with two
+// interchangeable backends: goroutine ranks in one address space, and
+// process ranks spanning OS processes and machines over the multiplexed
+// transport layer.
+//
+// The Common Component Architecture paper (HPDC 1999) assumes SPMD parallel
+// components whose internal communication is MPI (see Figure 1: "component A
+// (a mesh) uses MPI to communicate among the four processes over which it is
+// distributed"). This package reproduces the semantics the CCA's collective
+// ports are built on — rank-addressed point-to-point messaging with MPI
+// (source, tag) matching including wildcards, communicator groups, and the
+// standard collective operations.
+//
+// The API deliberately mirrors the MPI-1 surface that scientific codes such
+// as CHAD use: Send/Recv, nonblocking Isend/Irecv with Wait, Barrier, Bcast,
+// Reduce, Allreduce, Gather(v), Scatter(v), Allgather, Alltoall, Scan, and
+// communicator Split/Dup.
+//
+// # Backends
+//
+// A Comm is backed by an engine — the rank-addressed p2p substrate it runs
+// on. The collective algorithms (binomial trees, window-cycled tags; see
+// collectives.go) are written purely against the engine interface, so one
+// implementation serves both backends and a conformance suite executes the
+// same semantic table over each:
+//
+//   - Goroutine backend ([Run]): every rank is a goroutine, delivery is a
+//     mailbox append, payloads move by reference. This is the fast path for
+//     tests and single-process SPMD components.
+//
+//   - Process backend ([Join], [JoinConfig], [RunOver]): every rank is an OS
+//     process (or an isolated in-process member in tests). Ranks form a full
+//     mesh of transport connections — tcp:// across hosts, shm:// same-host
+//     rings — and exchange rank-addressed frames ([source, effective tag,
+//     typed payload]; see wire.go). Cohort formation goes through a
+//     rendezvous service (rendezvous.go) that assigns the rank↔address map,
+//     barriers on world formation, and allocates derived-communicator
+//     contexts so Split/Dup stay globally collision-free.
+//
+// Rank death on the process backend is not silent: a broken peer connection
+// without the finalize handshake poisons the local mailbox with a typed
+// [RankDeadError], so every rank blocked in a collective fails fast instead
+// of hanging, and the dist layer can surface the failure through the
+// framework's connection-health events.
+package mpi

@@ -1,20 +1,3 @@
-// Package mpi provides an MPI-like message-passing substrate built on
-// goroutines and in-process mailboxes.
-//
-// The Common Component Architecture paper (HPDC 1999) assumes SPMD parallel
-// components whose internal communication is MPI (see Figure 1: "component A
-// (a mesh) uses MPI to communicate among the four processes over which it is
-// distributed"). This package reproduces the semantics that the CCA's
-// collective ports are built on — rank-addressed point-to-point messaging
-// with tag matching, communicator groups, and the standard collective
-// operations — in a single address space so the whole reproduction runs on a
-// laptop. Each "process" is a goroutine; each rank owns a mailbox with
-// MPI-style (source, tag) matching, including wildcards.
-//
-// The API deliberately mirrors the MPI-1 surface that scientific codes such
-// as CHAD use: Send/Recv, nonblocking Isend/Irecv with Wait, Barrier, Bcast,
-// Reduce, Allreduce, Gather(v), Scatter(v), Allgather, Alltoall, and
-// communicator Split/Dup.
 package mpi
 
 import (
@@ -44,6 +27,48 @@ var (
 	ErrCommRevoked = errors.New("mpi: communicator revoked")
 )
 
+// RankDeadError reports that a cohort peer died: its connection to this
+// rank broke without the finalize handshake (process crash, kill, network
+// partition). It poisons the local rank's mailbox, so every blocked or
+// future receive — including those inside collectives — fails with it
+// instead of hanging. It unwraps to the underlying transport error, so
+// orb.Classify sees a connection-level (retryable) failure.
+type RankDeadError struct {
+	Rank int // world rank of the dead peer
+	Err  error
+}
+
+func (e *RankDeadError) Error() string {
+	return fmt.Sprintf("mpi: rank %d died: %v", e.Rank, e.Err)
+}
+
+func (e *RankDeadError) Unwrap() error { return e.Err }
+
+// engine is the rank-addressed point-to-point substrate a communicator
+// runs on. One engine value serves one rank: send addresses peers by world
+// rank, and the receive-side methods operate on the owning rank's mailbox.
+// The collective algorithms in collectives.go are written purely against
+// Comm's send/recv internals, so they run unchanged over every engine:
+// the goroutine backend (goEngine, one address space) and the process
+// backend (procWorld, frames over the multiplexed transport).
+type engine interface {
+	// send delivers e to world rank dest. e.source is the sender's rank in
+	// the communicator the message belongs to; e.tag is the effective
+	// (context-folded) tag.
+	send(dest int, e envelope) error
+	// recv blocks until a message matching (source, efftag) is in this
+	// rank's mailbox and removes it. Wildcards follow mailbox.take.
+	recv(source, efftag int) (envelope, error)
+	// probeWait blocks until a matching message is queued and returns its
+	// status (with the raw effective tag) without consuming it.
+	probeWait(source, efftag int) (Status, error)
+	// iprobe is the nonblocking probeWait.
+	iprobe(source, efftag int) (Status, bool)
+	// allocCtx returns a fresh communicator context offset, unique across
+	// the whole world for the lifetime of the job.
+	allocCtx() (int, error)
+}
+
 // envelope is a single in-flight message.
 type envelope struct {
 	source  int
@@ -66,7 +91,7 @@ type mailbox struct {
 	pending []envelope
 	taken   []bool // parallel to pending: slot already consumed
 	head    int    // first possibly-live slot
-	revoked bool
+	failErr error  // sticky: revocation or rank death poisons the box
 }
 
 func newMailbox() *mailbox {
@@ -78,8 +103,8 @@ func newMailbox() *mailbox {
 func (m *mailbox) put(e envelope) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if m.revoked {
-		return ErrCommRevoked
+	if m.failErr != nil {
+		return m.failErr
 	}
 	m.pending = append(m.pending, e)
 	m.taken = append(m.taken, false)
@@ -106,8 +131,8 @@ func (m *mailbox) take(source, tag int) (envelope, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for {
-		if m.revoked {
-			return envelope{}, ErrCommRevoked
+		if m.failErr != nil {
+			return envelope{}, m.failErr
 		}
 		for i := m.head; i < len(m.pending); i++ {
 			if m.taken[i] {
@@ -147,12 +172,40 @@ func (m *mailbox) probe(source, tag int) (Status, bool) {
 	return Status{}, false
 }
 
-func (m *mailbox) revoke() {
+// probeWait blocks until a matching message is queued and returns its
+// status with the raw effective tag, without consuming the message.
+func (m *mailbox) probeWait(source, tag int) (Status, error) {
 	m.mu.Lock()
-	m.revoked = true
+	defer m.mu.Unlock()
+	for {
+		if m.failErr != nil {
+			return Status{}, m.failErr
+		}
+		for i := m.head; i < len(m.pending); i++ {
+			if m.taken[i] {
+				continue
+			}
+			e := m.pending[i]
+			if (source == AnySource || e.source == source) && (tag == AnyTag || e.tag == tag) {
+				return Status{Source: e.source, Tag: e.tag, count: payloadLen(e.payload)}, nil
+			}
+		}
+		m.cond.Wait()
+	}
+}
+
+// fail poisons the mailbox: every pending and future take/probeWait (and
+// put) returns err. The first failure wins; later ones are ignored.
+func (m *mailbox) fail(err error) {
+	m.mu.Lock()
+	if m.failErr == nil {
+		m.failErr = err
+	}
 	m.cond.Broadcast()
 	m.mu.Unlock()
 }
+
+func (m *mailbox) revoke() { m.fail(ErrCommRevoked) }
 
 // payloadLen reports the element count of the common payload kinds; -1 when
 // unknown.
@@ -184,10 +237,36 @@ type Status struct {
 // payload type has no defined count.
 func (s Status) Count() int { return s.count }
 
-// world is the shared state behind a family of communicators.
+// world is the shared state behind the goroutine backend: one mailbox per
+// rank plus the context allocator, all in a single address space.
 type world struct {
 	boxes      []*mailbox // indexed by world rank
 	ctxCounter int64      // allocator for derived-communicator contexts
+}
+
+// goEngine is one rank's handle on a goroutine-backend world. Delivery is
+// a mailbox append; payloads move by reference.
+type goEngine struct {
+	w    *world
+	self int // my world rank
+}
+
+func (g *goEngine) send(dest int, e envelope) error { return g.w.boxes[dest].put(e) }
+
+func (g *goEngine) recv(source, efftag int) (envelope, error) {
+	return g.w.boxes[g.self].take(source, efftag)
+}
+
+func (g *goEngine) probeWait(source, efftag int) (Status, error) {
+	return g.w.boxes[g.self].probeWait(source, efftag)
+}
+
+func (g *goEngine) iprobe(source, efftag int) (Status, bool) {
+	return g.w.boxes[g.self].probe(source, efftag)
+}
+
+func (g *goEngine) allocCtx() (int, error) {
+	return int(atomic.AddInt64(&g.w.ctxCounter, 1)) * ctxStride, nil
 }
 
 // ctxStride separates the effective-tag ranges of distinct communicator
@@ -201,7 +280,7 @@ const ctxStride = 2 * internalTagBase
 // per-rank (like an MPI_Comm handle held by one process): Rank reports the
 // holder's rank within the group.
 type Comm struct {
-	w       *world
+	eng     engine
 	rank    int   // my rank in this communicator
 	group   []int // communicator rank -> world rank
 	ctxTag  int   // communication context offset; isolates comms from each other
@@ -234,10 +313,11 @@ func (c *Comm) checkTag(tag int) error {
 // communicators over the same ranks never cross-deliver.
 func (c *Comm) efftag(tag int) int { return tag + c.ctxTag }
 
-// Send delivers payload to rank dest with the given tag. Payload slices are
-// transferred by reference (single address space); receivers must treat
-// received slices as read-only or copy them, exactly as a real MPI program
-// treats its receive buffer as owned after MPI_Recv returns.
+// Send delivers payload to rank dest with the given tag. On the goroutine
+// backend payload slices are transferred by reference; on the process
+// backend they are serialized over the transport. Either way receivers
+// must treat received slices as read-only or copy them, exactly as a real
+// MPI program treats its receive buffer as owned after MPI_Recv returns.
 func (c *Comm) Send(dest, tag int, payload any) error {
 	if err := c.checkRank(dest); err != nil {
 		return err
@@ -245,12 +325,12 @@ func (c *Comm) Send(dest, tag int, payload any) error {
 	if err := c.checkTag(tag); err != nil {
 		return err
 	}
-	return c.w.boxes[c.worldRank(dest)].put(envelope{source: c.rank, tag: c.efftag(tag), payload: payload})
+	return c.eng.send(c.worldRank(dest), envelope{source: c.rank, tag: c.efftag(tag), payload: payload})
 }
 
 // sendInternal bypasses the user tag range check for collective traffic.
 func (c *Comm) sendInternal(dest, tag int, payload any) error {
-	return c.w.boxes[c.worldRank(dest)].put(envelope{source: c.rank, tag: c.efftag(tag), payload: payload})
+	return c.eng.send(c.worldRank(dest), envelope{source: c.rank, tag: c.efftag(tag), payload: payload})
 }
 
 // Recv blocks until a message matching (source, tag) arrives and returns its
@@ -274,7 +354,7 @@ func (c *Comm) recvInternal(source, tag int) (any, Status, error) {
 	if tag != AnyTag {
 		et = c.efftag(tag)
 	}
-	e, err := c.w.boxes[c.worldRank(c.rank)].take(source, et)
+	e, err := c.eng.recv(source, et)
 	if err != nil {
 		return nil, Status{}, err
 	}
@@ -305,24 +385,12 @@ func (c *Comm) Probe(source, tag int) (Status, error) {
 		}
 		et = c.efftag(tag)
 	}
-	box := c.w.boxes[c.worldRank(c.rank)]
-	box.mu.Lock()
-	defer box.mu.Unlock()
-	for {
-		if box.revoked {
-			return Status{}, ErrCommRevoked
-		}
-		for i := box.head; i < len(box.pending); i++ {
-			if box.taken[i] {
-				continue
-			}
-			e := box.pending[i]
-			if (source == AnySource || e.source == source) && (et == AnyTag || e.tag == et) {
-				return Status{Source: e.source, Tag: e.tag - c.ctxTag, count: payloadLen(e.payload)}, nil
-			}
-		}
-		box.cond.Wait()
+	st, err := c.eng.probeWait(source, et)
+	if err != nil {
+		return Status{}, err
 	}
+	st.Tag -= c.ctxTag
+	return st, nil
 }
 
 // Iprobe is the nonblocking form of Probe.
@@ -331,7 +399,7 @@ func (c *Comm) Iprobe(source, tag int) (Status, bool) {
 	if tag != AnyTag {
 		et = c.efftag(tag)
 	}
-	st, ok := c.w.boxes[c.worldRank(c.rank)].probe(source, et)
+	st, ok := c.eng.iprobe(source, et)
 	if ok {
 		st.Tag -= c.ctxTag
 	}
@@ -384,7 +452,7 @@ func Run(n int, body func(c *Comm)) {
 					panics <- p
 				}
 			}()
-			body(&Comm{w: w, rank: rank, group: group})
+			body(&Comm{eng: &goEngine{w: w, self: rank}, rank: rank, group: group})
 		}(r)
 	}
 	wg.Wait()
@@ -403,30 +471,32 @@ const Undefined = -1
 
 // Split is collective over c.
 func (c *Comm) Split(color, key int) (*Comm, error) {
-	type entry struct{ Color, Key, Rank int }
-	type plan struct {
-		All []entry
-		Ctx int
-	}
-	mine := entry{color, key, c.rank}
+	// The exchange uses flat []int payloads — [color, key, rank] triples —
+	// so the same code serializes over the process backend's wire codec.
+	mine := []int{color, key, c.rank}
 
 	// Gather all (color,key,rank) triples at rank 0; rank 0 allocates a
-	// fresh communication context from the world and broadcasts the plan.
-	var all []entry
+	// fresh communication context from the world and broadcasts the plan
+	// as [ctx, c0,k0,r0, c1,k1,r1, ...].
+	var all []int // 3 ints per member, indexed by arrival
 	var ctx int
 	if c.rank == 0 {
-		all = make([]entry, c.Size())
-		all[0] = mine
+		all = make([]int, 0, 3*c.Size())
+		all = append(all, mine...)
 		for i := 1; i < c.Size(); i++ {
-			p, st, err := c.recvInternal(AnySource, c.splitTag())
+			p, _, err := c.recvInternal(AnySource, c.splitTag())
 			if err != nil {
 				return nil, err
 			}
-			all[st.Source] = p.(entry)
+			all = append(all, p.([]int)...)
 		}
-		ctx = int(atomic.AddInt64(&c.w.ctxCounter, 1)) * ctxStride
+		var err error
+		if ctx, err = c.eng.allocCtx(); err != nil {
+			return nil, err
+		}
+		plan := append([]int{ctx}, all...)
 		for i := 1; i < c.Size(); i++ {
-			if err := c.sendInternal(i, c.splitTag(), plan{All: all, Ctx: ctx}); err != nil {
+			if err := c.sendInternal(i, c.splitTag(), plan); err != nil {
 				return nil, err
 			}
 		}
@@ -438,16 +508,18 @@ func (c *Comm) Split(color, key int) (*Comm, error) {
 		if err != nil {
 			return nil, err
 		}
-		pl := p.(plan)
-		all, ctx = pl.All, pl.Ctx
+		plan := p.([]int)
+		ctx, all = plan[0], plan[1:]
 	}
 
 	if color == Undefined {
 		return nil, nil
 	}
 	// Stable order: key, then old rank.
+	type entry struct{ Color, Key, Rank int }
 	var members []entry
-	for _, e := range all {
+	for i := 0; i+2 < len(all); i += 3 {
+		e := entry{all[i], all[i+1], all[i+2]}
 		if e.Color == color {
 			members = append(members, e)
 		}
@@ -470,7 +542,7 @@ func (c *Comm) Split(color, key int) (*Comm, error) {
 			myNew = i
 		}
 	}
-	return &Comm{w: c.w, rank: myNew, group: group, ctxTag: ctx}, nil
+	return &Comm{eng: c.eng, rank: myNew, group: group, ctxTag: ctx}, nil
 }
 
 // splitTag is the internal tag used by Split traffic; efftag folds in the

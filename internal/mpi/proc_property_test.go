@@ -1,0 +1,157 @@
+package mpi
+
+// Property tests for the process backend's arithmetic fidelity: collective
+// reductions over the wire must produce bit-identical results — first
+// against the serial reference fold on exact integer-valued data (where
+// every combine order is exact, so any wire-introduced perturbation is a
+// bug), then against the goroutine backend on arbitrary doubles (both
+// backends run the same binomial tree, so even the rounding must agree
+// bit-for-bit; a difference means the codec altered a payload).
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+)
+
+// serialFold is the reference reduction: a left-to-right fold of the
+// per-rank contributions, the same reference the goroutine backend's
+// par-vs-serial tests use.
+func serialFold(t *testing.T, contribs [][]float64, op Op) []float64 {
+	t.Helper()
+	acc := op.clone(contribs[0]).([]float64)
+	for _, c := range contribs[1:] {
+		out, err := op.combine(acc, c)
+		if err != nil {
+			t.Fatalf("serial combine: %v", err)
+		}
+		acc = out.([]float64)
+	}
+	return acc
+}
+
+func bitsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// runProc runs body as an n-rank job on the process backend (inproc
+// scheme: real wire codec and mesh, no sockets).
+func runProc(t *testing.T, n int, body func(c *Comm)) {
+	t.Helper()
+	addr := fmt.Sprintf("inproc://prop-%d", atomic.AddInt64(&confAddrSeq, 1))
+	if err := RunOver(n, addr, func(c *Comm, _ *Proc) { body(c) }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProcCollectivesBitIdenticalToSerial(t *testing.T) {
+	const n, vec = 4, 33
+	rng := rand.New(rand.NewSource(99))
+	contribs := make([][]float64, n)
+	for r := range contribs {
+		contribs[r] = make([]float64, vec)
+		for i := range contribs[r] {
+			// Small integers: sums and 4-way products stay exactly
+			// representable, so the fold order cannot matter.
+			contribs[r][i] = float64(rng.Intn(17) - 8)
+		}
+	}
+	for _, op := range []Op{Sum, Prod, Max, Min} {
+		want := serialFold(t, contribs, op)
+
+		// Allreduce: every rank must hold the serial answer.
+		results := make([][]float64, n)
+		runProc(t, n, func(c *Comm) {
+			out, err := c.AllreduceFloat64(contribs[c.Rank()], op)
+			if err != nil {
+				t.Errorf("%s allreduce: %v", op, err)
+				return
+			}
+			results[c.Rank()] = out
+		})
+		for r, got := range results {
+			if !bitsEqual(got, want) {
+				t.Errorf("%s allreduce rank %d: %v, want %v", op, r, got, want)
+			}
+		}
+
+		// Reduce to a non-zero root.
+		var rootGot []float64
+		runProc(t, n, func(c *Comm) {
+			out, err := c.Reduce(2, contribs[c.Rank()], op)
+			if err != nil {
+				t.Errorf("%s reduce: %v", op, err)
+				return
+			}
+			if c.Rank() == 2 {
+				rootGot = out.([]float64)
+			}
+		})
+		if !bitsEqual(rootGot, want) {
+			t.Errorf("%s reduce root: %v, want %v", op, rootGot, want)
+		}
+
+		// Scan: rank r holds the serial fold of contributions 0..r.
+		scans := make([][]float64, n)
+		runProc(t, n, func(c *Comm) {
+			out, err := c.Scan(contribs[c.Rank()], op)
+			if err != nil {
+				t.Errorf("%s scan: %v", op, err)
+				return
+			}
+			scans[c.Rank()] = out.([]float64)
+		})
+		for r := 0; r < n; r++ {
+			prefix := serialFold(t, contribs[:r+1], op)
+			if !bitsEqual(scans[r], prefix) {
+				t.Errorf("%s scan rank %d: %v, want %v", op, r, scans[r], prefix)
+			}
+		}
+	}
+}
+
+func TestProcCollectivesBitIdenticalToGoroutine(t *testing.T) {
+	// Arbitrary doubles, including values whose sum depends on combine
+	// order. Both backends execute the same tree, so the process backend
+	// must reproduce the goroutine backend's rounding exactly; this fails
+	// if the wire codec perturbs so much as one mantissa bit.
+	const n, vec = 5, 41
+	rng := rand.New(rand.NewSource(2026))
+	contribs := make([][]float64, n)
+	for r := range contribs {
+		contribs[r] = make([]float64, vec)
+		for i := range contribs[r] {
+			contribs[r][i] = (rng.Float64() - 0.5) * math.Pow(10, float64(rng.Intn(13)-6))
+		}
+	}
+	collect := func(run func(t *testing.T, n int, body func(c *Comm))) [][]float64 {
+		results := make([][]float64, n)
+		run(t, n, func(c *Comm) {
+			out, err := c.AllreduceFloat64(contribs[c.Rank()], Sum)
+			if err != nil {
+				t.Errorf("allreduce: %v", err)
+				return
+			}
+			results[c.Rank()] = out
+		})
+		return results
+	}
+	goResults := collect(func(t *testing.T, n int, body func(c *Comm)) { Run(n, body) })
+	procResults := collect(runProc)
+	for r := 0; r < n; r++ {
+		if !bitsEqual(goResults[r], procResults[r]) {
+			t.Errorf("rank %d: goroutine and process backends disagree:\n  go:   %v\n  proc: %v",
+				r, goResults[r], procResults[r])
+		}
+	}
+}

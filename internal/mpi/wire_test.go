@@ -1,0 +1,151 @@
+package mpi
+
+// Wire codec tests: round-trip fidelity for the closed payload type set,
+// fail-fast on untransferable types, and — because a crashed or hostile
+// peer can hand the decoder any bytes — graceful ErrWire on every
+// truncation and corruption, never a panic or an absurd allocation.
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+)
+
+func encodeEnvelope(t *testing.T, e envelope) []byte {
+	t.Helper()
+	b, err := encodeMsg(nil, e)
+	if err != nil {
+		t.Fatalf("encode %T: %v", e.payload, err)
+	}
+	return b
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	payloads := []any{
+		nil,
+		[]byte{},
+		[]byte{1, 2, 3, 0xff},
+		[]float64{},
+		[]float64{1.5, -0.0, math.Inf(1), math.SmallestNonzeroFloat64},
+		[]int{},
+		[]int{0, -1, math.MaxInt64, math.MinInt64},
+		[]complex128{complex(-1.25, 3e200)},
+		int(0),
+		int(-1 << 60),
+		float64(2.5),
+		"",
+		"ünïcode",
+		true,
+		false,
+		[]any{},
+		[]any{int(1), "two", []float64{3}, nil, []any{true}},
+	}
+	for _, p := range payloads {
+		b := encodeEnvelope(t, envelope{source: 3, tag: internalTagBase + 17, payload: p})
+		if b[0] != kMsg {
+			t.Fatalf("frame kind = %d", b[0])
+		}
+		e, err := decodeMsg(b[1:])
+		if err != nil {
+			t.Errorf("decode %T: %v", p, err)
+			continue
+		}
+		if e.source != 3 || e.tag != internalTagBase+17 {
+			t.Errorf("header (%d,%d) after round-trip", e.source, e.tag)
+		}
+		if !reflect.DeepEqual(e.payload, p) {
+			t.Errorf("payload: got %#v (%T), want %#v (%T)", e.payload, e.payload, p, p)
+		}
+	}
+}
+
+func TestWireNaNPreservesBits(t *testing.T) {
+	// A signalling NaN's payload bits must survive the codec: values move
+	// as IEEE 754 bit patterns, not through any float parse.
+	snan := math.Float64frombits(0x7ff0dead_beef0001)
+	b := encodeEnvelope(t, envelope{payload: []float64{snan}})
+	e, err := decodeMsg(b[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := e.payload.([]float64)[0]
+	if math.Float64bits(got) != 0x7ff0dead_beef0001 {
+		t.Errorf("NaN bits = %#x", math.Float64bits(got))
+	}
+}
+
+func TestWireUntransferableTypes(t *testing.T) {
+	for _, p := range []any{
+		struct{ X int }{1},
+		[]string{"a"},
+		map[string]int{"a": 1},
+		float32(1),
+		int32(1),
+		&struct{}{},
+		[]any{int(1), []string{"nested bad"}}, // failure inside a nested value
+	} {
+		if _, err := encodeMsg(nil, envelope{payload: p}); !errors.Is(err, ErrPayloadType) {
+			t.Errorf("encode %T = %v, want ErrPayloadType", p, err)
+		}
+	}
+}
+
+func TestWireTruncationNeverPanics(t *testing.T) {
+	// Every strict prefix of every valid encoding must decode to ErrWire.
+	payloads := []any{
+		[]byte{1, 2, 3},
+		[]float64{1, 2},
+		[]int{-5, 5},
+		[]complex128{complex(1, 2)},
+		int(300),
+		float64(1.5),
+		"abc",
+		true,
+		[]any{int(1), "x"},
+	}
+	for _, p := range payloads {
+		full := encodeEnvelope(t, envelope{source: 1, tag: 2, payload: p})[1:]
+		for cut := 0; cut < len(full); cut++ {
+			if _, err := decodeMsg(full[:cut]); !errors.Is(err, ErrWire) {
+				t.Fatalf("%T truncated at %d/%d: err = %v, want ErrWire", p, cut, len(full), err)
+			}
+		}
+	}
+}
+
+func TestWireCorruptFrames(t *testing.T) {
+	cases := []struct {
+		name string
+		b    []byte
+	}{
+		{"unknown type tag", []byte{1, 2, 99}},
+		{"trailing bytes", append(encodeEnvelope(t, envelope{payload: int(1)})[1:], 0xaa)},
+		// Length prefix far beyond the frame: must fail the bounds check,
+		// not attempt a multi-gigabyte make().
+		{"huge bytes count", []byte{1, 2, tBytes, 0xff, 0xff, 0xff, 0xff, 0x0f}},
+		{"huge f64 count", []byte{1, 2, tF64s, 0xff, 0xff, 0xff, 0xff, 0x0f}},
+		{"huge anys count", []byte{1, 2, tAnys, 0xff, 0xff, 0xff, 0xff, 0x0f}},
+		{"int element truncated", []byte{1, 2, tInts, 2, 0x80}},
+	}
+	for _, tc := range cases {
+		if _, err := decodeMsg(tc.b); !errors.Is(err, ErrWire) {
+			t.Errorf("%s: err = %v, want ErrWire", tc.name, err)
+		}
+	}
+}
+
+func TestWireHelloAndRendezvousKindsDisjoint(t *testing.T) {
+	// Mesh frame kinds and rendezvous frame kinds must never overlap: a
+	// crossed wire (a rank dialing the rendezvous port, or vice versa)
+	// has to fail parsing instead of being misinterpreted.
+	mesh := []byte{kHello, kMsg, kBye}
+	rv := []byte{rvJoin, rvWorld, rvReady, rvGo, rvCtxReq, rvCtxRep, rvBye, rvErr}
+	for _, m := range mesh {
+		for _, r := range rv {
+			if m == r {
+				t.Fatalf("frame kind %d used by both mesh and rendezvous", m)
+			}
+		}
+	}
+}

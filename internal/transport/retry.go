@@ -1,0 +1,34 @@
+package transport
+
+import (
+	"errors"
+	"time"
+)
+
+// DialRetry dials addr on tr, retrying while nothing is listening there
+// yet — the startup race inherent to any rendezvous: the peer's Listen and
+// our Dial are concurrent. Only ErrNoListener is retried (the TCP backend
+// maps ECONNREFUSED to it, the shm backend its dropped-flock probe);
+// every other failure is returned immediately. The retry loop backs off
+// from 200µs doubling to a 10ms cap, and gives up with the last dial
+// error once timeout elapses.
+func DialRetry(tr Transport, addr string, timeout time.Duration) (Conn, error) {
+	deadline := time.Now().Add(timeout)
+	backoff := 200 * time.Microsecond
+	for {
+		c, err := tr.Dial(addr)
+		if err == nil {
+			return c, nil
+		}
+		if !errors.Is(err, ErrNoListener) {
+			return nil, err
+		}
+		if time.Now().After(deadline) {
+			return nil, err
+		}
+		time.Sleep(backoff)
+		if backoff < 10*time.Millisecond {
+			backoff *= 2
+		}
+	}
+}

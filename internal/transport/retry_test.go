@@ -1,0 +1,59 @@
+package transport
+
+// DialRetry tests: the rendezvous startup race (dial before the peer's
+// Listen lands) must be absorbed by retrying ErrNoListener, while real
+// failures and expiry return promptly.
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDialRetryAbsorbsStartupRace(t *testing.T) {
+	tr := &InProc{}
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		l, err := tr.Listen("retry-late")
+		if err != nil {
+			return
+		}
+		c, err := l.Accept()
+		if err == nil {
+			c.Close()
+		}
+		l.Close()
+	}()
+	c, err := DialRetry(tr, "retry-late", 5*time.Second)
+	if err != nil {
+		t.Fatalf("DialRetry across the startup race: %v", err)
+	}
+	c.Close()
+}
+
+func TestDialRetryTimesOutTyped(t *testing.T) {
+	start := time.Now()
+	_, err := DialRetry(&InProc{}, "retry-nobody", 50*time.Millisecond)
+	if !errors.Is(err, ErrNoListener) {
+		t.Fatalf("err = %v, want ErrNoListener", err)
+	}
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
+		t.Fatalf("gave up after %s, before the timeout", elapsed)
+	}
+}
+
+func TestDialRetryNonRetryableFailsFast(t *testing.T) {
+	// A malformed TCP address is not a startup race; it must not be
+	// retried for the whole timeout.
+	start := time.Now()
+	_, err := DialRetry(TCP{}, "not a host port", 10*time.Second)
+	if err == nil {
+		t.Fatal("malformed address dialed successfully")
+	}
+	if errors.Is(err, ErrNoListener) {
+		t.Fatalf("malformed address mapped to ErrNoListener: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("non-retryable dial took %s", elapsed)
+	}
+}

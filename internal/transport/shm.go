@@ -66,6 +66,7 @@ const (
 	shmRingOffHead   = 64
 	shmLockFile      = "listener.lock"
 	shmRingSuffix    = ".ring"
+	shmTmpSuffix     = ".tmp" // ring file still being initialized by its dialer
 	shmDialTimeout   = 10 * time.Second
 	shmProbeInterval = 10 * time.Millisecond
 )
@@ -123,7 +124,8 @@ func sweepStaleRings(dir string) {
 		return
 	}
 	for _, e := range entries {
-		if !strings.HasSuffix(e.Name(), shmRingSuffix) {
+		if !strings.HasSuffix(e.Name(), shmRingSuffix) &&
+			!strings.HasSuffix(e.Name(), shmRingSuffix+shmTmpSuffix) {
 			continue
 		}
 		path := filepath.Join(dir, e.Name())
@@ -142,30 +144,39 @@ func sweepStaleRings(dir string) {
 
 // Dial probes listener liveness, creates and maps a fresh ring file, and
 // waits for the listener to claim it.
+//
+// The file is created and fully initialized under a temporary name that
+// scan and sweep ignore, then renamed into place: a half-built ring must
+// never be visible at its final name, because the window between create
+// and flock is unlocked and zero-sized — exactly what the listener's
+// stale-remnant cleanup looks for, so it would delete a live dial out
+// from under us (observed as rare formation timeouts in multi-process
+// launch storms before the rename was introduced).
 func (SHM) Dial(addr string) (Conn, error) {
 	if err := shmProbeListener(addr); err != nil {
 		return nil, err
 	}
 	path := filepath.Join(addr, fmt.Sprintf("c%d-%08x-%d%s", os.Getpid(), shmProcToken, shmSeq.Add(1), shmRingSuffix))
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_EXCL, 0o600)
+	tmp := path + shmTmpSuffix
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_RDWR|os.O_EXCL, 0o600)
 	if err != nil {
 		return nil, fmt.Errorf("shm dial %q: %w", addr, err)
 	}
 	// The shared flock marks the file as live; held until Close unmaps.
 	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_SH); err != nil {
 		f.Close()
-		os.Remove(path)
+		os.Remove(tmp)
 		return nil, fmt.Errorf("shm dial %q: flock: %w", addr, err)
 	}
 	if err := f.Truncate(shmFileSize); err != nil {
 		f.Close()
-		os.Remove(path)
+		os.Remove(tmp)
 		return nil, fmt.Errorf("shm dial %q: %w", addr, err)
 	}
 	mem, err := syscall.Mmap(int(f.Fd()), 0, shmFileSize, syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
 	if err != nil {
 		f.Close()
-		os.Remove(path)
+		os.Remove(tmp)
 		return nil, fmt.Errorf("shm dial %q: mmap: %w", addr, err)
 	}
 	binary.LittleEndian.PutUint64(mem[shmOffRingSize:], shmRingSize)
@@ -173,6 +184,13 @@ func (SHM) Dial(addr string) (Conn, error) {
 	// only after observing ready, and both are atomic stores/loads.
 	shmU64(mem, shmOffMagic).Store(shmMagic)
 	shmU32(mem, shmOffState).Store(shmStateReady)
+	if err := os.Rename(tmp, path); err != nil {
+		shmU32(mem, shmOffDialerEnd).Store(1)
+		syscall.Munmap(mem)
+		f.Close()
+		os.Remove(tmp)
+		return nil, fmt.Errorf("shm dial %q: %w", addr, err)
+	}
 
 	abandon := func() {
 		// Mark our end closed before unmapping: if a listener wins the
@@ -388,9 +406,10 @@ type shmConn struct {
 	sendMu sync.Mutex
 	recvMu sync.Mutex
 
-	mem  []byte
-	f    *os.File
-	path string
+	mem    []byte
+	f      *os.File
+	path   string
+	dialer bool // which liveness byte is ours (see shm_livelock_*.go)
 
 	sendRing *shmRing
 	recvRing *shmRing
@@ -405,7 +424,8 @@ type shmConn struct {
 // newShmConn builds a side's view: the dialer sends on ring 0 and
 // receives on ring 1, the acceptor the reverse.
 func newShmConn(mem []byte, f *os.File, path string, dialer bool) *shmConn {
-	c := &shmConn{mem: mem, f: f, path: path}
+	c := &shmConn{mem: mem, f: f, path: path, dialer: dialer}
+	shmLiveLock(f, dialer)
 	r0, r1 := shmRingAt(mem, shmOffRing0), shmRingAt(mem, shmOffRing1)
 	de, ae := shmU32(mem, shmOffDialerEnd), shmU32(mem, shmOffAcceptEnd)
 	if dialer {
@@ -420,6 +440,33 @@ func (c *shmConn) closedEither() bool {
 	return c.myEnd.Load() != 0 || c.peerEnd.Load() != 0
 }
 
+// shmProbeEvery is the number of consecutive pauses between flock
+// liveness probes of a blocked wait: with the waiter's sleep ramp capped
+// at spinSleepMax, probes land roughly every 100ms of continuous
+// blocking — invisible on a live connection, bounded hang on a dead one.
+const shmProbeEvery = 512
+
+// pauseProbe is w.pause() plus periodic crash-liveness detection. On a
+// detected death it marks the peer end closed in the mapping — waking
+// every other blocked waiter on this conn — and returns ErrPeerDead.
+func (c *shmConn) pauseProbe(w *waiter) error {
+	w.pause()
+	if w.spins%shmProbeEvery != 0 {
+		return nil
+	}
+	if shmPeerAlive(c.f, c.dialer) {
+		return nil
+	}
+	if c.peerEnd.Load() != 0 {
+		// Graceful close raced the probe: the peer set its flag before
+		// releasing the lock.
+		return ErrClosed
+	}
+	c.peerEnd.Store(1)
+	cShmPeerDead.Inc()
+	return ErrPeerDead
+}
+
 // waitSpace blocks until the ring can absorb need more bytes beyond
 // position pos (i.e. pos+need-head <= capacity), or either side closes.
 func (c *shmConn) waitSpace(r *shmRing, pos uint64, need int, w *waiter) error {
@@ -431,7 +478,9 @@ func (c *shmConn) waitSpace(r *shmRing, pos uint64, need int, w *waiter) error {
 		if c.closedEither() {
 			return ErrClosed
 		}
-		w.pause()
+		if err := c.pauseProbe(w); err != nil {
+			return err
+		}
 	}
 }
 
@@ -504,14 +553,23 @@ func (c *shmConn) Recv() ([]byte, error) {
 	// Wait for a length word. A peer close still drains fully buffered
 	// frames (tail is only published for complete writes of each chunk,
 	// and the peer finishes the in-flight Send before setting its flag).
-	for r.tail.Load()-head < 8 {
+	//
+	// The comparison MUST be signed: the previous Recv rounds head up
+	// over the sender's alignment pad as soon as the payload is fully
+	// consumed, which can land head up to 7 bytes PAST a tail the
+	// sender has not yet advanced over that pad. Unsigned tail-head
+	// wraps to ~2^64 there and would let the receiver read a stale
+	// previous-lap byte as the next frame's length word.
+	for int64(r.tail.Load()-head) < 8 {
 		if c.myEnd.Load() != 0 {
 			return nil, ErrClosed
 		}
-		if c.peerEnd.Load() != 0 && r.tail.Load()-head < 8 {
+		if c.peerEnd.Load() != 0 && int64(r.tail.Load()-head) < 8 {
 			return nil, ErrClosed
 		}
-		w.pause()
+		if err := c.pauseProbe(&w); err != nil {
+			return nil, err
+		}
 	}
 	w.reset()
 	var hdr [8]byte
@@ -534,7 +592,10 @@ func (c *shmConn) Recv() ([]byte, error) {
 				ReleaseFrame(frame)
 				return nil, ErrClosed
 			}
-			w.pause()
+			if err := c.pauseProbe(&w); err != nil {
+				ReleaseFrame(frame)
+				return nil, err
+			}
 			continue
 		}
 		w.reset()

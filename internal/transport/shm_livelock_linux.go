@@ -1,0 +1,64 @@
+//go:build linux
+
+package transport
+
+import (
+	"os"
+	"syscall"
+)
+
+// Crash liveness for shm rings via Linux open-file-description locks
+// (fcntl F_OFD_*). Each side of a connection holds a read lock on its own
+// byte of the ring file — byte 0 for the dialer, byte 1 for the acceptor
+// — for as long as its mapping is open. OFD locks are the only fit here:
+//
+//   - Probing is non-destructive: F_OFD_GETLK only queries, unlike a
+//     flock LOCK_EX|LOCK_NB conversion, which drops the caller's own
+//     shared lock when it fails (flock(2)) — two mutually-blocked peers
+//     probing each other would destroy the very marks they test.
+//   - They belong to the file description, not the process, so the two
+//     ends of a same-process connection conflict with each other like
+//     distinct processes, and unrelated open/close cycles on the file
+//     (the listener's scan and sweep probes) cannot release them —
+//     process-owned fcntl record locks would fail on both counts.
+//   - The kernel releases them when the owning description closes, which
+//     includes process death by any means — exactly the signal wanted.
+const (
+	fOFDGetLk = 36 // F_OFD_GETLK
+	fOFDSetLk = 37 // F_OFD_SETLK
+)
+
+func shmLiveByte(dialer bool) int64 {
+	if dialer {
+		return 0
+	}
+	return 1
+}
+
+// shmLiveLock places this side's liveness mark. Best-effort: on kernels
+// without OFD locks the probe side degrades to "alive" too, so a missing
+// mark never produces a false death.
+func shmLiveLock(f *os.File, dialer bool) {
+	lk := syscall.Flock_t{
+		Type:   syscall.F_RDLCK,
+		Whence: 0,
+		Start:  shmLiveByte(dialer),
+		Len:    1,
+	}
+	_ = syscall.FcntlFlock(f.Fd(), fOFDSetLk, &lk)
+}
+
+// shmPeerAlive reports whether the peer's liveness mark is still held.
+// Indeterminate probes (fcntl errors) report alive.
+func shmPeerAlive(f *os.File, dialer bool) bool {
+	lk := syscall.Flock_t{
+		Type:   syscall.F_WRLCK,
+		Whence: 0,
+		Start:  shmLiveByte(!dialer),
+		Len:    1,
+	}
+	if err := syscall.FcntlFlock(f.Fd(), fOFDGetLk, &lk); err != nil {
+		return true
+	}
+	return lk.Type != syscall.F_UNLCK
+}

@@ -1,0 +1,15 @@
+//go:build unix && !linux
+
+package transport
+
+import "os"
+
+// Non-Linux unix lacks portable open-file-description locks (the
+// constants differ per platform and process-owned fcntl locks are
+// released by any same-process open/close of the file), so crash
+// liveness probing is disabled: a blocked shm wait on a killed peer
+// relies on the caller's own timeouts, as it did before probing existed.
+
+func shmLiveLock(f *os.File, dialer bool) {}
+
+func shmPeerAlive(f *os.File, dialer bool) bool { return true }

@@ -15,4 +15,8 @@ var (
 	// would-block. A rising rate means the rings are too small for the
 	// offered load, or the peer is descheduled (oversubscribed host).
 	cShmStalls = obs.NewCounter("transport.shm.ring_stalls")
+	// cShmPeerDead counts connections declared dead by the flock liveness
+	// probe: the peer process vanished (crash, kill) while this side was
+	// blocked on the ring.
+	cShmPeerDead = obs.NewCounter("transport.shm.peer_dead")
 )

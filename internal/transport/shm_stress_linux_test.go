@@ -1,0 +1,60 @@
+//go:build linux
+
+package transport
+
+import (
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// TestSHMPadSkipHeaderRace hammers the pad-skip boundary of the shm
+// ring: a stream of frames whose wire footprint (8-byte header + 9-byte
+// payload + 7 pad bytes) forces the receiver's final head round-up on
+// every frame. After consuming a payload the receiver rounds head over
+// the sender's alignment pad before the sender has advanced tail across
+// it, so head transiently exceeds tail by up to 7 — the header-wait
+// comparison must treat that as "not ready" (signed), not as 2^64-7
+// bytes available (unsigned). The unsigned form read a stale
+// previous-lap byte as a length word roughly once per 100k frames under
+// a multi-P scheduler; GOMAXPROCS is raised in-test because CI
+// containers often pin it to 1, which almost never lands a preemption
+// inside the window.
+func TestSHMPadSkipHeaderRace(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	dc, ac := shmPair(t, filepath.Join(t.TempDir(), "ep"))
+	defer dc.Close()
+	defer ac.Close()
+	rounds := 200000
+	if testing.Short() {
+		rounds = 50000
+	}
+	errc := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 9)
+		for i := 0; i < rounds; i++ {
+			buf[0] = byte(i)
+			if err := dc.Send(buf); err != nil {
+				errc <- err
+				return
+			}
+		}
+		errc <- nil
+	}()
+	for i := 0; i < rounds; i++ {
+		f, err := ac.Recv()
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if len(f) != 9 {
+			t.Fatalf("recv %d: frame len %d, want 9", i, len(f))
+		}
+		if f[0] != byte(i) {
+			t.Fatalf("recv %d: first byte %d, want %d", i, f[0], byte(i))
+		}
+		ReleaseFrame(f)
+	}
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+}

@@ -78,6 +78,14 @@ var (
 	ErrNoListener  = errors.New("transport: no listener at address")
 	ErrAddrInUse   = errors.New("transport: address already in use")
 	ErrFrameTooBig = errors.New("transport: frame exceeds limit")
+
+	// ErrPeerDead reports that the process on the other end of a
+	// connection died without closing it — detected by the shm backend's
+	// flock liveness probe when a blocked Send/Recv would otherwise wait
+	// forever on a ring no one will ever advance. It wraps ErrClosed, so
+	// existing errors.Is(err, ErrClosed) checks (and orb.Classify's
+	// retryable classification) see it as a connection-level failure.
+	ErrPeerDead = fmt.Errorf("%w: peer process died", ErrClosed)
 )
 
 // MaxFrame bounds a single message frame (64 MiB), protecting against

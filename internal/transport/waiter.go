@@ -14,9 +14,11 @@ import (
 //  1. spin: return immediately and let the caller re-poll the cursor (an
 //     atomic load). Burns CPU but catches a peer that is mid-write,
 //     keeping same-host latency in the nanoseconds. Skipped entirely when
-//     GOMAXPROCS is 1 — with a single P, spinning only steals the
+//     GOMAXPROCS is 1 (with a single P, spinning only steals the
 //     timeslice an in-process peer goroutine needs to make the progress
-//     being waited for.
+//     being waited for) and when the machine has a single CPU (the peer
+//     — thread or process — can only run on the core the spinner is
+//     occupying, so every spin cycle delays the very store being polled).
 //  2. yield: runtime.Gosched, donating the P to runnable goroutines (the
 //     in-process peer, or anyone else while a cross-process peer runs on
 //     another CPU).
@@ -44,7 +46,7 @@ const (
 // spinWaitOK is resolved once: whether phase-1 spinning can ever help.
 // GOMAXPROCS changes after init are rare enough (tests, mostly) that a
 // stale true only costs some spin cycles.
-var spinWaitOK = runtime.GOMAXPROCS(0) > 1
+var spinWaitOK = runtime.GOMAXPROCS(0) > 1 && runtime.NumCPU() > 1
 
 // pause blocks "a little more than last time". Callers loop:
 // check-condition, pause, re-check.
