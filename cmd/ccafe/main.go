@@ -59,7 +59,16 @@
 //	trace [n]                     show the last n recorded spans (default 16)
 //	remove <instance>             remove an instance
 //	save <file>                   persist the repository (descriptions) as JSON
-//	load <file>                   merge a saved repository into this session
+//	load <file.json>              merge a saved repository into this session
+//	load <file.ccl> [K=V ...]     compile a declarative assembly (docs/CCL.md):
+//	                              resolve its components (against the ccl
+//	                              repository stanza's networked repository or
+//	                              the local one), verify/create the lockfile,
+//	                              and assemble the whole application —
+//	                              components, remotes, exports, connections.
+//	                              K=V pairs bind the document's ${VAR}s.
+//	pull <instance> <port>        pull every rank of a connected collective
+//	                              DistArray uses port and print a summary
 //	events                        dump configuration events observed so far
 //	quit
 package main
@@ -74,7 +83,9 @@ import (
 	"time"
 
 	"repro/internal/cca"
+	ccoll "repro/internal/cca/collective"
 	"repro/internal/cca/framework"
+	"repro/internal/ccl"
 	"repro/internal/ckpt"
 	"repro/internal/core"
 	"repro/internal/dist"
@@ -119,6 +130,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ccafe:", err)
 		os.Exit(1)
 	}
+	// The ccl consumer type, so `load`ed assemblies (and `create`) can
+	// declare generic DistArray consumers by repository type.
+	if err := ccl.DepositConsumer(app.Repo); err != nil {
+		fmt.Fprintln(os.Stderr, "ccafe:", err)
+		os.Exit(1)
+	}
 
 	in := os.Stdin
 	interactive := true
@@ -157,15 +174,19 @@ func main() {
 }
 
 type shell struct {
-	app     *core.App
-	supOpts orb.SupervisorOptions
-	exports []*dist.Exporter
-	remotes []*dist.RemotePort
+	app        *core.App
+	supOpts    orb.SupervisorOptions
+	exports    []*dist.Exporter
+	remotes    []*dist.RemotePort
+	assemblies []*ccl.Assembly
 }
 
-// shutdown releases every exporter and supervised connection the session
-// opened.
+// shutdown releases every exporter, supervised connection, and compiled
+// assembly the session opened.
 func (sh *shell) shutdown() {
+	for _, a := range sh.assemblies {
+		a.Close()
+	}
 	for _, r := range sh.remotes {
 		r.Close()
 	}
@@ -312,6 +333,14 @@ func (sh *shell) exec(line string) bool {
 			err = cerr
 		}
 	case "load":
+		if len(args) < 1 {
+			err = fmt.Errorf("usage: load <file.json> | load <file.ccl> [K=V ...]")
+			break
+		}
+		if strings.HasSuffix(args[0], ".ccl") {
+			err = sh.loadCCL(args)
+			break
+		}
 		if len(args) != 1 {
 			err = fmt.Errorf("usage: load <file>")
 			break
@@ -322,6 +351,8 @@ func (sh *shell) exec(line string) bool {
 		}
 		err = sh.app.Repo.Load(f)
 		f.Close()
+	case "pull":
+		err = sh.pull(args)
 	case "events":
 		for _, e := range sh.app.Builder.Events() {
 			switch {
@@ -547,6 +578,84 @@ func (sh *shell) trace(args []string) error {
 	}
 	fmt.Printf("  %d span(s) recorded, tracing=%v\n",
 		obs.Tracer.Recorded(), obs.Tracer.Enabled())
+	return nil
+}
+
+// loadCCL compiles a declarative assembly into the shell's framework:
+// parse, validate, resolve (against the document's repository stanza or
+// the local repository), verify or create the lockfile, and lower the
+// whole application. Trailing K=V arguments bind ${VAR} interpolations.
+func (sh *shell) loadCCL(args []string) error {
+	vars := map[string]string{}
+	for _, kv := range args[1:] {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok || k == "" {
+			return fmt.Errorf("variable binding %q is not K=V", kv)
+		}
+		vars[k] = v
+	}
+	doc, err := ccl.Load(args[0], vars)
+	if err != nil {
+		return err
+	}
+	asm, err := ccl.Compile(doc, ccl.Options{
+		App:               sh.app,
+		LockPath:          ccl.DefaultLockPath(args[0]),
+		DefaultSupervisor: sh.supOpts,
+	})
+	if err != nil {
+		return err
+	}
+	sh.assemblies = append(sh.assemblies, asm)
+
+	name := doc.Name
+	if name == "" {
+		name = args[0]
+	}
+	fmt.Printf("  assembled %s: %d component(s), %d remote(s), %d export(s), %d connection(s)\n",
+		name, len(doc.Components), len(doc.Remotes), len(doc.Exports), len(doc.Connects))
+	for _, r := range asm.Resolutions {
+		fmt.Printf("  resolved %s = %s %s (%s)\n", r.Instance, r.Type, r.Version, r.Source)
+	}
+	switch {
+	case asm.LockCreated:
+		fmt.Printf("  lockfile created: %s\n", asm.LockPath)
+	default:
+		fmt.Printf("  lockfile verified: %s\n", asm.LockPath)
+	}
+	for _, e := range asm.Exports {
+		fmt.Printf("  exported %s at %s\n", e.Key, e.Addr)
+	}
+	return nil
+}
+
+// pull drains one epoch of a connected collective DistArray uses port,
+// rank by rank, and prints a per-rank summary.
+func (sh *shell) pull(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: pull <instance> <port>")
+	}
+	port, err := sh.app.Port(args[0], args[1])
+	if err != nil {
+		return err
+	}
+	pull, ok := port.(ccoll.PullPort)
+	if !ok {
+		return fmt.Errorf("%s.%s (%T) is not a collective pull port", args[0], args[1], port)
+	}
+	fmt.Printf("  %s.%s: global length %d over %d rank(s)\n",
+		args[0], args[1], pull.GlobalLen(), pull.Ranks())
+	for r := 0; r < pull.Ranks(); r++ {
+		out := make([]float64, pull.LocalLen(r))
+		if err := pull.Pull(r, out); err != nil {
+			return fmt.Errorf("rank %d: %w", r, err)
+		}
+		sum := 0.0
+		for _, v := range out {
+			sum += v
+		}
+		fmt.Printf("  pulled rank %d: len=%d sum=%.6f\n", r, len(out), sum)
+	}
 	return nil
 }
 

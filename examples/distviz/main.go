@@ -27,6 +27,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math"
 	"os"
@@ -55,9 +56,11 @@ func main() {
 		frames = flag.Int("frames", 4, "frames the viz pulls")
 		sever  = flag.Int("sever", 25, "sever viz connection after this many frames sent (0 = never)")
 		subs   = flag.Int("subs", 0, "after the viz run, fan one frozen frame out to this many concurrent supervised subscribers")
-		viz    = flag.Bool("viz", false, "run as the viz child process")
-		addr   = flag.String("addr", "", "simulation address (viz mode)")
-		trName = flag.String("transport", "tcp", "cross-process transport: tcp or shm")
+		viz      = flag.Bool("viz", false, "run as the viz child process")
+		addr     = flag.String("addr", "", "simulation address (viz mode)")
+		trName   = flag.String("transport", "tcp", "cross-process transport: tcp or shm")
+		simOnly  = flag.Bool("sim-only", false, "publish the simulation and block (no viz child); attach with ccafe load examples/distviz/distviz.ccl")
+		addrFile = flag.String("addr-file", "", "write the simulation address to this file (sim-only mode)")
 	)
 	flag.Parse()
 	if *trName != "tcp" && *trName != "shm" {
@@ -67,7 +70,67 @@ func main() {
 		runViz(*trName, *addr, *n, *gl, *frames, *sever)
 		return
 	}
+	if *simOnly {
+		runSimOnly(*trName, *m, *gl, *addrFile)
+		return
+	}
 	runSim(*trName, *m, *n, *gl, *frames, *sever, *subs)
+}
+
+// runSimOnly publishes the evolving wave field and blocks until stdin
+// closes — the standing simulation a declaratively assembled viz (the
+// checked-in distviz.ccl) attaches to from another process.
+func runSimOnly(trName string, m, gl int, addrFile string) {
+	dm := array.NewBlockMap(gl, m)
+	mu := &sync.Mutex{}
+	fields := make([]*simField, m)
+	ports := make([]ccoll.DistArrayPort, m)
+	for r := 0; r < m; r++ {
+		fields[r] = &simField{mu: mu, side: ccoll.Side{Map: dm}, data: make([]float64, dm.LocalLen(r))}
+		ports[r] = fields[r]
+	}
+	step(fields, dm, 0)
+
+	oa := orb.NewObjectAdapter()
+	tr, listenAddr := pickTransport(trName)
+	l, err := tr.Listen(listenAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := orb.Serve(oa, l)
+	defer srv.Close()
+	pub, err := dcoll.Publish(oa, "wave", ports, dcoll.WithEpochCache())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if addrFile != "" {
+		if err := os.WriteFile(addrFile, []byte(srv.Addr()+"\n"), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("sim: publishing wave (%s) at %s\n", dm, srv.Addr())
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for s := 1; ; s++ {
+			select {
+			case <-stop:
+				return
+			default:
+				step(fields, dm, s)
+				pub.Advance()
+				time.Sleep(200 * time.Microsecond)
+			}
+		}
+	}()
+	// Block until the launcher closes stdin.
+	io.Copy(io.Discard, os.Stdin) //nolint:errcheck
+	close(stop)
+	wg.Wait()
+	fmt.Println("sim: done")
 }
 
 // pickTransport maps the -transport flag to a backend and a listen

@@ -4,10 +4,21 @@
 // generating events. Components that wish to be notified of events register
 // themselves as listeners with the target components."
 //
-// Experiment E3 measures this delivery style against provides/uses port
-// calls: an event delivery boxes its payload into an Event value and fans
-// it out to every registered listener, where a port call is a single typed
-// dynamic dispatch.
+// The package is the negative space around the repository-and-assembly
+// story. A bean exposes no SIDL-described contract, so there is nothing a
+// component repository (repro/internal/repo) could type-check, search by
+// port compatibility, or version — and nothing a declarative assembly
+// (repro/internal/ccl) could name and wire: composition happens by
+// registering listeners in code, with payloads boxed as `any` and checked
+// only at delivery time. That gap is the paper's argument for
+// provides/uses ports, where the connection graph is framework data a
+// builder, a repository query, or a checked-in .ccl document can all
+// manipulate.
+//
+// Experiment E3 measures the delivery styles against each other: an event
+// delivery boxes its payload into an Event value and fans it out to every
+// registered listener, where a port call is a single typed dynamic
+// dispatch.
 package beans
 
 import (

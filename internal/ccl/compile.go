@@ -1,0 +1,353 @@
+package ccl
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/array"
+	"repro/internal/cca"
+	"repro/internal/core"
+	"repro/internal/dist"
+	dcoll "repro/internal/dist/collective"
+	"repro/internal/obs"
+	"repro/internal/orb"
+	"repro/internal/repo"
+	"repro/internal/transport"
+)
+
+// Compile instruments.
+var (
+	cCompiles        = obs.NewCounter("ccl.compiles")
+	cLockVerified    = obs.NewCounter("ccl.lock_verified")
+	cLockCreated     = obs.NewCounter("ccl.lock_created")
+	cRemoteInstalled = obs.NewCounter("ccl.remotes_installed")
+)
+
+// Options configures Compile.
+type Options struct {
+	// App is the target application container. Nil builds a fresh one
+	// (WithESI, in-process + distributed flavor).
+	App *core.App
+	// Source overrides where typed components resolve from. Nil follows
+	// the document: the repository stanza's address when present
+	// (dialed and closed with the assembly), the local repository
+	// otherwise.
+	Source Source
+	// SourceName tags lockfile entries when Source is set ("local" or
+	// "repository"); ignored otherwise.
+	SourceName string
+	// Providers is merged over BuiltinProviders (same name shadows).
+	Providers map[string]Provider
+	// Transport overrides the remote/export transport chosen from address
+	// schemes — for fault-injecting wrappers. Nil follows the scheme.
+	Transport transport.Transport
+	// LockPath is the lockfile to verify or create. "" skips lockfile
+	// handling (tests, throwaway assemblies); Load-driven callers pass
+	// DefaultLockPath(doc.Path).
+	LockPath string
+	// DefaultSupervisor seeds the supervision settings a remote's
+	// supervise block overrides.
+	DefaultSupervisor orb.SupervisorOptions
+}
+
+// ExportResult records one published port.
+type ExportResult struct {
+	Instance, Port string
+	// Key is the exported object key ("instance/port").
+	Key string
+	// Addr is the bound address (comma-separated list for shard groups).
+	Addr   string
+	Shards int
+}
+
+// Assembly is a compiled, running application: the document lowered onto a
+// framework. Close releases everything the compile opened (remote
+// connections, exporters, the repository client).
+type Assembly struct {
+	App *core.App
+	Doc *Document
+	// Resolutions lists every typed component's resolved version.
+	Resolutions []Resolution
+	// Lock is the resolution lock; LockPath/LockCreated report what
+	// VerifyOrCreate did ("" when lockfile handling was skipped).
+	Lock        *Lock
+	LockPath    string
+	LockCreated bool
+	// Exports lists the published ports, in declaration order.
+	Exports []ExportResult
+
+	closers []func()
+}
+
+// Close releases the assembly's connections and servers, newest first.
+// The framework and its local components stay installed.
+func (a *Assembly) Close() {
+	for i := len(a.closers) - 1; i >= 0; i-- {
+		a.closers[i]()
+	}
+	a.closers = nil
+}
+
+// Compile validates the document, resolves and locks its typed
+// components, and lowers it onto the configuration API: repository
+// Builder calls for components, supervised remote-port installs for
+// remotes, ORB exporters for exports, framework connects for wirings —
+// in declaration order. On error every partial effect with a lifetime
+// (connections, servers) is released; installed components remain in
+// opts.App if one was supplied.
+func Compile(d *Document, opts Options) (*Assembly, error) {
+	if err := Validate(d); err != nil {
+		return nil, err
+	}
+	app := opts.App
+	if app == nil {
+		var err error
+		app, err = core.NewApp(core.Options{
+			Flavor:  cca.FlavorInProcess | cca.FlavorDistributed,
+			WithESI: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		// The default container carries every builtin implementation a
+		// document can name by type, so network-resolved entries find
+		// their local factories (factories never serialize).
+		if err := DepositConsumer(app.Repo); err != nil {
+			return nil, err
+		}
+	}
+	a := &Assembly{App: app, Doc: d}
+	fail := func(err error) (*Assembly, error) {
+		a.Close()
+		return nil, err
+	}
+
+	// Resolve typed components and verify/create the lockfile.
+	src, srcName := opts.Source, opts.SourceName
+	if src == nil {
+		if d.Repository != nil {
+			client, err := repo.DialService(d.Repository.Address)
+			if err != nil {
+				return fail(fmt.Errorf("%s: dialing repository: %w", d.pos(d.Repository.Line), err))
+			}
+			a.closers = append(a.closers, func() { client.Close() }) //nolint:errcheck
+			src, srcName = client, "repository"
+		} else {
+			src, srcName = LocalSource{R: app.Repo}, "local"
+		}
+	}
+	res, rev, err := ResolveComponents(d, src, srcName)
+	if err != nil {
+		return fail(err)
+	}
+	a.Resolutions = res
+	a.Lock = NewLock(d, res, rev)
+	if opts.LockPath != "" {
+		a.LockPath = opts.LockPath
+		created, err := VerifyOrCreate(opts.LockPath, a.Lock)
+		if err != nil {
+			return fail(err)
+		}
+		a.LockCreated = created
+		if created {
+			cLockCreated.Inc()
+		} else {
+			cLockVerified.Inc()
+		}
+	}
+
+	// Instantiate components.
+	providers := BuiltinProviders()
+	for name, p := range opts.Providers {
+		providers[name] = p
+	}
+	byInstance := map[string]Resolution{}
+	for _, r := range res {
+		byInstance[r.Instance] = r
+	}
+	for _, c := range d.Components {
+		if c.Provider != "" {
+			p, ok := providers[c.Provider]
+			if !ok {
+				return fail(fmt.Errorf("%s: %w: %q for component %q", d.pos(c.Line), ErrUnknownProvider, c.Provider, c.Name))
+			}
+			comp, err := p(c.Config)
+			if err != nil {
+				return fail(fmt.Errorf("%s: provider %s for %q: %w", d.pos(c.Line), c.Provider, c.Name, err))
+			}
+			if err := app.Install(c.Name, comp); err != nil {
+				return fail(fmt.Errorf("%s: installing %q: %w", d.pos(c.Line), c.Name, err))
+			}
+			continue
+		}
+		// Typed: instantiation is always local — factories never
+		// serialize. A network-resolved entry whose type the local
+		// repository has not deposited is merged in (description, SIDL,
+		// ports) so the local table knows it, but without a locally bound
+		// factory it cannot instantiate.
+		if _, err := app.Repo.Retrieve(c.Type); errors.Is(err, repo.ErrNotFound) {
+			r := byInstance[c.Name]
+			if err := app.Repo.Deposit(*r.Entry); err != nil {
+				return fail(fmt.Errorf("%s: merging fetched entry %q: %w", d.pos(c.Line), c.Type, err))
+			}
+		}
+		if err := app.Create(c.Name, c.Type); err != nil {
+			if errors.Is(err, repo.ErrNoFactory) {
+				err = fmt.Errorf("%w (factories never serialize: bind one with Repository.BindFactory, or declare a provider)", err)
+			}
+			return fail(fmt.Errorf("%s: creating %q: %w", d.pos(c.Line), c.Name, err))
+		}
+		comp, _ := app.Component(c.Name)
+		if err := applyConfig(d, c, comp); err != nil {
+			return fail(err)
+		}
+	}
+
+	// Remote proxies.
+	for _, r := range d.Remotes {
+		tr, addr, err := schemeTransport(opts.Transport, r.Address)
+		if err != nil {
+			return fail(fmt.Errorf("%s: remote %q: %w", d.pos(r.Line), r.Name, err))
+		}
+		sup := supervisorOptions(opts.DefaultSupervisor, r.Supervise, addr)
+		if r.Dist != nil {
+			var dm array.DataMap
+			if r.Dist.Map == "block" {
+				dm = array.NewBlockMap(r.Dist.Length, r.Dist.Ranks)
+			} else {
+				dm = array.NewCyclicMap(r.Dist.Length, r.Dist.Ranks, r.Dist.Block)
+			}
+			imp, err := dcoll.InstallRemoteDistArray(app.Fw, r.Name, tr, addr, r.Key, dm, dcoll.Options{Supervisor: sup})
+			if err != nil {
+				return fail(fmt.Errorf("%s: remote %q: %w", d.pos(r.Line), r.Name, err))
+			}
+			a.closers = append(a.closers, func() { imp.Close() }) //nolint:errcheck
+		} else {
+			rp, err := dist.InstallSupervisedRemoteOperator(app.Fw, r.Name, tr, addr, r.Key, r.Type, sup)
+			if err != nil {
+				return fail(fmt.Errorf("%s: remote %q: %w", d.pos(r.Line), r.Name, err))
+			}
+			a.closers = append(a.closers, func() { rp.Close() }) //nolint:errcheck
+		}
+		cRemoteInstalled.Inc()
+	}
+
+	// Exports.
+	for _, e := range d.Exports {
+		var exp *dist.Exporter
+		if e.Shards > 1 {
+			exp, err = dist.NewExporterShards(app.Fw, e.Address, e.Shards)
+			if err != nil {
+				return fail(fmt.Errorf("%s: export %s.%s: %w", d.pos(e.Line), e.Instance, e.Port, err))
+			}
+		} else {
+			l, err := orb.ListenAddr(e.Address)
+			if err != nil {
+				return fail(fmt.Errorf("%s: export %s.%s: %w", d.pos(e.Line), e.Instance, e.Port, err))
+			}
+			exp = dist.NewExporter(app.Fw, l)
+		}
+		key, err := exp.Export(e.Instance, e.Port)
+		if err != nil {
+			exp.Close()
+			return fail(fmt.Errorf("%s: export %s.%s: %w", d.pos(e.Line), e.Instance, e.Port, err))
+		}
+		a.closers = append(a.closers, exp.Close)
+		a.Exports = append(a.Exports, ExportResult{
+			Instance: e.Instance, Port: e.Port, Key: key, Addr: exp.Addr(), Shards: e.Shards,
+		})
+	}
+
+	// Wirings.
+	for _, c := range d.Connects {
+		if _, err := app.Connect(c.User, c.UsesPort, c.Provider, c.ProvidesPort); err != nil {
+			return fail(fmt.Errorf("%s: connect %s.%s -> %s.%s: %w", d.pos(c.Line), c.User, c.UsesPort, c.Provider, c.ProvidesPort, err))
+		}
+	}
+	cCompiles.Inc()
+	return a, nil
+}
+
+// applyConfig applies a typed component's config block through the
+// optional setter interfaces the component implements.
+func applyConfig(d *Document, c *ComponentDecl, comp cca.Component) error {
+	for _, kv := range c.Config {
+		switch kv.Key {
+		case "tolerance":
+			v, err := strconv.ParseFloat(kv.Value, 64)
+			if err != nil {
+				return fmt.Errorf("%s: %w: tolerance = %q is not a number", d.pos(kv.Line), ErrBadValue, kv.Value)
+			}
+			t, ok := comp.(interface{ SetTolerance(float64) })
+			if !ok {
+				return fmt.Errorf("%s: %w: %q does not accept `tolerance`", d.pos(kv.Line), ErrBadValue, c.Name)
+			}
+			t.SetTolerance(v)
+		case "maxiter":
+			v, err := strconv.Atoi(kv.Value)
+			if err != nil {
+				return fmt.Errorf("%s: %w: maxiter = %q is not an integer", d.pos(kv.Line), ErrBadValue, kv.Value)
+			}
+			t, ok := comp.(interface{ SetMaxIterations(int32) })
+			if !ok {
+				return fmt.Errorf("%s: %w: %q does not accept `maxiter`", d.pos(kv.Line), ErrBadValue, c.Name)
+			}
+			t.SetMaxIterations(int32(v))
+		default:
+			return fmt.Errorf("%s: %w: %q in %s's config (typed components accept: tolerance, maxiter)", d.pos(kv.Line), ErrUnknownKey, kv.Key, c.Name)
+		}
+	}
+	return nil
+}
+
+// schemeTransport maps a possibly scheme-qualified remote address to a
+// transport backend and the backend-level address. override (when non-nil)
+// wins, keeping the address stripping.
+func schemeTransport(override transport.Transport, addr string) (transport.Transport, string, error) {
+	var tr transport.Transport = transport.TCP{}
+	switch {
+	case strings.HasPrefix(addr, "tcp://"):
+		addr = strings.TrimPrefix(addr, "tcp://")
+	case strings.HasPrefix(addr, "shm://"):
+		tr, addr = transport.SHM{}, strings.TrimPrefix(addr, "shm://")
+	case strings.Contains(addr, "://"):
+		return nil, "", fmt.Errorf("%w: unknown address scheme in %q (tcp:// or shm://)", ErrBadValue, addr)
+	}
+	if override != nil {
+		tr = override
+	}
+	return tr, addr, nil
+}
+
+// supervisorOptions folds a supervise block over the compile defaults.
+func supervisorOptions(def orb.SupervisorOptions, s *SuperviseDecl, addr string) orb.SupervisorOptions {
+	o := def
+	if s == nil {
+		return o
+	}
+	if s.Retries > 0 {
+		o.MaxAttempts = s.Retries
+	}
+	if s.Breaker > 0 {
+		o.BreakerThreshold = s.Breaker
+	}
+	if s.Timeout > 0 {
+		o.ConnectTimeout = s.Timeout
+	}
+	if s.Heartbeat > 0 {
+		o.Heartbeat = s.Heartbeat
+	}
+	if s.Restarts > 0 {
+		// `restart N`: arm crash recovery. The declarative form assumes an
+		// external supervisor restarts the servant at the same address, so
+		// Relaunch re-offers it; checkpoint replay stays nil (cold
+		// restart) — live state recovery needs the programmatic API.
+		o.Restart = &orb.RestartPolicy{
+			MaxRestarts: s.Restarts,
+			Relaunch:    func(int) (string, error) { return addr, nil },
+		}
+	}
+	return o
+}

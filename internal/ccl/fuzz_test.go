@@ -1,0 +1,47 @@
+package ccl
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzParse checks the parser's robustness invariant (never panic, never
+// hang) and the formatter's round-trip property: any source that parses
+// and validates must format to text that parses and validates again, and
+// canonical formatting must be a fixed point.
+func FuzzParse(f *testing.F) {
+	seeds, _ := filepath.Glob("testdata/*.ccl")
+	for _, path := range seeds {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(src))
+	}
+	f.Add("ccl 1\ncomponent a {\n  provider p\n}\nconnect a.x -> a.y\n")
+	f.Add("ccl 1\nremote r {\n  address a\n  key k\n  supervise {\n    timeout 1s\n  }\n}\n")
+	f.Add("ccl 1\napp x {\n  description \"${V}\"\n}\n")
+
+	vars := map[string]string{"V": "v", "SIM_ADDR": "a:1", "REPO_ADDR": "a:2"}
+	f.Fuzz(func(t *testing.T, src string) {
+		doc, err := Parse(src, ParseOptions{Path: "fuzz.ccl", Vars: vars})
+		if err != nil {
+			return
+		}
+		if err := Validate(doc); err != nil {
+			return
+		}
+		out := Format(doc)
+		doc2, err := Parse(out, ParseOptions{Path: "fuzz.ccl"})
+		if err != nil {
+			t.Fatalf("formatted output does not reparse: %v\ninput:\n%s\nformatted:\n%s", err, src, out)
+		}
+		if err := Validate(doc2); err != nil {
+			t.Fatalf("formatted output does not revalidate: %v\nformatted:\n%s", err, out)
+		}
+		if again := Format(doc2); again != out {
+			t.Fatalf("format not a fixed point:\n--- first\n%s\n--- second\n%s", out, again)
+		}
+	})
+}

@@ -1,0 +1,121 @@
+package ccl
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Lock is the deterministic record of an assembly's resolution: every
+// typed component pinned to the exact version the resolver chose. The
+// compiler verifies an existing lockfile against the fresh resolution —
+// deposits that change what a constraint resolves to fail loudly instead
+// of silently shifting the assembly — and creates the lockfile on first
+// compile.
+type Lock struct {
+	// App is the assembly name, informational.
+	App string `json:"app,omitempty"`
+	// Revision is the repository revision the resolution was made at —
+	// informational only (verification compares components, not
+	// revisions, so unrelated deposits do not invalidate a lockfile).
+	Revision int64 `json:"revision"`
+	// Components is sorted by instance name.
+	Components []LockEntry `json:"components"`
+}
+
+// LockEntry pins one typed component instance.
+type LockEntry struct {
+	Instance   string `json:"instance"`
+	Type       string `json:"type"`
+	Constraint string `json:"constraint,omitempty"`
+	Version    string `json:"version"`
+	// Source is "local" or "repository" (never an address — lockfiles
+	// must verify identically across listen ports).
+	Source string `json:"source"`
+}
+
+// NewLock builds the lock for a document's resolutions.
+func NewLock(d *Document, res []Resolution, revision int64) *Lock {
+	l := &Lock{App: d.Name, Revision: revision}
+	for _, r := range res {
+		l.Components = append(l.Components, LockEntry{
+			Instance:   r.Instance,
+			Type:       r.Type,
+			Constraint: r.Constraint,
+			Version:    r.Version.String(),
+			Source:     r.Source,
+		})
+	}
+	sort.Slice(l.Components, func(i, j int) bool {
+		return l.Components[i].Instance < l.Components[j].Instance
+	})
+	return l
+}
+
+// Encode renders the lock as deterministic indented JSON with a trailing
+// newline (byte-identical for identical resolutions, so lockfiles diff
+// cleanly).
+func (l *Lock) Encode() []byte {
+	b, err := json.MarshalIndent(l, "", "  ")
+	if err != nil {
+		panic("ccl: lock encode: " + err.Error()) // no unmarshalable fields
+	}
+	return append(b, '\n')
+}
+
+// DecodeLock parses a lockfile.
+func DecodeLock(data []byte) (*Lock, error) {
+	var l Lock
+	if err := json.Unmarshal(data, &l); err != nil {
+		return nil, fmt.Errorf("ccl: lockfile: %w", err)
+	}
+	return &l, nil
+}
+
+// DefaultLockPath is the lockfile path for an assembly file: the source
+// path plus ".lock".
+func DefaultLockPath(cclPath string) string { return cclPath + ".lock" }
+
+// VerifyOrCreate checks the lockfile at path against want, writing it when
+// absent. It returns created=true when the file was written. A mismatch —
+// different instances, types, constraints, versions, or sources — is
+// ErrLockMismatch; revisions are informational and never compared.
+func VerifyOrCreate(path string, want *Lock) (created bool, err error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		if werr := os.WriteFile(path, want.Encode(), 0o644); werr != nil {
+			return false, fmt.Errorf("ccl: writing lockfile: %w", werr)
+		}
+		return true, nil
+	}
+	if err != nil {
+		return false, fmt.Errorf("ccl: reading lockfile: %w", err)
+	}
+	have, err := DecodeLock(data)
+	if err != nil {
+		return false, err
+	}
+	if err := compareLocks(path, have, want); err != nil {
+		return false, err
+	}
+	return false, nil
+}
+
+func compareLocks(path string, have, want *Lock) error {
+	if len(have.Components) != len(want.Components) {
+		return fmt.Errorf("%w: %s pins %d components, resolution has %d",
+			ErrLockMismatch, path, len(have.Components), len(want.Components))
+	}
+	for i, h := range have.Components {
+		w := want.Components[i]
+		if h != w {
+			return fmt.Errorf("%w: %s pins %s %s@%s (constraint %q, %s), resolution is %s %s@%s (constraint %q, %s) — delete the lockfile to re-lock or pin the constraint",
+				ErrLockMismatch, path,
+				h.Instance, h.Type, h.Version, h.Constraint, h.Source,
+				w.Instance, w.Type, w.Version, w.Constraint, w.Source)
+		}
+	}
+	return nil
+}

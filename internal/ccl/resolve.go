@@ -1,0 +1,100 @@
+package ccl
+
+import (
+	"fmt"
+
+	"repro/internal/repo"
+)
+
+// Source is where typed components resolve from. Both the networked
+// repository client (*repo.Client) and the LocalSource adapter over an
+// in-process repository satisfy it.
+type Source interface {
+	// Resolve returns the best deposited version of name satisfying the
+	// constraint.
+	Resolve(name, constraint string) (*repo.Entry, repo.Version, error)
+	// Revision reports the store revision the resolutions come from
+	// (0 for stores without revisions).
+	Revision() (int64, error)
+}
+
+var _ Source = (*repo.Client)(nil)
+
+// LocalSource adapts the in-process repository — which holds one version
+// per name — to the resolver's Source interface. An entry's version must
+// still satisfy the constraint (an unversioned entry counts as 0.0.0), so
+// an assembly pinned to `^2.0` fails loudly against a 1.x local deposit
+// instead of silently using it.
+type LocalSource struct {
+	R *repo.Repository
+}
+
+// Resolve implements Source.
+func (s LocalSource) Resolve(name, constraint string) (*repo.Entry, repo.Version, error) {
+	c, err := repo.ParseConstraint(constraint)
+	if err != nil {
+		return nil, repo.Version{}, err
+	}
+	e, err := s.R.Retrieve(name)
+	if err != nil {
+		return nil, repo.Version{}, err
+	}
+	v := repo.Version{}
+	if e.Version != "" {
+		if v, err = repo.ParseVersion(e.Version); err != nil {
+			return nil, repo.Version{}, fmt.Errorf("local entry %q: %w", name, err)
+		}
+	}
+	if !c.Match(v) {
+		return nil, repo.Version{}, fmt.Errorf("%w: %s v%s does not satisfy %q", repo.ErrNoMatch, name, v, c)
+	}
+	return e, v, nil
+}
+
+// Revision implements Source: the in-process repository has no revision
+// counter, so its resolutions are never cache-tagged.
+func (s LocalSource) Revision() (int64, error) { return 0, nil }
+
+// Resolution is one typed component's resolved (version, entry), the unit
+// the lockfile records.
+type Resolution struct {
+	Instance   string
+	Type       string
+	Constraint string
+	Version    repo.Version
+	Entry      *repo.Entry
+	// Source is "local" or "repository" — which kind of store resolved
+	// it. Addresses are deliberately not recorded: a lockfile must verify
+	// identically whatever port the repository happens to listen on.
+	Source string
+}
+
+// ResolveComponents resolves every typed component of the document, in
+// declaration order, against src. Provider components need no resolution
+// and are skipped. sourceName is the Resolution.Source tag ("local" or
+// "repository").
+func ResolveComponents(d *Document, src Source, sourceName string) ([]Resolution, int64, error) {
+	rev, err := src.Revision()
+	if err != nil {
+		return nil, 0, fmt.Errorf("ccl: repository head: %w", err)
+	}
+	var out []Resolution
+	for _, c := range d.Components {
+		if c.Type == "" {
+			continue
+		}
+		e, v, err := src.Resolve(c.Type, c.Constraint)
+		if err != nil {
+			return nil, 0, fmt.Errorf("%s: resolving %s (%s): %w", d.pos(c.Line), c.Name, c.Type, err)
+		}
+		out = append(out, Resolution{
+			Instance:   c.Name,
+			Type:       c.Type,
+			Constraint: c.Constraint,
+			Version:    v,
+			Entry:      e,
+			Source:     sourceName,
+		})
+	}
+	return out, rev, nil
+}

@@ -23,17 +23,37 @@ var (
 	cRemoteInstalls = obs.NewCounter("dist.remote_installs")
 )
 
+// exportServer is the serving surface an Exporter publishes through —
+// a single *orb.Server or an *orb.ServerPool shard group.
+type exportServer interface {
+	Addr() string
+	Stop()
+}
+
 // Exporter publishes provides ports from a framework over a transport.
 type Exporter struct {
 	FW     *framework.Framework
 	OA     *orb.ObjectAdapter
-	server *orb.Server
+	server exportServer
 }
 
 // NewExporter creates an exporter for fw and starts serving on l.
 func NewExporter(fw *framework.Framework, l transport.Listener) *Exporter {
 	oa := orb.NewObjectAdapter()
 	return &Exporter{FW: fw, OA: oa, server: orb.Serve(oa, l)}
+}
+
+// NewExporterShards creates an exporter serving a shard group at a
+// scheme-qualified address (orb.ServeShards): Addr returns the
+// comma-separated shard list clients hand to orb.DialAddr, which
+// rendezvous-hashes object keys across the shards.
+func NewExporterShards(fw *framework.Framework, addr string, shards int) (*Exporter, error) {
+	oa := orb.NewObjectAdapter()
+	pool, err := orb.ServeShards(oa, addr, shards, orb.ServeOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return &Exporter{FW: fw, OA: oa, server: pool}, nil
 }
 
 // Addr reports the served address for clients to dial.

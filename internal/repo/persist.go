@@ -34,23 +34,66 @@ type persistedRepo struct {
 	Entries       []persistedEntry `json:"entries"`
 }
 
+// toPersisted strips an entry down to its serializable subset.
+func toPersisted(e *Entry) persistedEntry {
+	return persistedEntry{
+		Name:        e.Name,
+		Version:     e.Version,
+		Description: e.Description,
+		SIDL:        e.SIDL,
+		Provides:    e.Provides,
+		Uses:        e.Uses,
+		Flavor:      e.Flavor.String(),
+		HasFactory:  e.Factory != nil,
+	}
+}
+
+// fromPersisted reconstructs an Entry (factory-less; callers re-bind
+// factories for implementations they hold locally).
+func fromPersisted(pe persistedEntry) (*Entry, error) {
+	if pe.Name == "" {
+		return nil, fmt.Errorf("%w: unnamed entry", ErrBadEntry)
+	}
+	flavor, err := cca.ParseFlavor(pe.Flavor)
+	if err != nil {
+		return nil, fmt.Errorf("repo: entry %s: %w", pe.Name, err)
+	}
+	return &Entry{
+		Name:        pe.Name,
+		Version:     pe.Version,
+		Description: pe.Description,
+		SIDL:        pe.SIDL,
+		Provides:    pe.Provides,
+		Uses:        pe.Uses,
+		Flavor:      flavor,
+	}, nil
+}
+
+// EncodeEntry marshals one entry in the persisted JSON form — the unit the
+// networked repository service (Service) ships over the ORB. Factories are
+// recorded only as a HasFactory marker; code does not serialize.
+func EncodeEntry(e *Entry) ([]byte, error) {
+	return json.Marshal(toPersisted(e))
+}
+
+// DecodeEntry unmarshals an entry produced by EncodeEntry. The result has
+// no factory; bind one with Repository.BindFactory (or instantiate through
+// a ccl provider) for implementations available locally.
+func DecodeEntry(data []byte) (*Entry, error) {
+	var pe persistedEntry
+	if err := json.Unmarshal(data, &pe); err != nil {
+		return nil, fmt.Errorf("repo: decode entry: %w", err)
+	}
+	return fromPersisted(pe)
+}
+
 // Save writes the repository's entries as JSON. Factories are recorded only
 // as a HasFactory marker.
 func (r *Repository) Save(w io.Writer) error {
 	r.mu.RLock()
 	out := persistedRepo{FormatVersion: 1}
 	for _, name := range r.listLocked() {
-		e := r.entries[name]
-		out.Entries = append(out.Entries, persistedEntry{
-			Name:        e.Name,
-			Version:     e.Version,
-			Description: e.Description,
-			SIDL:        e.SIDL,
-			Provides:    e.Provides,
-			Uses:        e.Uses,
-			Flavor:      e.Flavor.String(),
-			HasFactory:  e.Factory != nil,
-		})
+		out.Entries = append(out.Entries, toPersisted(r.entries[name]))
 	}
 	r.mu.RUnlock()
 	enc := json.NewEncoder(w)
@@ -79,33 +122,22 @@ func (r *Repository) Load(src io.Reader) error {
 	entries := make([]*Entry, 0, len(in.Entries))
 	seen := map[string]bool{}
 	for _, pe := range in.Entries {
-		if pe.Name == "" {
-			return fmt.Errorf("%w: unnamed entry in stream", ErrBadEntry)
-		}
-		if _, dup := r.entries[pe.Name]; dup || seen[pe.Name] {
-			return fmt.Errorf("%w: %q", ErrExists, pe.Name)
-		}
-		seen[pe.Name] = true
-		flavor, err := cca.ParseFlavor(pe.Flavor)
+		e, err := fromPersisted(pe)
 		if err != nil {
-			return fmt.Errorf("repo: load %s: %w", pe.Name, err)
+			return err
 		}
-		if pe.SIDL != "" {
-			f, err := sidl.Parse(pe.SIDL)
+		if _, dup := r.entries[e.Name]; dup || seen[e.Name] {
+			return fmt.Errorf("%w: %q", ErrExists, e.Name)
+		}
+		seen[e.Name] = true
+		if e.SIDL != "" {
+			f, err := sidl.Parse(e.SIDL)
 			if err != nil {
-				return fmt.Errorf("repo: load %s: %w", pe.Name, err)
+				return fmt.Errorf("repo: load %s: %w", e.Name, err)
 			}
 			files = append(files, f)
 		}
-		entries = append(entries, &Entry{
-			Name:        pe.Name,
-			Version:     pe.Version,
-			Description: pe.Description,
-			SIDL:        pe.SIDL,
-			Provides:    pe.Provides,
-			Uses:        pe.Uses,
-			Flavor:      flavor,
-		})
+		entries = append(entries, e)
 	}
 	table, err := sidl.Resolve(files...)
 	if err != nil {

@@ -1,16 +1,28 @@
-// Package repo implements the CCA Repository API of the paper's Figure 2:
-// "Each component can define its inputs and outputs by using a scientific
-// interface definition language (SIDL); these definitions can be deposited
-// in and retrieved from a repository by using a CCA Repository API. The
-// repository API defines the functionality necessary to search a framework
-// repository for components as well as to manipulate components within the
-// repository."
+// Package repo implements the CCA Repository API of the paper's Figure 2 —
+// "the functionality necessary to search a framework repository for
+// components as well as to manipulate components within the repository" —
+// in two forms: an in-process Repository embedded in every application
+// container, and a networked, versioned Service (`ccarepo serve`) that
+// whole teams of frameworks resolve components from.
 //
 // A repository entry couples a component's SIDL interface description with
 // its port specifications and an instantiation factory. Search supports
 // name matching and port-type matching with SIDL subtype compatibility, so
-// a builder can ask "which deposited components provide something usable as
-// esi.Operator?".
+// a builder can ask "which deposited components provide something usable
+// as esi.Operator?". The Builder (builder.go) is the composition tool that
+// instantiates entries into a framework and wires their ports; it is the
+// compile target of the declarative assembly language in
+// repro/internal/ccl.
+//
+// The networked half (service.go, client.go) runs the repository as an ORB
+// service: deposits are append-only with per-name monotonic semantic
+// versions (version.go), the store carries a global revision that bumps on
+// every deposit, and clients resolve version constraints ("^1.2", ">=1 <2")
+// through an ETag-style cache that one head() round trip revalidates
+// wholesale. Factories never cross the wire — code does not serialize —
+// so each site re-binds factories (BindFactory) or supplies providers for
+// the implementations it holds, exactly as with Save/Load persistence
+// (persist.go).
 package repo
 
 import (

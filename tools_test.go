@@ -263,6 +263,34 @@ func TestDistvizExample(t *testing.T) {
 	}
 }
 
+func TestCcafeLoadDeclarativeAssembly(t *testing.T) {
+	// The declarative path end-to-end from the shell: `load` compiles the
+	// checked-in solverswap assembly (resolving its typed components
+	// against the local repository and verifying the committed lockfile),
+	// and the assembled solver then solves through the wired ports.
+	script := strings.Join([]string{
+		"load examples/solverswap/solverswap.ccl",
+		"solve solver 1e-8",
+		"quit",
+	}, "\n")
+	path := filepath.Join(t.TempDir(), "session")
+	if err := os.WriteFile(path, []byte(script), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := runTool(t, "cmd/ccafe", "", "-f", path)
+	for _, want := range []string{
+		"assembled solverswap",
+		"resolved solver = esi.SolverComponent.bicgstab 1.0.0 (local)",
+		"resolved prec = esi.PreconditionerComponent.ilu0 1.0.0 (local)",
+		"lockfile verified: examples/solverswap/solverswap.ccl.lock",
+		"converged=true",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ccafe load output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestCcarepoExportImport(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "repo.json")
